@@ -1,0 +1,326 @@
+package accelproc
+
+// This file holds the testing.B benchmarks that regenerate the paper's
+// evaluation artifacts — one benchmark per table/figure — plus the ablation
+// benchmarks for the design choices called out in DESIGN.md §6.
+//
+// The benchmarks run a reduced workload (quarter of the reference scale) so
+// "go test -bench=." completes in minutes; the full-size evaluation is the
+// job of cmd/benchtables, whose output EXPERIMENTS.md records.  Benchmarks
+// that depend on parallel wall time use the simulated 8-processor platform
+// (see internal/simsched) and report its virtual seconds as "sim-sec/op",
+// so results are comparable across hosts with any core count.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"accelproc/internal/bench"
+	"accelproc/internal/fourier"
+	"accelproc/internal/pipeline"
+	"accelproc/internal/response"
+	"accelproc/internal/seismic"
+	"accelproc/internal/simsched"
+	"accelproc/internal/smformat"
+	"accelproc/internal/synth"
+)
+
+// benchScale is the workload scale for the in-tree benchmarks: a quarter of
+// the calibrated reference scale keeps a full -bench=. run fast.
+const benchScale = bench.ReferenceScale / 4
+
+func benchConfig(b *testing.B) bench.Config {
+	b.Helper()
+	return bench.Config{
+		Scale:         benchScale,
+		SimProcessors: bench.PaperProcessors,
+		WorkRoot:      b.TempDir(),
+	}
+}
+
+// runVariantOnce prepares a work dir for the event and runs one variant,
+// returning the charged (virtual) total.
+func runVariantOnce(b *testing.B, ev synth.EventSpec, v pipeline.Variant, cfg bench.Config) pipeline.Timings {
+	b.Helper()
+	cfg.Variants = []pipeline.Variant{v}
+	res, err := bench.RunEvent(ev, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Timings[v]
+}
+
+// BenchmarkTable1 regenerates one Table I row per sub-benchmark: every
+// paper event processed by every implementation, reporting the simulated
+// execution time of each variant.
+func BenchmarkTable1(b *testing.B) {
+	for _, spec := range synth.PaperEvents() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			cfg := benchConfig(b)
+			for i := 0; i < b.N; i++ {
+				cfg.Variants = nil // all four
+				res, err := bench.RunEvent(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					for _, v := range pipeline.Variants {
+						b.ReportMetric(res.Times[v].Seconds(), fmt.Sprintf("sim-sec/%s", shortVariant(v)))
+					}
+					b.ReportMetric(res.Speedup(), "speedup")
+				}
+			}
+		})
+	}
+}
+
+func shortVariant(v pipeline.Variant) string {
+	switch v {
+	case pipeline.SeqOriginal:
+		return "seqori"
+	case pipeline.SeqOptimized:
+		return "seqopt"
+	case pipeline.PartialParallel:
+		return "partpar"
+	case pipeline.FullParallel:
+		return "fullpar"
+	}
+	return "unknown"
+}
+
+// BenchmarkFig11Stages regenerates Figure 11: per-stage sequential and
+// fully-parallel times on the largest event, reported as metrics.
+func BenchmarkFig11Stages(b *testing.B) {
+	spec := synth.PaperEvents()[5] // Jul-31-2019
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		f11, err := bench.RunFig11(spec, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, st := range f11.Stages {
+				b.ReportMetric(st.Speedup(), fmt.Sprintf("speedup-stage-%s", st.Stage))
+			}
+			b.ReportMetric(f11.SeqStageShare(pipeline.StageIX)*100, "stageIX-share-%")
+		}
+	}
+}
+
+// BenchmarkFig12Variants regenerates Figure 12's per-variant series on a
+// mid-size event, one sub-benchmark per implementation.
+func BenchmarkFig12Variants(b *testing.B) {
+	spec := synth.PaperEvents()[2] // Jul-10-2019: 9 files
+	for _, v := range pipeline.Variants {
+		v := v
+		b.Run(v.String(), func(b *testing.B) {
+			cfg := benchConfig(b)
+			for i := 0; i < b.N; i++ {
+				tim := runVariantOnce(b, spec, v, cfg)
+				if i == b.N-1 {
+					b.ReportMetric(tim.Total.Seconds(), "sim-sec")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13Throughput regenerates Figure 13's throughput series:
+// fully-parallel data points per second across event sizes.
+func BenchmarkFig13Throughput(b *testing.B) {
+	for _, spec := range []synth.EventSpec{synth.PaperEvents()[0], synth.PaperEvents()[3], synth.PaperEvents()[5]} {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			cfg := benchConfig(b)
+			cfg.Variants = []pipeline.Variant{pipeline.SeqOriginal, pipeline.FullParallel}
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunEvent(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(res.PointsPerSecond(), "pts/sim-sec")
+					b.ReportMetric(res.SeqPointsPerSecond(), "seq-pts/sim-sec")
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+// BenchmarkAblationTempFolder compares the paper's temp-folder protocol for
+// stages IV/V/VIII against direct in-memory parallel loops.
+func BenchmarkAblationTempFolder(b *testing.B) {
+	spec := synth.PaperEvents()[2]
+	for _, noTemp := range []bool{false, true} {
+		noTemp := noTemp
+		name := "temp-folders"
+		if noTemp {
+			name = "direct-loops"
+		}
+		b.Run(name, func(b *testing.B) {
+			ev, err := synth.Event(spec.Scale(benchScale))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				if err := pipeline.PrepareWorkDir(dir, ev); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := pipeline.Run(dir, pipeline.FullParallel, pipeline.Options{
+					SimProcessors: bench.PaperProcessors,
+					NoTempFolders: noTemp,
+					Response: response.Config{
+						Method:  response.Duhamel,
+						Periods: response.LogPeriods(0.05, 10, bench.ShapePeriods),
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					staged := res.Timings.Stage[pipeline.StageIV] +
+						res.Timings.Stage[pipeline.StageV] +
+						res.Timings.Stage[pipeline.StageVIII]
+					b.ReportMetric(staged.Seconds(), "sim-sec-stages-IV+V+VIII")
+				}
+				b.StopTimer()
+				os.RemoveAll(dir)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationResponseMethod compares the legacy O(D²) Duhamel method
+// against the O(D) Nigam-Jennings recursion on one component record.
+func BenchmarkAblationResponseMethod(b *testing.B) {
+	rec, err := synth.Record(synth.Params{
+		Station: "SS01", Seed: 9, DT: 0.01, Samples: 4000,
+		Magnitude: 5.5, Distance: 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := rec.Accel[0]
+	for _, m := range []response.Method{response.Duhamel, response.NigamJennings} {
+		m := m
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := response.Oscillator(tr, 1.0, 0.05, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSchedule compares static and dynamic scheduling of a
+// parallel loop with strongly uneven iteration costs on the simulated
+// platform (the record-size imbalance of real events).
+func BenchmarkAblationSchedule(b *testing.B) {
+	// Synthetic uneven task costs: record sizes of the largest event.
+	spec := synth.PaperEvents()[5].Scale(benchScale)
+	ev, err := synth.Event(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	durs := make([]time.Duration, len(ev.Records))
+	for i, r := range ev.Records {
+		d := time.Duration(r.Samples())
+		durs[i] = d * d // stage IX cost is quadratic in record length
+	}
+	b.Run("static", func(b *testing.B) {
+		var makespan time.Duration
+		for i := 0; i < b.N; i++ {
+			makespan = simsched.MakespanStatic(durs, bench.PaperProcessors, simsched.ContentionCPU)
+		}
+		b.ReportMetric(float64(makespan), "sim-units")
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		var makespan time.Duration
+		for i := 0; i < b.N; i++ {
+			makespan = simsched.Makespan(durs, bench.PaperProcessors, simsched.ContentionCPU)
+		}
+		b.ReportMetric(float64(makespan), "sim-units")
+	})
+}
+
+// BenchmarkAblationInflection compares the paper's early-termination
+// inflection scan against the full-spectrum scan.
+func BenchmarkAblationInflection(b *testing.B) {
+	// A large spectrum with a corner early in the scan, where early
+	// termination pays off most.
+	const nbins = 1 << 16
+	f := smformat.Fourier{
+		Station: "SS01", Component: seismic.Longitudinal, DF: 0.0005,
+		Accel: make([]float64, nbins), Vel: make([]float64, nbins), Disp: make([]float64, nbins),
+	}
+	for k := 1; k < nbins; k++ {
+		fk := float64(k) * f.DF
+		f.Vel[k] = fk + 0.81/fk // corner at 0.9 Hz: met early in the scan
+		f.Accel[k] = fk
+		f.Disp[k] = 1 / fk
+	}
+	for _, full := range []bool{false, true} {
+		full := full
+		name := "early-termination"
+		if full {
+			name = "full-scan"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := fourier.PickConfig{FullScan: full}
+			for i := 0; i < b.N; i++ {
+				if _, err := fourier.CalculateInflectionPoint(f, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThreads sweeps the simulated processor count for the
+// fully parallelized pipeline: the Amdahl curve behind Figure 13.
+func BenchmarkAblationThreads(b *testing.B) {
+	spec := synth.PaperEvents()[2]
+	ev, err := synth.Event(spec.Scale(benchScale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, procs := range []int{1, 2, 4, 8, 16} {
+		procs := procs
+		b.Run(fmt.Sprintf("procs-%d", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				if err := pipeline.PrepareWorkDir(dir, ev); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := pipeline.Run(dir, pipeline.FullParallel, pipeline.Options{
+					SimProcessors: procs,
+					Response: response.Config{
+						Method:  response.Duhamel,
+						Periods: response.LogPeriods(0.05, 10, bench.ShapePeriods),
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(res.Timings.Total.Seconds(), "sim-sec")
+				}
+				b.StopTimer()
+				os.RemoveAll(dir)
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,152 @@
+// Command benchtables regenerates the paper's evaluation — Table I and
+// Figures 11, 12, and 13 — on synthetic reproductions of the six seismic
+// events, printing each in a layout comparable to the publication.
+//
+// Usage:
+//
+//	benchtables [-scale 0.16] [-workers 0] [-method duhamel|nj]
+//	            [-periods 8] [-repeat 1] [-table1] [-fig11] [-fig12]
+//	            [-fig13] [-check]
+//
+// With no selection flags, everything is produced.  -scale sets the
+// workload size (1.0 = the paper's data-point counts; the default is the
+// calibrated reference scale, see EXPERIMENTS.md); -check evaluates the
+// reproduction-shape assertions and exits non-zero if any fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"accelproc/internal/bench"
+	"accelproc/internal/response"
+	"accelproc/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+// errChecksFailed marks a completed run whose shape checks did not pass.
+var errChecksFailed = fmt.Errorf("reproduction shape checks failed")
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	var (
+		scale     = fs.Float64("scale", bench.ReferenceScale, "workload scale factor (1.0 = paper data sizes; default is the calibrated reference scale)")
+		workers   = fs.Int("workers", 0, "worker budget for parallel variants (0 = all processors)")
+		method    = fs.String("method", "duhamel", "stage IX method: duhamel (legacy O(D^2)) or nj (Nigam-Jennings O(D))")
+		periods   = fs.Int("periods", bench.ShapePeriods, "response-spectrum period count")
+		repeat    = fs.Int("repeat", 1, "repetitions per measurement (fastest kept)")
+		table1    = fs.Bool("table1", false, "produce Table I")
+		fig11     = fs.Bool("fig11", false, "produce Figure 11 (per-stage, largest event)")
+		fig12     = fs.Bool("fig12", false, "produce Figure 12 (per-event bars)")
+		fig13     = fs.Bool("fig13", false, "produce Figure 13 (speedup/throughput vs size)")
+		check     = fs.Bool("check", false, "evaluate reproduction-shape assertions")
+		ablations = fs.Bool("ablations", false, "run the design-choice ablations on the mid-size event")
+		smoke     = fs.Bool("smoke", false, "self-test mode: two tiny synthetic events instead of the paper's six")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := !*table1 && !*fig11 && !*fig12 && !*fig13 && !*check && !*ablations
+
+	var m response.Method
+	switch *method {
+	case "duhamel":
+		m = response.Duhamel
+	case "nj":
+		m = response.NigamJennings
+	default:
+		return fmt.Errorf("unknown method %q (want duhamel or nj)", *method)
+	}
+	cfg := bench.Config{
+		Scale:   *scale,
+		Workers: *workers,
+		Repeat:  *repeat,
+		Response: response.Config{
+			Method:  m,
+			Periods: response.LogPeriods(0.05, 10, *periods),
+		},
+	}
+	fig11Spec := synth.PaperEvents()[5]    // Jul-31-2019: 19 files, 384K points
+	ablationSpec := synth.PaperEvents()[2] // Jul-10-2019: 9 files, mid-size
+	if *smoke {
+		cfg.Events = []synth.EventSpec{
+			{Name: "smoke-1", Files: 2, TotalPoints: 2000, Magnitude: 4.5, Seed: 1},
+			{Name: "smoke-2", Files: 3, TotalPoints: 4500, Magnitude: 5.0, Seed: 2},
+		}
+		cfg.Scale = 1.0
+		fig11Spec = cfg.Events[1]
+		ablationSpec = cfg.Events[0]
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "accelproc evaluation: scale=%g workers=%d method=%s periods=%d repeat=%d GOMAXPROCS=%d\n\n",
+		cfg.Scale, *workers, m, *periods, *repeat, runtime.GOMAXPROCS(0))
+
+	progress := func(s string) { fmt.Fprintln(stderr, "running "+s) }
+
+	var results []bench.EventResult
+	if all || *table1 || *fig12 || *fig13 || *check {
+		var err error
+		results, err = bench.RunTable1(cfg, progress)
+		if err != nil {
+			return err
+		}
+	}
+	var f11 bench.Fig11Result
+	if all || *fig11 || *check {
+		progress(fmt.Sprintf("figure 11 on %s", fig11Spec.Name))
+		var err error
+		f11, err = bench.RunFig11(fig11Spec, cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	if all || *table1 {
+		fmt.Fprintln(stdout, bench.FormatTable1(results))
+	}
+	if all || *fig11 {
+		fmt.Fprintln(stdout, bench.FormatFig11(f11))
+	}
+	if all || *fig12 {
+		fmt.Fprintln(stdout, bench.FormatFig12(results))
+	}
+	if all || *fig13 {
+		fmt.Fprintln(stdout, bench.FormatFig13(results))
+	}
+	if all || *ablations {
+		progress(fmt.Sprintf("ablations on %s", ablationSpec.Name))
+		abl, err := bench.RunAblations(ablationSpec, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, bench.FormatAblations(abl))
+	}
+	if all || *check {
+		fmt.Fprintln(stdout, "REPRODUCTION SHAPE CHECKS")
+		failed := false
+		for _, line := range bench.ShapeChecks(results, f11) {
+			fmt.Fprintln(stdout, line)
+			if strings.HasPrefix(line, "[FAIL]") {
+				failed = true
+			}
+		}
+		if failed {
+			return errChecksFailed
+		}
+	}
+	return nil
+}

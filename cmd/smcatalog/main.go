@@ -1,0 +1,92 @@
+// Command smcatalog aggregates processed event directories into a
+// strong-motion catalog and answers repository queries: the role the
+// Salvadoran Accelerographic Repository plays for the observatory.
+//
+// Usage:
+//
+//	smcatalog -root processed/                   # summary report
+//	smcatalog -root processed/ -station SS01     # one station's history
+//	smcatalog -root processed/ -exceed 100       # records with PGA >= 100 gal
+//	smcatalog -root new/ -merge old.json -save all.json   # accumulate runs
+//
+// Every immediate subdirectory of -root that has been processed by smproc
+// is ingested, named after the subdirectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"accelproc/internal/catalog"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smcatalog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smcatalog", flag.ContinueOnError)
+	var (
+		root    = fs.String("root", "", "directory whose subdirectories are processed events (required)")
+		station = fs.String("station", "", "print the record history of one station")
+		exceed  = fs.Float64("exceed", 0, "count records with PGA at or above this threshold (gal)")
+		save    = fs.String("save", "", "also write the catalog to this JSON file")
+		merge   = fs.String("merge", "", "merge a previously saved catalog JSON before querying")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *root == "" {
+		return fmt.Errorf("-root is required")
+	}
+
+	c := catalog.New()
+	n, err := c.IngestAll(*root)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("no processed event directories under %s", *root)
+	}
+	if *merge != "" {
+		prev, err := catalog.Load(*merge)
+		if err != nil {
+			return err
+		}
+		if err := c.Merge(prev); err != nil {
+			return err
+		}
+	}
+	if *save != "" {
+		if err := c.Save(*save); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "saved catalog (%d entries) to %s\n", c.Len(), *save)
+	}
+
+	switch {
+	case *station != "":
+		hist := c.StationHistory(*station)
+		if len(hist) == 0 {
+			return fmt.Errorf("station %q not in catalog", *station)
+		}
+		fmt.Fprintf(stdout, "station %s: %d records\n", *station, len(hist))
+		fmt.Fprintf(stdout, "%-16s %-4s %12s %12s %12s %12s\n",
+			"event", "comp", "PGA (gal)", "PGV (cm/s)", "PGD (cm)", "peak SA")
+		for _, e := range hist {
+			fmt.Fprintf(stdout, "%-16s %-4s %12.2f %12.3f %12.4f %12.1f\n",
+				e.Event, e.Component.Suffix(), e.Peaks.PGA, e.Peaks.PGV, e.Peaks.PGD, e.PeakSA)
+		}
+	case *exceed > 0:
+		count := c.ExceedanceCount(*exceed)
+		fmt.Fprintf(stdout, "%d of %d records have PGA >= %.1f gal\n", count, c.Len(), *exceed)
+	default:
+		fmt.Fprint(stdout, c.Report())
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelproc/internal/pipeline"
+	"accelproc/internal/response"
+	"accelproc/internal/synth"
+)
+
+func processedRoot(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	for i, name := range []string{"2019-07-31", "2018-11-24"} {
+		ev, err := synth.Event(synth.EventSpec{
+			Name: name, Files: 2, TotalPoints: 1600, Magnitude: 5.0, Seed: int64(10 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(root, name)
+		if err := pipeline.PrepareWorkDir(dir, ev); err != nil {
+			t.Fatal(err)
+		}
+		opts := pipeline.Options{Response: response.Config{
+			Method:  response.NigamJennings,
+			Periods: response.LogPeriods(0.05, 5, 8),
+		}}
+		if _, err := pipeline.Run(dir, pipeline.SeqOptimized, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestRunReport(t *testing.T) {
+	root := processedRoot(t)
+	var out bytes.Buffer
+	if err := run([]string{"-root", root}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2 events", "largest PGA", "SS01", "SS02"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunStationQuery(t *testing.T) {
+	root := processedRoot(t)
+	var out bytes.Buffer
+	if err := run([]string{"-root", root, "-station", "SS02"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "station SS02: 6 records") {
+		t.Errorf("output = %q", out.String())
+	}
+	if err := run([]string{"-root", root, "-station", "NOPE"}, &out); err == nil {
+		t.Error("unknown station accepted")
+	}
+}
+
+func TestRunExceedQuery(t *testing.T) {
+	root := processedRoot(t)
+	var out bytes.Buffer
+	if err := run([]string{"-root", root, "-exceed", "0.001"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "12 of 12 records") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -root accepted")
+	}
+	if err := run([]string{"-root", t.TempDir()}, &out); err == nil {
+		t.Error("root without processed events accepted")
+	}
+}
+
+func TestRunSaveAndMerge(t *testing.T) {
+	root := processedRoot(t)
+	saved := filepath.Join(t.TempDir(), "cat.json")
+	var out bytes.Buffer
+	if err := run([]string{"-root", root, "-save", saved}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saved catalog (12 entries)") {
+		t.Errorf("output = %q", out.String())
+	}
+	// Merging the same events back is a duplicate and must fail loudly.
+	out.Reset()
+	if err := run([]string{"-root", root, "-merge", saved}, &out); err == nil {
+		t.Error("duplicate merge accepted")
+	}
+}

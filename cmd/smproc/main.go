@@ -1,0 +1,183 @@
+// Command smproc processes strong-motion V1 files with one of the four
+// pipeline implementations, reporting per-stage timings and the produced
+// file inventory.
+//
+// Usage:
+//
+//	smproc -dir work/ [-variant full] [-workers 0] [-method nj]
+//	       [-periods 91] [-clean]
+//	smproc -batch "ev1,ev2,ev3" [-variant full] [-event-workers 0]
+//
+// A directory must contain multiplexed <station>.v1 files (generate
+// synthetic ones with the synthgen command).  -variant selects
+// seq-original, seq-optimized, partial, or full.  -clean removes all
+// pipeline products first so the run starts from a pristine directory.
+// -batch processes several event directories concurrently.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/pipeline"
+	"accelproc/internal/response"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smproc:", err)
+		os.Exit(1)
+	}
+}
+
+func parseVariant(s string) (pipeline.Variant, error) {
+	switch s {
+	case "seq-original":
+		return pipeline.SeqOriginal, nil
+	case "seq-optimized":
+		return pipeline.SeqOptimized, nil
+	case "partial":
+		return pipeline.PartialParallel, nil
+	case "full":
+		return pipeline.FullParallel, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (want seq-original, seq-optimized, partial, or full)", s)
+	}
+}
+
+func parseInstrument(s string) (*dsp.Instrument, error) {
+	var f0, damping float64
+	if _, err := fmt.Sscanf(s, "%f,%f", &f0, &damping); err != nil {
+		return nil, fmt.Errorf("bad -instrument %q (want \"f0,damping\"): %v", s, err)
+	}
+	in := &dsp.Instrument{F0: f0, Damping: damping}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func parseMethod(s string) (response.Method, error) {
+	switch s {
+	case "duhamel":
+		return response.Duhamel, nil
+	case "nj":
+		return response.NigamJennings, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (want duhamel or nj)", s)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("smproc", flag.ContinueOnError)
+	var (
+		dir          = fs.String("dir", "", "work directory containing <station>.v1 inputs")
+		batch        = fs.String("batch", "", "comma-separated list of work directories to process concurrently")
+		variant      = fs.String("variant", "full", "implementation: seq-original, seq-optimized, partial, or full")
+		workers      = fs.Int("workers", 0, "worker budget for parallel stages (0 = all processors)")
+		eventWorkers = fs.Int("event-workers", 0, "concurrent events in batch mode (0 = all processors)")
+		method       = fs.String("method", "nj", "response-spectrum method: duhamel (legacy) or nj (fast)")
+		periods      = fs.Int("periods", 91, "response-spectrum period count")
+		clean        = fs.Bool("clean", false, "remove previous pipeline products before running")
+		instr        = fs.String("instrument", "", "deconvolve an instrument response first: \"f0,damping\" (e.g. \"25,0.7\" for an SMA-1 style sensor)")
+		verbose      = fs.Bool("verbose", false, "print each process as it completes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*dir == "") == (*batch == "") {
+		return fmt.Errorf("exactly one of -dir or -batch is required")
+	}
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		return err
+	}
+	m, err := parseMethod(*method)
+	if err != nil {
+		return err
+	}
+	opts := pipeline.Options{
+		Workers: *workers,
+		Response: response.Config{
+			Method:  m,
+			Periods: response.LogPeriods(0.02, 20, *periods),
+		},
+	}
+	if *instr != "" {
+		in, err := parseInstrument(*instr)
+		if err != nil {
+			return err
+		}
+		opts.Instrument = in
+	}
+	if *verbose {
+		var mu sync.Mutex
+		opts.Progress = func(p pipeline.ProcessID, d time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(stdout, "  #%-2d %-38s %8.3f s\n", p, pipeline.Processes[p].Name, d.Seconds())
+		}
+	}
+
+	if *batch != "" {
+		dirs := strings.Split(*batch, ",")
+		for i := range dirs {
+			dirs[i] = strings.TrimSpace(dirs[i])
+		}
+		if *clean {
+			for _, d := range dirs {
+				if err := pipeline.CleanOutputs(d); err != nil {
+					return err
+				}
+			}
+		}
+		results, err := pipeline.RunBatch(dirs, v, opts, *eventWorkers)
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Fprintf(stdout, "%-30s FAILED: %v\n", r.Dir, r.Err)
+				continue
+			}
+			fmt.Fprintf(stdout, "%-30s %3d stations in %.2f s\n",
+				r.Dir, len(r.Result.Stations), r.Result.Timings.Total.Seconds())
+		}
+		fmt.Fprintf(stdout, "batch: %d events, %d distinct stations\n",
+			len(results), len(pipeline.BatchStations(results)))
+		return err
+	}
+
+	if *clean {
+		if err := pipeline.CleanOutputs(*dir); err != nil {
+			return err
+		}
+	}
+	res, err := pipeline.Run(*dir, v, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "processed %d stations with %s in %.2f s\n",
+		len(res.Stations), res.Variant, res.Timings.Total.Seconds())
+	fmt.Fprintln(stdout, "\nper-stage wall times:")
+	for _, st := range pipeline.Stages {
+		fmt.Fprintf(stdout, "  stage %-5s %10.3f s  (processes", st.ID, res.Timings.Stage[st.ID].Seconds())
+		for _, p := range st.Processes {
+			fmt.Fprintf(stdout, " #%d", p)
+		}
+		fmt.Fprintln(stdout, ")")
+	}
+
+	inv, err := pipeline.Inventory(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nproducts: %d V2, %d Fourier, %d response, %d GEM, %d plots\n",
+		inv.V2, inv.Fourier, inv.Response, inv.GEM, inv.Plots)
+	return nil
+}

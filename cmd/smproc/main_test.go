@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelproc/internal/pipeline"
+	"accelproc/internal/response"
+	"accelproc/internal/synth"
+)
+
+func makeWorkDir(t *testing.T, seed int64) string {
+	t.Helper()
+	ev, err := synth.Event(synth.EventSpec{
+		Name: "t", Files: 2, TotalPoints: 1600, Magnitude: 4.8, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "work")
+	if err := pipeline.PrepareWorkDir(dir, ev); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestParseVariant(t *testing.T) {
+	good := map[string]pipeline.Variant{
+		"seq-original":  pipeline.SeqOriginal,
+		"seq-optimized": pipeline.SeqOptimized,
+		"partial":       pipeline.PartialParallel,
+		"full":          pipeline.FullParallel,
+	}
+	for in, want := range good {
+		got, err := parseVariant(in)
+		if err != nil || got != want {
+			t.Errorf("parseVariant(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseVariant("bogus"); err == nil {
+		t.Error("bogus variant accepted")
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	if m, err := parseMethod("duhamel"); err != nil || m != response.Duhamel {
+		t.Errorf("duhamel: %v, %v", m, err)
+	}
+	if m, err := parseMethod("nj"); err != nil || m != response.NigamJennings {
+		t.Errorf("nj: %v, %v", m, err)
+	}
+	if _, err := parseMethod("x"); err == nil {
+		t.Error("bogus method accepted")
+	}
+}
+
+func TestRunSingleDirectory(t *testing.T) {
+	dir := makeWorkDir(t, 1)
+	var out bytes.Buffer
+	err := run([]string{"-dir", dir, "-variant", "full", "-periods", "8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"processed 2 stations", "stage IX", "products: 6 V2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCleanRerun(t *testing.T) {
+	dir := makeWorkDir(t, 2)
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "-periods", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-dir", dir, "-clean", "-variant", "seq-optimized", "-periods", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sequential-optimized") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunBatchMode(t *testing.T) {
+	d1 := makeWorkDir(t, 3)
+	d2 := makeWorkDir(t, 4)
+	var out bytes.Buffer
+	err := run([]string{"-batch", d1 + ", " + d2, "-periods", "8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "batch: 2 events") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -dir and -batch accepted")
+	}
+	if err := run([]string{"-dir", "a", "-batch", "b"}, &out); err == nil {
+		t.Error("both -dir and -batch accepted")
+	}
+	if err := run([]string{"-dir", "x", "-variant", "bogus"}, &out); err == nil {
+		t.Error("bogus variant accepted")
+	}
+	if err := run([]string{"-dir", "x", "-method", "bogus"}, &out); err == nil {
+		t.Error("bogus method accepted")
+	}
+	if err := run([]string{"-dir", filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
+		t.Error("missing directory accepted")
+	}
+}
+
+func TestParseInstrument(t *testing.T) {
+	in, err := parseInstrument("25,0.7")
+	if err != nil || in.F0 != 25 || in.Damping != 0.7 {
+		t.Errorf("parseInstrument = %+v, %v", in, err)
+	}
+	for _, bad := range []string{"", "25", "x,y", "0,0.7", "25,3"} {
+		if _, err := parseInstrument(bad); err == nil {
+			t.Errorf("parseInstrument(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunWithInstrumentFlag(t *testing.T) {
+	dir := makeWorkDir(t, 5)
+	var out bytes.Buffer
+	err := run([]string{"-dir", dir, "-periods", "8", "-instrument", "25,0.7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "processed 2 stations") {
+		t.Errorf("output = %q", out.String())
+	}
+	if err := run([]string{"-dir", dir, "-instrument", "garbage"}, &out); err == nil {
+		t.Error("bad instrument flag accepted")
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	dir := makeWorkDir(t, 6)
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "-periods", "8", "-verbose", "-variant", "seq-optimized"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"#1 ", "gather input data files", "response spectrum calculation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("verbose output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelproc/internal/pipeline"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Jul-31-2019", "384000", "Nov-24-2018"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunGeneratesCustomEvent(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "work")
+	var out bytes.Buffer
+	err := run([]string{"-out", dir, "-files", "3", "-points", "4800", "-magnitude", "5", "-seed", "9"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := pipeline.Inventory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.V1Inputs != 3 {
+		t.Errorf("inventory = %+v, want 3 V1 inputs", inv)
+	}
+	if !strings.Contains(out.String(), "wrote 3 V1 files (4800 total data points)") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunGeneratesPreset(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "work")
+	var out bytes.Buffer
+	err := run([]string{"-out", dir, "-preset", "Nov-24-2018", "-scale", "0.05"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := pipeline.Inventory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.V1Inputs != 5 {
+		t.Errorf("inventory = %+v, want 5 V1 inputs", inv)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-out", t.TempDir(), "-preset", "no-such-event"}, &out); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run([]string{"-out", t.TempDir(), "-files", "0"}, &out); err == nil {
+		t.Error("zero files accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

@@ -1,0 +1,23 @@
+// Package accelproc is a from-scratch Go reproduction of "Parallelizing
+// Accelerographic Records Processing" (IPPS 2024): the strong-motion record
+// processing chain of El Salvador's Observatory of Natural Threats, its
+// sequential optimization, and its partial and full parallelizations.
+//
+// The library lives under internal/:
+//
+//	parallel  OpenMP-equivalent runtime (parallel loops, task groups)
+//	dsp       FFT, Hamming band-pass FIR filters, integration, detrend
+//	seismic   domain model and ground-motion metrics
+//	synth     stochastic accelerogram generator (the data substitute)
+//	smformat  V1/V2/F/R/GEM and metadata file formats
+//	fourier   spectra and FPL/FSL inflection picking
+//	response  elastic response spectra (Duhamel and Nigam-Jennings)
+//	plotps    PostScript plot writer
+//	pipeline  the 20 processes, 11 stages, and four implementations
+//	simsched  simulated multi-processor platform (schedule makespans)
+//	bench     the evaluation harness for Table I and Figures 11-13
+//
+// The executables are cmd/smproc (process a work directory), cmd/synthgen
+// (generate synthetic events), and cmd/benchtables (regenerate the paper's
+// evaluation).  See README.md, DESIGN.md, and EXPERIMENTS.md.
+package accelproc

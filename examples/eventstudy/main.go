@@ -1,0 +1,74 @@
+// Eventstudy: process one of the paper's seismic events with all four
+// pipeline implementations and compare them — a single-event slice of the
+// paper's Table I.
+//
+// Run with:
+//
+//	go run ./examples/eventstudy               # Jul-10-2019 at reduced scale
+//	go run ./examples/eventstudy -preset Apr-02-2018 -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"accelproc/internal/bench"
+	"accelproc/internal/pipeline"
+	"accelproc/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eventstudy: ")
+	preset := flag.String("preset", "Jul-10-2019", "paper event preset to study")
+	scale := flag.Float64("scale", bench.ReferenceScale, "workload scale factor")
+	flag.Parse()
+
+	var spec synth.EventSpec
+	found := false
+	for _, s := range synth.PaperEvents() {
+		if s.Name == *preset {
+			spec, found = s, true
+			break
+		}
+	}
+	if !found {
+		log.Printf("unknown preset %q; available presets:", *preset)
+		for _, s := range synth.PaperEvents() {
+			log.Printf("  %s", s.Name)
+		}
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{Scale: *scale}
+	fmt.Printf("event %s: %d stations, %d data points (scale %g)\n\n",
+		spec.Name, spec.Files, spec.Scale(*scale).TotalPoints, *scale)
+
+	res, err := bench.RunEvent(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-26s %10s %10s\n", "implementation", "time (s)", "vs. SeqOri")
+	base := res.Times[pipeline.SeqOriginal].Seconds()
+	for _, v := range pipeline.Variants {
+		t := res.Times[v].Seconds()
+		fmt.Printf("%-26s %10.2f %9.2fx\n", v, t, base/t)
+	}
+
+	fmt.Printf("\nstage profile (sequential-original vs fully-parallelized):\n")
+	seq := res.Timings[pipeline.SeqOriginal]
+	par := res.Timings[pipeline.FullParallel]
+	for _, st := range pipeline.Stages {
+		s, p := seq.Stage[st.ID].Seconds(), par.Stage[st.ID].Seconds()
+		speedup := 0.0
+		if p > 0 {
+			speedup = s / p
+		}
+		fmt.Printf("  stage %-5v %8.3f s -> %8.3f s  (%.2fx)\n", st.ID, s, p, speedup)
+	}
+	fmt.Printf("\noverall speedup: %.2fx, throughput %0.f points/s\n",
+		res.Speedup(), res.PointsPerSecond())
+}

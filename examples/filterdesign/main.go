@@ -1,0 +1,87 @@
+// Filterdesign: explore the Hamming band-pass filters that the correction
+// processes apply.  Designs filters for several FSL/FPL corner choices,
+// prints their frequency responses, and shows the effect of each on a noisy
+// synthetic record's peak values — why picking the corners from the Fourier
+// analysis (process #10) matters.
+//
+// Run with:
+//
+//	go run ./examples/filterdesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/fourier"
+	"accelproc/internal/seismic"
+	"accelproc/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("filterdesign: ")
+
+	dt := 0.01 // 100 Hz sampling
+
+	// Candidate low-side corners; the high side stays at the default
+	// 23-25 Hz anti-alias transition.
+	candidates := []dsp.BandPassSpec{
+		{FSL: 0.02, FPL: 0.05, FPH: 23, FSH: 25}, // very permissive
+		{FSL: 0.05, FPL: 0.125, FPH: 23, FSH: 25},
+		fourier.DefaultSpec(),                    // the pipeline default
+		{FSL: 0.25, FPL: 0.50, FPH: 23, FSH: 25}, // aggressive
+	}
+
+	fmt.Println("designed Hamming band-pass filters (100 Hz sampling):")
+	fmt.Printf("%-28s %6s %22s\n", "corners (FSL-FPL / FPH-FSH)", "taps", "response @ .05/.5/5/30 Hz")
+	for _, spec := range candidates {
+		fir, err := dsp.DesignBandPass(spec, dt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5.3f-%5.3f / %4.1f-%4.1f Hz %6d     %5.3f %5.3f %5.3f %5.3f\n",
+			spec.FSL, spec.FPL, spec.FPH, spec.FSH, len(fir.Taps),
+			fir.Response(0.05, dt), fir.Response(0.5, dt),
+			fir.Response(5, dt), fir.Response(30, dt))
+	}
+
+	// A record with deliberate long-period drift: the uncorrected peaks
+	// are badly contaminated, and the displacement most of all (double
+	// integration amplifies low-frequency noise).
+	rec, err := synth.Record(synth.Params{
+		Station: "DRFT", Seed: 3, DT: dt, Samples: 12000,
+		Magnitude: 5.2, Distance: 35, NoiseFloor: 0.08,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := rec.Accel[0]
+
+	rawPeaks, err := seismic.Peaks(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nuncorrected record: PGA %.2f gal, PGV %.3f cm/s, PGD %.4f cm\n",
+		rawPeaks.PGA, rawPeaks.PGV, rawPeaks.PGD)
+
+	fmt.Println("\npeaks after each correction:")
+	fmt.Printf("%-28s %10s %12s %12s\n", "corners", "PGA (gal)", "PGV (cm/s)", "PGD (cm)")
+	for _, spec := range candidates {
+		corrected, err := dsp.BandPass(raw.Data, dt, spec, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dsp.Detrend(corrected)
+		p, err := seismic.Peaks(seismic.Trace{DT: dt, Data: corrected})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5.3f-%5.3f / %4.1f-%4.1f Hz %10.2f %12.3f %12.4f\n",
+			spec.FSL, spec.FPL, spec.FPH, spec.FSH, p.PGA, p.PGV, p.PGD)
+	}
+	fmt.Println("\nNote how PGD keeps shrinking as the low corner rises: the long-period")
+	fmt.Println("noise double-integrates into displacement, which is exactly why the")
+	fmt.Println("pipeline picks FSL/FPL per signal from the velocity Fourier spectrum.")
+}

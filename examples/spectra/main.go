@@ -1,0 +1,153 @@
+// Spectra: the single-record scientific walk-through behind the paper's
+// Figures 2-4.  One synthetic strong-motion component is band-pass
+// corrected, integrated to velocity and displacement (Figure 2), Fourier
+// transformed with the FPL/FSL corners picked from the velocity spectrum
+// (Figure 3), and turned into elastic response spectra (Figure 4).  The
+// three PostScript plots are written to the output directory.
+//
+// Run with:
+//
+//	go run ./examples/spectra [-out plots/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/fourier"
+	"accelproc/internal/plotps"
+	"accelproc/internal/response"
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+	"accelproc/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spectra: ")
+	out := flag.String("out", ".", "directory for the generated .ps plots")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	// A moderate M5.6 record at 25 km, 100 Hz sampling, 80 s long, with
+	// instrument noise and baseline drift for the correction to remove.
+	rec, err := synth.Record(synth.Params{
+		Station:    "DEMO",
+		Seed:       7,
+		DT:         0.01,
+		Samples:    8000,
+		Magnitude:  5.6,
+		Distance:   25,
+		NoiseFloor: 0.03,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := rec.Accel[0] // longitudinal component
+
+	// --- Correction: default band-pass, then integration (Figure 2). ---
+	defSpec := fourier.DefaultSpec()
+	accel, err := dsp.BandPass(tr.Data, tr.DT, defSpec, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dsp.Detrend(accel)
+	vel := dsp.Integrate(accel, tr.DT)
+	disp := dsp.Integrate(vel, tr.DT)
+	v2 := smformat.V2{
+		Station: rec.Station, Component: seismic.Longitudinal, DT: tr.DT,
+		Filter: defSpec, Accel: accel, Vel: vel, Disp: disp,
+	}
+	peaks, err := seismic.Peaks(seismic.Trace{DT: tr.DT, Data: accel})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v2.Peaks = peaks
+	fmt.Printf("corrected record %s: PGA %.2f gal at %.2f s, PGV %.3f cm/s, PGD %.4f cm\n",
+		rec.Station, peaks.PGA, peaks.TimePGA, peaks.PGV, peaks.PGD)
+
+	ia, err := seismic.AriasIntensity(seismic.Trace{DT: tr.DT, Data: accel})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d595, err := seismic.SignificantDuration(seismic.Trace{DT: tr.DT, Data: accel}, 0.05, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Arias intensity %.3f cm/s, significant duration D5-95 %.1f s\n", ia, d595)
+
+	if err := writePlot(filepath.Join(*out, "figure2-accelerogram.ps"), func(f *os.File) error {
+		return plotps.AccelPage(f, v2)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Fourier spectra and FPL/FSL picking (Figure 3). ---
+	spec, err := fourier.Spectra(v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	picked, err := fourier.CalculateInflectionPoint(spec, fourier.PickConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("picked corners from the velocity spectrum: FSL %.3f Hz, FPL %.3f Hz\n",
+		picked.FSL, picked.FPL)
+	if err := writePlot(filepath.Join(*out, "figure3-fourier.ps"), func(f *os.File) error {
+		return plotps.FourierPage(f, spec, picked)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Definitive correction and response spectra (Figure 4). ---
+	accel2, err := dsp.BandPass(tr.Data, tr.DT, picked, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dsp.Detrend(accel2)
+	v2.Filter = picked
+	v2.Accel = accel2
+	v2.Vel = dsp.Integrate(accel2, tr.DT)
+	v2.Disp = dsp.Integrate(v2.Vel, tr.DT)
+
+	rs, err := response.Spectrum(v2, response.Config{Method: response.NigamJennings})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Report the spectral peak, the quantity structural engineers read off
+	// first.
+	maxSA, maxT := 0.0, 0.0
+	for i, sa := range rs.SA {
+		if sa > maxSA {
+			maxSA, maxT = sa, rs.Periods[i]
+		}
+	}
+	fmt.Printf("response spectrum peak: SA %.1f gal at T = %.2f s (%.0f%% damping)\n",
+		maxSA, maxT, rs.Damping*100)
+	if err := writePlot(filepath.Join(*out, "figure4-response.ps"), func(f *os.File) error {
+		return plotps.ResponsePage(f, rs)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("wrote figure2-accelerogram.ps, figure3-fourier.ps, figure4-response.ps to %s\n", *out)
+}
+
+func writePlot(path string, render func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rerr := render(f)
+	cerr := f.Close()
+	if rerr != nil {
+		return rerr
+	}
+	return cerr
+}

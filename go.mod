@@ -1,0 +1,3 @@
+module accelproc
+
+go 1.22

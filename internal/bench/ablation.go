@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"accelproc/internal/pipeline"
+	"accelproc/internal/response"
+	"accelproc/internal/synth"
+)
+
+// AblationResults collects the design-choice experiments of DESIGN.md §6 on
+// one event.
+type AblationResults struct {
+	Event synth.EventSpec
+
+	// Temp-folder protocol vs direct parallel loops: total time of stages
+	// IV+V+VIII under each strategy.
+	TempFolderStages time.Duration
+	DirectLoopStages time.Duration
+
+	// Legacy Duhamel vs Nigam-Jennings: full-parallel pipeline total with
+	// each stage IX method (same period grid).
+	DuhamelTotal       time.Duration
+	NigamJenningsTotal time.Duration
+
+	// Simulated processor sweep: full-parallel total per processor count.
+	ThreadSweep map[int]time.Duration
+}
+
+// RunAblations executes the ablation suite on the given event spec.
+func RunAblations(spec synth.EventSpec, cfg Config) (AblationResults, error) {
+	cfg = cfg.withDefaults()
+	scaled := spec.Scale(cfg.Scale)
+	ev, err := synth.Event(scaled)
+	if err != nil {
+		return AblationResults{}, err
+	}
+	out := AblationResults{Event: scaled, ThreadSweep: map[int]time.Duration{}}
+
+	runOnce := func(opts pipeline.Options) (pipeline.Timings, error) {
+		dir, err := os.MkdirTemp(cfg.WorkRoot, "accelproc-ablation-*")
+		if err != nil {
+			return pipeline.Timings{}, err
+		}
+		defer os.RemoveAll(dir)
+		if err := pipeline.PrepareWorkDir(dir, ev); err != nil {
+			return pipeline.Timings{}, err
+		}
+		res, err := pipeline.Run(dir, pipeline.FullParallel, opts)
+		if err != nil {
+			return pipeline.Timings{}, err
+		}
+		return res.Timings, nil
+	}
+	baseOpts := pipeline.Options{
+		Workers:       cfg.Workers,
+		Response:      cfg.Response,
+		SimProcessors: resolveSimProcessors(cfg.SimProcessors),
+	}
+	stagedSum := func(t pipeline.Timings) time.Duration {
+		return t.Stage[pipeline.StageIV] + t.Stage[pipeline.StageV] + t.Stage[pipeline.StageVIII]
+	}
+
+	// 1. Temp-folder protocol vs direct loops.
+	tim, err := runOnce(baseOpts)
+	if err != nil {
+		return AblationResults{}, fmt.Errorf("bench: temp-folder ablation: %w", err)
+	}
+	out.TempFolderStages = stagedSum(tim)
+	out.DuhamelTotal = tim.Total // base config uses the legacy method
+
+	direct := baseOpts
+	direct.NoTempFolders = true
+	if tim, err = runOnce(direct); err != nil {
+		return AblationResults{}, fmt.Errorf("bench: direct-loop ablation: %w", err)
+	}
+	out.DirectLoopStages = stagedSum(tim)
+
+	// 2. Response-spectrum method.
+	nj := baseOpts
+	nj.Response = response.Config{Method: response.NigamJennings, Periods: cfg.Response.Periods}
+	if tim, err = runOnce(nj); err != nil {
+		return AblationResults{}, fmt.Errorf("bench: method ablation: %w", err)
+	}
+	out.NigamJenningsTotal = tim.Total
+
+	// 3. Processor sweep on the simulated platform.
+	for _, procs := range []int{1, 2, 4, 8, 16} {
+		sw := baseOpts
+		sw.SimProcessors = procs
+		if tim, err = runOnce(sw); err != nil {
+			return AblationResults{}, fmt.Errorf("bench: thread sweep %d: %w", procs, err)
+		}
+		out.ThreadSweep[procs] = tim.Total
+	}
+	return out, nil
+}
+
+// FormatAblations renders the ablation results as a report section.
+func FormatAblations(a AblationResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ABLATIONS (event %s, %d files, %d points)\n",
+		a.Event.Name, a.Event.Files, a.Event.TotalPoints)
+
+	fmt.Fprintf(&b, "temp-folder protocol (stages IV+V+VIII): %.2f s staged vs %.2f s direct loops (overhead %.1f%%)\n",
+		a.TempFolderStages.Seconds(), a.DirectLoopStages.Seconds(),
+		100*(a.TempFolderStages.Seconds()/a.DirectLoopStages.Seconds()-1))
+
+	fmt.Fprintf(&b, "stage IX method: %.2f s pipeline with Duhamel vs %.2f s with Nigam-Jennings (%.1fx total)\n",
+		a.DuhamelTotal.Seconds(), a.NigamJenningsTotal.Seconds(),
+		a.DuhamelTotal.Seconds()/a.NigamJenningsTotal.Seconds())
+
+	fmt.Fprintln(&b, "processor sweep (fully parallelized, simulated platform):")
+	base := a.ThreadSweep[1]
+	for _, procs := range []int{1, 2, 4, 8, 16} {
+		d, ok := a.ThreadSweep[procs]
+		if !ok || d <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %2d processors: %7.2f s  (%.2fx)\n", procs, d.Seconds(), base.Seconds()/d.Seconds())
+	}
+	return b.String()
+}

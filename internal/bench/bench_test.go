@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"accelproc/internal/pipeline"
+	"accelproc/internal/response"
+	"accelproc/internal/synth"
+)
+
+// quickConfig runs tiny events with the fast response method so the whole
+// harness can be exercised in unit-test time.
+func quickConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Scale: 1.0,
+		Response: response.Config{
+			Method:  response.NigamJennings,
+			Periods: response.LogPeriods(0.05, 5, 8),
+		},
+		Events: []synth.EventSpec{
+			{Name: "tiny-1", Files: 2, TotalPoints: 2000, Magnitude: 4.5, Seed: 1},
+			{Name: "tiny-2", Files: 3, TotalPoints: 4500, Magnitude: 5.0, Seed: 2},
+		},
+		WorkRoot: t.TempDir(),
+	}
+}
+
+func TestRunEventProducesAllVariantTimes(t *testing.T) {
+	cfg := quickConfig(t)
+	r, err := RunEvent(cfg.Events[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Files != 2 || r.Points != 2000 {
+		t.Errorf("shape = %d files, %d points", r.Files, r.Points)
+	}
+	for _, v := range pipeline.Variants {
+		if r.Times[v] <= 0 {
+			t.Errorf("variant %v has no time", v)
+		}
+		if r.Timings[v].Stage[pipeline.StageIX] <= 0 {
+			t.Errorf("variant %v has no stage IX time", v)
+		}
+	}
+	if r.Speedup() <= 0 {
+		t.Error("speedup not computable")
+	}
+	if r.PointsPerSecond() <= 0 || r.SeqPointsPerSecond() <= 0 {
+		t.Error("throughput not computable")
+	}
+}
+
+func TestRunEventSubsetOfVariants(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.Variants = []pipeline.Variant{pipeline.SeqOptimized}
+	r, err := RunEvent(cfg.Events[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Times) != 1 {
+		t.Errorf("got %d variant times, want 1", len(r.Times))
+	}
+	if r.Speedup() != 0 {
+		t.Error("speedup should be 0 without both endpoints")
+	}
+}
+
+func TestRunTable1AndFormatters(t *testing.T) {
+	cfg := quickConfig(t)
+	var progress []string
+	results, err := RunTable1(cfg, func(s string) { progress = append(progress, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if len(progress) != 2 {
+		t.Errorf("progress callbacks = %d", len(progress))
+	}
+
+	table := FormatTable1(results)
+	for _, want := range []string{"TABLE I", "tiny-1", "tiny-2", "SpeedUp", "2000"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table I output missing %q:\n%s", want, table)
+		}
+	}
+
+	fig12 := FormatFig12(results)
+	for _, want := range []string{"FIGURE 12", "fully-parallelized", "#"} {
+		if !strings.Contains(fig12, want) {
+			t.Errorf("Figure 12 output missing %q", want)
+		}
+	}
+
+	fig13 := FormatFig13(results)
+	for _, want := range []string{"FIGURE 13", "pts/s", "tiny-2"} {
+		if !strings.Contains(fig13, want) {
+			t.Errorf("Figure 13 output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig11(t *testing.T) {
+	cfg := quickConfig(t)
+	f, err := RunFig11(cfg.Events[1], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Stages) != pipeline.NumStages {
+		t.Fatalf("stages = %d", len(f.Stages))
+	}
+	var shareSum float64
+	for _, s := range f.Stages {
+		if s.Sequential <= 0 {
+			t.Errorf("stage %v sequential time missing", s.Stage)
+		}
+		if s.Parallel <= 0 {
+			t.Errorf("stage %v parallel time missing", s.Stage)
+		}
+		shareSum += f.SeqStageShare(s.Stage)
+	}
+	// Stage shares must cover most of the sequential total (the remainder
+	// is the redundant processes the staged schedule drops).
+	if shareSum < 0.5 || shareSum > 1.01 {
+		t.Errorf("stage shares sum to %.2f", shareSum)
+	}
+	out := FormatFig11(f)
+	for _, want := range []string{"FIGURE 11", "IX", "SpeedUp", "Overall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 11 output missing %q", want)
+		}
+	}
+}
+
+func TestShapeChecksFormat(t *testing.T) {
+	cfg := quickConfig(t)
+	results, err := RunTable1(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig11, err := RunFig11(cfg.Events[1], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := ShapeChecks(results, fig11)
+	if len(lines) != 6 {
+		t.Fatalf("checks = %d, want 6", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "[PASS]") && !strings.HasPrefix(l, "[FAIL]") {
+			t.Errorf("bad check line %q", l)
+		}
+	}
+	// At tiny scale the timing-ordering checks may legitimately fail; the
+	// point here is that they are evaluated and rendered, not their value.
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := quickConfig(t)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := cfg
+	bad.Scale = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative scale accepted")
+	}
+	bad = cfg
+	bad.Events = []synth.EventSpec{{Name: "", Files: 1, TotalPoints: 100, Magnitude: 5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid event accepted")
+	}
+	bad = cfg
+	bad.WorkRoot = "/no/such/root"
+	if err := bad.Validate(); err == nil {
+		t.Error("unwritable work root accepted")
+	}
+}
+
+func TestDefaultConfigUsesPaperWorkload(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Scale != 1.0 {
+		t.Errorf("default scale = %g", cfg.Scale)
+	}
+	if len(cfg.Events) != 6 {
+		t.Errorf("default events = %d, want the paper's 6", len(cfg.Events))
+	}
+	if cfg.Response.Method != response.Duhamel {
+		t.Errorf("default method = %v, want the legacy Duhamel", cfg.Response.Method)
+	}
+	if len(cfg.Response.Periods) != ShapePeriods {
+		t.Errorf("default periods = %d, want %d", len(cfg.Response.Periods), ShapePeriods)
+	}
+	if len(cfg.Variants) != 4 {
+		t.Errorf("default variants = %d", len(cfg.Variants))
+	}
+}
+
+func TestRunEventPropagatesFailure(t *testing.T) {
+	cfg := quickConfig(t)
+	spec := synth.EventSpec{Name: "bad", Files: 0, TotalPoints: 0, Magnitude: 5}
+	if _, err := RunEvent(spec, cfg); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	cfg := quickConfig(t)
+	a, err := RunAblations(cfg.Events[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TempFolderStages <= 0 || a.DirectLoopStages <= 0 {
+		t.Error("temp-folder ablation times missing")
+	}
+	if a.DuhamelTotal <= 0 || a.NigamJenningsTotal <= 0 {
+		t.Error("method ablation times missing")
+	}
+	if len(a.ThreadSweep) != 5 {
+		t.Errorf("thread sweep = %d entries", len(a.ThreadSweep))
+	}
+	for procs, d := range a.ThreadSweep {
+		if d <= 0 {
+			t.Errorf("procs=%d time missing", procs)
+		}
+	}
+	out := FormatAblations(a)
+	for _, want := range []string{"ABLATIONS", "temp-folder protocol", "stage IX method", "processor sweep", " 8 processors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}
+
+func TestRunAblationsPropagatesFailure(t *testing.T) {
+	cfg := quickConfig(t)
+	if _, err := RunAblations(synth.EventSpec{Name: "bad", Magnitude: 5}, cfg); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,249 @@
+// Package catalog aggregates the products of processed events into a
+// strong-motion repository view: per-station peak histories, per-event
+// summaries, and exceedance queries.
+//
+// The paper motivates the processing chain with the Salvadoran
+// Accelerographic Repository — 6,787 records from 1,615 events, growing by
+// hundreds of events per month — whose value lies in exactly this kind of
+// aggregation.  A Catalog is built by scanning processed work directories
+// (the output state the pipeline leaves behind) and supports the queries an
+// observatory answers routinely: which station saw the largest PGA, how
+// often a threshold was exceeded, what the strongest response at a period
+// band was.
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+)
+
+// RecordEntry is the catalog's view of one processed component signal.
+type RecordEntry struct {
+	Event     string // event name (the work directory's base name)
+	Station   string
+	Component seismic.Component
+	Peaks     seismic.PeakValues
+	// Filter is the band-pass actually applied to the definitive V2.
+	Filter struct{ FSL, FPL, FPH, FSH float64 }
+	// PeakSA is the largest spectral acceleration over the R file's period
+	// grid, with its period.
+	PeakSA       float64
+	PeakSAPeriod float64
+}
+
+// Catalog is an in-memory aggregation of processed events.
+type Catalog struct {
+	entries []RecordEntry
+	events  map[string]bool
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{events: make(map[string]bool)}
+}
+
+// Len returns the number of component entries in the catalog.
+func (c *Catalog) Len() int { return len(c.entries) }
+
+// Events returns the ingested event names, sorted.
+func (c *Catalog) Events() []string {
+	out := make([]string, 0, len(c.events))
+	for e := range c.events {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns a copy of all entries, ordered by (event, station,
+// component).
+func (c *Catalog) Entries() []RecordEntry {
+	out := append([]RecordEntry(nil), c.entries...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Event != out[j].Event {
+			return out[i].Event < out[j].Event
+		}
+		if out[i].Station != out[j].Station {
+			return out[i].Station < out[j].Station
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// IngestDir scans one processed work directory (a directory the pipeline
+// has completed) and adds its records under the given event name.  The
+// directory must contain the max-values metadata and the per-component V2
+// and R products; a directory that was never processed is rejected.
+func (c *Catalog) IngestDir(dir, event string) error {
+	if event == "" {
+		event = filepath.Base(dir)
+	}
+	if c.events[event] {
+		return fmt.Errorf("catalog: event %q already ingested", event)
+	}
+	max, err := smformat.ReadMaxValuesFile(filepath.Join(dir, smformat.MaxValuesFile))
+	if err != nil {
+		return fmt.Errorf("catalog: %s is not a processed work directory: %w", dir, err)
+	}
+	var entries []RecordEntry
+	for key, peaks := range max.Peaks {
+		entry := RecordEntry{
+			Event:     event,
+			Station:   key.Station,
+			Component: key.Component,
+			Peaks:     peaks,
+		}
+		v2, err := smformat.ReadV2File(filepath.Join(dir, smformat.V2FileName(key.Station, key.Component)))
+		if err != nil {
+			return fmt.Errorf("catalog: event %s: %w", event, err)
+		}
+		entry.Filter.FSL, entry.Filter.FPL = v2.Filter.FSL, v2.Filter.FPL
+		entry.Filter.FPH, entry.Filter.FSH = v2.Filter.FPH, v2.Filter.FSH
+		r, err := smformat.ReadResponseFile(filepath.Join(dir, smformat.ResponseFileName(key.Station, key.Component)))
+		if err != nil {
+			return fmt.Errorf("catalog: event %s: %w", event, err)
+		}
+		for i, sa := range r.SA {
+			if sa > entry.PeakSA {
+				entry.PeakSA = sa
+				entry.PeakSAPeriod = r.Periods[i]
+			}
+		}
+		entries = append(entries, entry)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("catalog: event %s has no records", event)
+	}
+	c.entries = append(c.entries, entries...)
+	c.events[event] = true
+	return nil
+}
+
+// IngestAll ingests every immediate subdirectory of root that looks like a
+// processed work directory, using the subdirectory name as the event name.
+// Unprocessed subdirectories are skipped; the count of ingested events is
+// returned.
+func (c *Catalog) IngestAll(root string) (int, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, smformat.MaxValuesFile)); err != nil {
+			continue // not processed
+		}
+		if err := c.IngestDir(dir, e.Name()); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// MaxPGA returns the entry with the largest PGA, or false for an empty
+// catalog.
+func (c *Catalog) MaxPGA() (RecordEntry, bool) {
+	var best RecordEntry
+	found := false
+	for _, e := range c.entries {
+		if !found || e.Peaks.PGA > best.Peaks.PGA {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// ExceedanceCount returns how many component records have PGA at or above
+// the threshold (gal).
+func (c *Catalog) ExceedanceCount(thresholdGal float64) int {
+	n := 0
+	for _, e := range c.entries {
+		if e.Peaks.PGA >= thresholdGal {
+			n++
+		}
+	}
+	return n
+}
+
+// StationHistory returns the entries of one station across all events,
+// ordered by event name.
+func (c *Catalog) StationHistory(station string) []RecordEntry {
+	var out []RecordEntry
+	for _, e := range c.entries {
+		if e.Station == station {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Event != out[j].Event {
+			return out[i].Event < out[j].Event
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// StationStats summarizes one station's catalog presence.
+type StationStats struct {
+	Station     string
+	Records     int     // component entries
+	Events      int     // distinct events
+	MaxPGA      float64 // gal
+	MaxPGAEvent string
+}
+
+// Stations returns per-station statistics, sorted by station code.
+func (c *Catalog) Stations() []StationStats {
+	byStation := map[string]*StationStats{}
+	events := map[string]map[string]bool{}
+	for _, e := range c.entries {
+		st, ok := byStation[e.Station]
+		if !ok {
+			st = &StationStats{Station: e.Station}
+			byStation[e.Station] = st
+			events[e.Station] = map[string]bool{}
+		}
+		st.Records++
+		events[e.Station][e.Event] = true
+		if e.Peaks.PGA > st.MaxPGA {
+			st.MaxPGA = e.Peaks.PGA
+			st.MaxPGAEvent = e.Event
+		}
+	}
+	out := make([]StationStats, 0, len(byStation))
+	for name, st := range byStation {
+		st.Events = len(events[name])
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Station < out[j].Station })
+	return out
+}
+
+// Report renders a human-readable catalog summary.
+func (c *Catalog) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "catalog: %d events, %d component records, %d stations\n",
+		len(c.events), len(c.entries), len(c.Stations()))
+	if best, ok := c.MaxPGA(); ok {
+		fmt.Fprintf(&b, "largest PGA: %.1f gal at %s%s during %s (SA peak %.1f gal at T=%.2f s)\n",
+			best.Peaks.PGA, best.Station, best.Component.Suffix(), best.Event,
+			best.PeakSA, best.PeakSAPeriod)
+	}
+	fmt.Fprintf(&b, "%-8s %8s %8s %12s %s\n", "station", "records", "events", "maxPGA(gal)", "in event")
+	for _, st := range c.Stations() {
+		fmt.Fprintf(&b, "%-8s %8d %8d %12.1f %s\n", st.Station, st.Records, st.Events, st.MaxPGA, st.MaxPGAEvent)
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelproc/internal/pipeline"
+	"accelproc/internal/response"
+	"accelproc/internal/synth"
+)
+
+// processEvent generates and fully processes one event in dir.
+func processEvent(t *testing.T, dir string, seed int64, files int) {
+	t.Helper()
+	ev, err := synth.Event(synth.EventSpec{
+		Name: "e", Files: files, TotalPoints: files * 800, Magnitude: 5.0, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipeline.PrepareWorkDir(dir, ev); err != nil {
+		t.Fatal(err)
+	}
+	opts := pipeline.Options{Response: response.Config{
+		Method:  response.NigamJennings,
+		Periods: response.LogPeriods(0.05, 5, 8),
+	}}
+	if _, err := pipeline.Run(dir, pipeline.FullParallel, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestDirAndQueries(t *testing.T) {
+	root := t.TempDir()
+	d1 := filepath.Join(root, "2019-07-31")
+	d2 := filepath.Join(root, "2018-11-24")
+	processEvent(t, d1, 1, 2)
+	processEvent(t, d2, 2, 3)
+
+	c := New()
+	if err := c.IngestDir(d1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IngestDir(d2, ""); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2*3+3*3 {
+		t.Errorf("entries = %d, want 15", c.Len())
+	}
+	events := c.Events()
+	if len(events) != 2 || events[0] != "2018-11-24" || events[1] != "2019-07-31" {
+		t.Errorf("events = %v", events)
+	}
+
+	best, ok := c.MaxPGA()
+	if !ok || best.Peaks.PGA <= 0 {
+		t.Fatalf("MaxPGA = %+v, %v", best, ok)
+	}
+	if c.ExceedanceCount(0.0001) != c.Len() {
+		t.Error("everything should exceed a tiny threshold")
+	}
+	if c.ExceedanceCount(1e9) != 0 {
+		t.Error("nothing should exceed an absurd threshold")
+	}
+
+	hist := c.StationHistory("SS01")
+	if len(hist) != 6 { // 3 components x 2 events
+		t.Errorf("SS01 history = %d entries", len(hist))
+	}
+	if len(c.StationHistory("NOPE")) != 0 {
+		t.Error("unknown station has history")
+	}
+
+	stats := c.Stations()
+	if len(stats) != 3 { // SS01, SS02, SS03
+		t.Fatalf("stations = %d", len(stats))
+	}
+	if stats[0].Station != "SS01" || stats[0].Events != 2 || stats[0].Records != 6 {
+		t.Errorf("SS01 stats = %+v", stats[0])
+	}
+	if stats[2].Station != "SS03" || stats[2].Events != 1 {
+		t.Errorf("SS03 stats = %+v", stats[2])
+	}
+
+	// Entries carry valid filter corners and response peaks.
+	for _, e := range c.Entries() {
+		if e.Filter.FSL <= 0 || e.Filter.FPL <= e.Filter.FSL {
+			t.Errorf("entry %s/%s has bad corners %+v", e.Event, e.Station, e.Filter)
+		}
+		if e.PeakSA <= 0 || e.PeakSAPeriod <= 0 {
+			t.Errorf("entry %s/%s has no response peak", e.Event, e.Station)
+		}
+	}
+
+	report := c.Report()
+	for _, want := range []string{"2 events", "15 component records", "largest PGA", "SS01"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestIngestDirRejectsDuplicatesAndUnprocessed(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "ev")
+	processEvent(t, dir, 3, 2)
+	c := New()
+	if err := c.IngestDir(dir, "ev"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IngestDir(dir, "ev"); err == nil {
+		t.Error("duplicate event accepted")
+	}
+	empty := filepath.Join(root, "empty")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IngestDir(empty, "x"); err == nil {
+		t.Error("unprocessed directory accepted")
+	}
+}
+
+func TestIngestAll(t *testing.T) {
+	root := t.TempDir()
+	processEvent(t, filepath.Join(root, "ev1"), 4, 2)
+	processEvent(t, filepath.Join(root, "ev2"), 5, 2)
+	if err := os.MkdirAll(filepath.Join(root, "not-processed"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "stray-file"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	n, err := c.IngestAll(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("ingested %d events, want 2", n)
+	}
+	if len(c.Events()) != 2 {
+		t.Errorf("events = %v", c.Events())
+	}
+	if _, err := c.IngestAll(filepath.Join(root, "missing")); err == nil {
+		t.Error("missing root accepted")
+	}
+}
+
+func TestIngestDirRejectsPartialProducts(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "ev")
+	processEvent(t, dir, 6, 2)
+	// Delete one R file: ingestion must fail loudly, not silently skip.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := false
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".r") && !removed {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+			removed = true
+		}
+	}
+	if !removed {
+		t.Fatal("no R file found to remove")
+	}
+	c := New()
+	if err := c.IngestDir(dir, "ev"); err == nil {
+		t.Error("directory with missing R product accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"accelproc/internal/seismic"
+)
+
+// catalogJSON is the on-disk schema of a saved catalog.
+type catalogJSON struct {
+	Schema  string      `json:"schema"` // "accelproc.catalog/1"
+	Entries []entryJSON `json:"entries"`
+}
+
+type entryJSON struct {
+	Event        string  `json:"event"`
+	Station      string  `json:"station"`
+	Component    string  `json:"component"`
+	PGA          float64 `json:"pga_gal"`
+	TimePGA      float64 `json:"t_pga_s"`
+	PGV          float64 `json:"pgv_cm_s"`
+	TimePGV      float64 `json:"t_pgv_s"`
+	PGD          float64 `json:"pgd_cm"`
+	TimePGD      float64 `json:"t_pgd_s"`
+	FSL          float64 `json:"fsl_hz"`
+	FPL          float64 `json:"fpl_hz"`
+	FPH          float64 `json:"fph_hz"`
+	FSH          float64 `json:"fsh_hz"`
+	PeakSA       float64 `json:"peak_sa_gal"`
+	PeakSAPeriod float64 `json:"peak_sa_period_s"`
+}
+
+// Save writes the catalog to path as JSON, so a repository can accumulate
+// across runs without re-reading every processed directory.
+func (c *Catalog) Save(path string) error {
+	doc := catalogJSON{Schema: "accelproc.catalog/1"}
+	for _, e := range c.Entries() {
+		doc.Entries = append(doc.Entries, entryJSON{
+			Event:     e.Event,
+			Station:   e.Station,
+			Component: e.Component.String(),
+			PGA:       e.Peaks.PGA, TimePGA: e.Peaks.TimePGA,
+			PGV: e.Peaks.PGV, TimePGV: e.Peaks.TimePGV,
+			PGD: e.Peaks.PGD, TimePGD: e.Peaks.TimePGD,
+			FSL: e.Filter.FSL, FPL: e.Filter.FPL,
+			FPH: e.Filter.FPH, FSH: e.Filter.FSH,
+			PeakSA: e.PeakSA, PeakSAPeriod: e.PeakSAPeriod,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("catalog: save: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	werr := enc.Encode(doc)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("catalog: save %s: %w", path, werr)
+	}
+	return cerr
+}
+
+// Load reads a catalog previously written by Save.
+func Load(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: load: %w", err)
+	}
+	defer f.Close()
+	var doc catalogJSON
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("catalog: load %s: %w", path, err)
+	}
+	if doc.Schema != "accelproc.catalog/1" {
+		return nil, fmt.Errorf("catalog: unsupported schema %q in %s", doc.Schema, path)
+	}
+	c := New()
+	for i, je := range doc.Entries {
+		comp, err := seismic.ParseComponent(je.Component)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: entry %d: %w", i, err)
+		}
+		if je.Event == "" || je.Station == "" {
+			return nil, fmt.Errorf("catalog: entry %d has empty identity", i)
+		}
+		e := RecordEntry{
+			Event:     je.Event,
+			Station:   je.Station,
+			Component: comp,
+			Peaks: seismic.PeakValues{
+				PGA: je.PGA, TimePGA: je.TimePGA,
+				PGV: je.PGV, TimePGV: je.TimePGV,
+				PGD: je.PGD, TimePGD: je.TimePGD,
+			},
+			PeakSA:       je.PeakSA,
+			PeakSAPeriod: je.PeakSAPeriod,
+		}
+		e.Filter.FSL, e.Filter.FPL = je.FSL, je.FPL
+		e.Filter.FPH, e.Filter.FSH = je.FPH, je.FSH
+		c.entries = append(c.entries, e)
+		c.events[je.Event] = true
+	}
+	return c, nil
+}
+
+// Merge adds every entry of other into c.  Events already present in c are
+// rejected (merge is the cross-run accumulation path, not a refresh).
+func (c *Catalog) Merge(other *Catalog) error {
+	names := make([]string, 0, len(other.events))
+	for e := range other.events {
+		names = append(names, e)
+	}
+	sort.Strings(names)
+	for _, e := range names {
+		if c.events[e] {
+			return fmt.Errorf("catalog: merge: event %q already present", e)
+		}
+	}
+	c.entries = append(c.entries, other.entries...)
+	for _, e := range names {
+		c.events[e] = true
+	}
+	return nil
+}

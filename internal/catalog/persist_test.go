@@ -1,0 +1,93 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "ev1")
+	processEvent(t, dir, 41, 2)
+	c := New()
+	if err := c.IngestDir(dir, "ev1"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "catalog.json")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Entries(), c.Entries()) {
+		t.Error("loaded entries differ from saved")
+	}
+	if !reflect.DeepEqual(loaded.Events(), c.Events()) {
+		t.Errorf("events = %v, want %v", loaded.Events(), c.Events())
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	cases := []string{
+		"not json",
+		`{"schema":"other/9","entries":[]}`,
+		`{"schema":"accelproc.catalog/1","entries":[{"event":"","station":"A","component":"l"}]}`,
+		`{"schema":"accelproc.catalog/1","entries":[{"event":"e","station":"A","component":"zz"}]}`,
+		`{"schema":"accelproc.catalog/1","unknown":1}`,
+	}
+	for i, content := range cases {
+		if err := os.WriteFile(bad, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(bad); err == nil {
+			t.Errorf("case %d accepted: %s", i, content)
+		}
+	}
+}
+
+func TestMergeAccumulatesAcrossRuns(t *testing.T) {
+	root := t.TempDir()
+	d1 := filepath.Join(root, "ev1")
+	d2 := filepath.Join(root, "ev2")
+	processEvent(t, d1, 42, 2)
+	processEvent(t, d2, 43, 3)
+
+	a := New()
+	if err := a.IngestDir(d1, "ev1"); err != nil {
+		t.Fatal(err)
+	}
+	b := New()
+	if err := b.IngestDir(d2, "ev2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events()) != 2 || a.Len() != 6+9 {
+		t.Errorf("merged: %v events, %d entries", a.Events(), a.Len())
+	}
+	// Duplicate merge rejected, catalog unchanged.
+	before := a.Len()
+	if err := a.Merge(b); err == nil {
+		t.Error("duplicate merge accepted")
+	}
+	if a.Len() != before {
+		t.Error("failed merge modified the catalog")
+	}
+}
+
+func TestSaveToUnwritablePath(t *testing.T) {
+	c := New()
+	if err := c.Save(filepath.Join(t.TempDir(), "no", "such", "dir", "c.json")); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

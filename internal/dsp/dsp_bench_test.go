@@ -1,0 +1,108 @@
+package dsp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randSignal(n int) []float64 {
+	rng := rand.New(rand.NewSource(42))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func BenchmarkFFTPow2(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 14, 1 << 16} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(float64(i%7)-3, 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				FFT(x)
+			}
+		})
+	}
+}
+
+func BenchmarkFFTBluestein(b *testing.B) {
+	// Non-power-of-two sizes typical of real record lengths.
+	for _, n := range []int{7300, 20000, 35000} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(float64(i%11)-5, 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				FFT(x)
+			}
+		})
+	}
+}
+
+func BenchmarkAmplitudeSpectrum(b *testing.B) {
+	x := randSignal(20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := AmplitudeSpectrum(x, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDesignBandPass(b *testing.B) {
+	spec := BandPassSpec{FSL: 0.1, FPL: 0.25, FPH: 23, FSH: 25}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DesignBandPass(spec, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterApply(b *testing.B) {
+	spec := BandPassSpec{FSL: 0.1, FPL: 0.25, FPH: 23, FSH: 25}
+	fir, err := DesignBandPass(spec, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{7300, 20000} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d/taps=%d", n, len(fir.Taps)), func(b *testing.B) {
+			x := randSignal(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fir.Apply(x)
+			}
+		})
+	}
+}
+
+func BenchmarkIntegrate(b *testing.B) {
+	x := randSignal(20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Integrate(x, 0.01)
+	}
+}
+
+func BenchmarkDetrend(b *testing.B) {
+	base := randSignal(20000)
+	x := make([]float64, len(base))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(x, base)
+		Detrend(x)
+	}
+}

@@ -1,0 +1,180 @@
+// Package dsp implements the signal-processing substrate required by the
+// accelerographic pipeline: FFTs of arbitrary length, Hamming-window FIR
+// band-pass filter design and application, detrending, and time-domain
+// integration of acceleration into velocity and displacement.
+//
+// The legacy system the paper parallelizes performs these operations inside
+// Fortran programs; here they are reimplemented from scratch on float64
+// slices using only the standard library.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place-free discrete Fourier transform of x and returns
+// a new slice.  Any input length is supported: powers of two use an
+// iterative radix-2 Cooley-Tukey kernel; other lengths fall back to
+// Bluestein's chirp-z algorithm (which itself runs on the radix-2 kernel).
+// An empty input yields an empty output.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT computes the inverse DFT of x (including the 1/N normalization) and
+// returns a new slice.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	return out
+}
+
+// FFTReal transforms a real-valued signal and returns the full complex
+// spectrum of the same length.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	fftInPlace(c, false)
+	return c
+}
+
+// NextPow2 returns the smallest power of two >= n (and 1 for n <= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if IsPow2(n) {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// radix2 performs an iterative in-place Cooley-Tukey FFT.  len(x) must be a
+// power of two.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		// Twiddle for this butterfly size.
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, using
+// power-of-two FFTs internally (chirp-z transform).
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	m := NextPow2(2*n - 1)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign * i*pi*k^2/n).  Compute k^2 mod 2n to keep the
+	// angle argument small and the chirp numerically exact for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(k2)/float64(n))
+	}
+	a := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	b := make([]complex128, m)
+	b[0] = cmplx.Conj(chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(chirp[k])
+		b[k] = c
+		b[m-k] = c
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true) // includes the 1/m inverse normalization
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * chirp[k]
+	}
+	if inverse {
+		invN := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= invN
+		}
+	}
+}
+
+// AmplitudeSpectrum returns the single-sided amplitude spectrum of a real
+// signal sampled at dt seconds: the first len(x)/2+1 FFT magnitudes scaled
+// by dt (a discrete approximation of the continuous Fourier amplitude
+// spectrum, the convention used for strong-motion Fourier spectra).
+// It returns the amplitudes and the frequency step df in Hz.
+func AmplitudeSpectrum(x []float64, dt float64) (amps []float64, df float64, err error) {
+	if len(x) == 0 {
+		return nil, 0, fmt.Errorf("dsp: amplitude spectrum of empty signal")
+	}
+	if dt <= 0 {
+		return nil, 0, fmt.Errorf("dsp: non-positive sample interval %g", dt)
+	}
+	spec := FFTReal(x)
+	n := len(x)
+	half := n/2 + 1
+	amps = make([]float64, half)
+	for i := 0; i < half; i++ {
+		amps[i] = cmplx.Abs(spec[i]) * dt
+	}
+	df = 1 / (float64(n) * dt)
+	return amps, df, nil
+}

@@ -1,0 +1,231 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n^2) reference implementation used to validate the FFT.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Rect(1, angle)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Cover powers of two (radix-2 path), primes, and composites
+	// (Bluestein path).
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 100, 128, 243, 257} {
+		x := randComplex(rng, n)
+		got := FFT(x)
+		want := naiveDFT(x)
+		if e := maxErr(got, want); e > 1e-8*float64(n) {
+			t.Errorf("n=%d: max error %g vs naive DFT", n, e)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 8, 13, 64, 100, 255, 256} {
+		x := randComplex(rng, n)
+		back := IFFT(FFT(x))
+		if e := maxErr(back, x); e > 1e-9*float64(n+1) {
+			t.Errorf("n=%d: IFFT(FFT(x)) differs from x by %g", n, e)
+		}
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	for k, v := range FFT(x) {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("impulse FFT bin %d = %v, want 1", k, v)
+		}
+	}
+	// FFT of a constant is an impulse of height n at DC.
+	for i := range x {
+		x[i] = 1
+	}
+	spec := FFT(x)
+	if cmplx.Abs(spec[0]-8) > 1e-12 {
+		t.Errorf("DC bin = %v, want 8", spec[0])
+	}
+	for k := 1; k < len(spec); k++ {
+		if cmplx.Abs(spec[k]) > 1e-12 {
+			t.Errorf("bin %d = %v, want 0", k, spec[k])
+		}
+	}
+	// A pure cosine concentrates in bins k and n-k.
+	n := 32
+	k0 := 5
+	c := make([]complex128, n)
+	for i := range c {
+		c[i] = complex(math.Cos(2*math.Pi*float64(k0)*float64(i)/float64(n)), 0)
+	}
+	spec = FFT(c)
+	for k := 0; k < n; k++ {
+		want := 0.0
+		if k == k0 || k == n-k0 {
+			want = float64(n) / 2
+		}
+		if math.Abs(cmplx.Abs(spec[k])-want) > 1e-9 {
+			t.Errorf("cosine bin %d = %g, want %g", k, cmplx.Abs(spec[k]), want)
+		}
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if got := FFT(nil); len(got) != 0 {
+		t.Errorf("FFT(nil) len = %d", len(got))
+	}
+	if got := IFFT([]complex128{}); len(got) != 0 {
+		t.Errorf("IFFT(empty) len = %d", len(got))
+	}
+}
+
+// Property: Parseval's theorem — sum |x|^2 == (1/n) sum |X|^2, for both the
+// radix-2 and Bluestein code paths.
+func TestFFTParseval(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		rng := rand.New(rand.NewSource(seed))
+		x := randComplex(rng, n)
+		var timeE float64
+		for _, v := range x {
+			timeE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		var freqE float64
+		for _, v := range FFT(x) {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqE /= float64(n)
+		return math.Abs(timeE-freqE) <= 1e-6*(timeE+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linearity — FFT(a*x + y) == a*FFT(x) + FFT(y).
+func TestFFTLinearity(t *testing.T) {
+	f := func(seed int64, nRaw uint8, aRe, aIm float64) bool {
+		if math.IsNaN(aRe) || math.IsInf(aRe, 0) || math.IsNaN(aIm) || math.IsInf(aIm, 0) {
+			return true
+		}
+		// Bound the scalar so the tolerance stays meaningful.
+		a := complex(math.Mod(aRe, 8), math.Mod(aIm, 8))
+		n := int(nRaw%100) + 1
+		rng := rand.New(rand.NewSource(seed))
+		x := randComplex(rng, n)
+		y := randComplex(rng, n)
+		combined := make([]complex128, n)
+		for i := range combined {
+			combined[i] = a*x[i] + y[i]
+		}
+		lhs := FFT(combined)
+		fx, fy := FFT(x), FFT(y)
+		for i := range lhs {
+			if cmplx.Abs(lhs[i]-(a*fx[i]+fy[i])) > 1e-7*float64(n+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{1023, 1024}, {1024, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := NextPow2(c.in); got != c.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{-4, 0, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestAmplitudeSpectrum(t *testing.T) {
+	// A cosine at bin k has single-sided amplitude n/2 * dt at that bin.
+	n, k0, dt := 64, 4, 0.01
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * float64(k0) * float64(i) / float64(n))
+	}
+	amps, df, err := AmplitudeSpectrum(x, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(amps) != n/2+1 {
+		t.Fatalf("len(amps) = %d, want %d", len(amps), n/2+1)
+	}
+	wantDF := 1 / (float64(n) * dt)
+	if math.Abs(df-wantDF) > 1e-15 {
+		t.Errorf("df = %g, want %g", df, wantDF)
+	}
+	want := float64(n) / 2 * dt
+	if math.Abs(amps[k0]-want) > 1e-9 {
+		t.Errorf("amp at bin %d = %g, want %g", k0, amps[k0], want)
+	}
+}
+
+func TestAmplitudeSpectrumErrors(t *testing.T) {
+	if _, _, err := AmplitudeSpectrum(nil, 0.01); err == nil {
+		t.Error("empty signal: want error")
+	}
+	if _, _, err := AmplitudeSpectrum([]float64{1}, 0); err == nil {
+		t.Error("zero dt: want error")
+	}
+	if _, _, err := AmplitudeSpectrum([]float64{1}, -1); err == nil {
+		t.Error("negative dt: want error")
+	}
+}

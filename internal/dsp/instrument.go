@@ -1,0 +1,116 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Instrument models an accelerograph transducer as a single-degree-of-
+// freedom system with natural frequency F0 (Hz) and damping ratio Damping.
+// Force-balance accelerometers are flat well below F0 (typically 50-200 Hz)
+// and attenuate above it; analog SMA-1 style instruments, which recorded a
+// large part of the Salvadoran archive, have F0 near 25 Hz where the
+// response already distorts engineering frequencies.
+type Instrument struct {
+	F0      float64 // natural frequency, Hz
+	Damping float64 // fraction of critical, e.g. 0.6-0.7 for analog sensors
+}
+
+// Validate reports physically impossible instruments.
+func (in Instrument) Validate() error {
+	if in.F0 <= 0 {
+		return fmt.Errorf("dsp: instrument natural frequency %g must be positive", in.F0)
+	}
+	if in.Damping <= 0 || in.Damping >= 2 {
+		return fmt.Errorf("dsp: instrument damping %g outside (0,2)", in.Damping)
+	}
+	return nil
+}
+
+// transfer evaluates the transducer's frequency response at f Hz: the
+// normalized acceleration response H(f) = -f0² / (f² - f0² - 2i ξ f f0),
+// which tends to 1 for f << f0.
+func (in Instrument) transfer(f float64) complex128 {
+	f0 := in.F0
+	den := complex(f*f-f0*f0, 2*in.Damping*f*f0)
+	return complex(-f0*f0, 0) / den
+}
+
+// Simulate applies the instrument's transfer function to a true ground
+// acceleration, producing what the transducer would record.
+func (in Instrument) Simulate(x []float64, dt float64) ([]float64, error) {
+	return in.applyTransfer(x, dt, false)
+}
+
+// Correct removes the instrument response from a recorded signal,
+// recovering true ground acceleration.  Deconvolution is regularized with a
+// water level: spectral bins where |H| falls below waterLevel·max|H| are
+// clamped, so the correction does not blow up noise far above the sensor
+// corner.  A waterLevel of 0 selects the conventional 0.05.
+func (in Instrument) Correct(x []float64, dt, waterLevel float64) ([]float64, error) {
+	if waterLevel == 0 {
+		waterLevel = 0.05
+	}
+	if waterLevel < 0 || waterLevel >= 1 {
+		return nil, fmt.Errorf("dsp: water level %g outside [0,1)", waterLevel)
+	}
+	return in.applyTransfer(x, dt, true, waterLevel)
+}
+
+func (in Instrument) applyTransfer(x []float64, dt float64, inverse bool, waterLevel ...float64) ([]float64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("dsp: non-positive sample interval %g", dt)
+	}
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	m := NextPow2(2 * n) // zero padding halves circular wrap-around
+	buf := make([]complex128, m)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	spec := FFT(buf)
+	df := 1 / (float64(m) * dt)
+
+	var wl float64
+	if inverse {
+		wl = waterLevel[0]
+	}
+	for k := 0; k <= m/2; k++ {
+		f := float64(k) * df
+		h := in.transfer(f)
+		var g complex128
+		if !inverse {
+			g = h
+		} else {
+			// Water-level regularized inverse: |H| is clamped from below
+			// at wl (the DC gain is 1, so max|H| ~ 1 for realistic
+			// dampings).
+			if cmplx.Abs(h) < wl {
+				h = h * complex(wl/cmplx.Abs(h), 0)
+			}
+			g = 1 / h
+		}
+		spec[k] *= g
+		if k > 0 && k < m/2 {
+			spec[m-k] *= cmplx.Conj(g)
+		}
+	}
+	out := IFFT(spec)
+	res := make([]float64, n)
+	for i := range res {
+		res[i] = real(out[i])
+	}
+	// Guard against numerical blow-up from an ill-conditioned inverse.
+	for i, v := range res {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("dsp: instrument correction produced non-finite sample %d", i)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,148 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func testInstrument() Instrument {
+	return Instrument{F0: 25, Damping: 0.7} // SMA-1 style analog sensor
+}
+
+func TestInstrumentValidate(t *testing.T) {
+	if err := testInstrument().Validate(); err != nil {
+		t.Fatalf("valid instrument rejected: %v", err)
+	}
+	bad := []Instrument{
+		{F0: 0, Damping: 0.7},
+		{F0: -5, Damping: 0.7},
+		{F0: 25, Damping: 0},
+		{F0: 25, Damping: 2.5},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, in)
+		}
+	}
+}
+
+func TestInstrumentTransferShape(t *testing.T) {
+	in := testInstrument()
+	// Flat (gain ~1) well below the corner.
+	for _, f := range []float64{0.1, 1, 5} {
+		if g := cmplxAbs(in.transfer(f)); math.Abs(g-1) > 0.1 {
+			t.Errorf("gain at %g Hz = %g, want ~1", f, g)
+		}
+	}
+	// Attenuating above the corner.
+	if g := cmplxAbs(in.transfer(100)); g > 0.1 {
+		t.Errorf("gain at 100 Hz = %g, want << 1", g)
+	}
+}
+
+func cmplxAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+func TestInstrumentSimulateAttenuatesHighFrequency(t *testing.T) {
+	in := testInstrument()
+	dt := 0.002 // 500 Hz sampling so 100 Hz is well resolved
+	n := 8192
+	low := make([]float64, n)
+	high := make([]float64, n)
+	for i := range low {
+		ti := float64(i) * dt
+		low[i] = math.Sin(2 * math.Pi * 2 * ti)
+		high[i] = math.Sin(2 * math.Pi * 100 * ti)
+	}
+	recLow, err := in.Simulate(low, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recHigh, err := in.Simulate(high, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms := func(x []float64) float64 {
+		var s float64
+		for _, v := range x[1000 : n-1000] {
+			s += v * v
+		}
+		return math.Sqrt(s / float64(n-2000))
+	}
+	// RMS of a unit sine is 0.707; the 2 Hz tone passes ~unchanged.
+	if r := rms(recLow); math.Abs(r-0.707) > 0.1 {
+		t.Errorf("low-frequency RMS after instrument = %g, want ~0.707", r)
+	}
+	if rms(recHigh) > 0.15 {
+		t.Errorf("100 Hz RMS after 25 Hz instrument = %g, want strong attenuation", rms(recHigh))
+	}
+}
+
+func TestInstrumentCorrectInvertsSimulate(t *testing.T) {
+	in := testInstrument()
+	dt := 0.005
+	n := 8192
+	// Band-limited ground motion (2-10 Hz content, well below F0).
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) * dt
+		env := math.Exp(-math.Pow(ti-20, 2) / 50)
+		x[i] = env * (math.Sin(2*math.Pi*3*ti) + 0.5*math.Sin(2*math.Pi*8*ti))
+	}
+	recorded, err := in.Simulate(x, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := in.Correct(recorded, dt, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var num, den float64
+	for i := 500; i < n-500; i++ {
+		d := restored[i] - x[i]
+		num += d * d
+		den += x[i] * x[i]
+	}
+	if rel := math.Sqrt(num / den); rel > 0.02 {
+		t.Errorf("relative restoration error = %g, want < 2%%", rel)
+	}
+}
+
+func TestInstrumentCorrectErrors(t *testing.T) {
+	in := testInstrument()
+	if _, err := in.Correct([]float64{1, 2}, 0, 0.05); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := in.Correct([]float64{1, 2}, 0.01, -0.1); err == nil {
+		t.Error("negative water level accepted")
+	}
+	if _, err := in.Correct([]float64{1, 2}, 0.01, 1.5); err == nil {
+		t.Error("water level >= 1 accepted")
+	}
+	if _, err := (Instrument{}).Correct([]float64{1}, 0.01, 0.05); err == nil {
+		t.Error("invalid instrument accepted")
+	}
+	out, err := in.Correct(nil, 0.01, 0.05)
+	if err != nil || out != nil {
+		t.Errorf("empty input: %v, %v", out, err)
+	}
+}
+
+func TestInstrumentWaterLevelBoundsNoiseAmplification(t *testing.T) {
+	// Correcting broadband noise must not blow up the out-of-band part by
+	// more than 1/waterLevel.
+	in := testInstrument()
+	dt := 0.002
+	x := randSignal(8192)
+	corrected, err := in.Correct(x, dt, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmsIn, rmsOut := 0.0, 0.0
+	for i := range x {
+		rmsIn += x[i] * x[i]
+		rmsOut += corrected[i] * corrected[i]
+	}
+	if rmsOut > rmsIn/(0.05*0.05)*1.1 {
+		t.Errorf("correction amplified noise beyond the water-level bound: %g vs %g", rmsOut, rmsIn)
+	}
+}

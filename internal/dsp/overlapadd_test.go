@@ -1,0 +1,127 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ApplyFFT agrees with the direct-form Apply to round-off, for
+// random signals and realistic filters.
+func TestApplyFFTMatchesDirect(t *testing.T) {
+	fir, err := DesignBandPass(BandPassSpec{FSL: 0.1, FPL: 0.25, FPH: 23, FSH: 25}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%3000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		var scale float64
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+			if a := math.Abs(x[i]); a > scale {
+				scale = a
+			}
+		}
+		direct := fir.Apply(x)
+		fast := fir.ApplyFFT(x)
+		for i := range direct {
+			if math.Abs(direct[i]-fast[i]) > 1e-9*(scale+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyFFTShortSignals(t *testing.T) {
+	fir, err := DesignBandPass(BandPassSpec{FSL: 1, FPL: 2, FPH: 20, FSH: 25}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 2, len(fir.Taps) - 1, len(fir.Taps), len(fir.Taps) + 1} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i%5) - 2
+		}
+		direct := fir.Apply(x)
+		fast := fir.ApplyFFT(x)
+		if len(fast) != n {
+			t.Fatalf("n=%d: output length %d", n, len(fast))
+		}
+		for i := range direct {
+			if math.Abs(direct[i]-fast[i]) > 1e-9 {
+				t.Fatalf("n=%d: mismatch at %d: %g vs %g", n, i, direct[i], fast[i])
+			}
+		}
+	}
+}
+
+func TestConvolveKnownValues(t *testing.T) {
+	got := Convolve([]float64{1, 2, 3}, []float64{1, 1})
+	want := []float64{1, 3, 5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if Convolve(nil, []float64{1}) != nil {
+		t.Error("empty input should yield nil")
+	}
+	if Convolve([]float64{1}, nil) != nil {
+		t.Error("empty kernel should yield nil")
+	}
+}
+
+// Property: Convolve matches the direct O(n*m) definition.
+func TestConvolveMatchesDirect(t *testing.T) {
+	f := func(seed int64, naRaw, nbRaw uint8) bool {
+		na, nb := int(naRaw)%40+1, int(nbRaw)%40+1
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got := Convolve(a, b)
+		want := make([]float64, na+nb-1)
+		for i := range a {
+			for j := range b {
+				want[i+j] += a[i] * b[j]
+			}
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFilterApplyFFT(b *testing.B) {
+	fir, err := DesignBandPass(BandPassSpec{FSL: 0.1, FPL: 0.25, FPH: 23, FSH: 25}, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randSignal(20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fir.ApplyFFT(x)
+	}
+}

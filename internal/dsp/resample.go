@@ -1,0 +1,106 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decimate reduces the sample rate of x by an integer factor, applying an
+// anti-alias low-pass (Hamming windowed sinc at 80% of the new Nyquist)
+// before keeping every factor-th sample.  The paper's dataset mixes
+// "a variety of equipment types and sampling rates"; decimation is how a
+// chain normalizes 200 Hz instruments onto the common 100 Hz grid.
+func Decimate(x []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: decimation factor %d must be >= 1", factor)
+	}
+	if factor == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	if len(x) == 0 {
+		return nil, nil
+	}
+	filtered := antiAlias(x, factor)
+	out := make([]float64, (len(x)+factor-1)/factor)
+	for i := range out {
+		out[i] = filtered[i*factor]
+	}
+	return out, nil
+}
+
+// antiAlias low-passes x at 0.8/(2*factor) cycles per sample with a
+// Hamming-windowed sinc, delay compensated.
+func antiAlias(x []float64, factor int) []float64 {
+	cutoff := 0.8 / (2 * float64(factor)) // cycles/sample
+	// Transition width 0.1/factor: taps = 3.3/width.
+	taps := int(math.Ceil(3.3 * 10 * float64(factor)))
+	if taps%2 == 0 {
+		taps++
+	}
+	mid := (taps - 1) / 2
+	w := HammingWindow(taps)
+	h := make([]float64, taps)
+	for i := range h {
+		k := i - mid
+		if k == 0 {
+			h[i] = 2 * cutoff
+		} else {
+			h[i] = math.Sin(2*math.Pi*cutoff*float64(k)) / (math.Pi * float64(k))
+		}
+		h[i] *= w[i]
+	}
+	fir := &FIRFilter{Taps: h}
+	if len(x) > 4*taps {
+		return fir.ApplyFFT(x)
+	}
+	return fir.Apply(x)
+}
+
+// Interpolate increases the sample rate of x by an integer factor using
+// band-limited (windowed-sinc) interpolation: zeros are inserted between
+// samples and the image spectra removed with the same anti-alias filter,
+// scaled by the factor to preserve amplitude.
+func Interpolate(x []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: interpolation factor %d must be >= 1", factor)
+	}
+	if factor == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	if len(x) == 0 {
+		return nil, nil
+	}
+	up := make([]float64, len(x)*factor)
+	for i, v := range x {
+		up[i*factor] = v * float64(factor)
+	}
+	return antiAlias(up, factor), nil
+}
+
+// ResampleTrace converts a signal from sample interval dtIn to dtOut when
+// the ratio is a small rational p/q (p, q <= 16): the signal is
+// interpolated by p and decimated by q.  Irrational or extreme ratios are
+// rejected.
+func ResampleTrace(x []float64, dtIn, dtOut float64) ([]float64, error) {
+	if dtIn <= 0 || dtOut <= 0 {
+		return nil, fmt.Errorf("dsp: non-positive sample interval (%g, %g)", dtIn, dtOut)
+	}
+	ratio := dtOut / dtIn // decimation ratio
+	const maxFactor = 16
+	for q := 1; q <= maxFactor; q++ {
+		p := ratio * float64(q)
+		rp := math.Round(p)
+		if rp >= 1 && rp <= maxFactor && math.Abs(p-rp) < 1e-9 {
+			upsampled, err := Interpolate(x, q)
+			if err != nil {
+				return nil, err
+			}
+			return Decimate(upsampled, int(rp))
+		}
+	}
+	return nil, fmt.Errorf("dsp: resampling ratio %g is not a small rational", ratio)
+}

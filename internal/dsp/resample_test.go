@@ -1,0 +1,147 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func lowFreqSine(n int, dt, freq float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * freq * float64(i) * dt)
+	}
+	return x
+}
+
+func TestDecimatePreservesLowFrequencySignal(t *testing.T) {
+	// A 2 Hz sine sampled at 200 Hz decimated to 100 Hz must match the
+	// directly sampled 100 Hz version away from the edges.
+	n := 8000
+	x := lowFreqSine(n, 0.005, 2)
+	got, err := Decimate(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n/2 {
+		t.Fatalf("len = %d, want %d", len(got), n/2)
+	}
+	want := lowFreqSine(n/2, 0.01, 2)
+	for i := 200; i < len(got)-200; i++ {
+		if math.Abs(got[i]-want[i]) > 0.01 {
+			t.Fatalf("sample %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecimateRemovesAliasedContent(t *testing.T) {
+	// 45 Hz content at 200 Hz sampling would alias to 5 Hz after naive
+	// 2x decimation; the anti-alias filter must suppress it.
+	n := 8000
+	x := lowFreqSine(n, 0.005, 45)
+	got, err := Decimate(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rms float64
+	for i := 200; i < len(got)-200; i++ {
+		rms += got[i] * got[i]
+	}
+	rms = math.Sqrt(rms / float64(len(got)-400))
+	if rms > 0.02 {
+		t.Errorf("aliased RMS = %g, want ~0 (45 Hz must not survive 100 Hz Nyquist*0.8)", rms)
+	}
+}
+
+func TestDecimateEdgeCases(t *testing.T) {
+	if _, err := Decimate([]float64{1, 2}, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	if _, err := Decimate([]float64{1, 2}, -3); err == nil {
+		t.Error("negative factor accepted")
+	}
+	got, err := Decimate([]float64{1, 2, 3}, 1)
+	if err != nil || len(got) != 3 || got[0] != 1 {
+		t.Errorf("identity decimation: %v, %v", got, err)
+	}
+	empty, err := Decimate(nil, 2)
+	if err != nil || empty != nil {
+		t.Errorf("empty input: %v, %v", empty, err)
+	}
+}
+
+func TestInterpolatePreservesSignal(t *testing.T) {
+	// A 2 Hz sine at 100 Hz interpolated 2x must match the directly
+	// sampled 200 Hz version away from the edges.
+	n := 4000
+	x := lowFreqSine(n, 0.01, 2)
+	got, err := Interpolate(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2*n {
+		t.Fatalf("len = %d, want %d", len(got), 2*n)
+	}
+	want := lowFreqSine(2*n, 0.005, 2)
+	for i := 400; i < len(got)-400; i++ {
+		if math.Abs(got[i]-want[i]) > 0.01 {
+			t.Fatalf("sample %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInterpolateEdgeCases(t *testing.T) {
+	if _, err := Interpolate([]float64{1}, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	got, err := Interpolate([]float64{5, 6}, 1)
+	if err != nil || len(got) != 2 || got[1] != 6 {
+		t.Errorf("identity interpolation: %v, %v", got, err)
+	}
+	empty, err := Interpolate(nil, 3)
+	if err != nil || empty != nil {
+		t.Errorf("empty input: %v, %v", empty, err)
+	}
+}
+
+func TestResampleTrace(t *testing.T) {
+	// 200 Hz -> 100 Hz (ratio 2).
+	n := 8000
+	x := lowFreqSine(n, 0.005, 3)
+	got, err := ResampleTrace(x, 0.005, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lowFreqSine(n/2, 0.01, 3)
+	for i := 300; i < len(got)-300; i++ {
+		if math.Abs(got[i]-want[i]) > 0.02 {
+			t.Fatalf("sample %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	// 100 Hz -> 250 Hz (ratio 2/5): interpolate 5, decimate 2.
+	y := lowFreqSine(2000, 0.01, 3)
+	up, err := ResampleTrace(y, 0.01, 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUp := lowFreqSine(5000, 0.004, 3)
+	if math.Abs(float64(len(up)-len(wantUp))) > 3 {
+		t.Fatalf("len = %d, want ~%d", len(up), len(wantUp))
+	}
+	for i := 1000; i < len(up)-1000 && i < len(wantUp); i++ {
+		if math.Abs(up[i]-wantUp[i]) > 0.03 {
+			t.Fatalf("sample %d: %g vs %g", i, up[i], wantUp[i])
+		}
+	}
+}
+
+func TestResampleTraceErrors(t *testing.T) {
+	if _, err := ResampleTrace([]float64{1}, 0, 0.01); err == nil {
+		t.Error("zero dtIn accepted")
+	}
+	if _, err := ResampleTrace([]float64{1}, 0.01, -1); err == nil {
+		t.Error("negative dtOut accepted")
+	}
+	if _, err := ResampleTrace([]float64{1}, 0.01, 0.01*math.Pi); err == nil {
+		t.Error("irrational ratio accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package dsp
+
+import "math"
+
+// HammingWindow returns the n-point symmetric Hamming window
+// w[i] = 0.54 - 0.46*cos(2*pi*i/(n-1)).  For n == 1 it returns [1].
+func HammingWindow(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	den := float64(n - 1)
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/den)
+	}
+	return w
+}
+
+// HannWindow returns the n-point symmetric Hann window.
+func HannWindow(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	den := float64(n - 1)
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/den))
+	}
+	return w
+}
+
+// ApplyWindow multiplies x element-wise by w in place.  The slices must have
+// equal length; mismatched lengths apply over the shorter prefix, which is
+// never what a caller wants, so ApplyWindow panics instead.
+func ApplyWindow(x, w []float64) {
+	if len(x) != len(w) {
+		panic("dsp: ApplyWindow length mismatch")
+	}
+	for i := range x {
+		x[i] *= w[i]
+	}
+}
+
+// CosineTaper applies a split cosine-bell (Tukey) taper to the first and
+// last fraction*len(x) samples of x in place.  Strong-motion processing
+// tapers record ends before filtering and transforming to suppress edge
+// ringing.  A fraction <= 0 leaves x unchanged; a fraction >= 0.5 degenerates
+// to a full Hann window.
+func CosineTaper(x []float64, fraction float64) {
+	n := len(x)
+	if n == 0 || fraction <= 0 {
+		return
+	}
+	if fraction > 0.5 {
+		fraction = 0.5
+	}
+	m := int(fraction * float64(n))
+	if m < 1 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		w := 0.5 * (1 - math.Cos(math.Pi*float64(i)/float64(m)))
+		x[i] *= w
+		x[n-1-i] *= w
+	}
+}

@@ -1,0 +1,102 @@
+package fourier
+
+import (
+	"fmt"
+	"math"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/seismic"
+)
+
+// HVSR is the horizontal-to-vertical spectral ratio of one record — the
+// Nakamura technique for site characterization, the kind of "site-effect
+// study" the paper names as a primary use of strong-motion data.  The curve
+// peaks near the site's fundamental resonance frequency.
+type HVSR struct {
+	DF    float64   // frequency step, Hz
+	Ratio []float64 // H/V per bin; bin 0 (DC) is zero
+}
+
+// Frequency returns the frequency of bin k in Hz.
+func (h HVSR) Frequency(k int) float64 { return float64(k) * h.DF }
+
+// HVConfig tunes the spectral-ratio computation.
+type HVConfig struct {
+	// SmoothingB is the Konno-Ohmachi bandwidth coefficient applied to the
+	// three component spectra before the ratio; zero selects 40.
+	SmoothingB float64
+	// MinFreq/MaxFreq bound the peak search in Hz; zeros select 0.2-20 Hz,
+	// the conventional microtremor band.
+	MinFreq, MaxFreq float64
+}
+
+func (c HVConfig) withDefaults() HVConfig {
+	if c.SmoothingB == 0 {
+		c.SmoothingB = 40
+	}
+	if c.MinFreq == 0 {
+		c.MinFreq = 0.2
+	}
+	if c.MaxFreq == 0 {
+		c.MaxFreq = 20
+	}
+	return c
+}
+
+// ComputeHVSR computes the smoothed H/V spectral ratio of a record:
+// the geometric mean of the two horizontal amplitude spectra over the
+// vertical one, all Konno-Ohmachi smoothed.
+func ComputeHVSR(rec seismic.Record, cfg HVConfig) (HVSR, error) {
+	if err := rec.Validate(); err != nil {
+		return HVSR{}, err
+	}
+	cfg = cfg.withDefaults()
+	var amps [3][]float64
+	var df float64
+	for ci := range rec.Accel {
+		a, d, err := dsp.AmplitudeSpectrum(rec.Accel[ci].Data, rec.Accel[ci].DT)
+		if err != nil {
+			return HVSR{}, err
+		}
+		sm, err := SmoothKonnoOhmachi(a, d, cfg.SmoothingB)
+		if err != nil {
+			return HVSR{}, err
+		}
+		amps[ci] = sm
+		df = d
+	}
+	n := len(amps[0])
+	out := HVSR{DF: df, Ratio: make([]float64, n)}
+	for k := 1; k < n; k++ {
+		h := math.Sqrt(amps[seismic.Longitudinal][k] * amps[seismic.Transversal][k])
+		v := amps[seismic.Vertical][k]
+		if v > 0 {
+			out.Ratio[k] = h / v
+		}
+	}
+	return out, nil
+}
+
+// FundamentalFrequency returns the frequency (Hz) and amplitude of the
+// largest H/V peak inside the configured band — the site's fundamental
+// resonance estimate.  An error is returned if the band holds no bins.
+func (h HVSR) FundamentalFrequency(cfg HVConfig) (freq, amplitude float64, err error) {
+	cfg = cfg.withDefaults()
+	if h.DF <= 0 || len(h.Ratio) == 0 {
+		return 0, 0, fmt.Errorf("fourier: empty H/V curve")
+	}
+	bestK := -1
+	for k := 1; k < len(h.Ratio); k++ {
+		f := h.Frequency(k)
+		if f < cfg.MinFreq || f > cfg.MaxFreq {
+			continue
+		}
+		if bestK < 0 || h.Ratio[k] > h.Ratio[bestK] {
+			bestK = k
+		}
+	}
+	if bestK < 0 {
+		return 0, 0, fmt.Errorf("fourier: no H/V bins inside [%g, %g] Hz", cfg.MinFreq, cfg.MaxFreq)
+	}
+	return h.Frequency(bestK), h.Ratio[bestK], nil
+}

@@ -1,0 +1,109 @@
+package fourier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"accelproc/internal/seismic"
+)
+
+// siteRecord builds a record whose horizontals carry a resonant
+// amplification at f0 while the vertical stays flat broadband noise —
+// the textbook H/V situation.
+func siteRecord(f0 float64, seed int64) seismic.Record {
+	const n, dt = 16384, 0.01
+	rng := rand.New(rand.NewSource(seed))
+	var rec seismic.Record
+	rec.Station = "SITE"
+	for ci := range rec.Accel {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		if ci != int(seismic.Vertical) {
+			// Add a strong narrow-band resonance on the horizontals.
+			ph := rng.Float64() * 2 * math.Pi
+			for i := range data {
+				data[i] += 6 * math.Sin(2*math.Pi*f0*float64(i)*dt+ph)
+			}
+		}
+		rec.Accel[ci] = seismic.Trace{DT: dt, Data: data}
+	}
+	return rec
+}
+
+func TestComputeHVSRFindsSiteFrequency(t *testing.T) {
+	const f0 = 2.5
+	rec := siteRecord(f0, 7)
+	hv, err := ComputeHVSR(rec, HVConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.DF <= 0 || len(hv.Ratio) == 0 {
+		t.Fatalf("empty curve: %+v", hv)
+	}
+	freq, amp, err := hv.FundamentalFrequency(HVConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(freq-f0) > 0.3 {
+		t.Errorf("fundamental frequency = %g Hz, want ~%g", freq, f0)
+	}
+	if amp < 2 {
+		t.Errorf("peak amplitude = %g, want clearly above 1", amp)
+	}
+}
+
+func TestComputeHVSRFlatSiteIsNearUnity(t *testing.T) {
+	// Identical statistics on all three components: H/V ~ 1 everywhere.
+	rng := rand.New(rand.NewSource(8))
+	const n, dt = 8192, 0.01
+	var rec seismic.Record
+	rec.Station = "FLAT"
+	for ci := range rec.Accel {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		rec.Accel[ci] = seismic.Trace{DT: dt, Data: data}
+	}
+	hv, err := ComputeHVSR(rec, HVConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, amp, err := hv.FundamentalFrequency(HVConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp > 2.5 {
+		t.Errorf("flat site H/V peak = %g, want near 1", amp)
+	}
+}
+
+func TestHVSRErrors(t *testing.T) {
+	if _, err := ComputeHVSR(seismic.Record{}, HVConfig{}); err == nil {
+		t.Error("invalid record accepted")
+	}
+	var empty HVSR
+	if _, _, err := empty.FundamentalFrequency(HVConfig{}); err == nil {
+		t.Error("empty curve accepted")
+	}
+	rec := siteRecord(2, 9)
+	hv, err := ComputeHVSR(rec, HVConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dt = 0.01 puts Nyquist at 50 Hz; a band entirely above it holds no
+	// bins and must be rejected.
+	if _, _, err := hv.FundamentalFrequency(HVConfig{MinFreq: 60, MaxFreq: 70}); err == nil {
+		t.Error("band beyond Nyquist accepted")
+	}
+}
+
+func TestHVSRFrequencyAccessor(t *testing.T) {
+	hv := HVSR{DF: 0.25, Ratio: make([]float64, 5)}
+	if got := hv.Frequency(4); got != 1.0 {
+		t.Errorf("Frequency(4) = %g, want 1", got)
+	}
+}

@@ -1,0 +1,115 @@
+package fourier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmoothKonnoOhmachiPreservesConstant(t *testing.T) {
+	n := 512
+	amps := make([]float64, n)
+	for i := range amps {
+		amps[i] = 7.5
+	}
+	out, err := SmoothKonnoOhmachi(amps, 0.01, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if math.Abs(v-7.5) > 1e-9 {
+			t.Fatalf("bin %d = %g, want 7.5 (constant spectrum must survive smoothing)", i, v)
+		}
+	}
+}
+
+func TestSmoothKonnoOhmachiReducesVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 2048
+	amps := make([]float64, n)
+	for i := range amps {
+		amps[i] = 1 + 0.5*rng.Float64()
+	}
+	out, err := SmoothKonnoOhmachi(amps, 0.01, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variance := func(x []float64) float64 {
+		var mean float64
+		for _, v := range x[100:] {
+			mean += v
+		}
+		mean /= float64(len(x) - 100)
+		var s float64
+		for _, v := range x[100:] {
+			s += (v - mean) * (v - mean)
+		}
+		return s / float64(len(x)-100)
+	}
+	if variance(out) >= variance(amps)/2 {
+		t.Errorf("smoothing did not reduce variance: %g vs %g", variance(out), variance(amps))
+	}
+}
+
+func TestSmoothKonnoOhmachiPreservesDCAndLength(t *testing.T) {
+	amps := []float64{42, 1, 2, 3, 4, 5}
+	out, err := SmoothKonnoOhmachi(amps, 0.5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(amps) {
+		t.Fatalf("length changed: %d", len(out))
+	}
+	if out[0] != 42 {
+		t.Errorf("DC bin = %g, want passthrough 42", out[0])
+	}
+}
+
+func TestSmoothKonnoOhmachiErrors(t *testing.T) {
+	if _, err := SmoothKonnoOhmachi([]float64{1}, 0, 40); err == nil {
+		t.Error("zero df accepted")
+	}
+	if _, err := SmoothKonnoOhmachi([]float64{1}, 0.1, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	out, err := SmoothKonnoOhmachi(nil, 0.1, 40)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty input: %v, %v", out, err)
+	}
+}
+
+// Property: smoothing is bounded by the input range (it is a weighted
+// average with non-negative weights).
+func TestSmoothKonnoOhmachiBounded(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%300 + 2
+		rng := rand.New(rand.NewSource(seed))
+		amps := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range amps {
+			amps[i] = rng.Float64() * 100
+			if i >= 1 {
+				if amps[i] < lo {
+					lo = amps[i]
+				}
+				if amps[i] > hi {
+					hi = amps[i]
+				}
+			}
+		}
+		out, err := SmoothKonnoOhmachi(amps, 0.05, 40)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if out[i] < lo-1e-9 || out[i] > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

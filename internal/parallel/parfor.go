@@ -1,0 +1,169 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs body(i) for every i in [0, n) using the given number of
+// workers (0 means all processors) with static scheduling.  It is the Go
+// equivalent of
+//
+//	#pragma omp parallel for
+//	for (int i = 0; i < n; i++) body(i);
+//
+// The call returns after every iteration has completed.  If any body call
+// returns a non-nil error, ParallelFor returns the error of the smallest
+// failing index; all iterations still run (matching the OpenMP model, where
+// a loop cannot break early).
+func ParallelFor(n, workers int, body func(i int) error) error {
+	return parallelFor(n, workers, ScheduleStatic, 0, body)
+}
+
+// ParallelForDynamic runs body(i) for every i in [0, n) with dynamic
+// scheduling: workers pull chunkSize iterations at a time from a shared
+// counter.  A chunkSize <= 0 selects chunk size 1, like schedule(dynamic).
+func ParallelForDynamic(n, workers, chunkSize int, body func(i int) error) error {
+	return parallelFor(n, workers, ScheduleDynamic, chunkSize, body)
+}
+
+// ParallelForSched runs body(i) for every i in [0, n) with an explicit
+// schedule, allowing the scheduling policy itself to be benchmarked.
+func ParallelForSched(n, workers int, sched Schedule, chunkSize int, body func(i int) error) error {
+	return parallelFor(n, workers, sched, chunkSize, body)
+}
+
+func parallelFor(n, workers int, sched Schedule, chunkSize int, body func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		return serialFor(n, body)
+	}
+
+	// firstErr records the error from the smallest failing index so the
+	// reported failure is deterministic regardless of interleaving.
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	record := func(i int, err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(w)
+	switch sched {
+	case ScheduleDynamic:
+		if chunkSize <= 0 {
+			chunkSize = 1
+		}
+		var next atomic.Int64
+		for t := 0; t < w; t++ {
+			go func() {
+				defer wg.Done()
+				for {
+					start := int(next.Add(int64(chunkSize))) - chunkSize
+					if start >= n {
+						return
+					}
+					end := start + chunkSize
+					if end > n {
+						end = n
+					}
+					for i := start; i < end; i++ {
+						record(i, body(i))
+					}
+				}
+			}()
+		}
+	default: // ScheduleStatic
+		// Split [0,n) into w nearly equal contiguous blocks.
+		base, rem := n/w, n%w
+		start := 0
+		for t := 0; t < w; t++ {
+			size := base
+			if t < rem {
+				size++
+			}
+			lo, hi := start, start+size
+			start = hi
+			go func() {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					record(i, body(i))
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func serialFor(n int, body func(i int) error) error {
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if err := body(i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ParallelRange runs body(lo, hi) on contiguous sub-ranges of [0, n) with one
+// range per worker.  It is useful when the body wants to amortize per-worker
+// setup (scratch buffers, open files) across its whole block, the same way
+// OpenMP code hoists private allocations out of the loop.
+func ParallelRange(n, workers int, body func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		return body(0, n)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstLo  int
+	)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	base, rem := n/w, n%w
+	start := 0
+	for t := 0; t < w; t++ {
+		size := base
+		if t < rem {
+			size++
+		}
+		lo, hi := start, start+size
+		start = hi
+		go func() {
+			defer wg.Done()
+			if err := body(lo, hi); err != nil {
+				mu.Lock()
+				if firstErr == nil || lo < firstLo {
+					firstErr, firstLo = err, lo
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,70 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Pool.Submit after Close has been called.
+var ErrPoolClosed = errors.New("parallel: pool is closed")
+
+// Pool is a fixed-size worker pool that amortizes goroutine startup across
+// many submissions.  The pipeline drivers create one pool per run and feed
+// every parallel stage through it, the way an OpenMP runtime keeps a single
+// thread team alive across parallel regions.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool with the given number of workers (0 = all
+// processors).  Close must be called to release the workers.
+func NewPool(workers int) *Pool {
+	w := Workers(workers)
+	p := &Pool{tasks: make(chan func())}
+	p.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit schedules task on the pool and returns a function that blocks until
+// the task has finished, so callers can choose between fire-and-forget and
+// join semantics.
+func (p *Pool) Submit(task func()) (join func(), err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	done := make(chan struct{})
+	p.tasks <- func() {
+		defer close(done)
+		task()
+	}
+	p.mu.Unlock()
+	return func() { <-done }, nil
+}
+
+// Close stops accepting tasks and waits for in-flight tasks to finish.
+// Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,77 @@
+package parallel
+
+import "sync"
+
+// TaskGroup runs independently spawned tasks on a bounded set of workers,
+// mirroring the OpenMP idiom used throughout the paper:
+//
+//	#pragma omp parallel
+//	#pragma omp single
+//	{
+//	    #pragma omp task  f();
+//	    #pragma omp task  g();
+//	    #pragma omp taskwait
+//	}
+//
+// Go(...) corresponds to "#pragma omp task" and Wait to
+// "#pragma omp taskwait".  The zero value is not usable; construct groups
+// with NewTaskGroup.  A TaskGroup may be reused for several rounds of
+// Go/Wait, matching consecutive taskwait barriers inside one parallel
+// region (e.g. the paper's Stage I followed by Stage II).
+type TaskGroup struct {
+	sem      chan struct{}
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	firstErr error
+}
+
+// NewTaskGroup returns a TaskGroup that runs at most workers tasks
+// concurrently; workers <= 0 means all available processors.  The paper's
+// Stage I/II region pins the team to between 2 and 4 processors — callers
+// reproduce that by passing the explicit bound.
+func NewTaskGroup(workers int) *TaskGroup {
+	return &TaskGroup{sem: make(chan struct{}, Workers(workers))}
+}
+
+// Go spawns task as soon as a worker slot is free.  The first error returned
+// by any task is retained and reported by Wait; later errors are dropped,
+// like a single shared error flag in an OpenMP region.
+func (g *TaskGroup) Go(task func() error) {
+	g.wg.Add(1)
+	g.sem <- struct{}{}
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		if err := task(); err != nil {
+			g.mu.Lock()
+			if g.firstErr == nil {
+				g.firstErr = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every task spawned so far has finished and returns the
+// first retained error.  The group may be reused afterwards; the error state
+// is NOT reset, so a failed group keeps reporting its first failure (callers
+// that want a fresh group create one).
+func (g *TaskGroup) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.firstErr
+}
+
+// RunTasks is a convenience wrapper that spawns every task on a fresh group
+// of the given width and waits for completion — the shape of a whole
+// parallel/single/task/taskwait region in one call.
+func RunTasks(workers int, tasks ...func() error) error {
+	g := NewTaskGroup(workers)
+	for _, t := range tasks {
+		g.Go(t)
+	}
+	return g.Wait()
+}

@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"accelproc/internal/parallel"
+)
+
+// BatchResult pairs one work directory with its run outcome.
+type BatchResult struct {
+	Dir    string
+	Result Result
+	Err    error
+}
+
+// RunBatch processes several event work directories with the same variant,
+// running up to eventWorkers pipelines concurrently (0 = all processors).
+// This is the paper's future-work direction — "scaling our approach to
+// larger experimental accelerographic datasets" — realized as one level of
+// outer parallelism above the per-event pipeline.
+//
+// Every directory is attempted; per-directory failures are reported in the
+// corresponding BatchResult rather than aborting the batch, and the first
+// error (in directory order) is also returned for convenience.  Results
+// are ordered like dirs.
+//
+// Note on the simulated platform: opts.SimProcessors models the parallelism
+// *inside* one event's pipeline.  Outer event-level concurrency uses real
+// goroutines in every mode, so batch throughput reflects the host, while
+// per-event timings remain simulated.
+func RunBatch(dirs []string, variant Variant, opts Options, eventWorkers int) ([]BatchResult, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("pipeline: empty batch")
+	}
+	// Reject duplicate directories up front: two concurrent runs in one
+	// directory would race on every product file.
+	seen := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		if seen[d] {
+			return nil, fmt.Errorf("pipeline: directory %s appears twice in the batch", d)
+		}
+		seen[d] = true
+	}
+	results := make([]BatchResult, len(dirs))
+	var mu sync.Mutex
+	_ = parallel.ParallelForDynamic(len(dirs), eventWorkers, 1, func(i int) error {
+		res, err := Run(dirs[i], variant, opts)
+		mu.Lock()
+		results[i] = BatchResult{Dir: dirs[i], Result: res, Err: err}
+		mu.Unlock()
+		return nil
+	})
+	var firstErr error
+	for _, r := range results {
+		if r.Err != nil {
+			firstErr = fmt.Errorf("pipeline: batch directory %s: %w", r.Dir, r.Err)
+			break
+		}
+	}
+	return results, firstErr
+}
+
+// BatchStations aggregates the station codes processed across a batch,
+// sorted and de-duplicated — the event-catalog view of a batch run.
+func BatchStations(results []BatchResult) []string {
+	set := make(map[string]bool)
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		for _, st := range r.Result.Stations {
+			set[st] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for st := range set {
+		out = append(out, st)
+	}
+	sort.Strings(out)
+	return out
+}

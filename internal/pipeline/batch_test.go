@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelproc/internal/synth"
+)
+
+func prepareBatchDirs(t *testing.T, n int) []string {
+	t.Helper()
+	root := t.TempDir()
+	dirs := make([]string, n)
+	for i := range dirs {
+		ev, err := synth.Event(synth.EventSpec{
+			Name:        "batch",
+			Files:       2,
+			TotalPoints: 1600,
+			Magnitude:   4.8,
+			Seed:        int64(100 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs[i] = filepath.Join(root, "ev", strings.Repeat("x", i+1))
+		if err := PrepareWorkDir(dirs[i], ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dirs
+}
+
+func TestRunBatchProcessesEveryDirectory(t *testing.T) {
+	dirs := prepareBatchDirs(t, 3)
+	results, err := RunBatch(dirs, FullParallel, testOptions(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Dir != dirs[i] {
+			t.Errorf("result %d dir = %s, want %s (order preserved)", i, r.Dir, dirs[i])
+		}
+		if r.Err != nil {
+			t.Errorf("dir %s failed: %v", r.Dir, r.Err)
+			continue
+		}
+		inv, err := Inventory(r.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv.V2 != 6 || inv.GEM != 36 {
+			t.Errorf("dir %s inventory %+v", r.Dir, inv)
+		}
+	}
+	stations := BatchStations(results)
+	if len(stations) != 2 { // SS01, SS02 shared across events
+		t.Errorf("stations = %v", stations)
+	}
+}
+
+func TestRunBatchMatchesIndividualRuns(t *testing.T) {
+	dirs := prepareBatchDirs(t, 2)
+	ref := prepareBatchDirs(t, 2)
+	if _, err := RunBatch(dirs, SeqOptimized, testOptions(), 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ref {
+		if _, err := Run(d, SeqOptimized, testOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range dirs {
+		a := productHashes(t, dirs[i])
+		b := productHashes(t, ref[i])
+		if len(a) != len(b) {
+			t.Fatalf("dir %d product counts differ", i)
+		}
+		for name, h := range a {
+			if b[name] != h {
+				t.Errorf("dir %d product %s differs from individual run", i, name)
+			}
+		}
+	}
+}
+
+func TestRunBatchReportsPerDirectoryFailures(t *testing.T) {
+	dirs := prepareBatchDirs(t, 3)
+	// Corrupt the middle directory's only inputs.
+	entries, err := os.ReadDir(dirs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(dirs[1], e.Name()), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := RunBatch(dirs, SeqOptimized, testOptions(), 2)
+	if err == nil {
+		t.Fatal("batch with corrupt directory reported no error")
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Error("healthy directories failed")
+	}
+	if results[1].Err == nil {
+		t.Error("corrupt directory did not fail")
+	}
+}
+
+func TestRunBatchRejectsEmptyAndDuplicates(t *testing.T) {
+	if _, err := RunBatch(nil, SeqOptimized, testOptions(), 2); err == nil {
+		t.Error("empty batch accepted")
+	}
+	dirs := prepareBatchDirs(t, 1)
+	if _, err := RunBatch([]string{dirs[0], dirs[0]}, SeqOptimized, testOptions(), 2); err == nil {
+		t.Error("duplicate directory accepted")
+	}
+}

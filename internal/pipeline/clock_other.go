@@ -1,0 +1,11 @@
+//go:build !unix
+
+package pipeline
+
+import "time"
+
+// cpuNow falls back to wall time on platforms without getrusage.
+func cpuNow() time.Duration { return time.Duration(time.Now().UnixNano()) }
+
+// haveCPUClock reports whether cpuNow is meaningful on this platform.
+const haveCPUClock = false

@@ -1,0 +1,24 @@
+//go:build unix
+
+package pipeline
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuNow returns the accumulated CPU time (user + system) of this process.
+// The simulated platform measures task costs with it instead of wall time:
+// on shared or single-core hosts, wall-clock durations fluctuate with
+// external load, while CPU time of serially executed bodies is stable —
+// and in simulation mode every body runs serially by construction.
+func cpuNow() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return time.Duration(0)
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// haveCPUClock reports whether cpuNow is meaningful on this platform.
+const haveCPUClock = true

@@ -1,0 +1,284 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"accelproc/internal/parallel"
+	"accelproc/internal/simsched"
+)
+
+// Run executes one variant of the pipeline on the work directory and
+// returns its result with per-process and per-stage timings.  The directory
+// must contain the multiplexed <station>.v1 input files; every product of
+// the chain is written next to them.
+func Run(dir string, variant Variant, opts Options) (Result, error) {
+	s, err := newState(dir, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	start := s.now()
+	switch variant {
+	case SeqOriginal:
+		err = s.runSequential(true)
+	case SeqOptimized:
+		err = s.runSequential(false)
+	case PartialParallel:
+		err = s.runStaged(false)
+	case FullParallel:
+		err = s.runStaged(true)
+	default:
+		return Result{}, fmt.Errorf("pipeline: unknown variant %d", int(variant))
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	// On the simulated platform s.virt carries the (negative) difference
+	// between serial execution and the simulated parallel makespans.
+	s.tim.Total = (s.now() - start) + s.virt
+	stations, err := s.stations()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Variant: variant, Stations: stations, Timings: s.tim}, nil
+}
+
+// runSequential executes the original (or optimized) strictly sequential
+// chain: the 20 (or 17) processes in their Figure 5 order, one after the
+// other, every inner loop serial.  Stage timings are attributed via the
+// reordered schedule's stage map so sequential and parallel runs can be
+// compared stage by stage.
+func (s *state) runSequential(withRedundant bool) error {
+	type step struct {
+		id  ProcessID
+		run func() error
+	}
+	steps := []step{
+		{PInitFlags, s.procInitFlags},
+		{PGatherInputs, s.procGatherInputs},
+		{PInitFilterParams, s.procInitFilterParams},
+		{PSeparateComponents, func() error { return s.procSeparateComponents(1) }},
+		{PDefaultFilter, func() error { return s.applyFilters(1) }},
+		{PInitMetadata, s.procInitMetadata},
+		{PPlotUncorrected, s.procPlotUncorrected}, // redundant
+		{PFourier, func() error { return s.procFourier(1) }},
+		{PInitFourierGraph, s.procInitFourierGraph},
+		{PPlotFourier, s.procPlotFourier},
+		{PPickCorners, func() error { return s.procPickCorners(1) }},
+		{PInitFlags2, s.procInitFlags},
+		{PSeparateComps2, func() error { return s.procSeparateComponents(1) }}, // redundant
+		{PCorrectedFilter, func() error { return s.applyFilters(1) }},
+		{PInitMetadata2, s.procInitMetadata}, // redundant
+		{PPlotAccel, s.procPlotAccel},
+		{PResponseSpectrum, func() error { return s.procResponseSpectrum(1) }},
+		{PInitResponseGraph, s.procInitResponseGraph},
+		{PPlotResponse, s.procPlotResponse},
+		{PGenerateGEM, func() error { return s.procGenerateGEM(1) }},
+	}
+	for _, st := range steps {
+		if !withRedundant && Processes[st.id].Redundant {
+			continue
+		}
+		stage := StageOf(st.id)
+		run := func() error { return s.timed(st.id, st.run) }
+		if stage != 0 {
+			if err := s.timedStage(stage, run); err != nil {
+				return err
+			}
+		} else if err := run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStaged executes the reordered 11-stage schedule (paper Fig. 9).  With
+// full=false it applies the partial-parallelization strategies (stages I,
+// II, VI, X, XI parallel); with full=true the full-parallelization
+// strategies (every stage except VII parallel, including the temp-folder
+// protocol for stages IV, V, and VIII).
+func (s *state) runStaged(full bool) error {
+	w := s.opts.Workers
+	mw := s.opts.MetaWorkers
+	strategyOf := func(id StageID) Strategy {
+		info := Stages[id-1]
+		if full {
+			return info.Full
+		}
+		return info.Partial
+	}
+	loopWorkers := func(id StageID) int {
+		if strategyOf(id) == StratSequential {
+			return 1
+		}
+		return w
+	}
+	taskWorkers := func(id StageID) int {
+		if strategyOf(id) == StratSequential {
+			return 1
+		}
+		return mw
+	}
+
+	// Stage I: processes #0 and #1 as tasks.
+	err := s.taskStage(StageI, taskWorkers(StageI), []taskSpec{
+		{PInitFlags, s.procInitFlags},
+		{PGatherInputs, s.procGatherInputs},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stage II: the four metadata initializers as tasks.
+	err = s.taskStage(StageII, taskWorkers(StageII), []taskSpec{
+		{PInitFilterParams, s.procInitFilterParams},
+		{PInitMetadata, s.procInitMetadata},
+		{PInitFourierGraph, s.procInitFourierGraph},
+		{PInitResponseGraph, s.procInitResponseGraph},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stage III: separate components (parallel station loop when full).
+	err = s.timedStage(StageIII, func() error {
+		return s.timed(PSeparateComponents, func() error {
+			return s.procSeparateComponents(loopWorkers(StageIII))
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stage IV: default filters (temp-folder protocol when full).
+	err = s.timedStage(StageIV, func() error {
+		return s.timed(PDefaultFilter, func() error {
+			if strategyOf(StageIV) == StratTempFolder {
+				if s.opts.NoTempFolders {
+					return s.applyFilters(w)
+				}
+				return s.filterViaTempFolders("def", w)
+			}
+			return s.applyFilters(1)
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stage V: Fourier transformation (temp-folder protocol when full).
+	err = s.timedStage(StageV, func() error {
+		return s.timed(PFourier, func() error {
+			if strategyOf(StageV) == StratTempFolder {
+				if s.opts.NoTempFolders {
+					return s.procFourier(w)
+				}
+				return s.fourierViaTempFolders(w)
+			}
+			return s.procFourier(1)
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stage VI: FPL/FSL picking, parallel over the three components.
+	err = s.timedStage(StageVI, func() error {
+		return s.timed(PPickCorners, func() error {
+			cw := 1
+			if strategyOf(StageVI) == StratLoop {
+				cw = 3
+			}
+			return s.procPickCorners(cw)
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stage VII: the trivial second flag initialization, never parallel.
+	err = s.timedStage(StageVII, func() error {
+		return s.timed(PInitFlags2, s.procInitFlags)
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stage VIII: definitive correction with the picked corners.
+	err = s.timedStage(StageVIII, func() error {
+		return s.timed(PCorrectedFilter, func() error {
+			if strategyOf(StageVIII) == StratTempFolder {
+				if s.opts.NoTempFolders {
+					return s.applyFilters(w)
+				}
+				return s.filterViaTempFolders("cor", w)
+			}
+			return s.applyFilters(1)
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stage IX: response spectra (parallel component-file loop when full).
+	err = s.timedStage(StageIX, func() error {
+		return s.timed(PResponseSpectrum, func() error {
+			return s.procResponseSpectrum(loopWorkers(StageIX))
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stage X: GEM generation (parallel in both parallel variants).
+	err = s.timedStage(StageX, func() error {
+		return s.timed(PGenerateGEM, func() error {
+			return s.procGenerateGEM(loopWorkers(StageX))
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stage XI: the three plotting processes as tasks.
+	return s.taskStage(StageXI, taskWorkers(StageXI), []taskSpec{
+		{PPlotFourier, s.procPlotFourier},
+		{PPlotAccel, s.procPlotAccel},
+		{PPlotResponse, s.procPlotResponse},
+	})
+}
+
+// taskSpec pairs a process with its body for a task-parallel stage.
+type taskSpec struct {
+	id ProcessID
+	fn func() error
+}
+
+// taskStage runs the given processes as an OpenMP-style task group.  On the
+// real platform the tasks run as bounded goroutines and the stage time is
+// their joint wall time; on the simulated platform they run serially with
+// per-task measurement and the stage is charged the task-group makespan.
+func (s *state) taskStage(id StageID, workers int, tasks []taskSpec) error {
+	if !s.simulated() || workers == 1 {
+		return s.timedStage(id, func() error {
+			fns := make([]func() error, 0, len(tasks))
+			for _, t := range tasks {
+				t := t
+				fns = append(fns, func() error { return s.timed(t.id, t.fn) })
+			}
+			return parallel.RunTasks(workers, fns...)
+		})
+	}
+	return s.timedStage(id, func() error {
+		durs := make([]time.Duration, len(tasks))
+		for i, t := range tasks {
+			before := s.tim.Process[t.id]
+			if err := s.timed(t.id, t.fn); err != nil {
+				return err
+			}
+			durs[i] = s.tim.Process[t.id] - before
+		}
+		s.virt += simsched.Makespan(durs, workers, s.opts.ContentionCPU) - simsched.Sum(durs)
+		return nil
+	})
+}

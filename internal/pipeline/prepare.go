@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+)
+
+// PrepareWorkDir writes the multiplexed <station>.v1 input files of an
+// event into dir (creating it if needed), the state a work directory is in
+// before the chain runs.
+func PrepareWorkDir(dir string, ev seismic.Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("pipeline: prepare %s: %w", dir, err)
+	}
+	for _, rec := range ev.Records {
+		v1 := smformat.FromRecord(rec)
+		if err := smformat.WriteV1File(filepath.Join(dir, smformat.V1FileName(rec.Station)), v1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CleanOutputs removes every pipeline product from dir, leaving only the
+// multiplexed V1 inputs, so the same directory can be re-processed by
+// another variant from a pristine state.
+func CleanOutputs(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			// Scratch folders from an aborted temp-folder run.
+			if strings.HasPrefix(name, "tmp_") {
+				if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if strings.HasSuffix(name, ".v1") {
+			first, err := firstLine(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			if first == "STRONG-MOTION UNCORRECTED RECORD V1" {
+				continue // multiplexed input, keep
+			}
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OutputInventory summarizes the products present in a work directory, for
+// assertions in tests and reporting in the CLI.
+type OutputInventory struct {
+	V1Inputs     int // multiplexed station inputs
+	V1Components int
+	V2           int
+	Fourier      int
+	Response     int
+	GEM          int
+	Plots        int
+	Metadata     int
+}
+
+// Inventory scans dir and counts the pipeline products by type.
+func Inventory(dir string) (OutputInventory, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return OutputInventory{}, err
+	}
+	var inv OutputInventory
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".v1"):
+			first, err := firstLine(filepath.Join(dir, name))
+			if err != nil {
+				return OutputInventory{}, err
+			}
+			if first == "STRONG-MOTION UNCORRECTED RECORD V1" {
+				inv.V1Inputs++
+			} else {
+				inv.V1Components++
+			}
+		case strings.HasSuffix(name, ".v2"):
+			inv.V2++
+		case strings.HasSuffix(name, ".f"):
+			inv.Fourier++
+		case strings.HasSuffix(name, ".r"):
+			inv.Response++
+		case strings.Contains(name, "GEM"):
+			inv.GEM++
+		case strings.HasSuffix(name, ".ps"):
+			inv.Plots++
+		case strings.HasSuffix(name, ".meta"):
+			inv.Metadata++
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,539 @@
+package pipeline
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/fourier"
+	"accelproc/internal/plotps"
+	"accelproc/internal/response"
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+)
+
+// This file implements the 20 processes of the chain.  Each process is a
+// method on *state that reads its inputs from and writes its outputs to the
+// work directory, exactly as the legacy programs do.  Processes that the
+// parallel variants accelerate take a workers parameter: 1 reproduces the
+// sequential behaviour, >1 (or 0 = all processors) the parallel one.
+
+// procInitFlags is process #0 (and, via procInitFlags2, #11): write the ten
+// runtime flags of the legacy driver.
+func (s *state) procInitFlags() error {
+	flags := smformat.FileList{Name: "flags"}
+	for i := 0; i < 10; i++ {
+		flags.Files = append(flags.Files, fmt.Sprintf("flag%02d=0", i))
+	}
+	return smformat.WriteFileListFile(s.path(smformat.FlagsFile), flags)
+}
+
+// procGatherInputs is process #1: scan the work directory for multiplexed
+// V1 input files and write the v1list metadata.
+func (s *state) procGatherInputs() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".v1") {
+			continue
+		}
+		// Multiplexed station files only: per-component files (which also
+		// end in .v1 on a rerun of a used work directory) are recognized
+		// and skipped by their magic line.
+		first, err := firstLine(s.path(e.Name()))
+		if err != nil {
+			return err
+		}
+		if first == "STRONG-MOTION UNCORRECTED RECORD V1" {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no V1 input files in %s", s.dir)
+	}
+	sort.Strings(files)
+	return smformat.WriteFileListFile(s.path(smformat.V1ListFile), smformat.FileList{Name: "v1list", Files: files})
+}
+
+// procInitFilterParams is process #2: write the default filter corners.
+func (s *state) procInitFilterParams() error {
+	params := smformat.FilterParams{
+		Default:   fourier.DefaultSpec(),
+		PerSignal: map[smformat.SignalKey]dsp.BandPassSpec{},
+	}
+	return smformat.WriteFilterParamsFile(s.path(smformat.FilterParamsFile), params)
+}
+
+// procSeparateComponents is process #3 (and #12): split every multiplexed
+// <s>.v1 into three per-component <s><c>.v1 files.  The full-parallel
+// variant runs the station loop with a Fortran-style "omp do" (workers > 1).
+func (s *state) procSeparateComponents(workers int) error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	return s.parFor(len(stations), workers, CostHeavyIO, func(i int) error {
+		st := stations[i]
+		v1, err := smformat.ReadV1File(s.path(smformat.V1FileName(st)))
+		if err != nil {
+			return err
+		}
+		for ci, comp := range seismic.Components {
+			vc := smformat.V1Component{
+				Station:   st,
+				Component: comp,
+				DT:        v1.DT,
+				Accel:     v1.Accel[ci],
+			}
+			if err := smformat.WriteV1ComponentFile(s.path(smformat.V1ComponentFileName(st, comp)), vc); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// correctSignal performs the shared work of processes #4 and #13: band-pass
+// filter one per-component V1 with the given corners, integrate to velocity
+// and displacement, and return the V2 payload plus its peaks.
+func (s *state) correctSignal(v1 smformat.V1Component, spec dsp.BandPassSpec) (smformat.V2, seismic.PeakValues, error) {
+	raw := v1.Accel
+	if s.opts.Instrument != nil {
+		corrected, err := s.opts.Instrument.Correct(raw, v1.DT, 0)
+		if err != nil {
+			return smformat.V2{}, seismic.PeakValues{}, fmt.Errorf("instrument correction: %w", err)
+		}
+		raw = corrected
+	}
+	accel, err := dsp.BandPass(raw, v1.DT, spec, s.opts.TaperFraction)
+	if err != nil {
+		return smformat.V2{}, seismic.PeakValues{}, err
+	}
+	dsp.Detrend(accel) // baseline correction after filtering
+	vel := dsp.Integrate(accel, v1.DT)
+	disp := dsp.Integrate(vel, v1.DT)
+	peaks, err := seismic.Peaks(seismic.Trace{DT: v1.DT, Data: accel})
+	if err != nil {
+		return smformat.V2{}, seismic.PeakValues{}, err
+	}
+	v2 := smformat.V2{
+		Station:   v1.Station,
+		Component: v1.Component,
+		DT:        v1.DT,
+		Filter:    spec,
+		Peaks:     peaks,
+		Accel:     accel,
+		Vel:       vel,
+		Disp:      disp,
+	}
+	return v2, peaks, nil
+}
+
+// applyFilters is the shared driver of processes #4 (default corners) and
+// #13 (per-signal corners from the Fourier analysis): filter all 3N
+// component signals, write <s><c>.v2 files, and write the max-values
+// metadata.  Parallelization across signals is controlled by workers; the
+// temp-folder variant lives in tempfolder.go.
+func (s *state) applyFilters(workers int) error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	params, err := smformat.ReadFilterParamsFile(s.path(smformat.FilterParamsFile))
+	if err != nil {
+		return err
+	}
+	keys := signals(stations)
+	peaks := make([]seismic.PeakValues, len(keys))
+	err = s.parFor(len(keys), workers, CostHeavyIO, func(i int) error {
+		key := keys[i]
+		v1, err := smformat.ReadV1ComponentFile(s.path(smformat.V1ComponentFileName(key.Station, key.Component)))
+		if err != nil {
+			return err
+		}
+		v2, pk, err := s.correctSignal(v1, params.Spec(key))
+		if err != nil {
+			return err
+		}
+		peaks[i] = pk
+		return smformat.WriteV2File(s.path(smformat.V2FileName(key.Station, key.Component)), v2)
+	})
+	if err != nil {
+		return err
+	}
+	max := smformat.MaxValues{Peaks: make(map[smformat.SignalKey]seismic.PeakValues, len(keys))}
+	for i, key := range keys {
+		max.Peaks[key] = peaks[i]
+	}
+	return smformat.WriteMaxValuesFile(s.path(smformat.MaxValuesFile), max)
+}
+
+// procInitMetadata is process #5 (and #14): derive the acc-graph, fourier,
+// and response file lists from the v1list.
+func (s *state) procInitMetadata() error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	var v2names, rnames []string
+	for _, key := range signals(stations) {
+		v2names = append(v2names, smformat.V2FileName(key.Station, key.Component))
+		rnames = append(rnames, smformat.ResponseFileName(key.Station, key.Component))
+	}
+	if err := smformat.WriteFileListFile(s.path(smformat.AccGraphFile),
+		smformat.FileList{Name: "acc-graph", Files: v2names}); err != nil {
+		return err
+	}
+	if err := smformat.WriteFileListFile(s.path(smformat.FourierMetaFile),
+		smformat.FileList{Name: "fourier", Files: v2names}); err != nil {
+		return err
+	}
+	return smformat.WriteFileListFile(s.path(smformat.ResponseMetaFile),
+		smformat.FileList{Name: "response", Files: rnames})
+}
+
+// procPlotUncorrected is the redundant process #6: plot the raw signals to
+// <s>.ps.  The plots are overwritten later by process #15, which is why the
+// optimization drops this process entirely.
+func (s *state) procPlotUncorrected() error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	for _, st := range stations {
+		var panels []plotps.Plot
+		for _, comp := range seismic.Components {
+			v1, err := smformat.ReadV1ComponentFile(s.path(smformat.V1ComponentFileName(st, comp)))
+			if err != nil {
+				return err
+			}
+			t := make([]float64, len(v1.Accel))
+			for i := range t {
+				t[i] = float64(i) * v1.DT
+			}
+			panels = append(panels, plotps.Plot{
+				Axes: plotps.Axes{
+					Title:  st + comp.Suffix() + " uncorrected acceleration",
+					XLabel: "Time (s)", YLabel: "cm/s^2",
+				},
+				Series: []plotps.Series{{Label: "acc", X: t, Y: v1.Accel}},
+			})
+		}
+		if err := writePlotFile(s.path(smformat.AccelPlotFileName(st)), "Uncorrected "+st, panels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// procFourier is process #7: Fourier spectra of every corrected component.
+func (s *state) procFourier(workers int) error {
+	list, err := smformat.ReadFileListFile(s.path(smformat.FourierMetaFile))
+	if err != nil {
+		return err
+	}
+	return s.parFor(len(list.Files), workers, CostHeavyIO, func(i int) error {
+		v2, err := smformat.ReadV2File(s.path(list.Files[i]))
+		if err != nil {
+			return err
+		}
+		f, err := fourier.Spectra(v2)
+		if err != nil {
+			return err
+		}
+		return smformat.WriteFourierFile(s.path(smformat.FourierFileName(v2.Station, v2.Component)), f)
+	})
+}
+
+// procInitFourierGraph is process #8: the fourier-graph file list.
+func (s *state) procInitFourierGraph() error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, key := range signals(stations) {
+		names = append(names, smformat.FourierFileName(key.Station, key.Component))
+	}
+	return smformat.WriteFileListFile(s.path(smformat.FourierGraphFile),
+		smformat.FileList{Name: "fourier-graph", Files: names})
+}
+
+// procPlotFourier is process #9: one <s>f.ps page per station with the
+// velocity Fourier spectrum of each of the three components, marked with
+// the FPL/FSL inflection corners as in the paper's Figure 3.  The corners
+// are derived from the spectrum itself (the same deterministic pick that
+// process #10 stores), because in the original chain this plot is drawn
+// before process #10 runs, while the reordered schedule draws it at the
+// end — deriving them locally keeps every variant's plot byte-identical.
+func (s *state) procPlotFourier() error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	for _, st := range stations {
+		var panels []plotps.Plot
+		for _, comp := range seismic.Components {
+			f, err := smformat.ReadFourierFile(s.path(smformat.FourierFileName(st, comp)))
+			if err != nil {
+				return err
+			}
+			spec, err := fourier.CalculateInflectionPoint(f, s.opts.Pick)
+			if err != nil {
+				return err
+			}
+			periods := make([]float64, 0, len(f.Vel)-1)
+			vel := make([]float64, 0, len(f.Vel)-1)
+			for k := len(f.Vel) - 1; k >= 1; k-- {
+				periods = append(periods, 1/f.Frequency(k))
+				vel = append(vel, f.Vel[k])
+			}
+			var markers []plotps.Marker
+			if spec.FPL > 0 {
+				markers = append(markers, plotps.Marker{Label: "FPL", X: 1 / spec.FPL})
+			}
+			if spec.FSL > 0 {
+				markers = append(markers, plotps.Marker{Label: "FSL", X: 1 / spec.FSL})
+			}
+			panels = append(panels, plotps.Plot{
+				Axes: plotps.Axes{
+					Title:  st + comp.Suffix() + " Fourier velocity",
+					XLabel: "Period (s)", YLabel: "cm", XLog: true, YLog: true,
+				},
+				Series:  []plotps.Series{{Label: "vel", X: periods, Y: vel}},
+				Markers: markers,
+			})
+		}
+		if err := writePlotFile(s.path(smformat.FourierPlotFileName(st)), "Fourier spectra "+st, panels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// procPickCorners is process #10: pick FPL/FSL per signal from the velocity
+// Fourier spectra.  The component loop (3 per station) is the parallel-for
+// of the paper's section V-B; compWorkers = 1 reproduces the sequential
+// scan, 3 the parallel one.
+func (s *state) procPickCorners(compWorkers int) error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	params, err := smformat.ReadFilterParamsFile(s.path(smformat.FilterParamsFile))
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	for _, st := range stations {
+		st := st
+		// The paper's AnalyzeFourier reads and analyzes the three component
+		// plots inside the parallel loop ("#pragma omp parallel for" over
+		// j = 0..2), so the file reads parallelize along with the scan.
+		err := s.parFor(3, compWorkers, CostHeavyFLOPS, func(j int) error {
+			comp := seismic.Components[j]
+			f, err := smformat.ReadFourierFile(s.path(smformat.FourierFileName(st, comp)))
+			if err != nil {
+				return err
+			}
+			spec, err := fourier.CalculateInflectionPoint(f, s.opts.Pick)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			params.PerSignal[smformat.SignalKey{Station: st, Component: comp}] = spec
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return smformat.WriteFilterParamsFile(s.path(smformat.FilterParamsFile), params)
+}
+
+// procResponseSpectrum is process #16, the dominant stage IX workload:
+// compute the elastic response spectra of all 3N corrected components.
+func (s *state) procResponseSpectrum(workers int) error {
+	list, err := smformat.ReadFileListFile(s.path(smformat.FourierMetaFile))
+	if err != nil {
+		return err
+	}
+	return s.parFor(len(list.Files), workers, CostHeavyFLOPS, func(i int) error {
+		v2, err := smformat.ReadV2File(s.path(list.Files[i]))
+		if err != nil {
+			return err
+		}
+		r, err := response.Spectrum(v2, s.opts.Response)
+		if err != nil {
+			return err
+		}
+		return smformat.WriteResponseFile(s.path(smformat.ResponseFileName(v2.Station, v2.Component)), r)
+	})
+}
+
+// procInitResponseGraph is process #17: the response-graph file list.
+func (s *state) procInitResponseGraph() error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, key := range signals(stations) {
+		names = append(names, smformat.ResponseFileName(key.Station, key.Component))
+	}
+	return smformat.WriteFileListFile(s.path(smformat.ResponseGraphFile),
+		smformat.FileList{Name: "response-graph", Files: names})
+}
+
+// procPlotAccel is process #15: the corrected accelerogram page <s>.ps,
+// one panel per component.
+func (s *state) procPlotAccel() error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	for _, st := range stations {
+		var panels []plotps.Plot
+		for _, comp := range seismic.Components {
+			v2, err := smformat.ReadV2File(s.path(smformat.V2FileName(st, comp)))
+			if err != nil {
+				return err
+			}
+			t := make([]float64, len(v2.Accel))
+			for i := range t {
+				t[i] = float64(i) * v2.DT
+			}
+			panels = append(panels, plotps.Plot{
+				Axes: plotps.Axes{
+					Title:  st + comp.Suffix() + " corrected acceleration",
+					XLabel: "Time (s)", YLabel: "cm/s^2",
+				},
+				Series: []plotps.Series{{Label: "acc", X: t, Y: v2.Accel}},
+			})
+		}
+		if err := writePlotFile(s.path(smformat.AccelPlotFileName(st)), "Accelerogram "+st, panels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// procPlotResponse is process #18: the response-spectra page <s>r.ps, one
+// panel per component with its SA/SV/SD series.
+func (s *state) procPlotResponse() error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	for _, st := range stations {
+		var panels []plotps.Plot
+		for _, comp := range seismic.Components {
+			r, err := smformat.ReadResponseFile(s.path(smformat.ResponseFileName(st, comp)))
+			if err != nil {
+				return err
+			}
+			panels = append(panels, plotps.Plot{
+				Axes: plotps.Axes{
+					Title:  fmt.Sprintf("%s%s response (%.0f%% damping)", st, comp.Suffix(), r.Damping*100),
+					XLabel: "Period (s)", YLabel: "SA/SV/SD", XLog: true, YLog: true,
+				},
+				Series: []plotps.Series{
+					{Label: "SA", X: r.Periods, Y: r.SA},
+					{Label: "SV", X: r.Periods, Y: r.SV},
+					{Label: "SD", X: r.Periods, Y: r.SD},
+				},
+			})
+		}
+		if err := writePlotFile(s.path(smformat.ResponsePlotFileName(st)), "Response spectra "+st, panels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// procGenerateGEM is process #19: split every V2 and R file into three GEM
+// exports each ("SetDataApart"), 18 files per station.  The loop over the
+// interleaved 2x(3N) file list is the parallel-for of the paper's section
+// V-C, using all available processors.
+func (s *state) procGenerateGEM(workers int) error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	keys := signals(stations)
+	// Interleave V2 and R entries like the files[N*2] array in the paper.
+	type job struct {
+		key smformat.SignalKey
+		isR bool
+	}
+	jobs := make([]job, 0, 2*len(keys))
+	for _, key := range keys {
+		jobs = append(jobs, job{key, false}, job{key, true})
+	}
+	return s.parFor(len(jobs), workers, CostHeavyIO, func(i int) error {
+		j := jobs[i]
+		var gems [3]smformat.GEM
+		if j.isR {
+			r, err := smformat.ReadResponseFile(s.path(smformat.ResponseFileName(j.key.Station, j.key.Component)))
+			if err != nil {
+				return err
+			}
+			if gems, err = smformat.SplitResponse(r); err != nil {
+				return err
+			}
+		} else {
+			v2, err := smformat.ReadV2File(s.path(smformat.V2FileName(j.key.Station, j.key.Component)))
+			if err != nil {
+				return err
+			}
+			var err2 error
+			if gems, err2 = smformat.SplitV2(v2); err2 != nil {
+				return err2
+			}
+		}
+		for _, g := range gems {
+			if err := smformat.WriteGEMFile(s.path(g.FileName()), g); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// firstLine returns the first line of a file (without the newline), or ""
+// for an empty file.
+func firstLine(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 4096), 1024*1024)
+	if !sc.Scan() {
+		return "", sc.Err()
+	}
+	return sc.Text(), nil
+}
+
+// writePlotFile writes one multi-panel page to path.
+func writePlotFile(path, title string, panels []plotps.Plot) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := plotps.WritePage(file, title, panels)
+	cerr := file.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

@@ -1,0 +1,153 @@
+package pipeline
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"accelproc/internal/parallel"
+	"accelproc/internal/seismic"
+	"accelproc/internal/simsched"
+	"accelproc/internal/smformat"
+)
+
+// state carries the per-run context shared by the process implementations:
+// the work directory, the resolved options, and the timing collector.
+// All inter-process data flows through files, never through state.
+type state struct {
+	dir  string
+	opts Options
+	tim  Timings
+	// virt accumulates virtual-time corrections from the simulated
+	// platform: each simulated parallel construct adds
+	// (simulated makespan - serial execution time), a negative quantity,
+	// so that wall + virt is the run's time on the simulated machine.
+	virt time.Duration
+}
+
+// simulated reports whether parallel constructs run on the simulated
+// platform instead of real goroutines.
+func (s *state) simulated() bool { return s.opts.SimProcessors > 0 }
+
+// now returns a monotonic timestamp for duration measurement.  On the
+// simulated platform (where every body executes serially) it is the
+// process CPU clock, immune to external host load; on the real platform it
+// is wall time, which genuinely reflects parallel execution.
+func (s *state) now() time.Duration {
+	if s.simulated() && haveCPUClock {
+		return cpuNow()
+	}
+	return time.Duration(time.Now().UnixNano())
+}
+
+// parFor executes body over [0, n) with the requested worker budget.  On
+// the real platform it is a goroutine parallel loop; on the simulated
+// platform the bodies run serially with per-item cost measurement, and the
+// virtual clock is charged the list-scheduling makespan for the budgeted
+// workers under the contention model of the given cost class.
+func (s *state) parFor(n, workers int, class Cost, body func(int) error) error {
+	if !s.simulated() || workers == 1 {
+		return parallel.ParallelFor(n, workers, body)
+	}
+	w := workers
+	if w <= 0 {
+		w = s.opts.SimProcessors
+	}
+	durs := make([]time.Duration, n)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		start := s.now()
+		if err := body(i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		durs[i] = s.now() - start
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	s.virt += simsched.Makespan(durs, w, s.contention(class)) - simsched.Sum(durs)
+	return nil
+}
+
+// contention maps a process cost class to the simulated platform's
+// contention coefficient.
+func (s *state) contention(class Cost) float64 {
+	if class == CostHeavyFLOPS {
+		return s.opts.ContentionCPU
+	}
+	return s.opts.ContentionIO
+}
+
+func newState(dir string, opts Options) (*state, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: work directory: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("pipeline: %s is not a directory", dir)
+	}
+	return &state{dir: dir, opts: opts.withDefaults()}, nil
+}
+
+// path resolves a file name inside the work directory.
+func (s *state) path(name string) string { return filepath.Join(s.dir, name) }
+
+// timed runs one process body and records its (virtual) time: the wall time
+// plus any corrections the simulated platform charged during the body.
+func (s *state) timed(id ProcessID, body func() error) error {
+	v0 := s.virt
+	start := s.now()
+	err := body()
+	d := (s.now() - start) + (s.virt - v0)
+	s.tim.Process[id] += d
+	if err != nil {
+		return fmt.Errorf("pipeline: process #%d (%s): %w", id, Processes[id].Name, err)
+	}
+	if s.opts.Progress != nil {
+		s.opts.Progress(id, d)
+	}
+	return nil
+}
+
+// timedStage measures the (virtual) time of a whole stage.
+func (s *state) timedStage(id StageID, body func() error) error {
+	v0 := s.virt
+	start := s.now()
+	err := body()
+	s.tim.Stage[id] += (s.now() - start) + (s.virt - v0)
+	return err
+}
+
+// stations reads the gathered input list (the product of process #1) and
+// returns the station codes in sorted order.
+func (s *state) stations() ([]string, error) {
+	list, err := smformat.ReadFileListFile(s.path(smformat.V1ListFile))
+	if err != nil {
+		return nil, err
+	}
+	stations := make([]string, 0, len(list.Files))
+	for _, f := range list.Files {
+		st, ok := strings.CutSuffix(f, ".v1")
+		if !ok {
+			return nil, fmt.Errorf("pipeline: v1list entry %q is not a .v1 file", f)
+		}
+		stations = append(stations, st)
+	}
+	sort.Strings(stations)
+	return stations, nil
+}
+
+// signals expands stations into the 3N (station, component) pairs in
+// deterministic order.
+func signals(stations []string) []smformat.SignalKey {
+	keys := make([]smformat.SignalKey, 0, 3*len(stations))
+	for _, st := range stations {
+		for _, c := range seismic.Components {
+			keys = append(keys, smformat.SignalKey{Station: st, Component: c})
+		}
+	}
+	return keys
+}

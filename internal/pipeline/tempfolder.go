@@ -1,0 +1,274 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"accelproc/internal/fourier"
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+)
+
+// This file implements the temporary-folder execution protocol of the
+// paper's section VI: the legacy Fortran filter and Fourier programs cannot
+// be modified, so the fully parallelized version runs multiple instances of
+// them concurrently, each inside its own scratch folder, staging input
+// files in and output files back out.
+//
+// The protocol is reproduced faithfully, including its costs:
+//
+//  1. a parallel loop creates the per-instance folders and copies the
+//     parameter file and input data files into them;
+//  2. a *sequential* loop installs the program executable into each folder
+//     (the paper runs this step sequentially "to avoid races" on the
+//     single executable image);
+//  3. a parallel loop runs the program in each folder and copies the
+//     products back to the work directory;
+//  4. a parallel loop deletes the leftover scratch folders.
+//
+// The "executable" is a simulated binary image: the Go implementations
+// stand in for the Fortran programs, but the staging I/O — the real cost
+// the protocol adds — is performed with genuine file copies.
+
+// exeImageSize is the size of the simulated program executable that step 2
+// installs into every scratch folder (legacy Fortran filter binaries are a
+// few tens of kilobytes).
+const exeImageSize = 64 * 1024
+
+// exeImageName is the staged executable's file name inside scratch folders.
+const exeImageName = "program.exe"
+
+// ensureExeImage creates the simulated executable in the work directory if
+// it does not exist yet and returns its path.
+func (s *state) ensureExeImage() (string, error) {
+	path := s.path("_filter.exe")
+	if _, err := os.Stat(path); err == nil {
+		return path, nil
+	}
+	buf := make([]byte, exeImageSize)
+	for i := range buf {
+		buf[i] = byte(i * 2654435761)
+	}
+	if err := os.WriteFile(path, buf, 0o755); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func copyFile(dst, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	_, cpErr := io.Copy(out, in)
+	clErr := out.Close()
+	if cpErr != nil {
+		return cpErr
+	}
+	return clErr
+}
+
+// filterViaTempFolders is the temp-folder variant of processes #4 and #13
+// (the paper's ParallelizeCorrection): one instance per station, three
+// component signals per instance.
+func (s *state) filterViaTempFolders(tag string, workers int) error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	exe, err := s.ensureExeImage()
+	if err != nil {
+		return err
+	}
+	n := len(stations)
+	dirs := make([]string, n)
+	for i, st := range stations {
+		dirs[i] = s.path(fmt.Sprintf("tmp_%s_%02d_%s", tag, i, st))
+	}
+
+	// Step 1 (parallel): create folders, stage the parameter file (copied:
+	// every instance needs it) and move the input V1 components in, as the
+	// paper's pseudocode does ("Move 10*i+3*j+k <s><comp>.v1 file").
+	err = s.parFor(n, workers, CostHeavyIO, func(i int) error {
+		if err := os.MkdirAll(dirs[i], 0o755); err != nil {
+			return err
+		}
+		if err := copyFile(filepath.Join(dirs[i], smformat.FilterParamsFile), s.path(smformat.FilterParamsFile)); err != nil {
+			return err
+		}
+		for _, comp := range seismic.Components {
+			name := smformat.V1ComponentFileName(stations[i], comp)
+			if err := os.Rename(s.path(name), filepath.Join(dirs[i], name)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Step 2 (sequential, as in the paper, to avoid races on the image).
+	for i := 0; i < n; i++ {
+		if err := copyFile(filepath.Join(dirs[i], exeImageName), exe); err != nil {
+			return err
+		}
+	}
+
+	// Step 3 (parallel): run the program inside each folder, stage the V2
+	// products and a max-values fragment back out.
+	fragments := make([]smformat.MaxValues, n)
+	// The per-instance work is dominated by reading/writing the large V1/V2
+	// text payloads, not by the filter arithmetic, so it contends like I/O
+	// (the paper observes 1.9x-2.0x for these stages on 8 cores).
+	err = s.parFor(n, workers, CostHeavyIO, func(i int) error {
+		st := stations[i]
+		params, err := smformat.ReadFilterParamsFile(filepath.Join(dirs[i], smformat.FilterParamsFile))
+		if err != nil {
+			return err
+		}
+		frag := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
+		for _, comp := range seismic.Components {
+			v1, err := smformat.ReadV1ComponentFile(filepath.Join(dirs[i], smformat.V1ComponentFileName(st, comp)))
+			if err != nil {
+				return err
+			}
+			key := smformat.SignalKey{Station: st, Component: comp}
+			v2, pk, err := s.correctSignal(v1, params.Spec(key))
+			if err != nil {
+				return err
+			}
+			local := filepath.Join(dirs[i], smformat.V2FileName(st, comp))
+			if err := smformat.WriteV2File(local, v2); err != nil {
+				return err
+			}
+			// Move the product back to the work directory, and the V1
+			// input with it (the chain never modifies V1 components — the
+			// rationale for dropping process #12 — so they must survive
+			// for the later stages that reuse them).
+			if err := os.Rename(local, s.path(smformat.V2FileName(st, comp))); err != nil {
+				return err
+			}
+			name := smformat.V1ComponentFileName(st, comp)
+			if err := os.Rename(filepath.Join(dirs[i], name), s.path(name)); err != nil {
+				return err
+			}
+			frag.Peaks[key] = pk
+		}
+		fragments[i] = frag
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Merge fragments deterministically into the max-values metadata.
+	merged := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
+	for _, frag := range fragments {
+		for k, v := range frag.Peaks {
+			merged.Peaks[k] = v
+		}
+	}
+	if err := smformat.WriteMaxValuesFile(s.path(smformat.MaxValuesFile), merged); err != nil {
+		return err
+	}
+
+	// Step 4 (parallel): delete the scratch folders.
+	if s.opts.KeepTempDirs {
+		return nil
+	}
+	return s.parFor(n, workers, CostHeavyIO, func(i int) error {
+		return os.RemoveAll(dirs[i])
+	})
+}
+
+// fourierViaTempFolders is the temp-folder variant of process #7 (the
+// paper's ParallelizeFourier): one instance per station, transforming the
+// station's three component V2 files inside its scratch folder.
+func (s *state) fourierViaTempFolders(workers int) error {
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	exe, err := s.ensureExeImage()
+	if err != nil {
+		return err
+	}
+	n := len(stations)
+	dirs := make([]string, n)
+	for i, st := range stations {
+		dirs[i] = s.path(fmt.Sprintf("tmp_fou_%02d_%s", i, st))
+	}
+
+	// Step 1 (parallel): create folders and move the V2 inputs in
+	// (the paper's pseudocode: "Move 3*i+1 <s><comp>.v2 file").
+	err = s.parFor(n, workers, CostHeavyIO, func(i int) error {
+		if err := os.MkdirAll(dirs[i], 0o755); err != nil {
+			return err
+		}
+		for _, comp := range seismic.Components {
+			name := smformat.V2FileName(stations[i], comp)
+			if err := os.Rename(s.path(name), filepath.Join(dirs[i], name)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Step 2 (sequential): install the executable image.
+	for i := 0; i < n; i++ {
+		if err := copyFile(filepath.Join(dirs[i], exeImageName), exe); err != nil {
+			return err
+		}
+	}
+
+	// Step 3 (parallel): transform inside each folder, stage the F products
+	// back out.
+	err = s.parFor(n, workers, CostHeavyIO, func(i int) error {
+		for _, comp := range seismic.Components {
+			v2, err := smformat.ReadV2File(filepath.Join(dirs[i], smformat.V2FileName(stations[i], comp)))
+			if err != nil {
+				return err
+			}
+			f, err := fourier.Spectra(v2)
+			if err != nil {
+				return err
+			}
+			name := smformat.FourierFileName(v2.Station, v2.Component)
+			local := filepath.Join(dirs[i], name)
+			if err := smformat.WriteFourierFile(local, f); err != nil {
+				return err
+			}
+			if err := os.Rename(local, s.path(name)); err != nil {
+				return err
+			}
+			// Move the V2 input back: stages VIII, IX, and XI reuse it.
+			v2name := smformat.V2FileName(stations[i], comp)
+			if err := os.Rename(filepath.Join(dirs[i], v2name), s.path(v2name)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Step 4 (parallel): delete the scratch folders.
+	if s.opts.KeepTempDirs {
+		return nil
+	}
+	return s.parFor(n, workers, CostHeavyIO, func(i int) error {
+		return os.RemoveAll(dirs[i])
+	})
+}

@@ -1,0 +1,105 @@
+package plotps
+
+import (
+	"fmt"
+	"io"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/smformat"
+)
+
+// AccelPage renders the [station].ps product of process #15: corrected
+// acceleration, velocity, and displacement time histories of one component,
+// stacked in three panels (the paper's Figure 2).
+func AccelPage(w io.Writer, v smformat.V2) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	t := make([]float64, len(v.Accel))
+	for i := range t {
+		t[i] = float64(i) * v.DT
+	}
+	name := v.Station + v.Component.Suffix()
+	panels := []Plot{
+		{
+			Axes:   Axes{Title: name + " acceleration", XLabel: "Time (s)", YLabel: "cm/s^2"},
+			Series: []Series{{Label: "acc", X: t, Y: v.Accel}},
+		},
+		{
+			Axes:   Axes{Title: name + " velocity", XLabel: "Time (s)", YLabel: "cm/s"},
+			Series: []Series{{Label: "vel", X: t, Y: v.Vel}},
+		},
+		{
+			Axes:   Axes{Title: name + " displacement", XLabel: "Time (s)", YLabel: "cm"},
+			Series: []Series{{Label: "disp", X: t, Y: v.Disp}},
+		},
+	}
+	return WritePage(w, "Accelerogram "+name, panels)
+}
+
+// FourierPage renders the [station]f.ps product of process #9: the Fourier
+// amplitude spectra of one component on log-log period axes, with the
+// picked FPL and FSL corners marked (the paper's Figure 3).
+func FourierPage(w io.Writer, f smformat.Fourier, picked dsp.BandPassSpec) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	// Convert the frequency grid to periods, skipping DC.
+	n := len(f.Accel)
+	periods := make([]float64, 0, n-1)
+	acc := make([]float64, 0, n-1)
+	vel := make([]float64, 0, n-1)
+	disp := make([]float64, 0, n-1)
+	for k := n - 1; k >= 1; k-- {
+		periods = append(periods, 1/f.Frequency(k))
+		acc = append(acc, f.Accel[k])
+		vel = append(vel, f.Vel[k])
+		disp = append(disp, f.Disp[k])
+	}
+	var markers []Marker
+	if picked.FPL > 0 {
+		markers = append(markers, Marker{Label: "FPL", X: 1 / picked.FPL})
+	}
+	if picked.FSL > 0 {
+		markers = append(markers, Marker{Label: "FSL", X: 1 / picked.FSL})
+	}
+	name := f.Station + f.Component.Suffix()
+	panels := []Plot{
+		{
+			Axes:   Axes{Title: name + " Fourier acceleration", XLabel: "Period (s)", YLabel: "gal*s", XLog: true, YLog: true},
+			Series: []Series{{Label: "acc", X: periods, Y: acc}},
+		},
+		{
+			Axes:    Axes{Title: name + " Fourier velocity", XLabel: "Period (s)", YLabel: "cm", XLog: true, YLog: true},
+			Series:  []Series{{Label: "vel", X: periods, Y: vel}},
+			Markers: markers,
+		},
+		{
+			Axes:   Axes{Title: name + " Fourier displacement", XLabel: "Period (s)", YLabel: "cm*s", XLog: true, YLog: true},
+			Series: []Series{{Label: "disp", X: periods, Y: disp}},
+		},
+	}
+	return WritePage(w, "Fourier spectra "+name, panels)
+}
+
+// ResponsePage renders the [station]r.ps product of process #18: SA, SV,
+// and SD versus period on log-log axes in a single panel (the paper's
+// Figure 4).
+func ResponsePage(w io.Writer, r smformat.Response) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	name := r.Station + r.Component.Suffix()
+	title := fmt.Sprintf("%s response spectra (%.0f%% damping)", name, r.Damping*100)
+	panels := []Plot{
+		{
+			Axes: Axes{Title: title, XLabel: "Period (s)", YLabel: "SA gal / SV cm/s / SD cm", XLog: true, YLog: true},
+			Series: []Series{
+				{Label: "SA", X: r.Periods, Y: r.SA},
+				{Label: "SV", X: r.Periods, Y: r.SV},
+				{Label: "SD", X: r.Periods, Y: r.SD},
+			},
+		},
+	}
+	return WritePage(w, "Response spectra "+name, panels)
+}

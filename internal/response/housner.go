@@ -1,0 +1,75 @@
+package response
+
+import (
+	"fmt"
+	"math"
+
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+)
+
+// MultiDamping computes response spectra at several damping ratios in one
+// call (engineering practice reports 2%, 5%, and sometimes 10% together).
+// The returned slice is ordered like dampings; every Response shares the
+// configured period grid.
+func MultiDamping(v smformat.V2, cfg Config, dampings []float64) ([]smformat.Response, error) {
+	if len(dampings) == 0 {
+		return nil, fmt.Errorf("response: no damping ratios given")
+	}
+	out := make([]smformat.Response, 0, len(dampings))
+	for _, xi := range dampings {
+		c := cfg
+		c.Damping = xi
+		r, err := Spectrum(v, c)
+		if err != nil {
+			return nil, fmt.Errorf("response: damping %g: %w", xi, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// HousnerIntensity computes the Housner spectrum intensity: the integral of
+// the pseudo-velocity spectrum PSV(T) = (2*pi/T) * SD(T) over periods 0.1 s
+// to 2.5 s, a classic scalar measure of a record's damage potential.
+// The oscillators are integrated with the given method at the given damping
+// (Housner's original definition uses 20%, modern practice often 5%).
+func HousnerIntensity(accel seismic.Trace, damping float64, m Method) (float64, error) {
+	if err := accel.Validate(); err != nil {
+		return 0, err
+	}
+	if damping <= 0 || damping >= 1 {
+		return 0, fmt.Errorf("response: damping %g outside (0,1)", damping)
+	}
+	// 49 log-spaced periods over [0.1, 2.5] s; trapezoidal integration in T.
+	periods := LogPeriods(0.1, 2.5, 49)
+	psv := make([]float64, len(periods))
+	for i, T := range periods {
+		sd, _, _, err := Oscillator(accel, T, damping, m)
+		if err != nil {
+			return 0, err
+		}
+		psv[i] = 2 * math.Pi / T * sd
+	}
+	var si float64
+	for i := 1; i < len(periods); i++ {
+		si += (psv[i] + psv[i-1]) / 2 * (periods[i] - periods[i-1])
+	}
+	return si, nil
+}
+
+// Tripartite returns the classic tripartite representation of a response
+// spectrum: for every period, the triple (PSV, PSA, SD) derived from the
+// spectral displacement, used by the four-way log plots of earthquake
+// engineering.
+func Tripartite(r smformat.Response) (psv, psa []float64, err error) {
+	if err := r.Validate(); err != nil {
+		return nil, nil, err
+	}
+	psv = make([]float64, len(r.Periods))
+	psa = make([]float64, len(r.Periods))
+	for i, T := range r.Periods {
+		psv[i], psa[i] = PseudoSpectra(T, r.SD[i])
+	}
+	return psv, psa, nil
+}

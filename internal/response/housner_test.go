@@ -1,0 +1,177 @@
+package response
+
+import (
+	"math"
+	"testing"
+
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+	"accelproc/internal/synth"
+)
+
+func TestMultiDamping(t *testing.T) {
+	tr := sineTrace(4000, 0.01, 2, 80)
+	v2 := toV2(tr)
+	cfg := Config{Method: NigamJennings, Periods: LogPeriods(0.05, 5, 21)}
+	specs, err := MultiDamping(v2, cfg, []float64{0.02, 0.05, 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d spectra", len(specs))
+	}
+	for i, want := range []float64{0.02, 0.05, 0.10} {
+		if specs[i].Damping != want {
+			t.Errorf("spectrum %d damping = %g, want %g", i, specs[i].Damping, want)
+		}
+	}
+	// Higher damping suppresses the resonant peak: SA at the resonant
+	// period must decrease monotonically with damping.
+	peak := func(r int) float64 {
+		m := 0.0
+		for _, sa := range specs[r].SA {
+			if sa > m {
+				m = sa
+			}
+		}
+		return m
+	}
+	if !(peak(0) > peak(1) && peak(1) > peak(2)) {
+		t.Errorf("peaks not monotone in damping: %g, %g, %g", peak(0), peak(1), peak(2))
+	}
+	if _, err := MultiDamping(v2, cfg, nil); err == nil {
+		t.Error("empty damping list accepted")
+	}
+	if _, err := MultiDamping(v2, cfg, []float64{2}); err == nil {
+		t.Error("invalid damping accepted")
+	}
+}
+
+func TestHousnerIntensityHarmonic(t *testing.T) {
+	// A resonance inside the Housner band must produce a much larger SI
+	// than the same-amplitude record outside the band.
+	inBand := sineTrace(30000, 0.002, 1, 50)   // 1 Hz: period 1 s
+	outBand := sineTrace(30000, 0.002, 40, 50) // 40 Hz: period 0.025 s
+	siIn, err := HousnerIntensity(inBand, 0.05, NigamJennings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	siOut, err := HousnerIntensity(outBand, 0.05, NigamJennings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if siIn <= 5*siOut {
+		t.Errorf("in-band SI %g not dominant over out-of-band SI %g", siIn, siOut)
+	}
+}
+
+func TestHousnerIntensityErrors(t *testing.T) {
+	tr := sineTrace(100, 0.01, 1, 1)
+	if _, err := HousnerIntensity(seismic.Trace{}, 0.05, NigamJennings); err == nil {
+		t.Error("invalid trace accepted")
+	}
+	if _, err := HousnerIntensity(tr, 0, NigamJennings); err == nil {
+		t.Error("zero damping accepted")
+	}
+	if _, err := HousnerIntensity(tr, 1.2, NigamJennings); err == nil {
+		t.Error("over-critical damping accepted")
+	}
+}
+
+func TestHousnerIntensityScalesLinearly(t *testing.T) {
+	rec, err := synth.Record(synth.Params{
+		Station: "SS01", Seed: 11, DT: 0.01, Samples: 3000,
+		Magnitude: 5.5, Distance: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Accel[0]
+	si1, err := HousnerIntensity(tr, 0.05, NigamJennings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := tr.Clone()
+	for i := range doubled.Data {
+		doubled.Data[i] *= 2
+	}
+	si2, err := HousnerIntensity(doubled, 0.05, NigamJennings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(si2-2*si1) > 1e-6*si1 {
+		t.Errorf("SI not linear: %g vs 2*%g", si2, si1)
+	}
+}
+
+func TestTripartite(t *testing.T) {
+	tr := sineTrace(2000, 0.01, 2, 80)
+	v2 := toV2(tr)
+	r, err := Spectrum(v2, Config{Method: NigamJennings, Periods: LogPeriods(0.05, 5, 11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psv, psa, err := Tripartite(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, T := range r.Periods {
+		w := 2 * math.Pi / T
+		if math.Abs(psv[i]-w*r.SD[i]) > 1e-12*(1+psv[i]) {
+			t.Errorf("PSV[%d] inconsistent", i)
+		}
+		if math.Abs(psa[i]-w*w*r.SD[i]) > 1e-9*(1+psa[i]) {
+			t.Errorf("PSA[%d] inconsistent", i)
+		}
+	}
+	// For light damping PSA tracks SA within ~20% away from the extremes.
+	for i := range r.Periods {
+		if r.SA[i] == 0 {
+			continue
+		}
+		ratio := psa[i] / r.SA[i]
+		if ratio < 0.5 || ratio > 1.5 {
+			t.Logf("note: PSA/SA at T=%g is %g", r.Periods[i], ratio)
+		}
+	}
+	if _, _, err := Tripartite(smformat.Response{}); err == nil {
+		t.Error("invalid response accepted")
+	}
+}
+
+func TestSpectrumParallelMatchesSerial(t *testing.T) {
+	rec, err := synth.Record(synth.Params{
+		Station: "SS01", Seed: 13, DT: 0.01, Samples: 2000,
+		Magnitude: 5.3, Distance: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := toV2(rec.Accel[0])
+	cfg := Config{Method: NigamJennings, Periods: LogPeriods(0.05, 8, 33)}
+	serial, err := Spectrum(v2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		par, err := SpectrumParallel(v2, cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range serial.Periods {
+			if par.SA[i] != serial.SA[i] || par.SV[i] != serial.SV[i] || par.SD[i] != serial.SD[i] {
+				t.Fatalf("workers=%d: period %d differs from serial", workers, i)
+			}
+		}
+	}
+}
+
+func TestSpectrumParallelValidation(t *testing.T) {
+	if _, err := SpectrumParallel(smformat.V2{}, Config{}, 2); err == nil {
+		t.Error("invalid V2 accepted")
+	}
+	v2 := toV2(sineTrace(500, 0.01, 2, 10))
+	if _, err := SpectrumParallel(v2, Config{Damping: 3}, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package response
+
+import (
+	"accelproc/internal/parallel"
+	"accelproc/internal/smformat"
+)
+
+// SpectrumParallel computes the same spectra as Spectrum but splits the
+// period grid across workers (0 = all processors).  This is the alternative
+// decomposition axis to the paper's file-level parallelism for stage IX:
+// within one record, every oscillator period is independent.  It matters
+// when a single large record must be processed with low latency — e.g. an
+// on-demand response-spectrum service — where file-level parallelism has
+// nothing to split.
+//
+// Results are bit-identical to Spectrum: each period's computation is
+// independent and deterministic, so only the schedule differs.
+func SpectrumParallel(v smformat.V2, cfg Config, workers int) (smformat.Response, error) {
+	if err := v.Validate(); err != nil {
+		return smformat.Response{}, err
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return smformat.Response{}, err
+	}
+	r := smformat.Response{
+		Station:   v.Station,
+		Component: v.Component,
+		Damping:   cfg.Damping,
+		Periods:   append([]float64(nil), cfg.Periods...),
+		SA:        make([]float64, len(cfg.Periods)),
+		SV:        make([]float64, len(cfg.Periods)),
+		SD:        make([]float64, len(cfg.Periods)),
+	}
+	err := parallel.ParallelForDynamic(len(cfg.Periods), workers, 1, func(i int) error {
+		T := cfg.Periods[i]
+		var sd, sv, sa float64
+		switch cfg.Method {
+		case NigamJennings:
+			sd, sv, sa = nigamJennings(v.Accel, v.DT, T, cfg.Damping)
+		default:
+			sd, sv, sa = duhamel(v.Accel, v.DT, T, cfg.Damping)
+		}
+		r.SD[i], r.SV[i], r.SA[i] = sd, sv, sa
+		return nil
+	})
+	if err != nil {
+		return smformat.Response{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return smformat.Response{}, err
+	}
+	return r, nil
+}

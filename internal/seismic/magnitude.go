@@ -1,0 +1,67 @@
+package seismic
+
+import (
+	"fmt"
+	"math"
+
+	"accelproc/internal/dsp"
+)
+
+// WoodAnderson is the reference torsion seismometer that defines local
+// magnitude: natural period 0.8 s (1.25 Hz), damping 0.8, static
+// magnification 2080 (the modern consensus value for the nominal 2800).
+var WoodAnderson = struct {
+	F0            float64
+	Damping       float64
+	Magnification float64
+}{F0: 1.25, Damping: 0.8, Magnification: 2080}
+
+// LocalMagnitude estimates Richter local magnitude ML from one horizontal
+// acceleration component (gal) at hypocentral distance km:
+//
+//	ML = log10(A_WA) − log10(A0(R))
+//
+// where A_WA is the peak Wood-Anderson displacement in millimetres obtained
+// by double-integrating the acceleration and convolving with the
+// Wood-Anderson displacement response, and −log10(A0) is the Hutton-Boore
+// (1987) attenuation term 1.11 log10(R/100) + 0.00189 (R−100) + 3.
+//
+// Strong-motion ML estimates carry a few tenths of a unit of scatter; the
+// value here is the single-component estimate (network practice averages
+// the horizontals of all stations).
+func LocalMagnitude(accel Trace, distanceKM float64) (float64, error) {
+	if err := accel.Validate(); err != nil {
+		return 0, err
+	}
+	if distanceKM <= 0 {
+		return 0, fmt.Errorf("seismic: non-positive distance %g km", distanceKM)
+	}
+	// Ground displacement in cm: demean + taper to keep the double
+	// integration stable, as the correction processes do.
+	work := append([]float64(nil), accel.Data...)
+	dsp.Demean(work)
+	dsp.CosineTaper(work, 0.05)
+	vel := dsp.Integrate(work, accel.DT)
+	dsp.Detrend(vel)
+	disp := dsp.Integrate(vel, accel.DT)
+	dsp.Detrend(disp)
+
+	// Wood-Anderson response applied to displacement: the instrument is a
+	// damped oscillator whose transfer (relative to ground displacement)
+	// has the same SDOF shape used for accelerographs.
+	wa := dsp.Instrument{F0: WoodAnderson.F0, Damping: WoodAnderson.Damping}
+	waDisp, err := wa.Simulate(disp, accel.DT)
+	if err != nil {
+		return 0, err
+	}
+	peakCM, _ := dsp.AbsMax(waDisp)
+	peakMM := peakCM * 10 * WoodAnderson.Magnification
+	if peakMM <= 0 {
+		return 0, fmt.Errorf("seismic: zero Wood-Anderson amplitude")
+	}
+
+	// Hutton-Boore southern-California -log10(A0); the Salvadoran network
+	// uses regionally calibrated coefficients of the same form.
+	logA0 := 1.11*math.Log10(distanceKM/100) + 0.00189*(distanceKM-100) + 3.0
+	return math.Log10(peakMM) + logA0, nil
+}

@@ -1,0 +1,121 @@
+package seismic
+
+import (
+	"fmt"
+	"math"
+
+	"accelproc/internal/dsp"
+)
+
+// CAV computes the cumulative absolute velocity of an acceleration trace in
+// cm/s: the integral of |a(t)| dt.  CAV is the damage-potential metric used
+// in nuclear-plant exceedance criteria (cf. the paper's motivation of
+// ground-motion databases for plant safety).
+func CAV(accel Trace) (float64, error) {
+	if err := accel.Validate(); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, a := range accel.Data {
+		sum += math.Abs(a)
+	}
+	return sum * accel.DT, nil
+}
+
+// RMSAcceleration returns the root-mean-square acceleration in gal over the
+// whole record.
+func RMSAcceleration(accel Trace) (float64, error) {
+	if err := accel.Validate(); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, a := range accel.Data {
+		sum += a * a
+	}
+	return math.Sqrt(sum / float64(len(accel.Data))), nil
+}
+
+// HusidCurve returns the normalized cumulative Arias intensity at every
+// sample: h[i] = Ia(0..t_i) / Ia(total), a monotone curve from ~0 to 1.
+// Significant durations are read directly off this curve.
+func HusidCurve(accel Trace) ([]float64, error) {
+	if err := accel.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(accel.Data))
+	var cum float64
+	for i, a := range accel.Data {
+		cum += a * a
+		out[i] = cum
+	}
+	if cum == 0 {
+		return nil, fmt.Errorf("seismic: zero-energy trace has no Husid curve")
+	}
+	for i := range out {
+		out[i] /= cum
+	}
+	return out, nil
+}
+
+// PredominantPeriod returns the period (s) of the largest Fourier amplitude
+// of the acceleration trace, the simplest spectral characterization used in
+// site-effect screening.  DC is excluded.
+func PredominantPeriod(accel Trace) (float64, error) {
+	if err := accel.Validate(); err != nil {
+		return 0, err
+	}
+	amps, df, err := dsp.AmplitudeSpectrum(accel.Data, accel.DT)
+	if err != nil {
+		return 0, err
+	}
+	best, bestAmp := 0, 0.0
+	for k := 1; k < len(amps); k++ {
+		if amps[k] > bestAmp {
+			best, bestAmp = k, amps[k]
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("seismic: trace has no spectral peak")
+	}
+	return 1 / (float64(best) * df), nil
+}
+
+// Summary aggregates the standard engineering metrics of one component in a
+// single call — what a catalog entry for the record would hold.
+type Summary struct {
+	Peaks             PeakValues
+	AriasIntensity    float64 // cm/s
+	CAV               float64 // cm/s
+	RMS               float64 // gal
+	Duration595       float64 // s, D5-95
+	BracketedDuration float64 // s at the 50 gal threshold (0 if never)
+	PredominantPeriod float64 // s
+}
+
+// Summarize computes the full metric summary of an acceleration trace.
+func Summarize(accel Trace) (Summary, error) {
+	var s Summary
+	var err error
+	if s.Peaks, err = Peaks(accel); err != nil {
+		return Summary{}, err
+	}
+	if s.AriasIntensity, err = AriasIntensity(accel); err != nil {
+		return Summary{}, err
+	}
+	if s.CAV, err = CAV(accel); err != nil {
+		return Summary{}, err
+	}
+	if s.RMS, err = RMSAcceleration(accel); err != nil {
+		return Summary{}, err
+	}
+	if s.Duration595, err = SignificantDuration(accel, 0.05, 0.95); err != nil {
+		return Summary{}, err
+	}
+	if s.BracketedDuration, err = BracketedDuration(accel, 50); err != nil {
+		return Summary{}, err
+	}
+	if s.PredominantPeriod, err = PredominantPeriod(accel); err != nil {
+		return Summary{}, err
+	}
+	return s, nil
+}

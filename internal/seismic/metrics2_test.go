@@ -1,0 +1,154 @@
+package seismic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCAVConstant(t *testing.T) {
+	// |a| = 3 gal for 10 s: CAV = 30 cm/s (10001 samples at 1 ms).
+	n := 10001
+	tr := Trace{DT: 0.001, Data: make([]float64, n)}
+	for i := range tr.Data {
+		if i%2 == 0 {
+			tr.Data[i] = 3
+		} else {
+			tr.Data[i] = -3
+		}
+	}
+	cav, err := CAV(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cav-3*0.001*float64(n)) > 1e-9 {
+		t.Errorf("CAV = %g, want %g", cav, 3*0.001*float64(n))
+	}
+	if _, err := CAV(Trace{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestRMSAcceleration(t *testing.T) {
+	tr := Trace{DT: 0.01, Data: []float64{3, -4, 0, 5, 0, 0}}
+	// mean square = (9+16+0+25)/6 = 50/6.
+	rms, err := RMSAcceleration(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(50.0 / 6)
+	if math.Abs(rms-want) > 1e-12 {
+		t.Errorf("RMS = %g, want %g", rms, want)
+	}
+	if _, err := RMSAcceleration(Trace{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestHusidCurveProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 2
+		rng := rand.New(rand.NewSource(seed))
+		tr := Trace{DT: 0.01, Data: make([]float64, n)}
+		for i := range tr.Data {
+			tr.Data[i] = rng.NormFloat64()
+		}
+		h, err := HusidCurve(tr)
+		if err != nil {
+			return false
+		}
+		if len(h) != n {
+			return false
+		}
+		// Monotone non-decreasing from >= 0 to 1.
+		prev := 0.0
+		for _, v := range h {
+			if v < prev-1e-15 || v < 0 || v > 1+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return math.Abs(h[n-1]-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHusidCurveErrors(t *testing.T) {
+	if _, err := HusidCurve(Trace{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+	if _, err := HusidCurve(Trace{DT: 0.01, Data: make([]float64, 5)}); err == nil {
+		t.Error("zero-energy trace accepted")
+	}
+}
+
+func TestPredominantPeriod(t *testing.T) {
+	// A 2 Hz sine: predominant period 0.5 s.
+	n, dt := 4000, 0.01
+	tr := Trace{DT: dt, Data: make([]float64, n)}
+	for i := range tr.Data {
+		tr.Data[i] = math.Sin(2 * math.Pi * 2 * float64(i) * dt)
+	}
+	p, err := PredominantPeriod(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 0.02 {
+		t.Errorf("predominant period = %g, want 0.5", p)
+	}
+	if _, err := PredominantPeriod(Trace{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	n, dt := 8000, 0.01
+	tr := Trace{DT: dt, Data: make([]float64, n)}
+	for i := range tr.Data {
+		ti := float64(i) * dt
+		env := math.Exp(-math.Pow(ti-40, 2) / 200)
+		tr.Data[i] = 120 * env * math.Sin(2*math.Pi*1.5*ti)
+	}
+	s, err := Summarize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Peaks.PGA < 100 || s.Peaks.PGA > 121 {
+		t.Errorf("PGA = %g", s.Peaks.PGA)
+	}
+	if s.AriasIntensity <= 0 || s.CAV <= 0 || s.RMS <= 0 {
+		t.Error("non-positive energy metrics")
+	}
+	if s.Duration595 <= 0 || s.Duration595 > 80 {
+		t.Errorf("D5-95 = %g", s.Duration595)
+	}
+	if s.BracketedDuration <= 0 {
+		t.Error("bracketed duration should trigger at 50 gal for a 120 gal record")
+	}
+	if math.Abs(s.PredominantPeriod-1/1.5) > 0.05 {
+		t.Errorf("predominant period = %g, want ~0.667", s.PredominantPeriod)
+	}
+}
+
+func TestSummarizeInvalid(t *testing.T) {
+	if _, err := Summarize(Trace{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+	// A quiet record below the 50 gal threshold still summarizes, with a
+	// zero bracketed duration.
+	n := 512
+	tr := Trace{DT: 0.01, Data: make([]float64, n)}
+	for i := range tr.Data {
+		tr.Data[i] = math.Sin(float64(i) / 5)
+	}
+	s, err := Summarize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BracketedDuration != 0 {
+		t.Errorf("bracketed duration = %g, want 0", s.BracketedDuration)
+	}
+}

@@ -1,0 +1,102 @@
+package seismic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RotateHorizontal rotates the two horizontal components of a record by the
+// given azimuth (degrees, counterclockwise): the instrument's L/T axes are
+// re-expressed in a new orthogonal horizontal frame, e.g. to align with the
+// source's radial/transverse directions.  The vertical component is
+// untouched.  A new record is returned; the input is not modified.
+func RotateHorizontal(rec Record, azimuthDeg float64) (Record, error) {
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	rad := azimuthDeg * math.Pi / 180
+	c, s := math.Cos(rad), math.Sin(rad)
+	n := rec.Samples()
+	out := Record{Station: rec.Station}
+	out.Accel[Longitudinal] = Trace{DT: rec.Accel[Longitudinal].DT, Data: make([]float64, n)}
+	out.Accel[Transversal] = Trace{DT: rec.Accel[Transversal].DT, Data: make([]float64, n)}
+	out.Accel[Vertical] = rec.Accel[Vertical].Clone()
+	l := rec.Accel[Longitudinal].Data
+	tr := rec.Accel[Transversal].Data
+	for i := 0; i < n; i++ {
+		out.Accel[Longitudinal].Data[i] = c*l[i] + s*tr[i]
+		out.Accel[Transversal].Data[i] = -s*l[i] + c*tr[i]
+	}
+	return out, nil
+}
+
+// RotD computes orientation-independent horizontal peak measures: the
+// record's horizontals are rotated through 180 one-degree steps, the peak
+// absolute acceleration is taken at each angle, and the requested
+// percentiles of those 180 peaks are returned (RotD0 = minimum, RotD50 =
+// median, RotD100 = maximum — the measures modern ground-motion models are
+// calibrated to).  Percentiles are given in [0, 100].
+func RotD(rec Record, percentiles []float64) ([]float64, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(percentiles) == 0 {
+		return nil, fmt.Errorf("seismic: no percentiles requested")
+	}
+	for _, p := range percentiles {
+		if p < 0 || p > 100 {
+			return nil, fmt.Errorf("seismic: percentile %g outside [0, 100]", p)
+		}
+	}
+	l := rec.Accel[Longitudinal].Data
+	t := rec.Accel[Transversal].Data
+	peaks := make([]float64, 180)
+	for deg := 0; deg < 180; deg++ {
+		rad := float64(deg) * math.Pi / 180
+		c, s := math.Cos(rad), math.Sin(rad)
+		var peak float64
+		for i := range l {
+			v := math.Abs(c*l[i] + s*t[i])
+			if v > peak {
+				peak = v
+			}
+		}
+		peaks[deg] = peak
+	}
+	sort.Float64s(peaks)
+	out := make([]float64, len(percentiles))
+	for i, p := range percentiles {
+		// Nearest-rank percentile over the 180 sorted peaks.
+		rank := int(math.Ceil(p/100*180)) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank > 179 {
+			rank = 179
+		}
+		out[i] = peaks[rank]
+	}
+	return out, nil
+}
+
+// GeometricMeanPGA returns the geometric mean of the two horizontal peak
+// accelerations, the classic (orientation-dependent) predecessor of RotD50.
+func GeometricMeanPGA(rec Record) (float64, error) {
+	if err := rec.Validate(); err != nil {
+		return 0, err
+	}
+	pl, _ := absPeak(rec.Accel[Longitudinal].Data)
+	pt, _ := absPeak(rec.Accel[Transversal].Data)
+	return math.Sqrt(pl * pt), nil
+}
+
+func absPeak(x []float64) (float64, int) {
+	peak, idx := 0.0, -1
+	for i, v := range x {
+		if a := math.Abs(v); a > peak || idx == -1 {
+			peak, idx = a, i
+		}
+	}
+	return peak, idx
+}

@@ -1,0 +1,182 @@
+// Package seismic defines the domain model for strong-motion records: the
+// three-component accelerograph record, its traces, stations, and events,
+// together with the standard engineering ground-motion metrics (peak values,
+// Arias intensity, significant duration).
+//
+// Units follow the conventions of the legacy Salvadoran processing chain the
+// paper describes: acceleration in cm/s² (gal), velocity in cm/s,
+// displacement in cm, time in seconds.
+package seismic
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Component identifies one of the three orthogonal sensor axes recorded by
+// a strong-motion accelerograph.
+type Component int
+
+const (
+	// Longitudinal is the horizontal axis aligned with the instrument.
+	Longitudinal Component = iota
+	// Transversal is the horizontal axis perpendicular to Longitudinal.
+	Transversal
+	// Vertical is the up-down axis.
+	Vertical
+	numComponents
+)
+
+// Components lists the three axes in canonical order (L, T, V), the order in
+// which the pipeline's per-component files are generated.
+var Components = [3]Component{Longitudinal, Transversal, Vertical}
+
+// Suffix returns the single-letter file-name suffix used in per-component
+// file names such as "ST01l.v1" ("l", "t", or "v").
+func (c Component) Suffix() string {
+	switch c {
+	case Longitudinal:
+		return "l"
+	case Transversal:
+		return "t"
+	case Vertical:
+		return "v"
+	default:
+		return "?"
+	}
+}
+
+// String returns the full component name.
+func (c Component) String() string {
+	switch c {
+	case Longitudinal:
+		return "longitudinal"
+	case Transversal:
+		return "transversal"
+	case Vertical:
+		return "vertical"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// ParseComponent recognizes a component from its suffix letter or full name,
+// case-insensitively.
+func ParseComponent(s string) (Component, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "l", "longitudinal":
+		return Longitudinal, nil
+	case "t", "transversal":
+		return Transversal, nil
+	case "v", "vertical":
+		return Vertical, nil
+	default:
+		return 0, fmt.Errorf("seismic: unknown component %q", s)
+	}
+}
+
+// Trace is a uniformly sampled time series of one physical quantity on one
+// component.
+type Trace struct {
+	DT   float64   // sample interval in seconds
+	Data []float64 // samples
+}
+
+// Duration returns the time spanned by the trace in seconds.
+func (t Trace) Duration() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return float64(len(t.Data)-1) * t.DT
+}
+
+// Validate checks that the trace has a positive sample interval, at least
+// one sample, and no NaN or infinite values.
+func (t Trace) Validate() error {
+	if t.DT <= 0 {
+		return fmt.Errorf("seismic: trace sample interval %g must be positive", t.DT)
+	}
+	if len(t.Data) == 0 {
+		return fmt.Errorf("seismic: trace has no samples")
+	}
+	for i, v := range t.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("seismic: trace sample %d is not finite (%g)", i, v)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the trace.
+func (t Trace) Clone() Trace {
+	data := make([]float64, len(t.Data))
+	copy(data, t.Data)
+	return Trace{DT: t.DT, Data: data}
+}
+
+// Record is the full uncorrected or corrected recording of one station: an
+// acceleration trace per component (velocity and displacement are derived
+// downstream by integration).
+type Record struct {
+	Station string // station code, e.g. "SS01"
+	Accel   [3]Trace
+}
+
+// Validate checks the station code and every component trace, and that all
+// components share one sample interval and length (the instrument samples
+// all three axes synchronously).
+func (r Record) Validate() error {
+	if r.Station == "" {
+		return fmt.Errorf("seismic: record has empty station code")
+	}
+	for ci, tr := range r.Accel {
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("station %s component %s: %w", r.Station, Components[ci], err)
+		}
+	}
+	dt, n := r.Accel[0].DT, len(r.Accel[0].Data)
+	for ci := 1; ci < 3; ci++ {
+		if r.Accel[ci].DT != dt || len(r.Accel[ci].Data) != n {
+			return fmt.Errorf("seismic: station %s components disagree on sampling (%g s/%d samples vs %g s/%d samples)",
+				r.Station, dt, n, r.Accel[ci].DT, len(r.Accel[ci].Data))
+		}
+	}
+	return nil
+}
+
+// Samples returns the per-component sample count of the record.
+func (r Record) Samples() int { return len(r.Accel[0].Data) }
+
+// Event is a set of station records produced by one seismic event, the unit
+// of work the pipeline processes.
+type Event struct {
+	Name    string // e.g. "2019-07-31"
+	Records []Record
+}
+
+// TotalDataPoints returns the total number of per-component samples across
+// all station records, the "data points" measure used in the paper's
+// Table I and Figure 13.
+func (e Event) TotalDataPoints() int {
+	var total int
+	for _, r := range e.Records {
+		total += r.Samples()
+	}
+	return total
+}
+
+// Validate checks every record and that station codes are unique.
+func (e Event) Validate() error {
+	seen := make(map[string]bool, len(e.Records))
+	for _, r := range e.Records {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("event %s: %w", e.Name, err)
+		}
+		if seen[r.Station] {
+			return fmt.Errorf("event %s: duplicate station %s", e.Name, r.Station)
+		}
+		seen[r.Station] = true
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package seismic
+
+import (
+	"fmt"
+	"math"
+)
+
+// STALTA computes the classic short-term-average / long-term-average ratio
+// of the squared signal, the trigger function observatories use for event
+// detection and P-wave onset picking.  staWin and ltaWin are window lengths
+// in samples (staWin < ltaWin); the output has one ratio per sample, zero
+// until the LTA window is filled.
+func STALTA(accel Trace, staWin, ltaWin int) ([]float64, error) {
+	if err := accel.Validate(); err != nil {
+		return nil, err
+	}
+	if staWin < 1 || ltaWin <= staWin {
+		return nil, fmt.Errorf("seismic: STA/LTA windows must satisfy 1 <= sta < lta, got %d, %d", staWin, ltaWin)
+	}
+	n := len(accel.Data)
+	if ltaWin >= n {
+		return nil, fmt.Errorf("seismic: LTA window %d exceeds record length %d", ltaWin, n)
+	}
+	// Prefix sums of the squared signal give O(1) window averages.
+	prefix := make([]float64, n+1)
+	for i, v := range accel.Data {
+		prefix[i+1] = prefix[i] + v*v
+	}
+	out := make([]float64, n)
+	for i := ltaWin; i < n; i++ {
+		sta := (prefix[i+1] - prefix[i+1-staWin]) / float64(staWin)
+		lta := (prefix[i+1] - prefix[i+1-ltaWin]) / float64(ltaWin)
+		if lta > 0 {
+			out[i] = sta / lta
+		}
+	}
+	return out, nil
+}
+
+// TriggerConfig parameterizes onset detection.
+type TriggerConfig struct {
+	// STASeconds and LTASeconds are the window lengths (typical strong-
+	// motion values: 0.5 s and 10 s).  Zero selects those defaults.
+	STASeconds float64
+	LTASeconds float64
+	// On is the STA/LTA ratio that declares a trigger; zero selects 3.0.
+	On float64
+}
+
+func (c TriggerConfig) withDefaults() TriggerConfig {
+	if c.STASeconds == 0 {
+		c.STASeconds = 0.5
+	}
+	if c.LTASeconds == 0 {
+		c.LTASeconds = 10
+	}
+	if c.On == 0 {
+		c.On = 3.0
+	}
+	return c
+}
+
+// DetectOnset returns the time (s) of the first STA/LTA trigger — the
+// event onset pick — or an error if the record never triggers.
+func DetectOnset(accel Trace, cfg TriggerConfig) (float64, error) {
+	cfg = cfg.withDefaults()
+	if err := accel.Validate(); err != nil {
+		return 0, err
+	}
+	staWin := int(math.Round(cfg.STASeconds / accel.DT))
+	ltaWin := int(math.Round(cfg.LTASeconds / accel.DT))
+	if staWin < 1 {
+		staWin = 1
+	}
+	if ltaWin <= staWin {
+		ltaWin = staWin + 1
+	}
+	ratios, err := STALTA(accel, staWin, ltaWin)
+	if err != nil {
+		return 0, err
+	}
+	for i, r := range ratios {
+		if r >= cfg.On {
+			return float64(i) * accel.DT, nil
+		}
+	}
+	return 0, fmt.Errorf("seismic: no STA/LTA trigger at ratio %.1f", cfg.On)
+}

@@ -1,0 +1,121 @@
+package seismic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quietThenStrong builds a record with low-level noise followed by strong
+// shaking starting at onsetSec.
+func quietThenStrong(n int, dt, onsetSec float64, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n)
+	onset := int(onsetSec / dt)
+	for i := range data {
+		if i < onset {
+			data[i] = 0.1 * rng.NormFloat64()
+		} else {
+			data[i] = 20 * rng.NormFloat64()
+		}
+	}
+	return Trace{DT: dt, Data: data}
+}
+
+func TestSTALTAShape(t *testing.T) {
+	tr := quietThenStrong(8000, 0.01, 40, 1)
+	ratios, err := STALTA(tr, 50, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratios) != 8000 {
+		t.Fatalf("len = %d", len(ratios))
+	}
+	// Zero before the LTA window fills.
+	for i := 0; i < 1000; i++ {
+		if ratios[i] != 0 {
+			t.Fatalf("ratio[%d] = %g before LTA filled", i, ratios[i])
+		}
+	}
+	// Near 1 during stationary noise, large right after onset.
+	if r := ratios[3000]; r < 0.2 || r > 5 {
+		t.Errorf("stationary ratio = %g, want ~1", r)
+	}
+	onsetIdx := 4000
+	peak := 0.0
+	for i := onsetIdx; i < onsetIdx+100; i++ {
+		if ratios[i] > peak {
+			peak = ratios[i]
+		}
+	}
+	if peak < 10 {
+		t.Errorf("onset ratio peak = %g, want >> 1", peak)
+	}
+}
+
+func TestSTALTAErrors(t *testing.T) {
+	tr := quietThenStrong(1000, 0.01, 5, 2)
+	if _, err := STALTA(Trace{}, 10, 100); err == nil {
+		t.Error("invalid trace accepted")
+	}
+	if _, err := STALTA(tr, 0, 100); err == nil {
+		t.Error("zero STA accepted")
+	}
+	if _, err := STALTA(tr, 100, 100); err == nil {
+		t.Error("STA == LTA accepted")
+	}
+	if _, err := STALTA(tr, 10, 1000); err == nil {
+		t.Error("LTA >= record length accepted")
+	}
+}
+
+func TestDetectOnset(t *testing.T) {
+	tr := quietThenStrong(8000, 0.01, 40, 3)
+	onset, err := DetectOnset(tr, TriggerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(onset-40) > 1.0 {
+		t.Errorf("onset = %g s, want ~40 s", onset)
+	}
+}
+
+func TestDetectOnsetNoTrigger(t *testing.T) {
+	// Pure stationary noise never triggers at ratio 3.
+	rng := rand.New(rand.NewSource(4))
+	data := make([]float64, 4000)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	tr := Trace{DT: 0.01, Data: data}
+	if _, err := DetectOnset(tr, TriggerConfig{}); err == nil {
+		t.Error("stationary noise triggered")
+	}
+}
+
+func TestDetectOnsetCustomConfig(t *testing.T) {
+	tr := quietThenStrong(8000, 0.01, 20, 5)
+	onset, err := DetectOnset(tr, TriggerConfig{STASeconds: 0.2, LTASeconds: 5, On: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(onset-20) > 1.0 {
+		t.Errorf("onset = %g s, want ~20 s", onset)
+	}
+	if _, err := DetectOnset(Trace{}, TriggerConfig{}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestDetectOnsetOnSyntheticArrival(t *testing.T) {
+	// The synthetic generator delays the arrival with distance; the
+	// trigger must find an onset in the first quarter of the record.
+	tr := quietThenStrong(4000, 0.01, 8, 6)
+	onset, err := DetectOnset(tr, TriggerConfig{LTASeconds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onset < 5 || onset > 12 {
+		t.Errorf("onset = %g s, want ~8 s", onset)
+	}
+}

@@ -1,0 +1,147 @@
+// Package simsched is a deterministic discrete simulator of parallel
+// schedules, used to evaluate the pipeline on the paper's experimental
+// platform (a 12th-gen 8-core desktop) when the actual host has fewer
+// processors.
+//
+// The pipeline's parallel constructs — OpenMP-style parallel loops and task
+// groups — execute their real bodies and measure genuine per-task costs;
+// this package then computes the wall time the same schedule would take on
+// a machine with a given processor count.  The model is list scheduling
+// (greedy earliest-available-worker assignment, the behaviour of an OpenMP
+// dynamic schedule) with a linear contention penalty: when w workers run
+// concurrently, every task is slowed by a factor 1 + alpha*(w-1).
+//
+// The contention coefficient captures why real stages do not scale
+// linearly: alpha ~= 0.08 reproduces the paper's compute-bound stage IX
+// (5.14x on 8 cores), alpha ~= 0.5 its I/O-bound stages (1.5x-2.0x on 8
+// cores, limited by disk and memory bandwidth).
+package simsched
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Contention coefficients calibrated against the paper's per-stage
+// speedups (Figure 11); see the package comment.
+const (
+	// ContentionCPU models compute-bound loops (response spectra, FFTs,
+	// corner picking).
+	ContentionCPU = 0.08
+	// ContentionIO models I/O-bound loops (file staging, splitting,
+	// GEM generation, plot writing).
+	ContentionIO = 0.5
+)
+
+// Slowdown returns the contention slowdown factor for n tasks spread over
+// w workers with coefficient alpha: 1 + alpha*(active-1), where active is
+// the number of workers that actually run concurrently.
+func Slowdown(n, w int, alpha float64) float64 {
+	active := w
+	if n < active {
+		active = n
+	}
+	if active < 1 {
+		active = 1
+	}
+	return 1 + alpha*float64(active-1)
+}
+
+// workerHeap is a min-heap of worker finish times.
+type workerHeap []time.Duration
+
+func (h workerHeap) Len() int           { return len(h) }
+func (h workerHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h workerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *workerHeap) Push(x any)        { *h = append(*h, x.(time.Duration)) }
+func (h *workerHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Makespan returns the simulated wall time of running the given tasks on
+// w workers with list scheduling in task order and the given contention
+// coefficient.  w <= 1 (or a single task) degenerates to the serial sum.
+func Makespan(durs []time.Duration, w int, alpha float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	if w < 1 {
+		w = 1
+	}
+	slow := Slowdown(len(durs), w, alpha)
+	if w == 1 || len(durs) == 1 {
+		// Serial: no concurrency, no contention.
+		var sum time.Duration
+		for _, d := range durs {
+			sum += d
+		}
+		if len(durs) == 1 {
+			return durs[0]
+		}
+		return sum
+	}
+	h := make(workerHeap, w)
+	heap.Init(&h)
+	for _, d := range durs {
+		earliest := heap.Pop(&h).(time.Duration)
+		scaled := time.Duration(float64(d) * slow)
+		heap.Push(&h, earliest+scaled)
+	}
+	var makespan time.Duration
+	for _, finish := range h {
+		if finish > makespan {
+			makespan = finish
+		}
+	}
+	return makespan
+}
+
+// MakespanStatic returns the simulated wall time under a static (contiguous
+// block) schedule, like OpenMP schedule(static): the iteration range is cut
+// into w equal-count blocks and each worker executes one block.
+func MakespanStatic(durs []time.Duration, w int, alpha float64) time.Duration {
+	n := len(durs)
+	if n == 0 {
+		return 0
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		var sum time.Duration
+		for _, d := range durs {
+			sum += d
+		}
+		return sum
+	}
+	slow := Slowdown(n, w, alpha)
+	base, rem := n/w, n%w
+	var makespan time.Duration
+	start := 0
+	for t := 0; t < w; t++ {
+		size := base
+		if t < rem {
+			size++
+		}
+		var block time.Duration
+		for i := start; i < start+size; i++ {
+			block += durs[i]
+		}
+		start += size
+		scaled := time.Duration(float64(block) * slow)
+		if scaled > makespan {
+			makespan = scaled
+		}
+	}
+	return makespan
+}
+
+// Sum returns the serial total of the task durations.
+func Sum(durs []time.Duration) time.Duration {
+	var s time.Duration
+	for _, d := range durs {
+		s += d
+	}
+	return s
+}

@@ -1,0 +1,184 @@
+package simsched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func TestSlowdown(t *testing.T) {
+	cases := []struct {
+		n, w  int
+		alpha float64
+		want  float64
+	}{
+		{10, 1, 0.5, 1},     // one worker: no contention
+		{10, 8, 0, 1},       // alpha 0: perfect scaling
+		{10, 8, 0.08, 1.56}, // the calibrated CPU model at 8 workers
+		{10, 8, 0.5, 4.5},   // the calibrated IO model at 8 workers
+		{3, 8, 0.5, 2.0},    // only 3 tasks: 3 active workers
+		{0, 8, 0.5, 1.0},    // degenerate
+	}
+	for _, c := range cases {
+		if got := Slowdown(c.n, c.w, c.alpha); got != c.want {
+			t.Errorf("Slowdown(%d,%d,%g) = %g, want %g", c.n, c.w, c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestMakespanSerial(t *testing.T) {
+	durs := []time.Duration{ms(10), ms(20), ms(30)}
+	if got := Makespan(durs, 1, 0.5); got != ms(60) {
+		t.Errorf("serial makespan = %v, want 60ms", got)
+	}
+	if got := Makespan(durs, 0, 0.5); got != ms(60) {
+		t.Errorf("w=0 makespan = %v, want 60ms (clamped serial)", got)
+	}
+}
+
+func TestMakespanPerfectScaling(t *testing.T) {
+	// 8 equal tasks on 4 workers, no contention: 2 rounds.
+	durs := make([]time.Duration, 8)
+	for i := range durs {
+		durs[i] = ms(10)
+	}
+	if got := Makespan(durs, 4, 0); got != ms(20) {
+		t.Errorf("makespan = %v, want 20ms", got)
+	}
+}
+
+func TestMakespanListScheduling(t *testing.T) {
+	// Tasks 30,10,10,10 on 2 workers, no contention:
+	// w1 gets 30; w2 gets 10+10+10 = 30 -> makespan 30.
+	durs := []time.Duration{ms(30), ms(10), ms(10), ms(10)}
+	if got := Makespan(durs, 2, 0); got != ms(30) {
+		t.Errorf("makespan = %v, want 30ms", got)
+	}
+}
+
+func TestMakespanContention(t *testing.T) {
+	// 8 equal tasks on 8 workers with alpha=0.08: each slowed 1.56x.
+	durs := make([]time.Duration, 8)
+	for i := range durs {
+		durs[i] = ms(100)
+	}
+	want := time.Duration(float64(ms(100)) * 1.56)
+	if got := Makespan(durs, 8, 0.08); got != want {
+		t.Errorf("makespan = %v, want %v", got, want)
+	}
+	// Speedup = 800/156 = 5.13x, the paper's stage IX on 8 cores.
+	speedup := float64(Sum(durs)) / float64(Makespan(durs, 8, 0.08))
+	if speedup < 5.0 || speedup > 5.3 {
+		t.Errorf("simulated 8-core CPU speedup = %.2fx, want ~5.1x", speedup)
+	}
+}
+
+func TestMakespanSingleTaskNoContention(t *testing.T) {
+	if got := Makespan([]time.Duration{ms(42)}, 8, 0.5); got != ms(42) {
+		t.Errorf("single task = %v, want 42ms", got)
+	}
+}
+
+func TestMakespanEmpty(t *testing.T) {
+	if got := Makespan(nil, 4, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := MakespanStatic(nil, 4, 0.5); got != 0 {
+		t.Errorf("empty static = %v", got)
+	}
+}
+
+func TestMakespanStaticBlocks(t *testing.T) {
+	// 4 tasks on 2 workers, static: blocks [0,1] and [2,3].
+	durs := []time.Duration{ms(30), ms(10), ms(10), ms(10)}
+	// Block sums: 40, 20; alpha 0 -> makespan 40.
+	if got := MakespanStatic(durs, 2, 0); got != ms(40) {
+		t.Errorf("static = %v, want 40ms", got)
+	}
+	// Dynamic does better on the same input: 30 | 10+10+10 -> 30.
+	if got := Makespan(durs, 2, 0); got != ms(30) {
+		t.Errorf("dynamic = %v, want 30ms", got)
+	}
+}
+
+func TestMakespanStaticSerial(t *testing.T) {
+	durs := []time.Duration{ms(5), ms(6)}
+	if got := MakespanStatic(durs, 1, 0.9); got != ms(11) {
+		t.Errorf("serial static = %v, want 11ms", got)
+	}
+}
+
+// Properties: for any task set, the makespan is bounded below by both the
+// largest scaled task and the scaled average load, and above by the scaled
+// serial sum; more workers never hurt (alpha = 0).
+func TestMakespanBounds(t *testing.T) {
+	f := func(seed int64, wRaw uint8, alphaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		w := int(wRaw)%16 + 1
+		alpha := float64(alphaRaw%100) / 100
+		durs := make([]time.Duration, n)
+		var sum, max time.Duration
+		for i := range durs {
+			durs[i] = time.Duration(rng.Intn(1000)+1) * time.Millisecond
+			sum += durs[i]
+			if durs[i] > max {
+				max = durs[i]
+			}
+		}
+		got := Makespan(durs, w, alpha)
+		slow := Slowdown(n, w, alpha)
+		if n == 1 || w == 1 {
+			return got <= sum && got >= max
+		}
+		lower := time.Duration(float64(max) * slow)
+		if got < lower {
+			return false
+		}
+		upper := time.Duration(float64(sum)*slow) + time.Millisecond
+		if got > upper {
+			return false
+		}
+		// Average-load lower bound.
+		avg := time.Duration(float64(sum) * slow / float64(w))
+		return got >= avg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreWorkersNeverSlowerWithoutContention(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 2
+		durs := make([]time.Duration, n)
+		for i := range durs {
+			durs[i] = time.Duration(rng.Intn(100)+1) * time.Millisecond
+		}
+		prev := Makespan(durs, 1, 0)
+		for w := 2; w <= 8; w++ {
+			cur := Makespan(durs, w, 0)
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) != 0")
+	}
+	if got := Sum([]time.Duration{ms(1), ms(2), ms(3)}); got != ms(6) {
+		t.Errorf("Sum = %v", got)
+	}
+}

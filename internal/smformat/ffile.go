@@ -1,0 +1,139 @@
+package smformat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"accelproc/internal/seismic"
+)
+
+const fourierMagic = "STRONG-MOTION FOURIER SPECTRA F"
+
+// Fourier is the <station><c>.f product of pipeline process #7: single-sided
+// Fourier amplitude spectra of the corrected acceleration, velocity, and
+// displacement traces of one component, on a common frequency grid.
+type Fourier struct {
+	Station   string
+	Component seismic.Component
+	DF        float64   // frequency step, Hz
+	Accel     []float64 // |A(f)|, gal*s
+	Vel       []float64 // |V(f)|, cm
+	Disp      []float64 // |D(f)|, cm*s
+}
+
+// Frequency returns the frequency of bin k in Hz.
+func (f Fourier) Frequency(k int) float64 { return float64(k) * f.DF }
+
+// Validate checks internal consistency.
+func (f Fourier) Validate() error {
+	if f.Station == "" {
+		return fmt.Errorf("smformat: Fourier file with empty station")
+	}
+	if f.DF <= 0 {
+		return fmt.Errorf("smformat: Fourier %s%s with non-positive DF %g", f.Station, f.Component.Suffix(), f.DF)
+	}
+	n := len(f.Accel)
+	if n == 0 {
+		return fmt.Errorf("smformat: Fourier %s%s has no bins", f.Station, f.Component.Suffix())
+	}
+	if len(f.Vel) != n || len(f.Disp) != n {
+		return fmt.Errorf("smformat: Fourier %s%s spectra lengths differ (acc %d, vel %d, disp %d)",
+			f.Station, f.Component.Suffix(), n, len(f.Vel), len(f.Disp))
+	}
+	return nil
+}
+
+// Write serializes the F file.
+func (f Fourier) Write(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	err := func() error {
+		if _, err := fmt.Fprintln(bw, fourierMagic); err != nil {
+			return err
+		}
+		if err := writeHeader(bw, "STATION", f.Station); err != nil {
+			return err
+		}
+		if err := writeHeader(bw, "COMPONENT", f.Component.String()); err != nil {
+			return err
+		}
+		if err := writeHeaderFloat(bw, "DF", f.DF); err != nil {
+			return err
+		}
+		if err := writeHeaderInt(bw, "NFREQ", len(f.Accel)); err != nil {
+			return err
+		}
+		for _, block := range []struct {
+			name string
+			data []float64
+		}{
+			{"ACCELERATION", f.Accel}, {"VELOCITY", f.Vel}, {"DISPLACEMENT", f.Disp},
+		} {
+			if err := writeHeader(bw, "BLOCK", block.name); err != nil {
+				return err
+			}
+			if err := writeValues(bw, block.data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	return flush(bw, err)
+}
+
+// ParseFourier reads an F file.
+func ParseFourier(r io.Reader) (Fourier, error) {
+	sc := newScanner(r)
+	if !sc.Scan() || sc.Text() != fourierMagic {
+		return Fourier{}, fmt.Errorf("smformat: not an F file (missing %q)", fourierMagic)
+	}
+	h := &headerReader{sc: sc, line: 1}
+	var f Fourier
+	var err error
+	if f.Station, err = h.expect("STATION"); err != nil {
+		return Fourier{}, err
+	}
+	compName, err := h.expect("COMPONENT")
+	if err != nil {
+		return Fourier{}, err
+	}
+	if f.Component, err = seismic.ParseComponent(compName); err != nil {
+		return Fourier{}, err
+	}
+	if f.DF, err = h.expectFloat("DF"); err != nil {
+		return Fourier{}, err
+	}
+	nfreq, err := h.expectInt("NFREQ")
+	if err != nil {
+		return Fourier{}, err
+	}
+	if nfreq <= 0 {
+		return Fourier{}, fmt.Errorf("smformat: Fourier %s: NFREQ %d must be positive", f.Station, nfreq)
+	}
+	for _, block := range []struct {
+		name string
+		dst  *[]float64
+	}{
+		{"ACCELERATION", &f.Accel}, {"VELOCITY", &f.Vel}, {"DISPLACEMENT", &f.Disp},
+	} {
+		name, err := h.expect("BLOCK")
+		if err != nil {
+			return Fourier{}, err
+		}
+		if name != block.name {
+			return Fourier{}, fmt.Errorf("smformat: Fourier %s: block %q, want %q", f.Station, name, block.name)
+		}
+		vs := newValueScanner(sc, h.line)
+		if *block.dst, err = vs.readBlock(nfreq); err != nil {
+			return Fourier{}, fmt.Errorf("smformat: Fourier %s%s block %s: %w", f.Station, f.Component.Suffix(), name, err)
+		}
+		h.line = vs.line
+	}
+	if err := f.Validate(); err != nil {
+		return Fourier{}, err
+	}
+	return f, nil
+}

@@ -1,0 +1,174 @@
+package smformat
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"accelproc/internal/seismic"
+)
+
+// Canonical file names used throughout the pipeline (paper Figure 5).
+
+// V1FileName returns "<station>.v1".
+func V1FileName(station string) string { return station + ".v1" }
+
+// V1ComponentFileName returns "<station><c>.v1".
+func V1ComponentFileName(station string, c seismic.Component) string {
+	return station + c.Suffix() + ".v1"
+}
+
+// V2FileName returns "<station><c>.v2".
+func V2FileName(station string, c seismic.Component) string {
+	return station + c.Suffix() + ".v2"
+}
+
+// FourierFileName returns "<station><c>.f".
+func FourierFileName(station string, c seismic.Component) string {
+	return station + c.Suffix() + ".f"
+}
+
+// ResponseFileName returns "<station><c>.r".
+func ResponseFileName(station string, c seismic.Component) string {
+	return station + c.Suffix() + ".r"
+}
+
+// Metadata file names (fixed, one per work directory).
+const (
+	V1ListFile        = "v1list.meta"
+	FilterParamsFile  = "filterparams.meta"
+	AccGraphFile      = "acc-graph.meta"
+	FourierMetaFile   = "fourier.meta"
+	ResponseMetaFile  = "response.meta"
+	FourierGraphFile  = "fourier-graph.meta"
+	ResponseGraphFile = "response-graph.meta"
+	MaxValuesFile     = "maxvalues.meta"
+	FlagsFile         = "flags.meta"
+)
+
+// Plot file names (PostScript, as in the legacy chain).
+
+// AccelPlotFileName returns "<station>.ps".
+func AccelPlotFileName(station string) string { return station + ".ps" }
+
+// FourierPlotFileName returns "<station>f.ps".
+func FourierPlotFileName(station string) string { return station + "f.ps" }
+
+// ResponsePlotFileName returns "<station>r.ps".
+func ResponsePlotFileName(station string) string { return station + "r.ps" }
+
+// writerTo abstracts the Write method shared by every format type.
+type writerTo interface{ Write(io.Writer) error }
+
+// writeFile writes one product file (create, write, close, with the first
+// error reported).  Paths ending in ".gz" are written gzip-compressed —
+// the storage mode of long-term strong-motion archives.
+func writeFile(path string, v writerTo) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("smformat: create %s: %w", path, err)
+	}
+	var werr error
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		werr = v.Write(gz)
+		if cerr := gz.Close(); werr == nil {
+			werr = cerr
+		}
+	} else {
+		werr = v.Write(f)
+	}
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("smformat: write %s: %w", path, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("smformat: close %s: %w", path, cerr)
+	}
+	return nil
+}
+
+// WriteV1File writes a multiplexed V1 to path.
+func WriteV1File(path string, v V1) error { return writeFile(path, v) }
+
+// WriteV1ComponentFile writes a per-component V1 to path.
+func WriteV1ComponentFile(path string, v V1Component) error { return writeFile(path, v) }
+
+// WriteV2File writes a V2 to path.
+func WriteV2File(path string, v V2) error { return writeFile(path, v) }
+
+// WriteFourierFile writes an F file to path.
+func WriteFourierFile(path string, f Fourier) error { return writeFile(path, f) }
+
+// WriteResponseFile writes an R file to path.
+func WriteResponseFile(path string, r Response) error { return writeFile(path, r) }
+
+// WriteGEMFile writes a GEM export to path.
+func WriteGEMFile(path string, g GEM) error { return writeFile(path, g) }
+
+// WriteFileListFile writes a file list to path.
+func WriteFileListFile(path string, l FileList) error { return writeFile(path, l) }
+
+// WriteFilterParamsFile writes a filter-parameter file to path.
+func WriteFilterParamsFile(path string, p FilterParams) error { return writeFile(path, p) }
+
+// WriteMaxValuesFile writes a max-values file to path.
+func WriteMaxValuesFile(path string, m MaxValues) error { return writeFile(path, m) }
+
+// readFile opens path and parses it with parse, transparently decompressing
+// ".gz" archives.
+func readFile[T any](path string, parse func(io.Reader) (T, error)) (T, error) {
+	var zero T
+	f, err := os.Open(path)
+	if err != nil {
+		return zero, fmt.Errorf("smformat: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return zero, fmt.Errorf("smformat: decompress %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	v, err := parse(r)
+	if err != nil {
+		return zero, fmt.Errorf("smformat: parse %s: %w", path, err)
+	}
+	return v, nil
+}
+
+// ReadV1File parses the multiplexed V1 at path.
+func ReadV1File(path string) (V1, error) { return readFile(path, ParseV1) }
+
+// ReadV1ComponentFile parses the per-component V1 at path.
+func ReadV1ComponentFile(path string) (V1Component, error) {
+	return readFile(path, ParseV1Component)
+}
+
+// ReadV2File parses the V2 at path.
+func ReadV2File(path string) (V2, error) { return readFile(path, ParseV2) }
+
+// ReadFourierFile parses the F file at path.
+func ReadFourierFile(path string) (Fourier, error) { return readFile(path, ParseFourier) }
+
+// ReadResponseFile parses the R file at path.
+func ReadResponseFile(path string) (Response, error) { return readFile(path, ParseResponse) }
+
+// ReadGEMFile parses the GEM export at path.
+func ReadGEMFile(path string) (GEM, error) { return readFile(path, ParseGEM) }
+
+// ReadFileListFile parses the file list at path.
+func ReadFileListFile(path string) (FileList, error) { return readFile(path, ParseFileList) }
+
+// ReadFilterParamsFile parses the filter-parameter file at path.
+func ReadFilterParamsFile(path string) (FilterParams, error) {
+	return readFile(path, ParseFilterParams)
+}
+
+// ReadMaxValuesFile parses the max-values file at path.
+func ReadMaxValuesFile(path string) (MaxValues, error) { return readFile(path, ParseMaxValues) }

@@ -1,0 +1,142 @@
+package smformat
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"accelproc/internal/seismic"
+)
+
+// JSON interchange: the legacy text formats above are what the pipeline
+// itself speaks, but downstream consumers (web services, Python tooling)
+// prefer JSON.  These exporters emit a stable, self-describing schema with
+// explicit units; importers validate on the way in.
+
+// v2JSON is the interchange schema of a corrected record.
+type v2JSON struct {
+	Schema    string     `json:"schema"` // "accelproc.v2/1"
+	Station   string     `json:"station"`
+	Component string     `json:"component"`
+	DTSeconds float64    `json:"dt_seconds"`
+	Filter    [4]float64 `json:"filter_corners_hz"` // FSL, FPL, FPH, FSH
+	PGA       float64    `json:"pga_gal"`
+	PGV       float64    `json:"pgv_cm_s"`
+	PGD       float64    `json:"pgd_cm"`
+	Accel     []float64  `json:"acceleration_gal"`
+	Vel       []float64  `json:"velocity_cm_s"`
+	Disp      []float64  `json:"displacement_cm"`
+}
+
+// ExportV2JSON writes the corrected record as JSON.
+func ExportV2JSON(w io.Writer, v V2) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(v2JSON{
+		Schema:    "accelproc.v2/1",
+		Station:   v.Station,
+		Component: v.Component.String(),
+		DTSeconds: v.DT,
+		Filter:    [4]float64{v.Filter.FSL, v.Filter.FPL, v.Filter.FPH, v.Filter.FSH},
+		PGA:       v.Peaks.PGA,
+		PGV:       v.Peaks.PGV,
+		PGD:       v.Peaks.PGD,
+		Accel:     v.Accel,
+		Vel:       v.Vel,
+		Disp:      v.Disp,
+	})
+}
+
+// ImportV2JSON parses a JSON corrected record.  The peak *times* are not
+// part of the interchange schema (consumers recompute them trivially), so
+// they come back zero.
+func ImportV2JSON(r io.Reader) (V2, error) {
+	var j v2JSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return V2{}, fmt.Errorf("smformat: bad V2 JSON: %w", err)
+	}
+	if j.Schema != "accelproc.v2/1" {
+		return V2{}, fmt.Errorf("smformat: unsupported V2 JSON schema %q", j.Schema)
+	}
+	comp, err := seismic.ParseComponent(j.Component)
+	if err != nil {
+		return V2{}, err
+	}
+	v := V2{
+		Station:   j.Station,
+		Component: comp,
+		DT:        j.DTSeconds,
+		Accel:     j.Accel,
+		Vel:       j.Vel,
+		Disp:      j.Disp,
+	}
+	v.Filter.FSL, v.Filter.FPL, v.Filter.FPH, v.Filter.FSH = j.Filter[0], j.Filter[1], j.Filter[2], j.Filter[3]
+	v.Peaks.PGA, v.Peaks.PGV, v.Peaks.PGD = j.PGA, j.PGV, j.PGD
+	if err := v.Validate(); err != nil {
+		return V2{}, err
+	}
+	return v, nil
+}
+
+// responseJSON is the interchange schema of a response spectrum.
+type responseJSON struct {
+	Schema    string    `json:"schema"` // "accelproc.response/1"
+	Station   string    `json:"station"`
+	Component string    `json:"component"`
+	Damping   float64   `json:"damping_ratio"`
+	Periods   []float64 `json:"periods_s"`
+	SA        []float64 `json:"sa_gal"`
+	SV        []float64 `json:"sv_cm_s"`
+	SD        []float64 `json:"sd_cm"`
+}
+
+// ExportResponseJSON writes a response spectrum as JSON.
+func ExportResponseJSON(w io.Writer, r Response) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(responseJSON{
+		Schema:    "accelproc.response/1",
+		Station:   r.Station,
+		Component: r.Component.String(),
+		Damping:   r.Damping,
+		Periods:   r.Periods,
+		SA:        r.SA,
+		SV:        r.SV,
+		SD:        r.SD,
+	})
+}
+
+// ImportResponseJSON parses a JSON response spectrum.
+func ImportResponseJSON(rd io.Reader) (Response, error) {
+	var j responseJSON
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Response{}, fmt.Errorf("smformat: bad response JSON: %w", err)
+	}
+	if j.Schema != "accelproc.response/1" {
+		return Response{}, fmt.Errorf("smformat: unsupported response JSON schema %q", j.Schema)
+	}
+	comp, err := seismic.ParseComponent(j.Component)
+	if err != nil {
+		return Response{}, err
+	}
+	r := Response{
+		Station:   j.Station,
+		Component: comp,
+		Damping:   j.Damping,
+		Periods:   j.Periods,
+		SA:        j.SA,
+		SV:        j.SV,
+		SD:        j.SD,
+	}
+	if err := r.Validate(); err != nil {
+		return Response{}, err
+	}
+	return r, nil
+}

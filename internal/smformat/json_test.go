@@ -1,0 +1,157 @@
+package smformat
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestV2JSONRoundTrip(t *testing.T) {
+	v := sampleV2(rand.New(rand.NewSource(21)))
+	var buf bytes.Buffer
+	if err := ExportV2JSON(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportV2JSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak times are intentionally dropped from the interchange schema.
+	want := v
+	want.Peaks.TimePGA, want.Peaks.TimePGV, want.Peaks.TimePGD = 0, 0, 0
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestV2JSONSchemaFields(t *testing.T) {
+	v := sampleV2(rand.New(rand.NewSource(22)))
+	var buf bytes.Buffer
+	if err := ExportV2JSON(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		`"schema":"accelproc.v2/1"`, `"dt_seconds"`, `"pga_gal"`,
+		`"acceleration_gal"`, `"filter_corners_hz"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestImportV2JSONRejectsBadInput(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"schema":"other/1"}`,
+		`{"schema":"accelproc.v2/1","station":"A","component":"q","dt_seconds":0.01}`,
+		`{"schema":"accelproc.v2/1","station":"A","component":"l","dt_seconds":0.01,"unknown_field":1}`,
+		// Valid schema but inconsistent payload (missing vel/disp).
+		`{"schema":"accelproc.v2/1","station":"A","component":"l","dt_seconds":0.01,` +
+			`"filter_corners_hz":[0.1,0.2,23,25],"acceleration_gal":[1,2]}`,
+	}
+	for i, in := range cases {
+		if _, err := ImportV2JSON(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %s", i, in)
+		}
+	}
+}
+
+func TestResponseJSONRoundTrip(t *testing.T) {
+	r := sampleResponse(rand.New(rand.NewSource(23)))
+	var buf bytes.Buffer
+	if err := ExportResponseJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportResponseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip mismatch")
+	}
+}
+
+func TestImportResponseJSONRejectsBadInput(t *testing.T) {
+	cases := []string{
+		``,
+		`{"schema":"accelproc.response/2"}`,
+		`{"schema":"accelproc.response/1","station":"A","component":"l","damping_ratio":0.05,` +
+			`"periods_s":[2,1],"sa_gal":[1,1],"sv_cm_s":[1,1],"sd_cm":[1,1]}`, // periods not increasing
+	}
+	for i, in := range cases {
+		if _, err := ImportResponseJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestExportRejectsInvalidStructsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportV2JSON(&buf, V2{}); err == nil {
+		t.Error("zero V2 accepted")
+	}
+	if err := ExportResponseJSON(&buf, Response{}); err == nil {
+		t.Error("zero Response accepted")
+	}
+}
+
+func TestGzipTransparency(t *testing.T) {
+	dir := t.TempDir()
+	v := sampleV2(rand.New(rand.NewSource(31)))
+	plain := filepath.Join(dir, "x.v2")
+	zipped := filepath.Join(dir, "x.v2.gz")
+	if err := WriteV2File(plain, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteV2File(zipped, v); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadV2File(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadV2File(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("gzip round trip differs from plain")
+	}
+	// The archive must actually compress (these text formats shrink a lot).
+	ps, err := os.Stat(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs, err := os.Stat(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zs.Size() >= ps.Size() {
+		t.Errorf("gz size %d >= plain size %d", zs.Size(), ps.Size())
+	}
+	// A truncated archive fails loudly.
+	data, err := os.ReadFile(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(zipped, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadV2File(zipped); err == nil {
+		t.Error("truncated gzip accepted")
+	}
+	// Garbage with a .gz name fails at the gzip layer.
+	if err := os.WriteFile(zipped, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadV2File(zipped); err == nil {
+		t.Error("non-gzip .gz accepted")
+	}
+}

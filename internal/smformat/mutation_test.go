@@ -1,0 +1,141 @@
+package smformat
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/seismic"
+)
+
+// dspSpec aliases the band-pass spec type for test-map brevity.
+type dspSpec = dsp.BandPassSpec
+
+// Mutation robustness: random single-byte corruptions of valid files must
+// never panic a parser — every outcome is either an error or a struct that
+// passes validation (a mutation inside a numeric literal can silently
+// change a value without breaking the format, which is acceptable).
+
+func mutate(data []byte, rng *rand.Rand) []byte {
+	out := append([]byte(nil), data...)
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(len(out))
+		switch rng.Intn(3) {
+		case 0:
+			out[pos] = byte(rng.Intn(256))
+		case 1: // delete a byte
+			out = append(out[:pos], out[pos+1:]...)
+		case 2: // duplicate a byte
+			out = append(out[:pos], append([]byte{out[pos]}, out[pos:]...)...)
+		}
+		if len(out) == 0 {
+			return out
+		}
+	}
+	return out
+}
+
+func TestParsersSurviveRandomMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+
+	var v1Buf, v2Buf, fBuf, rBuf, gemBuf bytes.Buffer
+	if err := sampleV1(rng).Write(&v1Buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleV2(rng).Write(&v2Buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleFourier(rng).Write(&fBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleResponse(rng).Write(&rBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleGEM(rng).Write(&gemBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	type target struct {
+		name  string
+		data  []byte
+		parse func([]byte) error
+	}
+	targets := []target{
+		{"v1", v1Buf.Bytes(), func(b []byte) error { _, err := ParseV1(bytes.NewReader(b)); return err }},
+		{"v2", v2Buf.Bytes(), func(b []byte) error { _, err := ParseV2(bytes.NewReader(b)); return err }},
+		{"fourier", fBuf.Bytes(), func(b []byte) error { _, err := ParseFourier(bytes.NewReader(b)); return err }},
+		{"response", rBuf.Bytes(), func(b []byte) error { _, err := ParseResponse(bytes.NewReader(b)); return err }},
+		{"gem", gemBuf.Bytes(), func(b []byte) error { _, err := ParseGEM(bytes.NewReader(b)); return err }},
+	}
+	const rounds = 300
+	for _, tg := range targets {
+		tg := tg
+		t.Run(tg.name, func(t *testing.T) {
+			for i := 0; i < rounds; i++ {
+				m := mutate(tg.data, rng)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("round %d: parser panicked: %v", i, r)
+						}
+					}()
+					_ = tg.parse(m) // error or success both fine; no panic
+				}()
+			}
+		})
+	}
+}
+
+func TestMetadataParsersSurviveRandomMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	var flBuf, fpBuf, mvBuf bytes.Buffer
+	if err := (FileList{Name: "v1list", Files: []string{"a.v1", "b.v1"}}).Write(&flBuf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := sampleV2(rng)
+	params := FilterParams{
+		Default: v2.Filter,
+		PerSignal: map[SignalKey]dspSpec{
+			{Station: "A", Component: seismic.Longitudinal}: v2.Filter,
+		},
+	}
+	if err := params.Write(&fpBuf); err != nil {
+		t.Fatal(err)
+	}
+	max := MaxValues{Peaks: map[SignalKey]seismic.PeakValues{
+		{Station: "A", Component: seismic.Longitudinal}: v2.Peaks,
+		{Station: "B", Component: seismic.Vertical}:     v2.Peaks,
+	}}
+	if err := max.Write(&mvBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	type target struct {
+		name  string
+		data  []byte
+		parse func([]byte) error
+	}
+	targets := []target{
+		{"filelist", flBuf.Bytes(), func(b []byte) error { _, err := ParseFileList(bytes.NewReader(b)); return err }},
+		{"filterparams", fpBuf.Bytes(), func(b []byte) error { _, err := ParseFilterParams(bytes.NewReader(b)); return err }},
+		{"maxvalues", mvBuf.Bytes(), func(b []byte) error { _, err := ParseMaxValues(bytes.NewReader(b)); return err }},
+	}
+	for _, tg := range targets {
+		tg := tg
+		t.Run(tg.name, func(t *testing.T) {
+			for i := 0; i < 300; i++ {
+				m := mutate(tg.data, rng)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("round %d: parser panicked: %v", i, r)
+						}
+					}()
+					_ = tg.parse(m)
+				}()
+			}
+		})
+	}
+}

@@ -1,0 +1,364 @@
+package smformat
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/seismic"
+)
+
+func randData(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+	}
+	return out
+}
+
+func sampleV1(rng *rand.Rand) V1 {
+	n := rng.Intn(50) + 1
+	return V1{
+		Station: "SS01",
+		DT:      0.01,
+		Accel:   [3][]float64{randData(rng, n), randData(rng, n), randData(rng, n)},
+	}
+}
+
+func sampleV2(rng *rand.Rand) V2 {
+	n := rng.Intn(50) + 1
+	return V2{
+		Station:   "SS02",
+		Component: seismic.Transversal,
+		DT:        0.005,
+		Filter:    dsp.BandPassSpec{FSL: 0.1, FPL: 0.25, FPH: 23, FSH: 25},
+		Peaks: seismic.PeakValues{
+			PGA: 123.4, TimePGA: 1.2, PGV: 5.6, TimePGV: 2.3, PGD: 0.7, TimePGD: 3.4,
+		},
+		Accel: randData(rng, n),
+		Vel:   randData(rng, n),
+		Disp:  randData(rng, n),
+	}
+}
+
+func sampleFourier(rng *rand.Rand) Fourier {
+	n := rng.Intn(50) + 1
+	return Fourier{
+		Station:   "SS03",
+		Component: seismic.Vertical,
+		DF:        0.0122,
+		Accel:     randData(rng, n),
+		Vel:       randData(rng, n),
+		Disp:      randData(rng, n),
+	}
+}
+
+func sampleResponse(rng *rand.Rand) Response {
+	n := rng.Intn(50) + 1
+	periods := make([]float64, n)
+	for i := range periods {
+		periods[i] = 0.02 * math.Pow(1.1, float64(i))
+	}
+	return Response{
+		Station:   "SS04",
+		Component: seismic.Longitudinal,
+		Damping:   0.05,
+		Periods:   periods,
+		SA:        randData(rng, n),
+		SV:        randData(rng, n),
+		SD:        randData(rng, n),
+	}
+}
+
+func sampleGEM(rng *rand.Rand) GEM {
+	n := rng.Intn(50) + 1
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = float64(i) * 0.01
+	}
+	return GEM{
+		Station:   "SS05",
+		Component: seismic.Longitudinal,
+		Kind:      GEMFromV2,
+		Quantity:  GEMVelocity,
+		Abscissa:  t,
+		Values:    randData(rng, n),
+	}
+}
+
+// Exact round-trips: write then parse must reproduce the struct bit for bit.
+
+func TestV1RoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		v := sampleV1(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := v.Write(&buf); err != nil {
+			return false
+		}
+		got, err := ParseV1(&buf)
+		return err == nil && reflect.DeepEqual(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV1ComponentRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := V1Component{
+			Station:   "XY99",
+			Component: seismic.Components[rng.Intn(3)],
+			DT:        0.02,
+			Accel:     randData(rng, rng.Intn(80)+1),
+		}
+		var buf bytes.Buffer
+		if err := v.Write(&buf); err != nil {
+			return false
+		}
+		got, err := ParseV1Component(&buf)
+		return err == nil && reflect.DeepEqual(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		v := sampleV2(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := v.Write(&buf); err != nil {
+			return false
+		}
+		got, err := ParseV2(&buf)
+		return err == nil && reflect.DeepEqual(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFourierRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		v := sampleFourier(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := v.Write(&buf); err != nil {
+			return false
+		}
+		got, err := ParseFourier(&buf)
+		return err == nil && reflect.DeepEqual(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		v := sampleResponse(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := v.Write(&buf); err != nil {
+			return false
+		}
+		got, err := ParseResponse(&buf)
+		return err == nil && reflect.DeepEqual(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGEMRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		v := sampleGEM(rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := v.Write(&buf); err != nil {
+			return false
+		}
+		got, err := ParseGEM(&buf)
+		return err == nil && reflect.DeepEqual(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterParamsRoundTrip(t *testing.T) {
+	p := FilterParams{
+		Default: dsp.BandPassSpec{FSL: 0.1, FPL: 0.25, FPH: 23, FSH: 25},
+		PerSignal: map[SignalKey]dsp.BandPassSpec{
+			{Station: "B", Component: seismic.Vertical}:     {FSL: 0.2, FPL: 0.4, FPH: 20, FSH: 22},
+			{Station: "A", Component: seismic.Longitudinal}: {FSL: 0.15, FPL: 0.3, FPH: 21, FSH: 24},
+			{Station: "A", Component: seismic.Transversal}:  {FSL: 0.12, FPL: 0.26, FPH: 22, FSH: 25},
+		},
+	}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFilterParams(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+	// Deterministic output: writing twice yields identical bytes.
+	var buf2 bytes.Buffer
+	if err := p.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("FilterParams.Write is not deterministic")
+	}
+}
+
+func TestFilterParamsSpecLookup(t *testing.T) {
+	def := dsp.BandPassSpec{FSL: 0.1, FPL: 0.25, FPH: 23, FSH: 25}
+	special := dsp.BandPassSpec{FSL: 0.3, FPL: 0.5, FPH: 20, FSH: 22}
+	p := FilterParams{
+		Default: def,
+		PerSignal: map[SignalKey]dsp.BandPassSpec{
+			{Station: "A", Component: seismic.Vertical}: special,
+		},
+	}
+	if got := p.Spec(SignalKey{Station: "A", Component: seismic.Vertical}); got != special {
+		t.Errorf("per-signal lookup = %+v, want %+v", got, special)
+	}
+	if got := p.Spec(SignalKey{Station: "Z", Component: seismic.Vertical}); got != def {
+		t.Errorf("default lookup = %+v, want %+v", got, def)
+	}
+}
+
+func TestFileListRoundTrip(t *testing.T) {
+	l := FileList{Name: "v1list", Files: []string{"SS01.v1", "SS02.v1", "SS03.v1"}}
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFileList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Errorf("round trip mismatch: got %+v, want %+v", got, l)
+	}
+}
+
+func TestFileListEmpty(t *testing.T) {
+	l := FileList{Name: "empty"}
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFileList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "empty" || len(got.Files) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestFileListRejectsBadNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (FileList{Name: "has space"}).Write(&buf); err == nil {
+		t.Error("name with space accepted")
+	}
+	if err := (FileList{Name: ""}).Write(&buf); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := (FileList{Name: "ok", Files: []string{"a\nb"}}).Write(&buf); err == nil {
+		t.Error("file name with newline accepted")
+	}
+	if err := (FileList{Name: "ok", Files: []string{""}}).Write(&buf); err == nil {
+		t.Error("empty file name accepted")
+	}
+}
+
+func TestMaxValuesRoundTrip(t *testing.T) {
+	m := MaxValues{Peaks: map[SignalKey]seismic.PeakValues{
+		{Station: "A", Component: seismic.Longitudinal}: {PGA: 1, TimePGA: 2, PGV: 3, TimePGV: 4, PGD: 5, TimePGD: 6},
+		{Station: "B", Component: seismic.Transversal}:  {PGA: 0.1, TimePGA: 0.2, PGV: 0.3, TimePGV: 0.4, PGD: 0.5, TimePGD: 0.6},
+	}}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMaxValues(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip mismatch: got %+v, want %+v", got, m)
+	}
+}
+
+func TestGEMFileNames(t *testing.T) {
+	got := GEMFileName("SS01", seismic.Longitudinal, GEMFromV2, GEMAcceleration)
+	if got != "SS01lGEM2A.txt" {
+		t.Errorf("name = %q, want SS01lGEM2A.txt", got)
+	}
+	got = GEMFileName("X", seismic.Vertical, GEMFromR, GEMDisplacement)
+	if got != "XvGEMRD.txt" {
+		t.Errorf("name = %q, want XvGEMRD.txt", got)
+	}
+}
+
+func TestSplitV2(t *testing.T) {
+	v := sampleV2(rand.New(rand.NewSource(9)))
+	gems, err := SplitV2(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ := []GEMQuantity{GEMAcceleration, GEMVelocity, GEMDisplacement}
+	wantVals := [][]float64{v.Accel, v.Vel, v.Disp}
+	for i, g := range gems {
+		if g.Kind != GEMFromV2 || g.Quantity != wantQ[i] {
+			t.Errorf("gem %d kind/quantity = %c/%c", i, g.Kind, g.Quantity)
+		}
+		if !reflect.DeepEqual(g.Values, wantVals[i]) {
+			t.Errorf("gem %d values mismatch", i)
+		}
+		if len(g.Abscissa) != len(v.Accel) {
+			t.Errorf("gem %d abscissa length %d", i, len(g.Abscissa))
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("gem %d invalid: %v", i, err)
+		}
+	}
+	// Time axis is i*DT.
+	if gems[0].Abscissa[len(gems[0].Abscissa)-1] != float64(len(v.Accel)-1)*v.DT {
+		t.Error("time axis wrong")
+	}
+	if _, err := SplitV2(V2{}); err == nil {
+		t.Error("invalid V2 accepted")
+	}
+}
+
+func TestSplitResponse(t *testing.T) {
+	r := sampleResponse(rand.New(rand.NewSource(10)))
+	gems, err := SplitResponse(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gems {
+		if g.Kind != GEMFromR {
+			t.Errorf("gem %d kind = %c, want R", i, g.Kind)
+		}
+		if !reflect.DeepEqual(g.Abscissa, r.Periods) {
+			t.Errorf("gem %d abscissa is not the period grid", i)
+		}
+	}
+	if !reflect.DeepEqual(gems[0].Values, r.SA) || !reflect.DeepEqual(gems[1].Values, r.SV) || !reflect.DeepEqual(gems[2].Values, r.SD) {
+		t.Error("quantity mapping wrong")
+	}
+	if _, err := SplitResponse(Response{}); err == nil {
+		t.Error("invalid Response accepted")
+	}
+}

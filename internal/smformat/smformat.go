@@ -1,0 +1,179 @@
+// Package smformat reads and writes the file formats flowing through the
+// accelerographic processing pipeline.
+//
+// The legacy Salvadoran chain stores every intermediate product as a text
+// file; the file extensions and naming scheme below come directly from the
+// paper (section II and Figure 5):
+//
+//   - <station>.v1            uncorrected record, three multiplexed components
+//   - <station><c>.v1         one uncorrected component (c = l, t, v)
+//   - <station><c>.v2         corrected component: acceleration, velocity,
+//     displacement plus the filter corners and peak values
+//   - <station><c>.f          Fourier amplitude spectra of the corrected
+//     component (acceleration, velocity, displacement)
+//   - <station><c>.r          elastic response spectra (SA, SV, SD)
+//   - <station><c>GEM<2|R><A|V|D>.txt  Global Earthquake Model exports, one
+//     quantity per file, six per V2/R pair, 18 per station
+//
+// plus the small metadata files (file lists, filter parameters, max values)
+// that the pipeline's lightweight processes create and consume.
+//
+// All numeric payloads are written with full float64 precision so that
+// write→parse round-trips are exact; tests rely on this.
+package smformat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// valuesPerLine is the number of numeric samples written per payload line.
+const valuesPerLine = 4
+
+// writeValues writes a float64 block in fixed-width scientific notation,
+// valuesPerLine per row.
+func writeValues(w *bufio.Writer, data []float64) error {
+	for i, v := range data {
+		if i%valuesPerLine != 0 {
+			if err := w.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := w.WriteString(strconv.FormatFloat(v, 'e', 17, 64)); err != nil {
+			return err
+		}
+		if (i+1)%valuesPerLine == 0 || i == len(data)-1 {
+			if err := w.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// valueScanner incrementally parses whitespace-separated float64 payloads.
+type valueScanner struct {
+	sc   *bufio.Scanner
+	line int
+	toks []string
+	pos  int
+}
+
+func newValueScanner(sc *bufio.Scanner, line int) *valueScanner {
+	return &valueScanner{sc: sc, line: line}
+}
+
+// next returns the next numeric token.
+func (v *valueScanner) next() (float64, error) {
+	for v.pos >= len(v.toks) {
+		if !v.sc.Scan() {
+			if err := v.sc.Err(); err != nil {
+				return 0, err
+			}
+			return 0, fmt.Errorf("line %d: unexpected end of file in value block", v.line)
+		}
+		v.line++
+		v.toks = strings.Fields(v.sc.Text())
+		v.pos = 0
+	}
+	tok := v.toks[v.pos]
+	v.pos++
+	x, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: bad numeric value %q: %v", v.line, tok, err)
+	}
+	return x, nil
+}
+
+// readBlock reads exactly n values.
+func (v *valueScanner) readBlock(n int) ([]float64, error) {
+	out := make([]float64, n)
+	for i := range out {
+		x, err := v.next()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// headerReader parses "KEY: value" header lines.
+type headerReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// expect reads one line and requires it to have the given key, returning
+// the trimmed value.
+func (h *headerReader) expect(key string) (string, error) {
+	if !h.sc.Scan() {
+		if err := h.sc.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("line %d: unexpected end of file, want %q header", h.line+1, key)
+	}
+	h.line++
+	text := h.sc.Text()
+	k, v, ok := strings.Cut(text, ":")
+	if !ok || strings.TrimSpace(k) != key {
+		return "", fmt.Errorf("line %d: got %q, want %q header", h.line, text, key)
+	}
+	return strings.TrimSpace(v), nil
+}
+
+func (h *headerReader) expectInt(key string) (int, error) {
+	v, err := h.expect(key)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: %s: bad integer %q", h.line, key, v)
+	}
+	return n, nil
+}
+
+func (h *headerReader) expectFloat(key string) (float64, error) {
+	v, err := h.expect(key)
+	if err != nil {
+		return 0, err
+	}
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: %s: bad number %q", h.line, key, v)
+	}
+	return x, nil
+}
+
+func writeHeader(w *bufio.Writer, key, value string) error {
+	_, err := fmt.Fprintf(w, "%s: %s\n", key, value)
+	return err
+}
+
+func writeHeaderFloat(w *bufio.Writer, key string, v float64) error {
+	return writeHeader(w, key, strconv.FormatFloat(v, 'e', 17, 64))
+}
+
+func writeHeaderInt(w *bufio.Writer, key string, v int) error {
+	return writeHeader(w, key, strconv.Itoa(v))
+}
+
+// flush finalizes a buffered writer, preserving any earlier write error.
+func flush(w *bufio.Writer, err error) error {
+	if err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// newScanner builds a line scanner with a buffer large enough for the
+// longest header or payload lines these formats produce.
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return sc
+}

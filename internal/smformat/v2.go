@@ -1,0 +1,168 @@
+package smformat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/seismic"
+)
+
+const v2Magic = "STRONG-MOTION CORRECTED RECORD V2"
+
+// V2 is a corrected component record produced by the band-pass filter
+// processes (#4 with default corners, #13 with corners picked from the
+// Fourier analysis): baseline-corrected acceleration plus its integrated
+// velocity and displacement, the filter corners used, and the peak values.
+type V2 struct {
+	Station   string
+	Component seismic.Component
+	DT        float64
+	Filter    dsp.BandPassSpec
+	Peaks     seismic.PeakValues
+	Accel     []float64 // gal
+	Vel       []float64 // cm/s
+	Disp      []float64 // cm
+}
+
+// Validate checks internal consistency.
+func (v V2) Validate() error {
+	if v.Station == "" {
+		return fmt.Errorf("smformat: V2 with empty station")
+	}
+	if v.DT <= 0 {
+		return fmt.Errorf("smformat: V2 %s%s with non-positive DT %g", v.Station, v.Component.Suffix(), v.DT)
+	}
+	n := len(v.Accel)
+	if n == 0 {
+		return fmt.Errorf("smformat: V2 %s%s has no samples", v.Station, v.Component.Suffix())
+	}
+	if len(v.Vel) != n || len(v.Disp) != n {
+		return fmt.Errorf("smformat: V2 %s%s trace lengths differ (acc %d, vel %d, disp %d)",
+			v.Station, v.Component.Suffix(), n, len(v.Vel), len(v.Disp))
+	}
+	return nil
+}
+
+// Write serializes the V2 file.
+func (v V2) Write(w io.Writer) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	err := func() error {
+		if _, err := fmt.Fprintln(bw, v2Magic); err != nil {
+			return err
+		}
+		if err := writeHeader(bw, "STATION", v.Station); err != nil {
+			return err
+		}
+		if err := writeHeader(bw, "COMPONENT", v.Component.String()); err != nil {
+			return err
+		}
+		if err := writeHeaderFloat(bw, "DT", v.DT); err != nil {
+			return err
+		}
+		if err := writeHeaderInt(bw, "NPTS", len(v.Accel)); err != nil {
+			return err
+		}
+		for _, hf := range []struct {
+			key string
+			val float64
+		}{
+			{"FSL", v.Filter.FSL}, {"FPL", v.Filter.FPL},
+			{"FPH", v.Filter.FPH}, {"FSH", v.Filter.FSH},
+			{"PGA", v.Peaks.PGA}, {"TPGA", v.Peaks.TimePGA},
+			{"PGV", v.Peaks.PGV}, {"TPGV", v.Peaks.TimePGV},
+			{"PGD", v.Peaks.PGD}, {"TPGD", v.Peaks.TimePGD},
+		} {
+			if err := writeHeaderFloat(bw, hf.key, hf.val); err != nil {
+				return err
+			}
+		}
+		for _, block := range []struct {
+			name string
+			data []float64
+		}{
+			{"ACCELERATION", v.Accel}, {"VELOCITY", v.Vel}, {"DISPLACEMENT", v.Disp},
+		} {
+			if err := writeHeader(bw, "BLOCK", block.name); err != nil {
+				return err
+			}
+			if err := writeValues(bw, block.data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	return flush(bw, err)
+}
+
+// ParseV2 reads a V2 file.
+func ParseV2(r io.Reader) (V2, error) {
+	sc := newScanner(r)
+	if !sc.Scan() || sc.Text() != v2Magic {
+		return V2{}, fmt.Errorf("smformat: not a V2 file (missing %q)", v2Magic)
+	}
+	h := &headerReader{sc: sc, line: 1}
+	var v V2
+	var err error
+	if v.Station, err = h.expect("STATION"); err != nil {
+		return V2{}, err
+	}
+	compName, err := h.expect("COMPONENT")
+	if err != nil {
+		return V2{}, err
+	}
+	if v.Component, err = seismic.ParseComponent(compName); err != nil {
+		return V2{}, err
+	}
+	if v.DT, err = h.expectFloat("DT"); err != nil {
+		return V2{}, err
+	}
+	npts, err := h.expectInt("NPTS")
+	if err != nil {
+		return V2{}, err
+	}
+	if npts <= 0 {
+		return V2{}, fmt.Errorf("smformat: V2 %s: NPTS %d must be positive", v.Station, npts)
+	}
+	for _, hf := range []struct {
+		key string
+		dst *float64
+	}{
+		{"FSL", &v.Filter.FSL}, {"FPL", &v.Filter.FPL},
+		{"FPH", &v.Filter.FPH}, {"FSH", &v.Filter.FSH},
+		{"PGA", &v.Peaks.PGA}, {"TPGA", &v.Peaks.TimePGA},
+		{"PGV", &v.Peaks.PGV}, {"TPGV", &v.Peaks.TimePGV},
+		{"PGD", &v.Peaks.PGD}, {"TPGD", &v.Peaks.TimePGD},
+	} {
+		if *hf.dst, err = h.expectFloat(hf.key); err != nil {
+			return V2{}, err
+		}
+	}
+	for _, block := range []struct {
+		name string
+		dst  *[]float64
+	}{
+		{"ACCELERATION", &v.Accel}, {"VELOCITY", &v.Vel}, {"DISPLACEMENT", &v.Disp},
+	} {
+		name, err := h.expect("BLOCK")
+		if err != nil {
+			return V2{}, err
+		}
+		if name != block.name {
+			return V2{}, fmt.Errorf("smformat: V2 %s: block %q, want %q", v.Station, name, block.name)
+		}
+		vs := newValueScanner(sc, h.line)
+		if *block.dst, err = vs.readBlock(npts); err != nil {
+			return V2{}, fmt.Errorf("smformat: V2 %s%s block %s: %w", v.Station, v.Component.Suffix(), name, err)
+		}
+		h.line = vs.line
+	}
+	if err := v.Validate(); err != nil {
+		return V2{}, err
+	}
+	return v, nil
+}

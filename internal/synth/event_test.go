@@ -1,0 +1,179 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testSpec() EventSpec {
+	return EventSpec{
+		Name:        "test-event",
+		Files:       4,
+		TotalPoints: 48000,
+		Magnitude:   5.2,
+		Seed:        7,
+	}
+}
+
+func TestEventSpecValidate(t *testing.T) {
+	if err := testSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	mutations := []func(*EventSpec){
+		func(s *EventSpec) { s.Name = "" },
+		func(s *EventSpec) { s.Files = 0 },
+		func(s *EventSpec) { s.Files = -2 },
+		func(s *EventSpec) { s.TotalPoints = 0 },
+		func(s *EventSpec) { s.TotalPoints = 30 }, // avg below 16
+		func(s *EventSpec) { s.Magnitude = 0 },
+	}
+	for i, mut := range mutations {
+		s := testSpec()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestEventGeneratesExactTotals(t *testing.T) {
+	spec := testSpec()
+	ev, err := Event(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Records) != spec.Files {
+		t.Fatalf("records = %d, want %d", len(ev.Records), spec.Files)
+	}
+	if got := ev.TotalDataPoints(); got != spec.TotalPoints {
+		t.Errorf("total points = %d, want %d", got, spec.TotalPoints)
+	}
+	if err := ev.Validate(); err != nil {
+		t.Errorf("generated event invalid: %v", err)
+	}
+}
+
+func TestEventDeterministic(t *testing.T) {
+	a, err := Event(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Event(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range a.Records {
+		if a.Records[ri].Station != b.Records[ri].Station {
+			t.Fatalf("station %d name differs", ri)
+		}
+		for ci := range a.Records[ri].Accel {
+			ad, bd := a.Records[ri].Accel[ci].Data, b.Records[ri].Accel[ci].Data
+			if len(ad) != len(bd) {
+				t.Fatalf("record %d comp %d lengths differ", ri, ci)
+			}
+			for i := range ad {
+				if ad[i] != bd[i] {
+					t.Fatalf("record %d comp %d sample %d differs", ri, ci, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEventRejectsInvalidSpec(t *testing.T) {
+	s := testSpec()
+	s.Files = 0
+	if _, err := Event(s); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestPaperEventsMatchTableI(t *testing.T) {
+	events := PaperEvents()
+	if len(events) != 6 {
+		t.Fatalf("paper has 6 events, got %d", len(events))
+	}
+	wantFiles := []int{5, 5, 9, 15, 18, 19}
+	wantPoints := []int{56000, 115000, 145000, 309000, 361000, 384000}
+	for i, ev := range events {
+		if ev.Files != wantFiles[i] {
+			t.Errorf("event %s files = %d, want %d", ev.Name, ev.Files, wantFiles[i])
+		}
+		if ev.TotalPoints != wantPoints[i] {
+			t.Errorf("event %s points = %d, want %d", ev.Name, ev.TotalPoints, wantPoints[i])
+		}
+		if err := ev.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", ev.Name, err)
+		}
+	}
+}
+
+// Property: recordSizes always partitions TotalPoints exactly, with every
+// record size positive, for any seed and plausible shape.
+func TestRecordSizesPartition(t *testing.T) {
+	f := func(seed int64, filesRaw uint8, pointsRaw uint16) bool {
+		files := int(filesRaw)%19 + 1
+		total := files * (7300 + int(pointsRaw)%27000)
+		spec := EventSpec{Name: "q", Files: files, TotalPoints: total, Magnitude: 5, Seed: seed}
+		sizes := recordSizes(spec)
+		if len(sizes) != files {
+			return false
+		}
+		sum := 0
+		for _, s := range sizes {
+			if s <= 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Paper: raw files range from 7,300 to 35,000 data points.  At the paper's
+// event sizes the generator must respect those bounds (up to the final
+// record's rounding slack of at most Files extra samples).
+func TestRecordSizesRespectPaperBounds(t *testing.T) {
+	for _, spec := range PaperEvents() {
+		sizes := recordSizes(spec)
+		for i, s := range sizes {
+			if s < MinRecordPoints || s > MaxRecordPoints+spec.Files {
+				t.Errorf("event %s record %d has %d points, outside [%d, %d]",
+					spec.Name, i, s, MinRecordPoints, MaxRecordPoints)
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := testSpec()
+	half := s.Scale(0.5)
+	if half.TotalPoints != 24000 {
+		t.Errorf("scaled points = %d, want 24000", half.TotalPoints)
+	}
+	if half.Files != s.Files {
+		t.Errorf("file count changed: %d", half.Files)
+	}
+	tiny := s.Scale(0.0001)
+	if tiny.TotalPoints < 16*tiny.Files {
+		t.Errorf("tiny scale below generator minimum: %d", tiny.TotalPoints)
+	}
+	if err := tiny.Validate(); err != nil {
+		t.Errorf("tiny scaled spec invalid: %v", err)
+	}
+}
+
+func TestEventSmallScaleStillGenerates(t *testing.T) {
+	// A scaled-down paper event (used by quick benches) must generate.
+	spec := PaperEvents()[0].Scale(0.02) // 1120 points over 5 files
+	ev, err := Event(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.TotalDataPoints(); got != spec.TotalPoints {
+		t.Errorf("total points = %d, want %d", got, spec.TotalPoints)
+	}
+}

@@ -1,0 +1,252 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/seismic"
+)
+
+func testParams() Params {
+	return Params{
+		Station:    "SS01",
+		Seed:       42,
+		DT:         0.01,
+		Samples:    8000,
+		Magnitude:  5.5,
+		Distance:   30,
+		NoiseFloor: 0.02,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := testParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.Station = "" },
+		func(p *Params) { p.DT = 0 },
+		func(p *Params) { p.DT = -1 },
+		func(p *Params) { p.Samples = 8 },
+		func(p *Params) { p.Magnitude = 0.5 },
+		func(p *Params) { p.Magnitude = 10 },
+		func(p *Params) { p.Distance = 0 },
+	}
+	for i, mut := range mutations {
+		p := testParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestRecordDeterministic(t *testing.T) {
+	a, err := Record(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Record(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range a.Accel {
+		for i := range a.Accel[ci].Data {
+			if a.Accel[ci].Data[i] != b.Accel[ci].Data[i] {
+				t.Fatalf("component %d sample %d differs between identical seeds", ci, i)
+			}
+		}
+	}
+}
+
+func TestRecordComponentsDiffer(t *testing.T) {
+	rec, err := Record(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range rec.Accel[0].Data {
+		if rec.Accel[0].Data[i] == rec.Accel[1].Data[i] {
+			same++
+		}
+	}
+	if same > len(rec.Accel[0].Data)/10 {
+		t.Errorf("L and T components identical at %d samples; want independent realizations", same)
+	}
+}
+
+func TestRecordShapeAndValidity(t *testing.T) {
+	p := testParams()
+	rec, err := Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("generated record invalid: %v", err)
+	}
+	if rec.Samples() != p.Samples {
+		t.Errorf("samples = %d, want %d", rec.Samples(), p.Samples)
+	}
+	// Vertical peak should be smaller than horizontal peaks (2/3 scaling).
+	pgaL, _ := dsp.AbsMax(rec.Accel[0].Data)
+	pgaV, _ := dsp.AbsMax(rec.Accel[2].Data)
+	if pgaV >= pgaL {
+		t.Errorf("vertical PGA %g >= longitudinal PGA %g", pgaV, pgaL)
+	}
+}
+
+func TestRecordAmplitudeTracksMagnitudeAndDistance(t *testing.T) {
+	base := testParams()
+	small := base
+	small.Magnitude = 4.0
+	far := base
+	far.Distance = 120
+	recBase, err := Record(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSmall, err := Record(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recFar, err := Record(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pga := func(r seismic.Record) float64 {
+		p, _ := dsp.AbsMax(r.Accel[0].Data)
+		return p
+	}
+	if pga(recSmall) >= pga(recBase) {
+		t.Errorf("M4 PGA %g >= M5.5 PGA %g", pga(recSmall), pga(recBase))
+	}
+	if pga(recFar) >= pga(recBase) {
+		t.Errorf("120 km PGA %g >= 30 km PGA %g", pga(recFar), pga(recBase))
+	}
+}
+
+func TestRecordSpectralShape(t *testing.T) {
+	// The synthetic record must carry most energy at engineering
+	// frequencies (0.5-15 Hz) rather than at very long periods, so that
+	// FPL/FSL picking has a meaningful spectral corner to find.
+	p := testParams()
+	p.NoiseFloor = 0
+	rec, err := Record(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amps, df, err := dsp.AmplitudeSpectrum(rec.Accel[0].Data, p.DT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	band := func(lo, hi float64) float64 {
+		var e float64
+		for k, a := range amps {
+			f := float64(k) * df
+			if f >= lo && f < hi {
+				e += a * a
+			}
+		}
+		return e
+	}
+	strong := band(0.5, 15)
+	weak := band(0.0, 0.1)
+	if strong <= 10*weak {
+		t.Errorf("energy 0.5-15 Hz (%g) not dominant over <0.1 Hz (%g)", strong, weak)
+	}
+}
+
+func TestRecordInvalidParams(t *testing.T) {
+	p := testParams()
+	p.Samples = 0
+	if _, err := Record(p); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestEnvelopeShape(t *testing.T) {
+	n, dt := 4000, 0.01
+	env := Envelope(n, dt, 5.5, 30)
+	if len(env) != n {
+		t.Fatalf("len = %d, want %d", len(env), n)
+	}
+	peak, idx := dsp.AbsMax(env)
+	if math.Abs(peak-1) > 1e-12 {
+		t.Errorf("peak = %g, want 1", peak)
+	}
+	if idx == 0 || idx == n-1 {
+		t.Errorf("plateau at record edge (idx %d)", idx)
+	}
+	// Starts near zero, ends decayed.
+	if env[0] > 0.05 {
+		t.Errorf("env[0] = %g, want pre-event quiet", env[0])
+	}
+	if env[n-1] > 0.5 {
+		t.Errorf("env[end] = %g, want coda decay", env[n-1])
+	}
+	// All values in [0, 1].
+	for i, v := range env {
+		if v < 0 || v > 1 {
+			t.Fatalf("env[%d] = %g outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestEnvelopeDegenerate(t *testing.T) {
+	env := Envelope(1, 0.01, 5, 10)
+	if len(env) != 1 || env[0] != 1 {
+		t.Errorf("single-sample envelope = %v, want [1]", env)
+	}
+}
+
+func TestSourceSpectrum(t *testing.T) {
+	fc := 1.0
+	if SourceSpectrum(0, fc, 30, 0.04) != 0 {
+		t.Error("DC response must be zero")
+	}
+	// Low-frequency rise ~ f^2 below the corner.
+	r1 := SourceSpectrum(0.1, fc, 30, 0.04)
+	r2 := SourceSpectrum(0.2, fc, 30, 0.04)
+	ratio := r2 / r1
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("low-frequency slope ratio = %g, want ~4 (f^2)", ratio)
+	}
+	// Kappa decay dominates at high frequency.
+	if SourceSpectrum(40, fc, 30, 0.04) >= SourceSpectrum(10, fc, 30, 0.04) {
+		t.Error("no high-frequency decay")
+	}
+}
+
+func TestTargetPGAMonotonic(t *testing.T) {
+	if TargetPGA(6, 30) <= TargetPGA(5, 30) {
+		t.Error("PGA not increasing with magnitude")
+	}
+	if TargetPGA(6, 100) >= TargetPGA(6, 20) {
+		t.Error("PGA not decreasing with distance")
+	}
+	if TargetPGA(6, 30) <= 0 {
+		t.Error("PGA not positive")
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	p := testParams()
+	p.Samples = 20000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Record(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvent(b *testing.B) {
+	spec := EventSpec{Name: "bench", Files: 5, TotalPoints: 56000, Magnitude: 5, Seed: 9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Event(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
