@@ -1,0 +1,34 @@
+# Development targets.  `make ci` is the full gate (see ci.sh); the tier-1
+# gate the project must always keep green is `make build test`
+# (= go build ./... && go test ./..., per ROADMAP.md).
+
+GO ?= go
+
+.PHONY: all fmt vet build test race bench ci
+
+all: build
+
+fmt:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel runtime and the pipeline drivers carry the concurrency and
+# the occupancy instrumentation; they must stay race-clean.
+race:
+	$(GO) test -race ./internal/parallel/... ./internal/pipeline/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+ci: fmt vet build test race

@@ -12,6 +12,7 @@ package accelproc
 // so results are comparable across hosts with any core count.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -45,7 +46,7 @@ func benchConfig(b *testing.B) bench.Config {
 func runVariantOnce(b *testing.B, ev synth.EventSpec, v pipeline.Variant, cfg bench.Config) pipeline.Timings {
 	b.Helper()
 	cfg.Variants = []pipeline.Variant{v}
-	res, err := bench.RunEvent(ev, cfg)
+	res, err := bench.RunEvent(context.Background(), ev, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func BenchmarkTable1(b *testing.B) {
 			cfg := benchConfig(b)
 			for i := 0; i < b.N; i++ {
 				cfg.Variants = nil // all four
-				res, err := bench.RunEvent(spec, cfg)
+				res, err := bench.RunEvent(context.Background(), spec, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -97,7 +98,7 @@ func BenchmarkFig11Stages(b *testing.B) {
 	spec := synth.PaperEvents()[5] // Jul-31-2019
 	cfg := benchConfig(b)
 	for i := 0; i < b.N; i++ {
-		f11, err := bench.RunFig11(spec, cfg)
+		f11, err := bench.RunFig11(context.Background(), spec, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func BenchmarkFig13Throughput(b *testing.B) {
 			cfg := benchConfig(b)
 			cfg.Variants = []pipeline.Variant{pipeline.SeqOriginal, pipeline.FullParallel}
 			for i := 0; i < b.N; i++ {
-				res, err := bench.RunEvent(spec, cfg)
+				res, err := bench.RunEvent(context.Background(), spec, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -174,7 +175,7 @@ func BenchmarkAblationTempFolder(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				res, err := pipeline.Run(dir, pipeline.FullParallel, pipeline.Options{
+				res, err := pipeline.Run(context.Background(), dir, pipeline.FullParallel, pipeline.Options{
 					SimProcessors: bench.PaperProcessors,
 					NoTempFolders: noTemp,
 					Response: response.Config{
@@ -304,7 +305,7 @@ func BenchmarkAblationThreads(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				res, err := pipeline.Run(dir, pipeline.FullParallel, pipeline.Options{
+				res, err := pipeline.Run(context.Background(), dir, pipeline.FullParallel, pipeline.Options{
 					SimProcessors: procs,
 					Response: response.Config{
 						Method:  response.Duhamel,

@@ -1,0 +1,27 @@
+#!/bin/sh
+# CI gate for accelproc.  Order matters: cheap static checks first, the
+# tier-1 gate (go build ./... && go test ./..., per ROADMAP.md) next, the
+# race-detector pass over the concurrent packages last.
+set -eu
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== build =="
+go build ./...
+
+echo "== test =="
+go test ./...
+
+echo "== race (parallel runtime + pipeline drivers) =="
+go test -race ./internal/parallel/... ./internal/pipeline/...
+
+echo "CI gate passed."

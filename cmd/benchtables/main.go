@@ -5,46 +5,76 @@
 // Usage:
 //
 //	benchtables [-scale 0.16] [-workers 0] [-method duhamel|nj]
-//	            [-periods 8] [-repeat 1] [-table1] [-fig11] [-fig12]
-//	            [-fig13] [-check]
+//	            [-periods 8] [-repeat 1] [-variants seq-original,full]
+//	            [-table1] [-fig11] [-fig12] [-fig13] [-check]
+//	            [-trace spans.jsonl] [-metrics metrics.txt] [-pprof cpu.out]
 //
 // With no selection flags, everything is produced.  -scale sets the
 // workload size (1.0 = the paper's data-point counts; the default is the
 // calibrated reference scale, see EXPERIMENTS.md); -check evaluates the
-// reproduction-shape assertions and exits non-zero if any fails.
+// reproduction-shape assertions and exits non-zero if any fails.  -trace
+// captures every measured run's span tree — the Figure 11 rows are derived
+// from the same spans — and -metrics/-pprof write the metrics exposition
+// and a CPU profile (see README "Observability").
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"accelproc/internal/bench"
+	"accelproc/internal/cliobs"
+	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
 	"accelproc/internal/synth"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
 	}
 }
 
+// parseVariants splits a comma-separated -variants value.
+func parseVariants(s string) ([]pipeline.Variant, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []pipeline.Variant
+	for _, part := range strings.Split(s, ",") {
+		v, err := pipeline.ParseVariant(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // errChecksFailed marks a completed run whose shape checks did not pass.
 var errChecksFailed = fmt.Errorf("reproduction shape checks failed")
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	var obsFlags cliobs.Flags
+	obsFlags.Register(fs)
 	var (
 		scale     = fs.Float64("scale", bench.ReferenceScale, "workload scale factor (1.0 = paper data sizes; default is the calibrated reference scale)")
 		workers   = fs.Int("workers", 0, "worker budget for parallel variants (0 = all processors)")
 		method    = fs.String("method", "duhamel", "stage IX method: duhamel (legacy O(D^2)) or nj (Nigam-Jennings O(D))")
 		periods   = fs.Int("periods", bench.ShapePeriods, "response-spectrum period count")
 		repeat    = fs.Int("repeat", 1, "repetitions per measurement (fastest kept)")
+		variants  = fs.String("variants", "", "comma-separated variants to measure (default: all four)")
 		table1    = fs.Bool("table1", false, "produce Table I")
 		fig11     = fs.Bool("fig11", false, "produce Figure 11 (per-stage, largest event)")
 		fig12     = fs.Bool("fig12", false, "produce Figure 12 (per-event bars)")
@@ -59,19 +89,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	all := !*table1 && !*fig11 && !*fig12 && !*fig13 && !*check && !*ablations
 
-	var m response.Method
-	switch *method {
-	case "duhamel":
-		m = response.Duhamel
-	case "nj":
-		m = response.NigamJennings
-	default:
-		return fmt.Errorf("unknown method %q (want duhamel or nj)", *method)
+	m, err := response.ParseMethod(*method)
+	if err != nil {
+		return err
 	}
+	vs, err := parseVariants(*variants)
+	if err != nil {
+		return err
+	}
+	session, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer session.Close()
 	cfg := bench.Config{
-		Scale:   *scale,
-		Workers: *workers,
-		Repeat:  *repeat,
+		Scale:    *scale,
+		Workers:  *workers,
+		Repeat:   *repeat,
+		Variants: vs,
+		Observer: session.Observer,
 		Response: response.Config{
 			Method:  m,
 			Periods: response.LogPeriods(0.05, 10, *periods),
@@ -100,7 +136,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var results []bench.EventResult
 	if all || *table1 || *fig12 || *fig13 || *check {
 		var err error
-		results, err = bench.RunTable1(cfg, progress)
+		results, err = bench.RunTable1(ctx, cfg, progress)
 		if err != nil {
 			return err
 		}
@@ -109,7 +145,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if all || *fig11 || *check {
 		progress(fmt.Sprintf("figure 11 on %s", fig11Spec.Name))
 		var err error
-		f11, err = bench.RunFig11(fig11Spec, cfg)
+		f11, err = bench.RunFig11(ctx, fig11Spec, cfg)
 		if err != nil {
 			return err
 		}
@@ -129,7 +165,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if all || *ablations {
 		progress(fmt.Sprintf("ablations on %s", ablationSpec.Name))
-		abl, err := bench.RunAblations(ablationSpec, cfg)
+		abl, err := bench.RunAblations(ctx, ablationSpec, cfg)
 		if err != nil {
 			return err
 		}
@@ -148,5 +184,5 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return errChecksFailed
 		}
 	}
-	return nil
+	return session.Close()
 }

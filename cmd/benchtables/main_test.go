@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestRunSmokeTable1(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-smoke", "-table1", "-periods", "6"}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-smoke", "-table1", "-periods", "6"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"TABLE I", "smoke-1", "smoke-2", "SpeedUp"} {
@@ -24,7 +25,7 @@ func TestRunSmokeTable1(t *testing.T) {
 
 func TestRunSmokeFigures(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-smoke", "-fig11", "-fig12", "-fig13", "-periods", "6", "-method", "nj"}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-smoke", "-fig11", "-fig12", "-fig13", "-periods", "6", "-method", "nj"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"FIGURE 11", "FIGURE 12", "FIGURE 13"} {
@@ -36,7 +37,7 @@ func TestRunSmokeFigures(t *testing.T) {
 
 func TestRunSmokeCheckReportsOutcome(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	err := run([]string{"-smoke", "-check", "-periods", "6"}, &out, &errBuf)
+	err := run(context.Background(), []string{"-smoke", "-check", "-periods", "6"}, &out, &errBuf)
 	// At smoke scale the ordering checks may legitimately fail; what must
 	// hold is that checks were evaluated and a failure maps to the
 	// sentinel error rather than a crash.
@@ -50,20 +51,20 @@ func TestRunSmokeCheckReportsOutcome(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-method", "bogus"}, &out, &errBuf); err == nil {
+	if err := run(context.Background(), []string{"-method", "bogus"}, &out, &errBuf); err == nil {
 		t.Error("bogus method accepted")
 	}
-	if err := run([]string{"-scale", "-2", "-table1"}, &out, &errBuf); err == nil {
+	if err := run(context.Background(), []string{"-scale", "-2", "-table1"}, &out, &errBuf); err == nil {
 		t.Error("negative scale accepted")
 	}
-	if err := run([]string{"-no-such-flag"}, &out, &errBuf); err == nil {
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out, &errBuf); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
 
 func TestRunSmokeAblations(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-smoke", "-ablations", "-periods", "6", "-method", "nj"}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-smoke", "-ablations", "-periods", "6", "-method", "nj"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"ABLATIONS", "processor sweep"} {

@@ -10,7 +10,9 @@
 //	smcatalog -root new/ -merge old.json -save all.json   # accumulate runs
 //
 // Every immediate subdirectory of -root that has been processed by smproc
-// is ingested, named after the subdirectory.
+// is ingested, named after the subdirectory.  -trace, -metrics, and -pprof
+// capture the ingest's span tree, metrics, and CPU profile (see README
+// "Observability").
 package main
 
 import (
@@ -20,6 +22,8 @@ import (
 	"os"
 
 	"accelproc/internal/catalog"
+	"accelproc/internal/cliobs"
+	"accelproc/internal/obs"
 )
 
 func main() {
@@ -31,6 +35,8 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("smcatalog", flag.ContinueOnError)
+	var obsFlags cliobs.Flags
+	obsFlags.Register(fs)
 	var (
 		root    = fs.String("root", "", "directory whose subdirectories are processed events (required)")
 		station = fs.String("station", "", "print the record history of one station")
@@ -44,23 +50,37 @@ func run(args []string, stdout io.Writer) error {
 	if *root == "" {
 		return fmt.Errorf("-root is required")
 	}
-
-	c := catalog.New()
-	n, err := c.IngestAll(*root)
+	session, err := obsFlags.Start()
 	if err != nil {
 		return err
 	}
+	defer session.Close()
+	o := session.Observer
+
+	c := catalog.New()
+	ingest := o.Root("catalog:ingest", obs.KindRun, obs.String("root", *root))
+	n, err := c.IngestAll(*root)
+	if err != nil {
+		ingest.End(obs.String("error", err.Error()))
+		return err
+	}
+	ingest.End(obs.Int("events", int64(n)), obs.Int("entries", int64(c.Len())))
+	o.Counter("catalog_entries_total").Add(float64(c.Len()))
 	if n == 0 {
 		return fmt.Errorf("no processed event directories under %s", *root)
 	}
 	if *merge != "" {
+		mergeSpan := ingest.Child("catalog:merge", obs.KindTask, obs.String("file", *merge))
 		prev, err := catalog.Load(*merge)
 		if err != nil {
+			mergeSpan.End(obs.String("error", err.Error()))
 			return err
 		}
 		if err := c.Merge(prev); err != nil {
+			mergeSpan.End(obs.String("error", err.Error()))
 			return err
 		}
+		mergeSpan.End()
 	}
 	if *save != "" {
 		if err := c.Save(*save); err != nil {
@@ -88,5 +108,5 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		fmt.Fprint(stdout, c.Report())
 	}
-	return nil
+	return session.Close()
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -29,7 +30,7 @@ func processedRoot(t *testing.T) string {
 			Method:  response.NigamJennings,
 			Periods: response.LogPeriods(0.05, 5, 8),
 		}}
-		if _, err := pipeline.Run(dir, pipeline.SeqOptimized, opts); err != nil {
+		if _, err := pipeline.Run(context.Background(), dir, pipeline.SeqOptimized, opts); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -5,49 +5,42 @@
 // Usage:
 //
 //	smproc -dir work/ [-variant full] [-workers 0] [-method nj]
-//	       [-periods 91] [-clean]
+//	       [-periods 91] [-clean] [-trace run.jsonl] [-metrics metrics.txt]
 //	smproc -batch "ev1,ev2,ev3" [-variant full] [-event-workers 0]
 //
 // A directory must contain multiplexed <station>.v1 files (generate
 // synthetic ones with the synthgen command).  -variant selects
 // seq-original, seq-optimized, partial, or full.  -clean removes all
 // pipeline products first so the run starts from a pristine directory.
-// -batch processes several event directories concurrently.
+// -batch processes several event directories concurrently.  -trace,
+// -metrics, and -pprof capture the run's span tree, metrics exposition,
+// and CPU profile (see README "Observability").  Interrupting the process
+// (SIGINT/SIGTERM) cancels the run cleanly, including scratch folders.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
-	"sync"
-	"time"
+	"syscall"
 
+	"accelproc/internal/cliobs"
 	"accelproc/internal/dsp"
+	"accelproc/internal/obs"
 	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "smproc:", err)
 		os.Exit(1)
-	}
-}
-
-func parseVariant(s string) (pipeline.Variant, error) {
-	switch s {
-	case "seq-original":
-		return pipeline.SeqOriginal, nil
-	case "seq-optimized":
-		return pipeline.SeqOptimized, nil
-	case "partial":
-		return pipeline.PartialParallel, nil
-	case "full":
-		return pipeline.FullParallel, nil
-	default:
-		return 0, fmt.Errorf("unknown variant %q (want seq-original, seq-optimized, partial, or full)", s)
 	}
 }
 
@@ -63,19 +56,10 @@ func parseInstrument(s string) (*dsp.Instrument, error) {
 	return in, nil
 }
 
-func parseMethod(s string) (response.Method, error) {
-	switch s {
-	case "duhamel":
-		return response.Duhamel, nil
-	case "nj":
-		return response.NigamJennings, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q (want duhamel or nj)", s)
-	}
-}
-
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("smproc", flag.ContinueOnError)
+	var obsFlags cliobs.Flags
+	obsFlags.Register(fs)
 	var (
 		dir          = fs.String("dir", "", "work directory containing <station>.v1 inputs")
 		batch        = fs.String("batch", "", "comma-separated list of work directories to process concurrently")
@@ -95,20 +79,31 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("exactly one of -dir or -batch is required")
 	}
 
-	v, err := parseVariant(*variant)
+	v, err := pipeline.ParseVariant(*variant)
 	if err != nil {
 		return err
 	}
-	m, err := parseMethod(*method)
+	m, err := response.ParseMethod(*method)
 	if err != nil {
 		return err
 	}
+	var renderer obs.Sink
+	if *verbose {
+		renderer = obs.NewProgressRenderer(stdout)
+	}
+	session, err := obsFlags.Start(renderer)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
 	opts := pipeline.Options{
-		Workers: *workers,
+		Workers:      *workers,
+		EventWorkers: *eventWorkers,
 		Response: response.Config{
 			Method:  m,
 			Periods: response.LogPeriods(0.02, 20, *periods),
 		},
+		Observer: session.Observer,
 	}
 	if *instr != "" {
 		in, err := parseInstrument(*instr)
@@ -116,14 +111,6 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		opts.Instrument = in
-	}
-	if *verbose {
-		var mu sync.Mutex
-		opts.Progress = func(p pipeline.ProcessID, d time.Duration) {
-			mu.Lock()
-			defer mu.Unlock()
-			fmt.Fprintf(stdout, "  #%-2d %-38s %8.3f s\n", p, pipeline.Processes[p].Name, d.Seconds())
-		}
 	}
 
 	if *batch != "" {
@@ -138,7 +125,7 @@ func run(args []string, stdout io.Writer) error {
 				}
 			}
 		}
-		results, err := pipeline.RunBatch(dirs, v, opts, *eventWorkers)
+		results, err := pipeline.RunBatch(ctx, dirs, v, opts)
 		for _, r := range results {
 			if r.Err != nil {
 				fmt.Fprintf(stdout, "%-30s FAILED: %v\n", r.Dir, r.Err)
@@ -149,7 +136,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "batch: %d events, %d distinct stations\n",
 			len(results), len(pipeline.BatchStations(results)))
-		return err
+		if err != nil {
+			return err
+		}
+		return session.Close()
 	}
 
 	if *clean {
@@ -157,7 +147,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	res, err := pipeline.Run(*dir, v, opts)
+	res, err := pipeline.Run(ctx, *dir, v, opts)
 	if err != nil {
 		return err
 	}
@@ -179,5 +169,5 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "\nproducts: %d V2, %d Fourier, %d response, %d GEM, %d plots\n",
 		inv.V2, inv.Fourier, inv.Response, inv.GEM, inv.Plots)
-	return nil
+	return session.Close()
 }

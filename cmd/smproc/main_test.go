@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"accelproc/internal/pipeline"
-	"accelproc/internal/response"
 	"accelproc/internal/synth"
 )
 
@@ -26,40 +28,10 @@ func makeWorkDir(t *testing.T, seed int64) string {
 	return dir
 }
 
-func TestParseVariant(t *testing.T) {
-	good := map[string]pipeline.Variant{
-		"seq-original":  pipeline.SeqOriginal,
-		"seq-optimized": pipeline.SeqOptimized,
-		"partial":       pipeline.PartialParallel,
-		"full":          pipeline.FullParallel,
-	}
-	for in, want := range good {
-		got, err := parseVariant(in)
-		if err != nil || got != want {
-			t.Errorf("parseVariant(%q) = %v, %v", in, got, err)
-		}
-	}
-	if _, err := parseVariant("bogus"); err == nil {
-		t.Error("bogus variant accepted")
-	}
-}
-
-func TestParseMethod(t *testing.T) {
-	if m, err := parseMethod("duhamel"); err != nil || m != response.Duhamel {
-		t.Errorf("duhamel: %v, %v", m, err)
-	}
-	if m, err := parseMethod("nj"); err != nil || m != response.NigamJennings {
-		t.Errorf("nj: %v, %v", m, err)
-	}
-	if _, err := parseMethod("x"); err == nil {
-		t.Error("bogus method accepted")
-	}
-}
-
 func TestRunSingleDirectory(t *testing.T) {
 	dir := makeWorkDir(t, 1)
 	var out bytes.Buffer
-	err := run([]string{"-dir", dir, "-variant", "full", "-periods", "8"}, &out)
+	err := run(context.Background(), []string{"-dir", dir, "-variant", "full", "-periods", "8"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +45,11 @@ func TestRunSingleDirectory(t *testing.T) {
 func TestRunCleanRerun(t *testing.T) {
 	dir := makeWorkDir(t, 2)
 	var out bytes.Buffer
-	if err := run([]string{"-dir", dir, "-periods", "8"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-dir", dir, "-periods", "8"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"-dir", dir, "-clean", "-variant", "seq-optimized", "-periods", "8"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-dir", dir, "-clean", "-variant", "seq-optimized", "-periods", "8"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "sequential-optimized") {
@@ -89,7 +61,7 @@ func TestRunBatchMode(t *testing.T) {
 	d1 := makeWorkDir(t, 3)
 	d2 := makeWorkDir(t, 4)
 	var out bytes.Buffer
-	err := run([]string{"-batch", d1 + ", " + d2, "-periods", "8"}, &out)
+	err := run(context.Background(), []string{"-batch", d1 + ", " + d2, "-periods", "8"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,20 +71,21 @@ func TestRunBatchMode(t *testing.T) {
 }
 
 func TestRunFlagValidation(t *testing.T) {
+	ctx := context.Background()
 	var out bytes.Buffer
-	if err := run(nil, &out); err == nil {
+	if err := run(ctx, nil, &out); err == nil {
 		t.Error("missing -dir and -batch accepted")
 	}
-	if err := run([]string{"-dir", "a", "-batch", "b"}, &out); err == nil {
+	if err := run(ctx, []string{"-dir", "a", "-batch", "b"}, &out); err == nil {
 		t.Error("both -dir and -batch accepted")
 	}
-	if err := run([]string{"-dir", "x", "-variant", "bogus"}, &out); err == nil {
+	if err := run(ctx, []string{"-dir", "x", "-variant", "bogus"}, &out); err == nil {
 		t.Error("bogus variant accepted")
 	}
-	if err := run([]string{"-dir", "x", "-method", "bogus"}, &out); err == nil {
+	if err := run(ctx, []string{"-dir", "x", "-method", "bogus"}, &out); err == nil {
 		t.Error("bogus method accepted")
 	}
-	if err := run([]string{"-dir", filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
+	if err := run(ctx, []string{"-dir", filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
 		t.Error("missing directory accepted")
 	}
 }
@@ -132,14 +105,14 @@ func TestParseInstrument(t *testing.T) {
 func TestRunWithInstrumentFlag(t *testing.T) {
 	dir := makeWorkDir(t, 5)
 	var out bytes.Buffer
-	err := run([]string{"-dir", dir, "-periods", "8", "-instrument", "25,0.7"}, &out)
+	err := run(context.Background(), []string{"-dir", dir, "-periods", "8", "-instrument", "25,0.7"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "processed 2 stations") {
 		t.Errorf("output = %q", out.String())
 	}
-	if err := run([]string{"-dir", dir, "-instrument", "garbage"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-dir", dir, "-instrument", "garbage"}, &out); err == nil {
 		t.Error("bad instrument flag accepted")
 	}
 }
@@ -147,12 +120,85 @@ func TestRunWithInstrumentFlag(t *testing.T) {
 func TestRunVerbose(t *testing.T) {
 	dir := makeWorkDir(t, 6)
 	var out bytes.Buffer
-	if err := run([]string{"-dir", dir, "-periods", "8", "-verbose", "-variant", "seq-optimized"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-dir", dir, "-periods", "8", "-verbose", "-variant", "seq-optimized"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"#1 ", "gather input data files", "response spectrum calculation"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("verbose output missing %q", want)
+		}
+	}
+}
+
+// TestRunTraceAndMetrics is the acceptance check of the observability
+// layer's CLI wiring: -trace writes a span tree whose stage durations sum
+// to within 5% of the run total, and -metrics writes a Prometheus
+// exposition with the pipeline counters.
+func TestRunTraceAndMetrics(t *testing.T) {
+	dir := makeWorkDir(t, 7)
+	tracePath := filepath.Join(t.TempDir(), "out.jsonl")
+	metricsPath := filepath.Join(t.TempDir(), "metrics.txt")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-dir", dir, "-variant", "full", "-periods", "8",
+		"-trace", tracePath, "-metrics", metricsPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type line struct {
+		ID     int64  `json:"id"`
+		Parent int64  `json:"parent"`
+		Kind   string `json:"kind"`
+		DurUS  int64  `json:"dur_us"`
+	}
+	var runDur, stageSum int64
+	runs, stages := 0, 0
+	for _, raw := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			t.Fatalf("bad trace line %s: %v", raw, err)
+		}
+		switch l.Kind {
+		case "run":
+			runs++
+			runDur = l.DurUS
+		case "stage":
+			stages++
+			stageSum += l.DurUS
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("trace has %d run spans, want 1", runs)
+	}
+	if stages != pipeline.NumStages {
+		t.Fatalf("trace has %d stage spans, want %d", stages, pipeline.NumStages)
+	}
+	if runDur <= 0 {
+		t.Fatalf("run span duration %d", runDur)
+	}
+	ratio := float64(stageSum) / float64(runDur)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("stage durations sum to %.1f%% of the run span, want within 5%%", ratio*100)
+	}
+
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE records_processed_total counter",
+		"bytes_staged_in_total",
+		"bytes_staged_out_total",
+		"pipeline_worker_occupancy",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, metrics)
 		}
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -61,9 +62,10 @@ func main() {
 	}
 
 	opts := pipeline.Options{
-		Response: response.Config{Method: response.NigamJennings, Periods: response.LogPeriods(0.05, 10, 31)},
+		Response:     response.Config{Method: response.NigamJennings, Periods: response.LogPeriods(0.05, 10, 31)},
+		EventWorkers: *workers,
 	}
-	results, err := pipeline.RunBatch(dirs, pipeline.FullParallel, opts, *workers)
+	results, err := pipeline.RunBatch(context.Background(), dirs, pipeline.FullParallel, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

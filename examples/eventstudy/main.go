@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,7 +47,7 @@ func main() {
 	fmt.Printf("event %s: %d stations, %d data points (scale %g)\n\n",
 		spec.Name, spec.Files, spec.Scale(*scale).TotalPoints, *scale)
 
-	res, err := bench.RunEvent(spec, cfg)
+	res, err := bench.RunEvent(context.Background(), spec, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

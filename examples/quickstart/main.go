@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -47,7 +48,7 @@ func main() {
 	// 3. Process with the fully parallelized implementation.  The fast
 	// Nigam-Jennings response method on the standard period grid is the
 	// right choice for production use.
-	res, err := pipeline.Run(dir, pipeline.FullParallel, pipeline.Options{
+	res, err := pipeline.Run(context.Background(), dir, pipeline.FullParallel, pipeline.Options{
 		Response: response.Config{Method: response.NigamJennings},
 	})
 	if err != nil {

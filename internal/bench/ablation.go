@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -31,7 +32,7 @@ type AblationResults struct {
 }
 
 // RunAblations executes the ablation suite on the given event spec.
-func RunAblations(spec synth.EventSpec, cfg Config) (AblationResults, error) {
+func RunAblations(ctx context.Context, spec synth.EventSpec, cfg Config) (AblationResults, error) {
 	cfg = cfg.withDefaults()
 	scaled := spec.Scale(cfg.Scale)
 	ev, err := synth.Event(scaled)
@@ -49,7 +50,7 @@ func RunAblations(spec synth.EventSpec, cfg Config) (AblationResults, error) {
 		if err := pipeline.PrepareWorkDir(dir, ev); err != nil {
 			return pipeline.Timings{}, err
 		}
-		res, err := pipeline.Run(dir, pipeline.FullParallel, opts)
+		res, err := pipeline.Run(ctx, dir, pipeline.FullParallel, opts)
 		if err != nil {
 			return pipeline.Timings{}, err
 		}
@@ -59,6 +60,7 @@ func RunAblations(spec synth.EventSpec, cfg Config) (AblationResults, error) {
 		Workers:       cfg.Workers,
 		Response:      cfg.Response,
 		SimProcessors: resolveSimProcessors(cfg.SimProcessors),
+		Observer:      cfg.Observer,
 	}
 	stagedSum := func(t pipeline.Timings) time.Duration {
 		return t.Stage[pipeline.StageIV] + t.Stage[pipeline.StageV] + t.Stage[pipeline.StageVIII]

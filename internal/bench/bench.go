@@ -10,12 +10,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"time"
 
+	"accelproc/internal/obs"
 	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
 	"accelproc/internal/synth"
@@ -53,6 +55,11 @@ type Config struct {
 	// keeps the fastest, the standard defense against scheduler noise.
 	// Zero selects 1.
 	Repeat int
+	// Observer, when non-nil, receives every pipeline run's spans and
+	// metrics (trace files, Prometheus exposition).  The harness collects
+	// span trees for its trace-derived figures either way: with a nil
+	// Observer it uses a private one.
+	Observer *obs.Observer
 }
 
 // PaperProcessors is the core count of the paper's experimental platform
@@ -120,6 +127,11 @@ type EventResult struct {
 	Points  int
 	Times   map[pipeline.Variant]time.Duration
 	Timings map[pipeline.Variant]pipeline.Timings
+	// Traces holds the span tree of the kept (fastest) repetition of each
+	// variant.  The Figure 11 stage rows are derived from these records
+	// rather than from separate timers, so the published figures and the
+	// trace files describe the same measurement.
+	Traces map[pipeline.Variant][]obs.SpanRecord
 }
 
 // Speedup is the paper's headline metric: sequential-original time over
@@ -154,8 +166,9 @@ func (r EventResult) SeqPointsPerSecond() float64 {
 }
 
 // RunEvent generates the event at the configured scale and runs every
-// configured variant on a fresh work directory.
-func RunEvent(spec synth.EventSpec, cfg Config) (EventResult, error) {
+// configured variant on a fresh work directory.  ctx cancellation aborts
+// the in-flight pipeline run and returns its error.
+func RunEvent(ctx context.Context, spec synth.EventSpec, cfg Config) (EventResult, error) {
 	cfg = cfg.withDefaults()
 	scaled := spec.Scale(cfg.Scale)
 	ev, err := synth.Event(scaled)
@@ -168,11 +181,23 @@ func RunEvent(spec synth.EventSpec, cfg Config) (EventResult, error) {
 		Points:  ev.TotalDataPoints(),
 		Times:   make(map[pipeline.Variant]time.Duration, len(cfg.Variants)),
 		Timings: make(map[pipeline.Variant]pipeline.Timings, len(cfg.Variants)),
+		Traces:  make(map[pipeline.Variant][]obs.SpanRecord, len(cfg.Variants)),
 	}
+	// Every run reports into an observer so figures can be derived from
+	// span trees; a user-supplied observer is tapped with a temporary
+	// per-harness collector, a nil one replaced by a private observer.
+	o := cfg.Observer
+	if o == nil {
+		o = obs.New()
+	}
+	col := &obs.Collector{}
+	o.AddSink(col)
+	defer o.RemoveSink(col)
 	opts := pipeline.Options{
 		Workers:       cfg.Workers,
 		Response:      cfg.Response,
 		SimProcessors: resolveSimProcessors(cfg.SimProcessors),
+		Observer:      o,
 	}
 	// Repetitions run in rounds across the variants (v1 v2 ... v1 v2 ...)
 	// so slow phases of the host hit every variant with equal probability;
@@ -190,15 +215,18 @@ func RunEvent(spec synth.EventSpec, cfg Config) (EventResult, error) {
 				os.RemoveAll(dir)
 				return EventResult{}, err
 			}
-			run, err := pipeline.Run(dir, v, opts)
+			col.Drain() // isolate this run's spans
+			run, err := pipeline.Run(ctx, dir, v, opts)
+			trace := col.Drain()
 			os.RemoveAll(dir)
 			if err != nil {
 				return EventResult{}, fmt.Errorf("bench: event %s variant %v: %w", spec.Name, v, err)
 			}
-			// Keep the fastest repetition.
+			// Keep the fastest repetition, and its span tree with it.
 			if prev, ok := res.Times[v]; !ok || run.Timings.Total < prev {
 				res.Times[v] = run.Timings.Total
 				res.Timings[v] = run.Timings
+				res.Traces[v] = trace
 			}
 		}
 	}
@@ -207,7 +235,7 @@ func RunEvent(spec synth.EventSpec, cfg Config) (EventResult, error) {
 
 // RunTable1 processes every configured event with every variant — the
 // experiment behind Table I, Figure 12, and Figure 13.
-func RunTable1(cfg Config, progress func(string)) ([]EventResult, error) {
+func RunTable1(ctx context.Context, cfg Config, progress func(string)) ([]EventResult, error) {
 	cfg = cfg.withDefaults()
 	results := make([]EventResult, 0, len(cfg.Events))
 	for _, spec := range cfg.Events {
@@ -215,7 +243,7 @@ func RunTable1(cfg Config, progress func(string)) ([]EventResult, error) {
 			progress(fmt.Sprintf("event %s (%d files, %d points at scale %g)",
 				spec.Name, spec.Files, spec.TotalPoints, cfg.Scale))
 		}
-		r, err := RunEvent(spec, cfg)
+		r, err := RunEvent(ctx, spec, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -262,23 +290,44 @@ func (f Fig11Result) SeqStageShare(id pipeline.StageID) float64 {
 	return 0
 }
 
+// StageDurations folds a run's span tree into per-stage charged durations:
+// the sum of every stage span's Duration, indexed by StageID.  Sequential
+// runs open one stage span per process, so summing reproduces the
+// accumulation semantics of Timings.Stage.
+func StageDurations(trace []obs.SpanRecord) [pipeline.NumStages + 1]time.Duration {
+	var out [pipeline.NumStages + 1]time.Duration
+	for _, rec := range trace {
+		if rec.Kind != obs.KindStage {
+			continue
+		}
+		id, ok := rec.IntAttr("stage")
+		if !ok || id < 1 || id > pipeline.NumStages {
+			continue
+		}
+		out[id] += rec.Duration
+	}
+	return out
+}
+
 // RunFig11 runs the per-stage experiment on the given event spec (the
-// paper's choice is the largest event, PaperEvents()[5]).
-func RunFig11(spec synth.EventSpec, cfg Config) (Fig11Result, error) {
+// paper's choice is the largest event, PaperEvents()[5]).  The stage rows
+// are derived from the runs' span trees, not from separate timers: the
+// figure is a view over the same trace a -trace flag would write.
+func RunFig11(ctx context.Context, spec synth.EventSpec, cfg Config) (Fig11Result, error) {
 	cfg = cfg.withDefaults()
 	cfg.Variants = []pipeline.Variant{pipeline.SeqOriginal, pipeline.FullParallel}
-	ev, err := RunEvent(spec, cfg)
+	ev, err := RunEvent(ctx, spec, cfg)
 	if err != nil {
 		return Fig11Result{}, err
 	}
-	seq := ev.Timings[pipeline.SeqOriginal]
-	par := ev.Timings[pipeline.FullParallel]
+	seq := StageDurations(ev.Traces[pipeline.SeqOriginal])
+	par := StageDurations(ev.Traces[pipeline.FullParallel])
 	out := Fig11Result{Event: ev}
 	for _, st := range pipeline.Stages {
 		out.Stages = append(out.Stages, StageResult{
 			Stage:      st.ID,
-			Sequential: seq.Stage[st.ID],
-			Parallel:   par.Stage[st.ID],
+			Sequential: seq[st.ID],
+			Parallel:   par[st.ID],
 		})
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -29,7 +30,7 @@ func quickConfig(t *testing.T) Config {
 
 func TestRunEventProducesAllVariantTimes(t *testing.T) {
 	cfg := quickConfig(t)
-	r, err := RunEvent(cfg.Events[0], cfg)
+	r, err := RunEvent(context.Background(), cfg.Events[0], cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestRunEventProducesAllVariantTimes(t *testing.T) {
 func TestRunEventSubsetOfVariants(t *testing.T) {
 	cfg := quickConfig(t)
 	cfg.Variants = []pipeline.Variant{pipeline.SeqOptimized}
-	r, err := RunEvent(cfg.Events[0], cfg)
+	r, err := RunEvent(context.Background(), cfg.Events[0], cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestRunEventSubsetOfVariants(t *testing.T) {
 func TestRunTable1AndFormatters(t *testing.T) {
 	cfg := quickConfig(t)
 	var progress []string
-	results, err := RunTable1(cfg, func(s string) { progress = append(progress, s) })
+	results, err := RunTable1(context.Background(), cfg, func(s string) { progress = append(progress, s) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestRunTable1AndFormatters(t *testing.T) {
 
 func TestRunFig11(t *testing.T) {
 	cfg := quickConfig(t)
-	f, err := RunFig11(cfg.Events[1], cfg)
+	f, err := RunFig11(context.Background(), cfg.Events[1], cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,11 +138,11 @@ func TestRunFig11(t *testing.T) {
 
 func TestShapeChecksFormat(t *testing.T) {
 	cfg := quickConfig(t)
-	results, err := RunTable1(cfg, nil)
+	results, err := RunTable1(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fig11, err := RunFig11(cfg.Events[1], cfg)
+	fig11, err := RunFig11(context.Background(), cfg.Events[1], cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,14 +203,14 @@ func TestDefaultConfigUsesPaperWorkload(t *testing.T) {
 func TestRunEventPropagatesFailure(t *testing.T) {
 	cfg := quickConfig(t)
 	spec := synth.EventSpec{Name: "bad", Files: 0, TotalPoints: 0, Magnitude: 5}
-	if _, err := RunEvent(spec, cfg); err == nil {
+	if _, err := RunEvent(context.Background(), spec, cfg); err == nil {
 		t.Error("invalid spec accepted")
 	}
 }
 
 func TestRunAblations(t *testing.T) {
 	cfg := quickConfig(t)
-	a, err := RunAblations(cfg.Events[0], cfg)
+	a, err := RunAblations(context.Background(), cfg.Events[0], cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestRunAblations(t *testing.T) {
 
 func TestRunAblationsPropagatesFailure(t *testing.T) {
 	cfg := quickConfig(t)
-	if _, err := RunAblations(synth.EventSpec{Name: "bad", Magnitude: 5}, cfg); err == nil {
+	if _, err := RunAblations(context.Background(), synth.EventSpec{Name: "bad", Magnitude: 5}, cfg); err == nil {
 		t.Error("invalid spec accepted")
 	}
 }

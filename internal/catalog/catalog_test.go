@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,7 @@ func processEvent(t *testing.T, dir string, seed int64, files int) {
 		Method:  response.NigamJennings,
 		Periods: response.LogPeriods(0.05, 5, 8),
 	}}
-	if _, err := pipeline.Run(dir, pipeline.FullParallel, opts); err != nil {
+	if _, err := pipeline.Run(context.Background(), dir, pipeline.FullParallel, opts); err != nil {
 		t.Fatal(err)
 	}
 }

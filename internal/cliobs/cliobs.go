@@ -1,0 +1,112 @@
+// Package cliobs wires the observability layer into the command-line
+// tools: every CLI registers the same -trace, -metrics, and -pprof flags,
+// turns them into an obs.Observer with Start, and flushes the outputs with
+// Close.  Keeping this in one place guarantees the three commands agree on
+// flag names and file formats.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+
+	"accelproc/internal/obs"
+)
+
+// Flags holds the observability flag values shared by the CLIs.
+type Flags struct {
+	Trace   string
+	Metrics string
+	Pprof   string
+}
+
+// Register declares the shared flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Trace, "trace", "", "write a JSON-lines span trace to this file")
+	fs.StringVar(&f.Metrics, "metrics", "", "write Prometheus text-format metrics to this file on exit")
+	fs.StringVar(&f.Pprof, "pprof", "", "write a CPU profile to this file")
+}
+
+// Session is an activated observability configuration.  Observer is nil
+// when no flag requested output and no extra sink was supplied, so callers
+// can hand it straight to pipeline.Options / bench.Config.
+type Session struct {
+	Observer *obs.Observer
+
+	traceFile   *os.File
+	traceSink   *obs.JSONLSink
+	metricsPath string
+	pprofFile   *os.File
+}
+
+// Start opens the requested outputs and begins CPU profiling if asked.
+// extra sinks (a progress renderer, a test collector) are attached to the
+// observer alongside the trace sink; nil entries are skipped.
+func (f Flags) Start(extra ...obs.Sink) (*Session, error) {
+	s := &Session{metricsPath: f.Metrics}
+	var sinks []obs.Sink
+	for _, e := range extra {
+		if e != nil {
+			sinks = append(sinks, e)
+		}
+	}
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("trace file: %w", err)
+		}
+		s.traceFile = file
+		s.traceSink = obs.NewJSONL(file)
+		sinks = append(sinks, s.traceSink)
+	}
+	if len(sinks) > 0 || f.Metrics != "" {
+		s.Observer = obs.New(sinks...)
+	}
+	if f.Pprof != "" {
+		file, err := os.Create(f.Pprof)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("pprof file: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			s.Close()
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		s.pprofFile = file
+	}
+	return s, nil
+}
+
+// Close stops the CPU profile, writes the metrics exposition, and closes
+// the trace file.  It is idempotent and reports the first error.
+func (s *Session) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.pprofFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.pprofFile.Close())
+		s.pprofFile = nil
+	}
+	if s.metricsPath != "" && s.Observer != nil {
+		file, err := os.Create(s.metricsPath)
+		if err != nil {
+			keep(fmt.Errorf("metrics file: %w", err))
+		} else {
+			keep(s.Observer.WritePrometheus(file))
+			keep(file.Close())
+		}
+		s.metricsPath = ""
+	}
+	if s.traceFile != nil {
+		keep(s.traceSink.Err())
+		keep(s.traceFile.Close())
+		s.traceFile = nil
+	}
+	return first
+}

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// cpuNow has no getrusage on this platform; spans report zero CPU time.
+func cpuNow() time.Duration { return 0 }

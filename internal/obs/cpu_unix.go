@@ -1,0 +1,20 @@
+//go:build unix
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuNow returns the accumulated CPU time (user + system) of this process.
+// Span records carry the CPU time consumed while the span was open, which is
+// exact for serially executed spans (the simulated platform) and a
+// whole-process approximation under real concurrency.
+func cpuNow() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (records processed, bytes
+// staged, accumulated busy seconds).  The zero value of *Counter (nil)
+// no-ops, so call sites need no observer guard.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increases the counter by delta (negative deltas are ignored).
+func (c *Counter) Add(delta float64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a metric that can go up and down (worker occupancy, queue depth).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution (queue wait, task duration).
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending
+	counts  []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum     float64
+	samples uint64
+}
+
+// DefaultDurationBuckets is a seconds-scale bucket layout suited to queue
+// waits and task durations inside the pipeline (100µs to ~100s).
+var DefaultDurationBuckets = []float64{
+	0.0001, 0.001, 0.01, 0.1, 1, 10, 100,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Counter returns (registering on first use) the named counter.  A nil
+// observer returns a nil counter whose methods no-op.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	o.metricMu.Lock()
+	defer o.metricMu.Unlock()
+	c, ok := o.counters[name]
+	if !ok {
+		c = &Counter{}
+		o.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	o.metricMu.Lock()
+	defer o.metricMu.Unlock()
+	g, ok := o.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		o.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram with the
+// given ascending bucket bounds; nil bounds select
+// DefaultDurationBuckets.  Bounds are fixed at first registration.
+func (o *Observer) Histogram(name string, bounds []float64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	o.metricMu.Lock()
+	defer o.metricMu.Unlock()
+	h, ok := o.histograms[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultDurationBuckets
+		}
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		o.histograms[name] = h
+	}
+	return h
+}
+
+// formatFloat renders metric values the way the Prometheus text format
+// expects: shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), with metric families sorted by name so
+// the output is deterministic.
+func (o *Observer) WritePrometheus(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	o.metricMu.Lock()
+	counters := make(map[string]*Counter, len(o.counters))
+	for k, v := range o.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(o.gauges))
+	for k, v := range o.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(o.histograms))
+	for k, v := range o.histograms {
+		histograms[k] = v
+	}
+	o.metricMu.Unlock()
+
+	var names []string
+	for k := range counters {
+		names = append(names, k)
+	}
+	for k := range gauges {
+		names = append(names, k)
+	}
+	for k := range histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		if c, ok := counters[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", name, name, formatFloat(c.Value())); err != nil {
+				return err
+			}
+			continue
+		}
+		if g, ok := gauges[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(g.Value())); err != nil {
+				return err
+			}
+			continue
+		}
+		h := histograms[name]
+		h.mu.Lock()
+		bounds := append([]float64(nil), h.bounds...)
+		counts := append([]uint64(nil), h.counts...)
+		sum, samples := h.sum, h.samples
+		h.mu.Unlock()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, b := range bounds {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, cum, name, formatFloat(sum), name, samples); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeParentageAndAttrs(t *testing.T) {
+	col := &Collector{}
+	o := New(col)
+
+	run := o.Root("run:test", KindRun, String("variant", "full"))
+	stage := run.Child("stage:IX", KindStage, Int("stage", 9))
+	proc := stage.Child("process:response", KindProcess, Int("process", 16))
+	proc.End()
+	stage.EndCharged(3*time.Second, Int("extra", 1))
+	run.End()
+
+	recs := col.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	// Spans arrive in end order: process, stage, run.
+	p, s, r := recs[0], recs[1], recs[2]
+	if r.Parent != 0 {
+		t.Errorf("run parent = %d, want 0", r.Parent)
+	}
+	if s.Parent != r.ID {
+		t.Errorf("stage parent = %d, want run id %d", s.Parent, r.ID)
+	}
+	if p.Parent != s.ID {
+		t.Errorf("process parent = %d, want stage id %d", p.Parent, s.ID)
+	}
+	if v, _ := r.StringAttr("variant"); v != "full" {
+		t.Errorf("variant attr = %q", v)
+	}
+	if v, _ := s.IntAttr("stage"); v != 9 {
+		t.Errorf("stage attr = %d", v)
+	}
+	if s.Duration != 3*time.Second {
+		t.Errorf("charged duration = %v, want 3s", s.Duration)
+	}
+	if s.Wall < 0 || s.Start < 0 || s.CPU < 0 {
+		t.Errorf("negative timing: wall=%v start=%v cpu=%v", s.Wall, s.Start, s.CPU)
+	}
+	// End-time attrs append to open-time attrs.
+	if v, _ := s.IntAttr("extra"); v != 1 {
+		t.Errorf("end attr missing: %v", s.Attrs)
+	}
+	if r.Attr("nope") != nil {
+		t.Error("unknown attr not nil")
+	}
+}
+
+func TestSpanEndTwiceEmitsOnce(t *testing.T) {
+	col := &Collector{}
+	o := New(col)
+	sp := o.Root("x", KindTask)
+	sp.End()
+	sp.End()
+	sp.EndCharged(time.Second)
+	if n := len(col.Records()); n != 1 {
+		t.Errorf("records = %d, want 1", n)
+	}
+}
+
+func TestNilObserverAndSpanNoOp(t *testing.T) {
+	var o *Observer
+	sp := o.Root("x", KindRun)
+	if sp != nil {
+		t.Error("nil observer produced a span")
+	}
+	sp.End()
+	sp.EndCharged(time.Second)
+	child := sp.Child("y", KindTask)
+	child.End()
+	if sp.ID() != 0 {
+		t.Errorf("nil span ID = %d", sp.ID())
+	}
+	o.Counter("c").Add(1)
+	o.Gauge("g").Set(1)
+	o.Histogram("h", nil).Observe(1)
+	if o.Counter("c").Value() != 0 || o.Gauge("g").Value() != 0 || o.Histogram("h", nil).Count() != 0 {
+		t.Error("nil metrics retained values")
+	}
+	if err := o.WritePrometheus(io.Discard); err != nil {
+		t.Error(err)
+	}
+	o.AddSink(&Collector{})
+	o.RemoveSink(nil)
+	m := NewWorkerMonitor(nil, "s")
+	if m != nil {
+		t.Error("nil observer produced a monitor")
+	}
+	m.WorkerSpan(0, time.Second, time.Second, 1)
+	m.TaskWait(time.Second)
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	o := New()
+	c := o.Counter("c")
+	c.Add(2)
+	c.Add(0.5)
+	c.Add(-7) // ignored: counters are monotonic
+	if c.Value() != 2.5 {
+		t.Errorf("counter = %g, want 2.5", c.Value())
+	}
+	if o.Counter("c") != c {
+		t.Error("counter not registered once")
+	}
+
+	g := o.Gauge("g")
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %g, want 2", g.Value())
+	}
+
+	h := o.Histogram("h", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("histogram count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-5.65) > 1e-9 {
+		t.Errorf("histogram sum = %g, want 5.65", h.Sum())
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	o := New()
+	o.Counter("records_processed_total").Add(42)
+	o.Gauge("occupancy").Set(0.5)
+	h := o.Histogram("wait_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := o.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE occupancy gauge
+occupancy 0.5
+# TYPE records_processed_total counter
+records_processed_total 42
+# TYPE wait_seconds histogram
+wait_seconds_bucket{le="0.1"} 1
+wait_seconds_bucket{le="1"} 2
+wait_seconds_bucket{le="+Inf"} 3
+wait_seconds_sum 5.55
+wait_seconds_count 3
+`
+	if buf.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	o := New(sink)
+	run := o.Root("run:test", KindRun, String("variant", "full"))
+	// An attribute colliding with a reserved trace field must not clobber it.
+	st := run.Child("stage:IX", KindStage, Int("stage", 9), Int("id", 999))
+	st.EndCharged(2 * time.Second)
+	run.End()
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var stage map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &stage); err != nil {
+		t.Fatal(err)
+	}
+	if stage["kind"] != "stage" || stage["name"] != "stage:IX" {
+		t.Errorf("stage line = %v", stage)
+	}
+	if stage["stage"].(float64) != 9 {
+		t.Errorf("stage attr not flattened: %v", stage)
+	}
+	if stage["id"].(float64) == 999 {
+		t.Error("attr clobbered the reserved id field")
+	}
+	if stage["dur_us"].(float64) != 2e6 {
+		t.Errorf("dur_us = %v, want 2000000", stage["dur_us"])
+	}
+	var runLine map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &runLine); err != nil {
+		t.Fatal(err)
+	}
+	if runLine["parent"].(float64) != 0 || stage["parent"].(float64) != runLine["id"].(float64) {
+		t.Errorf("parentage wrong: stage=%v run=%v", stage, runLine)
+	}
+}
+
+func TestProgressRendererPrintsProcessSpansOnly(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressRenderer(&buf)
+	o := New(p)
+	run := o.Root("run:test", KindRun)
+	run.Child("stage:IX", KindStage, Int("stage", 9)).End()
+	proc := run.Child("process:response", KindProcess,
+		Int("process", 16), String("process_name", "response spectrum calculation"))
+	proc.EndCharged(812 * time.Millisecond)
+	run.End()
+
+	out := buf.String()
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("output = %q, want one line", out)
+	}
+	for _, want := range []string{"#16", "response spectrum calculation", "0.812 s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestCollectorDrain(t *testing.T) {
+	col := &Collector{}
+	o := New(col)
+	o.Root("a", KindTask).End()
+	if got := col.Drain(); len(got) != 1 {
+		t.Fatalf("drained %d, want 1", len(got))
+	}
+	if got := col.Drain(); len(got) != 0 {
+		t.Errorf("second drain = %d records", len(got))
+	}
+	o.Root("b", KindTask).End()
+	if got := col.Records(); len(got) != 1 || got[0].Name != "b" {
+		t.Errorf("after drain: %v", got)
+	}
+}
+
+func TestRemoveSinkStopsDelivery(t *testing.T) {
+	col := &Collector{}
+	o := New()
+	o.AddSink(col)
+	o.Root("a", KindTask).End()
+	o.RemoveSink(col)
+	o.Root("b", KindTask).End()
+	recs := col.Records()
+	if len(recs) != 1 || recs[0].Name != "a" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestWorkerMonitorAccounting(t *testing.T) {
+	o := New()
+	m := NewWorkerMonitor(o, "test")
+	m.WorkerSpan(0, 3*time.Second, time.Second, 5)
+	m.WorkerSpan(1, 1*time.Second, 3*time.Second, 2)
+	m.TaskWait(10 * time.Millisecond)
+
+	if v := o.Counter("test_worker_busy_seconds_total").Value(); v != 4 {
+		t.Errorf("busy = %g, want 4", v)
+	}
+	if v := o.Counter("test_worker_idle_seconds_total").Value(); v != 4 {
+		t.Errorf("idle = %g, want 4", v)
+	}
+	if v := o.Counter("test_worker_tasks_total").Value(); v != 7 {
+		t.Errorf("tasks = %g, want 7", v)
+	}
+	if v := o.Gauge("test_worker_occupancy").Value(); v != 0.5 {
+		t.Errorf("occupancy = %g, want 0.5", v)
+	}
+	if n := o.Histogram("test_queue_wait_seconds", nil).Count(); n != 1 {
+		t.Errorf("wait samples = %d, want 1", n)
+	}
+}
+
+func TestSpanKindString(t *testing.T) {
+	names := map[SpanKind]string{
+		KindRun: "run", KindStage: "stage", KindProcess: "process",
+		KindTask: "task", SpanKind(99): "span",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONLSink writes one JSON object per finished span — the trace-file
+// format behind the CLIs' -trace flag.  Fields are microsecond-resolution
+// so traces stay greppable and jq-friendly:
+//
+//	{"id":7,"parent":3,"name":"stage:IX","kind":"stage",
+//	 "start_us":1042,"dur_us":51210,"wall_us":51210,"cpu_us":50988,
+//	 "stage":9}
+//
+// Span attributes are flattened into top-level fields.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONL returns a sink writing JSON lines to w.
+func NewJSONL(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Record implements Sink.
+func (s *JSONLSink) Record(rec SpanRecord) {
+	line := map[string]any{
+		"id":       rec.ID,
+		"parent":   rec.Parent,
+		"name":     rec.Name,
+		"kind":     rec.Kind.String(),
+		"start_us": rec.Start.Microseconds(),
+		"dur_us":   rec.Duration.Microseconds(),
+		"wall_us":  rec.Wall.Microseconds(),
+		"cpu_us":   rec.CPU.Microseconds(),
+	}
+	for _, a := range rec.Attrs {
+		if _, taken := line[a.Key]; !taken {
+			line[a.Key] = a.Value
+		}
+	}
+	data, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		_, s.err = s.w.Write(append(data, '\n'))
+	}
+}
+
+// Err reports the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Collector retains finished spans in memory — the sink behind tests and
+// the bench harness's trace-derived figures.
+type Collector struct {
+	mu   sync.Mutex
+	recs []SpanRecord
+}
+
+// Record implements Sink.
+func (c *Collector) Record(rec SpanRecord) {
+	c.mu.Lock()
+	c.recs = append(c.recs, rec)
+	c.mu.Unlock()
+}
+
+// Records returns a copy of everything collected so far.
+func (c *Collector) Records() []SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SpanRecord(nil), c.recs...)
+}
+
+// Drain returns everything collected so far and resets the collector.
+func (c *Collector) Drain() []SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.recs
+	c.recs = nil
+	return out
+}
+
+// ProgressRenderer prints one line per finished process span — the human
+// progress view that replaced the old Options.Progress callback:
+//
+//	#16 response spectrum calculation          0.812 s
+//
+// Only KindProcess spans are rendered; runs, stages, and tasks pass silently.
+type ProgressRenderer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewProgressRenderer returns a renderer writing to w.
+func NewProgressRenderer(w io.Writer) *ProgressRenderer {
+	return &ProgressRenderer{w: w}
+}
+
+// Record implements Sink.
+func (p *ProgressRenderer) Record(rec SpanRecord) {
+	if rec.Kind != KindProcess {
+		return
+	}
+	id, _ := rec.IntAttr("process")
+	name, ok := rec.StringAttr("process_name")
+	if !ok {
+		name = rec.Name
+	}
+	p.mu.Lock()
+	fmt.Fprintf(p.w, "  #%-2d %-38s %8.3f s\n", id, name, rec.Duration.Seconds())
+	p.mu.Unlock()
+}

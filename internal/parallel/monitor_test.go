@@ -1,0 +1,163 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingMonitor captures WorkerSpan and TaskWait calls; safe for
+// concurrent use like the contract requires.
+type recordingMonitor struct {
+	mu    sync.Mutex
+	spans []workerSpan
+	waits []time.Duration
+}
+
+type workerSpan struct {
+	worker     int
+	busy, idle time.Duration
+	tasks      int
+}
+
+func (m *recordingMonitor) WorkerSpan(worker int, busy, idle time.Duration, tasks int) {
+	m.mu.Lock()
+	m.spans = append(m.spans, workerSpan{worker, busy, idle, tasks})
+	m.mu.Unlock()
+}
+
+func (m *recordingMonitor) TaskWait(d time.Duration) {
+	m.mu.Lock()
+	m.waits = append(m.waits, d)
+	m.mu.Unlock()
+}
+
+func (m *recordingMonitor) totalTasks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, s := range m.spans {
+		n += s.tasks
+	}
+	return n
+}
+
+func TestParallelForMonitoredAccountsEveryIteration(t *testing.T) {
+	const n, workers = 100, 4
+	mon := &recordingMonitor{}
+	err := ParallelForMonitored(n, workers, ScheduleStatic, 0, mon, func(i int) error {
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.spans) != workers {
+		t.Fatalf("worker spans = %d, want %d", len(mon.spans), workers)
+	}
+	if got := mon.totalTasks(); got != n {
+		t.Errorf("tasks = %d, want %d", got, n)
+	}
+	seen := map[int]bool{}
+	for _, s := range mon.spans {
+		if s.worker < 0 || s.worker >= workers {
+			t.Errorf("worker id %d out of range", s.worker)
+		}
+		if seen[s.worker] {
+			t.Errorf("worker %d reported twice", s.worker)
+		}
+		seen[s.worker] = true
+		if s.busy <= 0 {
+			t.Errorf("worker %d busy = %v", s.worker, s.busy)
+		}
+		if s.idle < 0 {
+			t.Errorf("worker %d idle = %v", s.worker, s.idle)
+		}
+	}
+}
+
+func TestParallelForMonitoredSerialPath(t *testing.T) {
+	mon := &recordingMonitor{}
+	err := ParallelForMonitored(7, 1, ScheduleDynamic, 1, mon, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.spans) != 1 || mon.spans[0].worker != 0 || mon.spans[0].tasks != 7 {
+		t.Errorf("serial spans = %+v", mon.spans)
+	}
+}
+
+func TestParallelForDynamicMonitored(t *testing.T) {
+	const n = 64
+	mon := &recordingMonitor{}
+	err := ParallelForMonitored(n, 3, ScheduleDynamic, 4, mon, func(i int) error {
+		time.Sleep(time.Duration(i%5) * 10 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.totalTasks(); got != n {
+		t.Errorf("tasks = %d, want %d", got, n)
+	}
+}
+
+func TestRunTasksMonitoredReportsEveryTask(t *testing.T) {
+	const tasks = 6
+	mon := &recordingMonitor{}
+	fns := make([]func() error, tasks)
+	for i := range fns {
+		fns[i] = func() error {
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		}
+	}
+	if err := RunTasksMonitored(2, mon, fns...); err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.spans) != tasks {
+		t.Fatalf("spans = %d, want one per task", len(mon.spans))
+	}
+	for _, s := range mon.spans {
+		if s.worker != -1 {
+			t.Errorf("task span worker = %d, want -1", s.worker)
+		}
+		if s.tasks != 1 || s.busy <= 0 || s.idle < 0 {
+			t.Errorf("task span = %+v", s)
+		}
+	}
+	if len(mon.waits) != tasks {
+		t.Errorf("queue waits = %d, want %d", len(mon.waits), tasks)
+	}
+}
+
+func TestPoolMonitoredReportsOnClose(t *testing.T) {
+	const workers, tasks = 2, 5
+	mon := &recordingMonitor{}
+	p := NewPoolMonitored(workers, mon)
+	var joins []func()
+	for i := 0; i < tasks; i++ {
+		join, err := p.Submit(func() { time.Sleep(100 * time.Microsecond) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		joins = append(joins, join)
+	}
+	for _, j := range joins {
+		j()
+	}
+	// Nothing is reported until the pool winds down.
+	if len(mon.spans) != 0 {
+		t.Errorf("spans before Close = %d", len(mon.spans))
+	}
+	p.Close()
+	if len(mon.spans) != workers {
+		t.Fatalf("spans = %d, want %d", len(mon.spans), workers)
+	}
+	if got := mon.totalTasks(); got != tasks {
+		t.Errorf("tasks = %d, want %d", got, tasks)
+	}
+	if len(mon.waits) != tasks {
+		t.Errorf("queue waits = %d, want %d", len(mon.waits), tasks)
+	}
+}

@@ -3,6 +3,7 @@ package parallel
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ParallelFor runs body(i) for every i in [0, n) using the given number of
@@ -17,23 +18,30 @@ import (
 // failing index; all iterations still run (matching the OpenMP model, where
 // a loop cannot break early).
 func ParallelFor(n, workers int, body func(i int) error) error {
-	return parallelFor(n, workers, ScheduleStatic, 0, body)
+	return parallelFor(n, workers, ScheduleStatic, 0, nil, body)
 }
 
 // ParallelForDynamic runs body(i) for every i in [0, n) with dynamic
 // scheduling: workers pull chunkSize iterations at a time from a shared
 // counter.  A chunkSize <= 0 selects chunk size 1, like schedule(dynamic).
 func ParallelForDynamic(n, workers, chunkSize int, body func(i int) error) error {
-	return parallelFor(n, workers, ScheduleDynamic, chunkSize, body)
+	return parallelFor(n, workers, ScheduleDynamic, chunkSize, nil, body)
 }
 
 // ParallelForSched runs body(i) for every i in [0, n) with an explicit
 // schedule, allowing the scheduling policy itself to be benchmarked.
 func ParallelForSched(n, workers int, sched Schedule, chunkSize int, body func(i int) error) error {
-	return parallelFor(n, workers, sched, chunkSize, body)
+	return parallelFor(n, workers, sched, chunkSize, nil, body)
 }
 
-func parallelFor(n, workers int, sched Schedule, chunkSize int, body func(i int) error) error {
+// ParallelForMonitored is ParallelFor with an explicit schedule and a
+// Monitor receiving per-worker busy/idle accounting.  A nil mon is the
+// uninstrumented loop.
+func ParallelForMonitored(n, workers int, sched Schedule, chunkSize int, mon Monitor, body func(i int) error) error {
+	return parallelFor(n, workers, sched, chunkSize, mon, body)
+}
+
+func parallelFor(n, workers int, sched Schedule, chunkSize int, mon Monitor, body func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -42,7 +50,34 @@ func parallelFor(n, workers int, sched Schedule, chunkSize int, body func(i int)
 		w = n
 	}
 	if w == 1 {
-		return serialFor(n, body)
+		if mon == nil {
+			return serialFor(n, body)
+		}
+		var busy time.Duration
+		var tasks int
+		start := time.Now()
+		err := serialFor(n, monitoredBody(body, &busy, &tasks))
+		mon.WorkerSpan(0, busy, time.Since(start)-busy, tasks)
+		return err
+	}
+
+	// Per-worker accounting: each worker accumulates its own busy time and
+	// task count (no sharing, no atomics on the hot path); idle is charged
+	// after the join barrier as the construct's wall time minus busy, i.e.
+	// the time the construct held the worker while it had nothing to run.
+	var (
+		busies  []time.Duration
+		counts  []int
+		started time.Time
+	)
+	wrap := func(t int, body func(int) error) func(int) error { return body }
+	if mon != nil {
+		busies = make([]time.Duration, w)
+		counts = make([]int, w)
+		started = time.Now()
+		wrap = func(t int, body func(int) error) func(int) error {
+			return monitoredBody(body, &busies[t], &counts[t])
+		}
 	}
 
 	// firstErr records the error from the smallest failing index so the
@@ -72,6 +107,7 @@ func parallelFor(n, workers int, sched Schedule, chunkSize int, body func(i int)
 		}
 		var next atomic.Int64
 		for t := 0; t < w; t++ {
+			run := wrap(t, body)
 			go func() {
 				defer wg.Done()
 				for {
@@ -84,7 +120,7 @@ func parallelFor(n, workers int, sched Schedule, chunkSize int, body func(i int)
 						end = n
 					}
 					for i := start; i < end; i++ {
-						record(i, body(i))
+						record(i, run(i))
 					}
 				}
 			}()
@@ -100,15 +136,26 @@ func parallelFor(n, workers int, sched Schedule, chunkSize int, body func(i int)
 			}
 			lo, hi := start, start+size
 			start = hi
+			run := wrap(t, body)
 			go func() {
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
-					record(i, body(i))
+					record(i, run(i))
 				}
 			}()
 		}
 	}
 	wg.Wait()
+	if mon != nil {
+		wall := time.Since(started)
+		for t := 0; t < w; t++ {
+			idle := wall - busies[t]
+			if idle < 0 {
+				idle = 0
+			}
+			mon.WorkerSpan(t, busies[t], idle, counts[t])
+		}
+	}
 	return firstErr
 }
 

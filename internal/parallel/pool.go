@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrPoolClosed is returned by Pool.Submit after Close has been called.
@@ -14,6 +15,7 @@ var ErrPoolClosed = errors.New("parallel: pool is closed")
 // thread team alive across parallel regions.
 type Pool struct {
 	tasks chan func()
+	mon   Monitor
 	wg    sync.WaitGroup
 
 	mu     sync.Mutex
@@ -23,15 +25,37 @@ type Pool struct {
 // NewPool starts a pool with the given number of workers (0 = all
 // processors).  Close must be called to release the workers.
 func NewPool(workers int) *Pool {
+	return NewPoolMonitored(workers, nil)
+}
+
+// NewPoolMonitored is NewPool with a Monitor: on Close every worker reports
+// one WorkerSpan (busy = time in tasks, idle = time waiting on the queue),
+// and if mon is also a WaitMonitor every submission reports its
+// queue wait (submit-to-start latency).
+func NewPoolMonitored(workers int, mon Monitor) *Pool {
 	w := Workers(workers)
-	p := &Pool{tasks: make(chan func())}
+	p := &Pool{tasks: make(chan func()), mon: mon}
 	p.wg.Add(w)
 	for i := 0; i < w; i++ {
+		worker := i
 		go func() {
 			defer p.wg.Done()
-			for task := range p.tasks {
-				task()
+			if mon == nil {
+				for task := range p.tasks {
+					task()
+				}
+				return
 			}
+			var busy time.Duration
+			tasks := 0
+			start := time.Now()
+			for task := range p.tasks {
+				t0 := time.Now()
+				task()
+				busy += time.Since(t0)
+				tasks++
+			}
+			mon.WorkerSpan(worker, busy, time.Since(start)-busy, tasks)
 		}()
 	}
 	return p
@@ -47,9 +71,17 @@ func (p *Pool) Submit(task func()) (join func(), err error) {
 		return nil, ErrPoolClosed
 	}
 	done := make(chan struct{})
+	run := task
+	if wm, ok := p.mon.(WaitMonitor); ok {
+		submitted := time.Now()
+		run = func() {
+			wm.TaskWait(time.Since(submitted))
+			task()
+		}
+	}
 	p.tasks <- func() {
 		defer close(done)
-		task()
+		run()
 	}
 	p.mu.Unlock()
 	return func() { <-done }, nil

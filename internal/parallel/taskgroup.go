@@ -1,6 +1,9 @@
 package parallel
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // TaskGroup runs independently spawned tasks on a bounded set of workers,
 // mirroring the OpenMP idiom used throughout the paper:
@@ -20,6 +23,7 @@ import "sync"
 // region (e.g. the paper's Stage I followed by Stage II).
 type TaskGroup struct {
 	sem      chan struct{}
+	mon      Monitor
 	wg       sync.WaitGroup
 	mu       sync.Mutex
 	firstErr error
@@ -30,7 +34,14 @@ type TaskGroup struct {
 // Stage I/II region pins the team to between 2 and 4 processors — callers
 // reproduce that by passing the explicit bound.
 func NewTaskGroup(workers int) *TaskGroup {
-	return &TaskGroup{sem: make(chan struct{}, Workers(workers))}
+	return NewTaskGroupMonitored(workers, nil)
+}
+
+// NewTaskGroupMonitored is NewTaskGroup with a Monitor receiving one
+// WorkerSpan per task (worker -1, idle = time the spawn waited for a free
+// slot) and, if mon is also a WaitMonitor, the per-task queue wait.
+func NewTaskGroupMonitored(workers int, mon Monitor) *TaskGroup {
+	return &TaskGroup{sem: make(chan struct{}, Workers(workers)), mon: mon}
 }
 
 // Go spawns task as soon as a worker slot is free.  The first error returned
@@ -38,13 +49,32 @@ func NewTaskGroup(workers int) *TaskGroup {
 // like a single shared error flag in an OpenMP region.
 func (g *TaskGroup) Go(task func() error) {
 	g.wg.Add(1)
+	var spawned time.Time
+	if g.mon != nil {
+		spawned = time.Now()
+	}
 	g.sem <- struct{}{}
+	var wait time.Duration
+	if g.mon != nil {
+		wait = time.Since(spawned)
+		if wm, ok := g.mon.(WaitMonitor); ok {
+			wm.TaskWait(wait)
+		}
+	}
 	go func() {
 		defer func() {
 			<-g.sem
 			g.wg.Done()
 		}()
-		if err := task(); err != nil {
+		var started time.Time
+		if g.mon != nil {
+			started = time.Now()
+		}
+		err := task()
+		if g.mon != nil {
+			g.mon.WorkerSpan(-1, time.Since(started), wait, 1)
+		}
+		if err != nil {
 			g.mu.Lock()
 			if g.firstErr == nil {
 				g.firstErr = err
@@ -69,7 +99,13 @@ func (g *TaskGroup) Wait() error {
 // of the given width and waits for completion — the shape of a whole
 // parallel/single/task/taskwait region in one call.
 func RunTasks(workers int, tasks ...func() error) error {
-	g := NewTaskGroup(workers)
+	return RunTasksMonitored(workers, nil, tasks...)
+}
+
+// RunTasksMonitored is RunTasks with worker accounting (see
+// NewTaskGroupMonitored).
+func RunTasksMonitored(workers int, mon Monitor, tasks ...func() error) error {
+	g := NewTaskGroupMonitored(workers, mon)
 	for _, t := range tasks {
 		g.Go(t)
 	}

@@ -1,10 +1,12 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"accelproc/internal/obs"
 	"accelproc/internal/parallel"
 )
 
@@ -16,23 +18,31 @@ type BatchResult struct {
 }
 
 // RunBatch processes several event work directories with the same variant,
-// running up to eventWorkers pipelines concurrently (0 = all processors).
-// This is the paper's future-work direction — "scaling our approach to
-// larger experimental accelerographic datasets" — realized as one level of
-// outer parallelism above the per-event pipeline.
+// running up to opts.EventWorkers pipelines concurrently (0 = all
+// processors).  This is the paper's future-work direction — "scaling our
+// approach to larger experimental accelerographic datasets" — realized as
+// one level of outer parallelism above the per-event pipeline.
 //
 // Every directory is attempted; per-directory failures are reported in the
 // corresponding BatchResult rather than aborting the batch, and the first
 // error (in directory order) is also returned for convenience.  Results
-// are ordered like dirs.
+// are ordered like dirs.  Cancelling ctx aborts the in-flight event runs
+// (which clean up their scratch folders) and marks the remaining
+// directories with the context's cause.
+//
+// When opts.Observer is set, the batch reports one "batch" root span with a
+// per-event run span tree nested under it.
 //
 // Note on the simulated platform: opts.SimProcessors models the parallelism
 // *inside* one event's pipeline.  Outer event-level concurrency uses real
 // goroutines in every mode, so batch throughput reflects the host, while
 // per-event timings remain simulated.
-func RunBatch(dirs []string, variant Variant, opts Options, eventWorkers int) ([]BatchResult, error) {
+func RunBatch(ctx context.Context, dirs []string, variant Variant, opts Options) ([]BatchResult, error) {
 	if len(dirs) == 0 {
 		return nil, fmt.Errorf("pipeline: empty batch")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	// Reject duplicate directories up front: two concurrent runs in one
 	// directory would race on every product file.
@@ -43,15 +53,29 @@ func RunBatch(dirs []string, variant Variant, opts Options, eventWorkers int) ([
 		}
 		seen[d] = true
 	}
+	batchSpan := opts.ParentSpan.Child("batch:"+variant.String(), obs.KindRun,
+		obs.Int("events", int64(len(dirs))))
+	if batchSpan == nil {
+		batchSpan = opts.Observer.Root("batch:"+variant.String(), obs.KindRun,
+			obs.Int("events", int64(len(dirs))))
+	}
+	eventOpts := opts
+	eventOpts.ParentSpan = batchSpan
 	results := make([]BatchResult, len(dirs))
 	var mu sync.Mutex
-	_ = parallel.ParallelForDynamic(len(dirs), eventWorkers, 1, func(i int) error {
-		res, err := Run(dirs[i], variant, opts)
+	mon := obs.NewWorkerMonitor(opts.Observer, "batch")
+	var bmon parallel.Monitor
+	if mon != nil {
+		bmon = mon
+	}
+	_ = parallel.ParallelForMonitored(len(dirs), opts.EventWorkers, parallel.ScheduleDynamic, 1, bmon, func(i int) error {
+		res, err := Run(ctx, dirs[i], variant, eventOpts)
 		mu.Lock()
 		results[i] = BatchResult{Dir: dirs[i], Result: res, Err: err}
 		mu.Unlock()
 		return nil
 	})
+	batchSpan.End()
 	var firstErr error
 	for _, r := range results {
 		if r.Err != nil {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,13 @@ import (
 
 	"accelproc/internal/synth"
 )
+
+// batchOptions is testOptions with an event-level worker budget.
+func batchOptions(workers int) Options {
+	opts := testOptions()
+	opts.EventWorkers = workers
+	return opts
+}
 
 func prepareBatchDirs(t *testing.T, n int) []string {
 	t.Helper()
@@ -34,7 +42,7 @@ func prepareBatchDirs(t *testing.T, n int) []string {
 
 func TestRunBatchProcessesEveryDirectory(t *testing.T) {
 	dirs := prepareBatchDirs(t, 3)
-	results, err := RunBatch(dirs, FullParallel, testOptions(), 2)
+	results, err := RunBatch(context.Background(), dirs, FullParallel, batchOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,11 +74,11 @@ func TestRunBatchProcessesEveryDirectory(t *testing.T) {
 func TestRunBatchMatchesIndividualRuns(t *testing.T) {
 	dirs := prepareBatchDirs(t, 2)
 	ref := prepareBatchDirs(t, 2)
-	if _, err := RunBatch(dirs, SeqOptimized, testOptions(), 0); err != nil {
+	if _, err := RunBatch(context.Background(), dirs, SeqOptimized, batchOptions(0)); err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range ref {
-		if _, err := Run(d, SeqOptimized, testOptions()); err != nil {
+		if _, err := Run(context.Background(), d, SeqOptimized, testOptions()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -100,7 +108,7 @@ func TestRunBatchReportsPerDirectoryFailures(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	results, err := RunBatch(dirs, SeqOptimized, testOptions(), 2)
+	results, err := RunBatch(context.Background(), dirs, SeqOptimized, batchOptions(2))
 	if err == nil {
 		t.Fatal("batch with corrupt directory reported no error")
 	}
@@ -113,11 +121,11 @@ func TestRunBatchReportsPerDirectoryFailures(t *testing.T) {
 }
 
 func TestRunBatchRejectsEmptyAndDuplicates(t *testing.T) {
-	if _, err := RunBatch(nil, SeqOptimized, testOptions(), 2); err == nil {
+	if _, err := RunBatch(context.Background(), nil, SeqOptimized, batchOptions(2)); err == nil {
 		t.Error("empty batch accepted")
 	}
 	dirs := prepareBatchDirs(t, 1)
-	if _, err := RunBatch([]string{dirs[0], dirs[0]}, SeqOptimized, testOptions(), 2); err == nil {
+	if _, err := RunBatch(context.Background(), []string{dirs[0], dirs[0]}, SeqOptimized, batchOptions(2)); err == nil {
 		t.Error("duplicate directory accepted")
 	}
 }

@@ -1,9 +1,11 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"accelproc/internal/obs"
 	"accelproc/internal/parallel"
 	"accelproc/internal/simsched"
 )
@@ -12,10 +14,23 @@ import (
 // returns its result with per-process and per-stage timings.  The directory
 // must contain the multiplexed <station>.v1 input files; every product of
 // the chain is written next to them.
-func Run(dir string, variant Variant, opts Options) (Result, error) {
-	s, err := newState(dir, opts)
+//
+// ctx cancellation aborts the run between processes and inside parallel
+// chunks; the returned error is then the context's cause.  When
+// opts.Observer is set, the run reports a span tree rooted at a "run" span
+// (nested under opts.ParentSpan if given) whose charged durations match the
+// returned Timings.
+func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result, error) {
+	s, err := newState(ctx, dir, opts)
 	if err != nil {
 		return Result{}, err
+	}
+	if opts.ParentSpan != nil {
+		s.runSpan = opts.ParentSpan.Child("run:"+variant.String(), obs.KindRun,
+			obs.String("variant", variant.String()), obs.String("dir", dir))
+	} else {
+		s.runSpan = opts.Observer.Root("run:"+variant.String(), obs.KindRun,
+			obs.String("variant", variant.String()), obs.String("dir", dir))
 	}
 	start := s.now()
 	switch variant {
@@ -30,16 +45,22 @@ func Run(dir string, variant Variant, opts Options) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("pipeline: unknown variant %d", int(variant))
 	}
-	if err != nil {
-		return Result{}, err
-	}
 	// On the simulated platform s.virt carries the (negative) difference
 	// between serial execution and the simulated parallel makespans.
-	s.tim.Total = (s.now() - start) + s.virt
-	stations, err := s.stations()
+	total := (s.now() - start) + s.virt
 	if err != nil {
+		s.runSpan.EndCharged(total, obs.String("error", err.Error()))
 		return Result{}, err
 	}
+	s.tim.Total = total
+	stations, err := s.stations()
+	if err != nil {
+		s.runSpan.EndCharged(total, obs.String("error", err.Error()))
+		return Result{}, err
+	}
+	// One corrected component record per (station, component) pair.
+	s.records.Add(float64(3 * len(stations)))
+	s.runSpan.EndCharged(total, obs.Int("stations", int64(len(stations))))
 	return Result{Variant: variant, Stations: stations, Timings: s.tim}, nil
 }
 
@@ -152,12 +173,12 @@ func (s *state) runStaged(full bool) error {
 
 	// Stage IV: default filters (temp-folder protocol when full).
 	err = s.timedStage(StageIV, func() error {
-		return s.timed(PDefaultFilter, func() error {
+		return s.timedProc(PDefaultFilter, func(sp *obs.Span) error {
 			if strategyOf(StageIV) == StratTempFolder {
 				if s.opts.NoTempFolders {
 					return s.applyFilters(w)
 				}
-				return s.filterViaTempFolders("def", w)
+				return s.filterViaTempFolders(sp, "def", w)
 			}
 			return s.applyFilters(1)
 		})
@@ -168,12 +189,12 @@ func (s *state) runStaged(full bool) error {
 
 	// Stage V: Fourier transformation (temp-folder protocol when full).
 	err = s.timedStage(StageV, func() error {
-		return s.timed(PFourier, func() error {
+		return s.timedProc(PFourier, func(sp *obs.Span) error {
 			if strategyOf(StageV) == StratTempFolder {
 				if s.opts.NoTempFolders {
 					return s.procFourier(w)
 				}
-				return s.fourierViaTempFolders(w)
+				return s.fourierViaTempFolders(sp, w)
 			}
 			return s.procFourier(1)
 		})
@@ -206,12 +227,12 @@ func (s *state) runStaged(full bool) error {
 
 	// Stage VIII: definitive correction with the picked corners.
 	err = s.timedStage(StageVIII, func() error {
-		return s.timed(PCorrectedFilter, func() error {
+		return s.timedProc(PCorrectedFilter, func(sp *obs.Span) error {
 			if strategyOf(StageVIII) == StratTempFolder {
 				if s.opts.NoTempFolders {
 					return s.applyFilters(w)
 				}
-				return s.filterViaTempFolders("cor", w)
+				return s.filterViaTempFolders(sp, "cor", w)
 			}
 			return s.applyFilters(1)
 		})
@@ -266,7 +287,7 @@ func (s *state) taskStage(id StageID, workers int, tasks []taskSpec) error {
 				t := t
 				fns = append(fns, func() error { return s.timed(t.id, t.fn) })
 			}
-			return parallel.RunTasks(workers, fns...)
+			return parallel.RunTasksMonitored(workers, s.monitor(), fns...)
 		})
 	}
 	return s.timedStage(id, func() error {

@@ -19,10 +19,12 @@ package pipeline
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"accelproc/internal/dsp"
 	"accelproc/internal/fourier"
+	"accelproc/internal/obs"
 	"accelproc/internal/response"
 	"accelproc/internal/simsched"
 )
@@ -251,6 +253,24 @@ var Stages = [NumStages]StageInfo{
 	{ID: StageXI, Processes: []ProcessID{PPlotFourier, PPlotAccel, PPlotResponse}, Partial: StratTask, Full: StratTask},
 }
 
+// ParseVariant maps a command-line spelling to a Variant.  It accepts the
+// paper's full names (the String values) plus the short forms the CLIs
+// document: seq-original, seq-optimized, partial, full.
+func ParseVariant(name string) (Variant, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "seq-original", "seq", "original", "sequential-original":
+		return SeqOriginal, nil
+	case "seq-optimized", "opt", "optimized", "sequential-optimized":
+		return SeqOptimized, nil
+	case "partial", "par", "partially-parallelized":
+		return PartialParallel, nil
+	case "full", "parallel", "fully-parallelized":
+		return FullParallel, nil
+	default:
+		return 0, fmt.Errorf("pipeline: unknown variant %q (want seq-original, seq-optimized, partial, or full)", name)
+	}
+}
+
 // StageOf returns the stage that contains the given process in the
 // reordered schedule, or 0 if the process was optimized away (#6, #12, #14
 // appear in no stage).
@@ -315,11 +335,20 @@ type Options struct {
 	ContentionCPU float64
 	ContentionIO  float64
 
-	// Progress, when non-nil, is invoked after every process completes,
-	// with the process and its charged duration.  Task-parallel stages
-	// run processes concurrently on the real platform, so the callback
-	// must be safe for concurrent use.
-	Progress func(p ProcessID, d time.Duration)
+	// EventWorkers bounds the number of event pipelines RunBatch executes
+	// concurrently; 0 means all available processors.  Run ignores it.
+	EventWorkers int
+
+	// Observer, when non-nil, receives the run's span tree (run → stage →
+	// process → task) and metrics: per-process durations, temp-folder
+	// staging bytes, worker occupancy, queue waits.  It replaces the old
+	// Progress callback — attach an obs.ProgressRenderer sink for the
+	// same per-process console output.
+	Observer *obs.Observer
+	// ParentSpan, when non-nil, nests the run's span under an enclosing
+	// span (a batch, an experiment trial) instead of opening a new root.
+	// It must belong to Observer.
+	ParentSpan *obs.Span
 }
 
 func (o Options) withDefaults() Options {

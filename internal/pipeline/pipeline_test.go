@@ -1,17 +1,17 @@
 package pipeline
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
-	"sync"
 	"testing"
-	"time"
 
 	"accelproc/internal/dsp"
+	"accelproc/internal/obs"
 	"accelproc/internal/response"
 	"accelproc/internal/seismic"
 	"accelproc/internal/smformat"
@@ -48,7 +48,7 @@ func runVariant(t *testing.T, ev seismic.Event, v Variant, opts Options) (string
 	if err := PrepareWorkDir(dir, ev); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(dir, v, opts)
+	res, err := Run(context.Background(), dir, v, opts)
 	if err != nil {
 		t.Fatalf("%v: %v", v, err)
 	}
@@ -297,13 +297,13 @@ func TestVariantString(t *testing.T) {
 
 func TestRunFailsOnEmptyDirectory(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := Run(dir, SeqOriginal, testOptions()); err == nil {
+	if _, err := Run(context.Background(), dir, SeqOriginal, testOptions()); err == nil {
 		t.Error("empty directory accepted")
 	}
 }
 
 func TestRunFailsOnMissingDirectory(t *testing.T) {
-	if _, err := Run(filepath.Join(t.TempDir(), "nope"), SeqOriginal, testOptions()); err == nil {
+	if _, err := Run(context.Background(), filepath.Join(t.TempDir(), "nope"), SeqOriginal, testOptions()); err == nil {
 		t.Error("missing directory accepted")
 	}
 }
@@ -313,7 +313,7 @@ func TestRunFailsOnFileAsDirectory(t *testing.T) {
 	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(f, SeqOriginal, testOptions()); err == nil {
+	if _, err := Run(context.Background(), f, SeqOriginal, testOptions()); err == nil {
 		t.Error("regular file accepted as work dir")
 	}
 }
@@ -335,7 +335,7 @@ func TestRunFailsOnCorruptInput(t *testing.T) {
 		if err := os.WriteFile(name, data[:len(data)/2], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Run(dir, v, testOptions()); err == nil {
+		if _, err := Run(context.Background(), dir, v, testOptions()); err == nil {
 			t.Errorf("%v: corrupt input accepted", v)
 		}
 	}
@@ -346,7 +346,7 @@ func TestRunUnknownVariant(t *testing.T) {
 	if err := PrepareWorkDir(dir, testEvent(t)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(dir, Variant(42), testOptions()); err == nil {
+	if _, err := Run(context.Background(), dir, Variant(42), testOptions()); err == nil {
 		t.Error("unknown variant accepted")
 	}
 }
@@ -366,7 +366,7 @@ func TestCleanOutputsRestoresPristineState(t *testing.T) {
 		t.Errorf("after clean: %+v, want %+v", inv, want)
 	}
 	// A rerun on the cleaned directory must succeed.
-	if _, err := Run(dir, SeqOptimized, testOptions()); err != nil {
+	if _, err := Run(context.Background(), dir, SeqOptimized, testOptions()); err != nil {
 		t.Fatalf("rerun after clean: %v", err)
 	}
 }
@@ -376,7 +376,7 @@ func TestRerunInUsedDirectoryIsStable(t *testing.T) {
 	// mis-gather the per-component .v1 products as inputs.
 	ev := testEvent(t)
 	dir, _ := runVariant(t, ev, SeqOptimized, testOptions())
-	res, err := Run(dir, FullParallel, testOptions())
+	res, err := Run(context.Background(), dir, FullParallel, testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestKeepTempDirs(t *testing.T) {
 	if err := PrepareWorkDir(dir, ev); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(dir, FullParallel, opts); err != nil {
+	if _, err := Run(context.Background(), dir, FullParallel, opts); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -536,7 +536,7 @@ func TestSimulatedParForPropagatesErrors(t *testing.T) {
 	// Corrupt a per-component V1 after separation would be needed for a
 	// mid-parallel-loop failure; instead corrupt the whole input so the
 	// simulated gather succeeds but parsing inside the loop fails.
-	res, err := Run(dir, FullParallel, opts)
+	res, err := Run(context.Background(), dir, FullParallel, opts)
 	if err != nil {
 		t.Fatalf("baseline run failed: %v", err)
 	}
@@ -551,7 +551,7 @@ func TestSimulatedParForPropagatesErrors(t *testing.T) {
 	if err := os.WriteFile(name, data[:len(data)/3], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(dir, FullParallel, opts); err == nil {
+	if _, err := Run(context.Background(), dir, FullParallel, opts); err == nil {
 		t.Error("simulated run accepted corrupt input")
 	}
 }
@@ -609,38 +609,47 @@ func TestInstrumentCorrectionOption(t *testing.T) {
 	}
 }
 
-func TestProgressCallback(t *testing.T) {
+func TestObserverEmitsProcessSpans(t *testing.T) {
 	ev := testEvent(t)
-	var mu sync.Mutex
-	got := map[ProcessID]int{}
-	opts := testOptions()
-	opts.Progress = func(p ProcessID, d time.Duration) {
-		mu.Lock()
-		got[p]++
-		mu.Unlock()
-		if d < 0 {
-			t.Errorf("process #%d reported negative duration %v", p, d)
+	runTraced := func(v Variant) map[ProcessID]int {
+		col := &obs.Collector{}
+		opts := testOptions()
+		opts.Observer = obs.New(col)
+		_, _ = runVariant(t, ev, v, opts)
+		got := map[ProcessID]int{}
+		for _, rec := range col.Records() {
+			if rec.Kind != obs.KindProcess {
+				continue
+			}
+			id, ok := rec.IntAttr("process")
+			if !ok {
+				t.Fatalf("process span %q has no process attr", rec.Name)
+			}
+			if rec.Duration < 0 {
+				t.Errorf("process #%d span has negative duration %v", id, rec.Duration)
+			}
+			got[ProcessID(id)]++
 		}
+		return got
 	}
-	_, _ = runVariant(t, ev, SeqOriginal, opts)
-	// Every one of the 20 processes reports exactly once... except the
-	// shared implementations #0/#11 and the repeated metadata/separation
-	// processes, which are distinct IDs and also report once each.
+
+	// Every one of the 20 processes emits exactly one span under the
+	// original sequence; the optimized schedules drop the redundant three.
+	got := runTraced(SeqOriginal)
 	for id := ProcessID(0); id < NumProcesses; id++ {
 		if got[id] != 1 {
-			t.Errorf("process #%d reported %d times, want 1", id, got[id])
+			t.Errorf("process #%d emitted %d spans, want 1", id, got[id])
 		}
 	}
 
-	got = map[ProcessID]int{}
-	_, _ = runVariant(t, ev, FullParallel, opts)
+	got = runTraced(FullParallel)
 	for id := ProcessID(0); id < NumProcesses; id++ {
 		want := 1
 		if Processes[id].Redundant {
 			want = 0
 		}
 		if got[id] != want {
-			t.Errorf("full-parallel: process #%d reported %d times, want %d", id, got[id], want)
+			t.Errorf("full-parallel: process #%d emitted %d spans, want %d", id, got[id], want)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"accelproc/internal/obs"
 	"accelproc/internal/parallel"
 	"accelproc/internal/seismic"
 	"accelproc/internal/simsched"
@@ -15,9 +17,11 @@ import (
 )
 
 // state carries the per-run context shared by the process implementations:
-// the work directory, the resolved options, and the timing collector.
-// All inter-process data flows through files, never through state.
+// the work directory, the resolved options, the timing collector, and the
+// observability handles.  All inter-process data flows through files, never
+// through state.
 type state struct {
+	ctx  context.Context
 	dir  string
 	opts Options
 	tim  Timings
@@ -26,6 +30,17 @@ type state struct {
 	// (simulated makespan - serial execution time), a negative quantity,
 	// so that wall + virt is the run's time on the simulated machine.
 	virt time.Duration
+
+	// Observability.  runSpan and stageSpan are written only at the
+	// sequential points between stages; process spans are threaded
+	// explicitly (timedProc) because task-parallel stages time processes
+	// concurrently.  All handles are nil-safe when no Observer is set.
+	runSpan   *obs.Span
+	stageSpan *obs.Span
+	wmon      *obs.WorkerMonitor
+	records   *obs.Counter
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
 }
 
 // simulated reports whether parallel constructs run on the simulated
@@ -43,14 +58,37 @@ func (s *state) now() time.Duration {
 	return time.Duration(time.Now().UnixNano())
 }
 
+// monitor returns the worker monitor as a parallel.Monitor interface,
+// carefully keeping the interface itself nil when no observer is attached
+// (a typed-nil *obs.WorkerMonitor would defeat the mon == nil fast paths in
+// the parallel package).
+func (s *state) monitor() parallel.Monitor {
+	if s.wmon == nil {
+		return nil
+	}
+	return s.wmon
+}
+
+// cancelled reports the context's error, making every parallel chunk and
+// inter-process boundary a cancellation point.
+func (s *state) cancelled() error { return context.Cause(s.ctx) }
+
 // parFor executes body over [0, n) with the requested worker budget.  On
 // the real platform it is a goroutine parallel loop; on the simulated
 // platform the bodies run serially with per-item cost measurement, and the
 // virtual clock is charged the list-scheduling makespan for the budgeted
-// workers under the contention model of the given cost class.
+// workers under the contention model of the given cost class.  In both
+// modes every iteration first checks the run context, so cancellation
+// aborts inside a chunk rather than only at the next stage boundary.
 func (s *state) parFor(n, workers int, class Cost, body func(int) error) error {
+	checked := func(i int) error {
+		if err := s.cancelled(); err != nil {
+			return err
+		}
+		return body(i)
+	}
 	if !s.simulated() || workers == 1 {
-		return parallel.ParallelFor(n, workers, body)
+		return parallel.ParallelForMonitored(n, workers, parallel.ScheduleStatic, 0, s.monitor(), checked)
 	}
 	w := workers
 	if w <= 0 {
@@ -60,7 +98,7 @@ func (s *state) parFor(n, workers int, class Cost, body func(int) error) error {
 	var firstErr error
 	for i := 0; i < n; i++ {
 		start := s.now()
-		if err := body(i); err != nil && firstErr == nil {
+		if err := checked(i); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		durs[i] = s.now() - start
@@ -81,7 +119,7 @@ func (s *state) contention(class Cost) float64 {
 	return s.opts.ContentionIO
 }
 
-func newState(dir string, opts Options) (*state, error) {
+func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 	info, err := os.Stat(dir)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: work directory: %w", err)
@@ -89,36 +127,94 @@ func newState(dir string, opts Options) (*state, error) {
 	if !info.IsDir() {
 		return nil, fmt.Errorf("pipeline: %s is not a directory", dir)
 	}
-	return &state{dir: dir, opts: opts.withDefaults()}, nil
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &state{ctx: ctx, dir: dir, opts: opts.withDefaults()}
+	if o := s.opts.Observer; o != nil {
+		s.wmon = obs.NewWorkerMonitor(o, "pipeline")
+		s.records = o.Counter("records_processed_total")
+		s.bytesIn = o.Counter("bytes_staged_in_total")
+		s.bytesOut = o.Counter("bytes_staged_out_total")
+	}
+	return s, nil
 }
 
 // path resolves a file name inside the work directory.
 func (s *state) path(name string) string { return filepath.Join(s.dir, name) }
 
 // timed runs one process body and records its (virtual) time: the wall time
-// plus any corrections the simulated platform charged during the body.
+// plus any corrections the simulated platform charged during the body.  A
+// process span is opened under the current stage span (or the run span when
+// the process runs outside any stage) and ended with the charged duration,
+// so trace trees agree with Result.Timings.  Each process boundary is a
+// cancellation point.
 func (s *state) timed(id ProcessID, body func() error) error {
+	return s.timedProc(id, func(*obs.Span) error { return body() })
+}
+
+// timedProc is timed for bodies that open child task spans (the temp-folder
+// staging steps): the process span is passed in explicitly rather than kept
+// on state, because task-parallel stages time several processes at once.
+func (s *state) timedProc(id ProcessID, body func(sp *obs.Span) error) error {
+	if err := s.cancelled(); err != nil {
+		return err
+	}
+	parent := s.stageSpan
+	if parent == nil {
+		parent = s.runSpan
+	}
+	sp := parent.Child("process:"+Processes[id].Name, obs.KindProcess,
+		obs.Int("process", int64(id)), obs.String("process_name", Processes[id].Name))
+	v0 := s.virt
+	start := s.now()
+	err := body(sp)
+	d := (s.now() - start) + (s.virt - v0)
+	s.tim.Process[id] += d
+	if err != nil {
+		sp.EndCharged(d, obs.String("error", err.Error()))
+		return fmt.Errorf("pipeline: process #%d (%s): %w", id, Processes[id].Name, err)
+	}
+	sp.EndCharged(d)
+	return nil
+}
+
+// timedStage measures the (virtual) time of a whole stage and wraps it in a
+// stage span nested under the run span.
+func (s *state) timedStage(id StageID, body func() error) error {
+	if err := s.cancelled(); err != nil {
+		return err
+	}
+	sp := s.runSpan.Child("stage:"+id.String(), obs.KindStage, obs.Int("stage", int64(id)))
+	s.stageSpan = sp
 	v0 := s.virt
 	start := s.now()
 	err := body()
 	d := (s.now() - start) + (s.virt - v0)
-	s.tim.Process[id] += d
+	s.tim.Stage[id] += d
+	s.stageSpan = nil
 	if err != nil {
-		return fmt.Errorf("pipeline: process #%d (%s): %w", id, Processes[id].Name, err)
+		sp.EndCharged(d, obs.String("error", err.Error()))
+		return err
 	}
-	if s.opts.Progress != nil {
-		s.opts.Progress(id, d)
-	}
+	sp.EndCharged(d)
 	return nil
 }
 
-// timedStage measures the (virtual) time of a whole stage.
-func (s *state) timedStage(id StageID, body func() error) error {
+// timedTask wraps one sub-process unit of work (a temp-folder staging step)
+// in a task span under parent, charged with virtual-corrected time.
+func (s *state) timedTask(parent *obs.Span, name string, body func() error) error {
+	sp := parent.Child(name, obs.KindTask)
 	v0 := s.virt
 	start := s.now()
 	err := body()
-	s.tim.Stage[id] += (s.now() - start) + (s.virt - v0)
-	return err
+	d := (s.now() - start) + (s.virt - v0)
+	if err != nil {
+		sp.EndCharged(d, obs.String("error", err.Error()))
+		return err
+	}
+	sp.EndCharged(d)
+	return nil
 }
 
 // stations reads the gathered input list (the product of process #1) and

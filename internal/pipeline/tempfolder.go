@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"accelproc/internal/fourier"
+	"accelproc/internal/obs"
 	"accelproc/internal/seismic"
 	"accelproc/internal/smformat"
 )
@@ -31,6 +32,12 @@ import (
 // The "executable" is a simulated binary image: the Go implementations
 // stand in for the Fortran programs, but the staging I/O — the real cost
 // the protocol adds — is performed with genuine file copies.
+//
+// Each step reports a task span under the owning process span, and the
+// bytes moved across the scratch-folder boundary feed the
+// bytes_staged_in_total / bytes_staged_out_total counters.  If any step
+// fails (including cancellation), the scratch folders are removed before
+// returning unless Options.KeepTempDirs asks for them.
 
 // exeImageSize is the size of the simulated program executable that step 2
 // installs into every scratch folder (legacy Fortran filter binaries are a
@@ -57,28 +64,60 @@ func (s *state) ensureExeImage() (string, error) {
 	return path, nil
 }
 
-func copyFile(dst, src string) error {
+// copyFile copies src to dst and returns the number of bytes written.
+func copyFile(dst, src string) (int64, error) {
 	in, err := os.Open(src)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer in.Close()
 	out, err := os.Create(dst)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	_, cpErr := io.Copy(out, in)
+	n, cpErr := io.Copy(out, in)
 	clErr := out.Close()
 	if cpErr != nil {
-		return cpErr
+		return n, cpErr
 	}
-	return clErr
+	return n, clErr
+}
+
+// stageCopy copies src across the scratch-folder boundary, charging the
+// copied bytes to the given staging counter.
+func stageCopy(dst, src string, c *obs.Counter) error {
+	n, err := copyFile(dst, src)
+	c.Add(float64(n))
+	return err
+}
+
+// stageMove renames src across the scratch-folder boundary (the paper's
+// pseudocode moves data files rather than copying them), charging the
+// file's size to the given staging counter.
+func stageMove(dst, src string, c *obs.Counter) error {
+	if info, err := os.Stat(src); err == nil {
+		c.Add(float64(info.Size()))
+	}
+	return os.Rename(src, dst)
+}
+
+// removeScratchDirs deletes the scratch folders after a failed protocol
+// run, so an aborted or cancelled pipeline leaves no tmp_* litter in the
+// work directory.
+func (s *state) removeScratchDirs(dirs []string) {
+	if s.opts.KeepTempDirs {
+		return
+	}
+	for _, d := range dirs {
+		os.RemoveAll(d)
+	}
 }
 
 // filterViaTempFolders is the temp-folder variant of processes #4 and #13
 // (the paper's ParallelizeCorrection): one instance per station, three
-// component signals per instance.
-func (s *state) filterViaTempFolders(tag string, workers int) error {
+// component signals per instance.  proc is the owning process span; the
+// four protocol steps report task spans under it.
+func (s *state) filterViaTempFolders(proc *obs.Span, tag string, workers int) (err error) {
 	stations, err := s.stations()
 	if err != nil {
 		return err
@@ -92,20 +131,43 @@ func (s *state) filterViaTempFolders(tag string, workers int) error {
 	for i, st := range stations {
 		dirs[i] = s.path(fmt.Sprintf("tmp_%s_%02d_%s", tag, i, st))
 	}
+	defer func() {
+		if err != nil {
+			s.removeScratchDirs(dirs)
+		}
+	}()
 
 	// Step 1 (parallel): create folders, stage the parameter file (copied:
 	// every instance needs it) and move the input V1 components in, as the
 	// paper's pseudocode does ("Move 10*i+3*j+k <s><comp>.v1 file").
-	err = s.parFor(n, workers, CostHeavyIO, func(i int) error {
-		if err := os.MkdirAll(dirs[i], 0o755); err != nil {
-			return err
-		}
-		if err := copyFile(filepath.Join(dirs[i], smformat.FilterParamsFile), s.path(smformat.FilterParamsFile)); err != nil {
-			return err
-		}
-		for _, comp := range seismic.Components {
-			name := smformat.V1ComponentFileName(stations[i], comp)
-			if err := os.Rename(s.path(name), filepath.Join(dirs[i], name)); err != nil {
+	err = s.timedTask(proc, "stage-in", func() error {
+		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
+			if err := os.MkdirAll(dirs[i], 0o755); err != nil {
+				return err
+			}
+			if err := stageCopy(filepath.Join(dirs[i], smformat.FilterParamsFile), s.path(smformat.FilterParamsFile), s.bytesIn); err != nil {
+				return err
+			}
+			for _, comp := range seismic.Components {
+				name := smformat.V1ComponentFileName(stations[i], comp)
+				if err := stageMove(filepath.Join(dirs[i], name), s.path(name), s.bytesIn); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Step 2 (sequential, as in the paper, to avoid races on the image).
+	err = s.timedTask(proc, "install-exe", func() error {
+		for i := 0; i < n; i++ {
+			if err := s.cancelled(); err != nil {
+				return err
+			}
+			if err := stageCopy(filepath.Join(dirs[i], exeImageName), exe, s.bytesIn); err != nil {
 				return err
 			}
 		}
@@ -115,55 +177,50 @@ func (s *state) filterViaTempFolders(tag string, workers int) error {
 		return err
 	}
 
-	// Step 2 (sequential, as in the paper, to avoid races on the image).
-	for i := 0; i < n; i++ {
-		if err := copyFile(filepath.Join(dirs[i], exeImageName), exe); err != nil {
-			return err
-		}
-	}
-
 	// Step 3 (parallel): run the program inside each folder, stage the V2
 	// products and a max-values fragment back out.
 	fragments := make([]smformat.MaxValues, n)
 	// The per-instance work is dominated by reading/writing the large V1/V2
 	// text payloads, not by the filter arithmetic, so it contends like I/O
 	// (the paper observes 1.9x-2.0x for these stages on 8 cores).
-	err = s.parFor(n, workers, CostHeavyIO, func(i int) error {
-		st := stations[i]
-		params, err := smformat.ReadFilterParamsFile(filepath.Join(dirs[i], smformat.FilterParamsFile))
-		if err != nil {
-			return err
-		}
-		frag := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
-		for _, comp := range seismic.Components {
-			v1, err := smformat.ReadV1ComponentFile(filepath.Join(dirs[i], smformat.V1ComponentFileName(st, comp)))
+	err = s.timedTask(proc, "execute", func() error {
+		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
+			st := stations[i]
+			params, err := smformat.ReadFilterParamsFile(filepath.Join(dirs[i], smformat.FilterParamsFile))
 			if err != nil {
 				return err
 			}
-			key := smformat.SignalKey{Station: st, Component: comp}
-			v2, pk, err := s.correctSignal(v1, params.Spec(key))
-			if err != nil {
-				return err
+			frag := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
+			for _, comp := range seismic.Components {
+				v1, err := smformat.ReadV1ComponentFile(filepath.Join(dirs[i], smformat.V1ComponentFileName(st, comp)))
+				if err != nil {
+					return err
+				}
+				key := smformat.SignalKey{Station: st, Component: comp}
+				v2, pk, err := s.correctSignal(v1, params.Spec(key))
+				if err != nil {
+					return err
+				}
+				local := filepath.Join(dirs[i], smformat.V2FileName(st, comp))
+				if err := smformat.WriteV2File(local, v2); err != nil {
+					return err
+				}
+				// Move the product back to the work directory, and the V1
+				// input with it (the chain never modifies V1 components — the
+				// rationale for dropping process #12 — so they must survive
+				// for the later stages that reuse them).
+				if err := stageMove(s.path(smformat.V2FileName(st, comp)), local, s.bytesOut); err != nil {
+					return err
+				}
+				name := smformat.V1ComponentFileName(st, comp)
+				if err := stageMove(s.path(name), filepath.Join(dirs[i], name), s.bytesOut); err != nil {
+					return err
+				}
+				frag.Peaks[key] = pk
 			}
-			local := filepath.Join(dirs[i], smformat.V2FileName(st, comp))
-			if err := smformat.WriteV2File(local, v2); err != nil {
-				return err
-			}
-			// Move the product back to the work directory, and the V1
-			// input with it (the chain never modifies V1 components — the
-			// rationale for dropping process #12 — so they must survive
-			// for the later stages that reuse them).
-			if err := os.Rename(local, s.path(smformat.V2FileName(st, comp))); err != nil {
-				return err
-			}
-			name := smformat.V1ComponentFileName(st, comp)
-			if err := os.Rename(filepath.Join(dirs[i], name), s.path(name)); err != nil {
-				return err
-			}
-			frag.Peaks[key] = pk
-		}
-		fragments[i] = frag
-		return nil
+			fragments[i] = frag
+			return nil
+		})
 	})
 	if err != nil {
 		return err
@@ -184,15 +241,17 @@ func (s *state) filterViaTempFolders(tag string, workers int) error {
 	if s.opts.KeepTempDirs {
 		return nil
 	}
-	return s.parFor(n, workers, CostHeavyIO, func(i int) error {
-		return os.RemoveAll(dirs[i])
+	return s.timedTask(proc, "cleanup", func() error {
+		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
+			return os.RemoveAll(dirs[i])
+		})
 	})
 }
 
 // fourierViaTempFolders is the temp-folder variant of process #7 (the
 // paper's ParallelizeFourier): one instance per station, transforming the
 // station's three component V2 files inside its scratch folder.
-func (s *state) fourierViaTempFolders(workers int) error {
+func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
 	stations, err := s.stations()
 	if err != nil {
 		return err
@@ -206,16 +265,39 @@ func (s *state) fourierViaTempFolders(workers int) error {
 	for i, st := range stations {
 		dirs[i] = s.path(fmt.Sprintf("tmp_fou_%02d_%s", i, st))
 	}
+	defer func() {
+		if err != nil {
+			s.removeScratchDirs(dirs)
+		}
+	}()
 
 	// Step 1 (parallel): create folders and move the V2 inputs in
 	// (the paper's pseudocode: "Move 3*i+1 <s><comp>.v2 file").
-	err = s.parFor(n, workers, CostHeavyIO, func(i int) error {
-		if err := os.MkdirAll(dirs[i], 0o755); err != nil {
-			return err
-		}
-		for _, comp := range seismic.Components {
-			name := smformat.V2FileName(stations[i], comp)
-			if err := os.Rename(s.path(name), filepath.Join(dirs[i], name)); err != nil {
+	err = s.timedTask(proc, "stage-in", func() error {
+		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
+			if err := os.MkdirAll(dirs[i], 0o755); err != nil {
+				return err
+			}
+			for _, comp := range seismic.Components {
+				name := smformat.V2FileName(stations[i], comp)
+				if err := stageMove(filepath.Join(dirs[i], name), s.path(name), s.bytesIn); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Step 2 (sequential): install the executable image.
+	err = s.timedTask(proc, "install-exe", func() error {
+		for i := 0; i < n; i++ {
+			if err := s.cancelled(); err != nil {
+				return err
+			}
+			if err := stageCopy(filepath.Join(dirs[i], exeImageName), exe, s.bytesIn); err != nil {
 				return err
 			}
 		}
@@ -225,40 +307,35 @@ func (s *state) fourierViaTempFolders(workers int) error {
 		return err
 	}
 
-	// Step 2 (sequential): install the executable image.
-	for i := 0; i < n; i++ {
-		if err := copyFile(filepath.Join(dirs[i], exeImageName), exe); err != nil {
-			return err
-		}
-	}
-
 	// Step 3 (parallel): transform inside each folder, stage the F products
 	// back out.
-	err = s.parFor(n, workers, CostHeavyIO, func(i int) error {
-		for _, comp := range seismic.Components {
-			v2, err := smformat.ReadV2File(filepath.Join(dirs[i], smformat.V2FileName(stations[i], comp)))
-			if err != nil {
-				return err
+	err = s.timedTask(proc, "execute", func() error {
+		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
+			for _, comp := range seismic.Components {
+				v2, err := smformat.ReadV2File(filepath.Join(dirs[i], smformat.V2FileName(stations[i], comp)))
+				if err != nil {
+					return err
+				}
+				f, err := fourier.Spectra(v2)
+				if err != nil {
+					return err
+				}
+				name := smformat.FourierFileName(v2.Station, v2.Component)
+				local := filepath.Join(dirs[i], name)
+				if err := smformat.WriteFourierFile(local, f); err != nil {
+					return err
+				}
+				if err := stageMove(s.path(name), local, s.bytesOut); err != nil {
+					return err
+				}
+				// Move the V2 input back: stages VIII, IX, and XI reuse it.
+				v2name := smformat.V2FileName(stations[i], comp)
+				if err := stageMove(s.path(v2name), filepath.Join(dirs[i], v2name), s.bytesOut); err != nil {
+					return err
+				}
 			}
-			f, err := fourier.Spectra(v2)
-			if err != nil {
-				return err
-			}
-			name := smformat.FourierFileName(v2.Station, v2.Component)
-			local := filepath.Join(dirs[i], name)
-			if err := smformat.WriteFourierFile(local, f); err != nil {
-				return err
-			}
-			if err := os.Rename(local, s.path(name)); err != nil {
-				return err
-			}
-			// Move the V2 input back: stages VIII, IX, and XI reuse it.
-			v2name := smformat.V2FileName(stations[i], comp)
-			if err := os.Rename(filepath.Join(dirs[i], v2name), s.path(v2name)); err != nil {
-				return err
-			}
-		}
-		return nil
+			return nil
+		})
 	})
 	if err != nil {
 		return err
@@ -268,7 +345,9 @@ func (s *state) fourierViaTempFolders(workers int) error {
 	if s.opts.KeepTempDirs {
 		return nil
 	}
-	return s.parFor(n, workers, CostHeavyIO, func(i int) error {
-		return os.RemoveAll(dirs[i])
+	return s.timedTask(proc, "cleanup", func() error {
+		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
+			return os.RemoveAll(dirs[i])
+		})
 	})
 }

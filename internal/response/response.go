@@ -56,6 +56,19 @@ func (m Method) String() string {
 	}
 }
 
+// ParseMethod maps a command-line spelling to a Method: duhamel (legacy),
+// or nj / nigam-jennings (fast).
+func ParseMethod(name string) (Method, error) {
+	switch name {
+	case "duhamel":
+		return Duhamel, nil
+	case "nj", "nigam-jennings":
+		return NigamJennings, nil
+	default:
+		return 0, fmt.Errorf("response: unknown method %q (want duhamel or nj)", name)
+	}
+}
+
 // Config parameterizes a response-spectrum computation.
 type Config struct {
 	Method  Method
