@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race bench ci
+.PHONY: all fmt vet build test race chaos bench ci
 
 all: build
 
@@ -28,7 +28,12 @@ test:
 race:
 	$(GO) test -race ./internal/parallel/... ./internal/pipeline/...
 
+# Seeded chaos soak: the fault-injection suite (rate sweep, poisoned-record
+# batch, retry/quarantine engine) under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Partial|Quarantine|RetryOp|StageMove' ./internal/pipeline/... ./internal/faults/...
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: fmt vet build test race
+ci: fmt vet build test race chaos

@@ -24,4 +24,7 @@ go test ./...
 echo "== race (parallel runtime + pipeline drivers) =="
 go test -race ./internal/parallel/... ./internal/pipeline/...
 
+echo "== chaos (seeded fault-injection soak) =="
+go test -race -count=1 -run 'Chaos|Partial|Quarantine|RetryOp|StageMove' ./internal/pipeline/... ./internal/faults/...
+
 echo "CI gate passed."

@@ -82,6 +82,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		check     = fs.Bool("check", false, "evaluate reproduction-shape assertions")
 		ablations = fs.Bool("ablations", false, "run the design-choice ablations on the mid-size event")
 		smoke     = fs.Bool("smoke", false, "self-test mode: two tiny synthetic events instead of the paper's six")
+		chaos     = fs.Float64("chaos", 0, "fault-injection rate in [0,1] for the temp-folder protocol: measure the degraded mode")
+		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,11 +105,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	defer session.Close()
 	cfg := bench.Config{
-		Scale:    *scale,
-		Workers:  *workers,
-		Repeat:   *repeat,
-		Variants: vs,
-		Observer: session.Observer,
+		Scale:     *scale,
+		Workers:   *workers,
+		Repeat:    *repeat,
+		Variants:  vs,
+		Observer:  session.Observer,
+		ChaosRate: *chaos,
+		ChaosSeed: *chaosSeed,
 		Response: response.Config{
 			Method:  m,
 			Periods: response.LogPeriods(0.05, 10, *periods),

@@ -14,7 +14,10 @@
 // pipeline products first so the run starts from a pristine directory.
 // -batch processes several event directories concurrently.  -trace,
 // -metrics, and -pprof capture the run's span tree, metrics exposition,
-// and CPU profile (see README "Observability").  Interrupting the process
+// and CPU profile (see README "Observability").  -chaos injects seeded
+// faults into the temp-folder protocol (-chaos-seed makes runs
+// reproducible); failing records are retried per -retries and then
+// quarantined under <dir>/quarantine.  Interrupting the process
 // (SIGINT/SIGTERM) cancels the run cleanly, including scratch folders.
 package main
 
@@ -30,6 +33,7 @@ import (
 
 	"accelproc/internal/cliobs"
 	"accelproc/internal/dsp"
+	"accelproc/internal/faults"
 	"accelproc/internal/obs"
 	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
@@ -71,6 +75,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		clean        = fs.Bool("clean", false, "remove previous pipeline products before running")
 		instr        = fs.String("instrument", "", "deconvolve an instrument response first: \"f0,damping\" (e.g. \"25,0.7\" for an SMA-1 style sensor)")
 		verbose      = fs.Bool("verbose", false, "print each process as it completes")
+		chaos        = fs.Float64("chaos", 0, "fault-injection rate in [0,1] for the temp-folder protocol (0 = off); failing records are retried, then quarantined")
+		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector (same seed = same faults)")
+		maxAttempts  = fs.Int("retries", 0, "max attempts per staging operation before quarantining the record (0 = default 3)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +119,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		opts.Instrument = in
 	}
+	if *chaos < 0 || *chaos > 1 {
+		return fmt.Errorf("-chaos %v out of range [0,1]", *chaos)
+	}
+	if *chaos > 0 {
+		opts.Chaos = &faults.Config{Seed: *chaosSeed, Rate: *chaos}
+	}
+	opts.Retry = pipeline.RetryPolicy{MaxAttempts: *maxAttempts, JitterSeed: *chaosSeed}
 
 	if *batch != "" {
 		dirs := strings.Split(*batch, ",")
@@ -136,6 +150,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "batch: %d events, %d distinct stations\n",
 			len(results), len(pipeline.BatchStations(results)))
+		if rep := pipeline.BatchReport(results); opts.Chaos != nil || len(rep.Quarantined) > 0 {
+			fmt.Fprintf(stdout, "report: %s\n", rep)
+			for _, q := range rep.Quarantined {
+				fmt.Fprintf(stdout, "  quarantined %s/%s at stage %s after %d attempts: %v\n",
+					q.Dir, q.Station, q.Stage, q.Attempts, q.Err)
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -154,6 +175,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	fmt.Fprintf(stdout, "processed %d stations with %s in %.2f s\n",
 		len(res.Stations), res.Variant, res.Timings.Total.Seconds())
+	if opts.Chaos != nil || len(res.Quarantined) > 0 {
+		fmt.Fprintf(stdout, "chaos: %d faults injected, %d retries, %d records quarantined\n",
+			res.FaultsInjected, res.Retries, len(res.Quarantined))
+		for _, q := range res.Quarantined {
+			fmt.Fprintf(stdout, "  quarantined %s at stage %s after %d attempts: %v\n",
+				q.Station, q.Stage, q.Attempts, q.Err)
+		}
+	}
 	fmt.Fprintln(stdout, "\nper-stage wall times:")
 	for _, st := range pipeline.Stages {
 		fmt.Fprintf(stdout, "  stage %-5s %10.3f s  (processes", st.ID, res.Timings.Stage[st.ID].Seconds())

@@ -202,3 +202,37 @@ func TestRunTraceAndMetrics(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWithChaosFlags(t *testing.T) {
+	dir := makeWorkDir(t, 9)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-dir", dir, "-variant", "full", "-periods", "8", "-chaos", "0.05", "-chaos-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "chaos:") {
+		t.Errorf("output missing the chaos report:\n%s", out.String())
+	}
+	if err := run(context.Background(), []string{"-dir", dir, "-chaos", "1.5"}, &out); err == nil {
+		t.Error("out-of-range -chaos accepted")
+	}
+	if err := run(context.Background(), []string{"-dir", dir, "-chaos", "-0.1"}, &out); err == nil {
+		t.Error("negative -chaos accepted")
+	}
+}
+
+func TestRunBatchChaosReport(t *testing.T) {
+	d1, d2 := makeWorkDir(t, 11), makeWorkDir(t, 12)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-batch", d1 + "," + d2, "-periods", "8", "-chaos", "0.05", "-chaos-seed", "4",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "report: events 2 (ok 2, failed 0)") {
+		t.Errorf("output missing the batch report:\n%s", out.String())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"time"
 
+	"accelproc/internal/faults"
 	"accelproc/internal/obs"
 	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
@@ -60,6 +61,15 @@ type Config struct {
 	// span trees for its trace-derived figures either way: with a nil
 	// Observer it uses a private one.
 	Observer *obs.Observer
+	// ChaosRate, when positive, injects seeded faults into the temp-folder
+	// protocol at this per-operation rate, so the cost of the recovery
+	// machinery (retries, quarantine) can be benchmarked alongside the
+	// healthy path.  Chaos runs keep their timings but are excluded from
+	// none of the tables — interpret them as degraded-mode measurements.
+	ChaosRate float64
+	// ChaosSeed drives the injector; the same seed reproduces the same
+	// fault sequence run over run.
+	ChaosSeed int64
 }
 
 // PaperProcessors is the core count of the paper's experimental platform
@@ -198,6 +208,10 @@ func RunEvent(ctx context.Context, spec synth.EventSpec, cfg Config) (EventResul
 		Response:      cfg.Response,
 		SimProcessors: resolveSimProcessors(cfg.SimProcessors),
 		Observer:      o,
+	}
+	if cfg.ChaosRate > 0 {
+		opts.Chaos = &faults.Config{Seed: cfg.ChaosSeed, Rate: cfg.ChaosRate}
+		opts.Retry = pipeline.RetryPolicy{JitterSeed: cfg.ChaosSeed}
 	}
 	// Repetitions run in rounds across the variants (v1 v2 ... v1 v2 ...)
 	// so slow phases of the host hit every variant with equal probability;
@@ -348,6 +362,9 @@ func (c Config) Validate() error {
 	cc := c.withDefaults()
 	if cc.Scale <= 0 {
 		return fmt.Errorf("bench: scale %g must be positive", cc.Scale)
+	}
+	if cc.ChaosRate < 0 || cc.ChaosRate > 1 {
+		return fmt.Errorf("bench: chaos rate %g out of range [0,1]", cc.ChaosRate)
 	}
 	for _, spec := range cc.Events {
 		if err := spec.Validate(); err != nil {

@@ -1,0 +1,293 @@
+// Package faults is a deterministic, seed-driven fault-injection layer for
+// the pipeline's staged temp-folder protocol.  The paper's fully
+// parallelized variant runs unmodifiable binaries concurrently in
+// per-instance scratch folders with data staged in and out — exactly the
+// kind of I/O-heavy, subprocess-shaped protocol that fails *partially* in
+// production: a disk fills mid-copy, a child process is killed, one record
+// out of 71 stages back a truncated product.  This package makes those
+// failures reproducible so the recovery machinery (retry policies, record
+// quarantine, cleanup accounting in internal/pipeline) can be exercised
+// under the race detector with a fixed seed.
+//
+// Injection has two modes, composable in one Config:
+//
+//   - probabilistic: every eligible operation draws a deterministic hash of
+//     (seed, site, attempt) and faults with probability Rate.  Random
+//     faults target only record-scoped sites (Site.Record != ""), so chaos
+//     degrades individual records rather than killing whole events;
+//   - targeted: Rules match (stage, record, op) patterns and force a
+//     specific fault kind, optionally a bounded number of times — the tool
+//     for "poison exactly this record at exactly this step" tests.
+//
+// Determinism does not depend on goroutine scheduling: each site keeps its
+// own attempt counter, and a record's operations execute sequentially, so
+// the decision sequence per site is a pure function of the seed.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// KindNone is the no-fault decision.
+	KindNone Kind = iota
+	// KindTransient is a one-shot I/O error: the operation fails without
+	// side effects and succeeds if retried.
+	KindTransient
+	// KindPermanent is a persistent error that retrying cannot fix (a
+	// corrupt record, a removed volume).
+	KindPermanent
+	// KindSlow delays the operation (a contended disk, a throttled NFS
+	// mount) but lets it succeed.
+	KindSlow
+	// KindTruncate lets a write deliver only part of its payload before
+	// failing, the ENOSPC shape: the destination exists but is short.
+	KindTruncate
+	// KindCrash simulates the mid-stage death of the executed program (a
+	// killed child); meaningful only for "exec" operations.
+	KindCrash
+)
+
+// kindNames indexes Kind for String and metric labels.
+var kindNames = [...]string{"none", "transient", "permanent", "slow", "truncate", "crash"}
+
+// String returns the lower-case fault-kind name.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Sentinel errors carried by injected faults.  ErrTransient, ErrTruncated,
+// and ErrCrash are retryable; ErrPermanent is not.
+var (
+	ErrTransient = errors.New("faults: injected transient I/O error")
+	ErrPermanent = errors.New("faults: injected permanent I/O error")
+	ErrTruncated = errors.New("faults: injected truncated write")
+	ErrCrash     = errors.New("faults: injected program crash")
+)
+
+// Site identifies one injectable operation: the pipeline stage tag ("def",
+// "cor", "fou"; "" for event-scoped work), the record (station code; "" for
+// event-scoped work), the operation kind ("mkdir", "read", "write", "move",
+// "remove", "stat", "exec"), and the file's base name.  Sites never embed
+// absolute paths, so the same seed reproduces the same faults regardless of
+// where the work directory lives.
+type Site struct {
+	Stage  string
+	Record string
+	Op     string
+	Path   string
+}
+
+func (s Site) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s", s.Stage, s.Record, s.Op, s.Path)
+}
+
+// Rule is a targeted injection: every site matching the non-empty fields
+// suffers the given fault kind, at most Count times (0 = unlimited).
+type Rule struct {
+	Stage  string // "" matches any stage tag
+	Record string // "" matches any record
+	Op     string // "" matches any operation
+	Kind   Kind
+	Count  int
+}
+
+func (r Rule) matches(s Site) bool {
+	return (r.Stage == "" || r.Stage == s.Stage) &&
+		(r.Record == "" || r.Record == s.Record) &&
+		(r.Op == "" || r.Op == s.Op)
+}
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Seed drives every probabilistic decision; the same seed over the same
+	// operation sequence injects the same faults.
+	Seed int64
+	// Rate is the per-operation fault probability in [0, 1] for
+	// record-scoped sites.  0 disables probabilistic injection.
+	Rate float64
+	// Weights of the random fault kinds; all-zero selects the defaults
+	// (60% transient, 15% slow, 10% truncate, 10% crash, 5% permanent).
+	PTransient, PSlow, PTruncate, PCrash, PPermanent float64
+	// SlowDelay is the latency added by KindSlow faults; 0 selects 2ms.
+	SlowDelay time.Duration
+	// Rules are targeted injections, checked before the probabilistic draw.
+	Rules []Rule
+}
+
+// withDefaults resolves the zero weights and delay.
+func (c Config) withDefaults() Config {
+	if c.PTransient == 0 && c.PSlow == 0 && c.PTruncate == 0 && c.PCrash == 0 && c.PPermanent == 0 {
+		c.PTransient, c.PSlow, c.PTruncate, c.PCrash, c.PPermanent = 0.60, 0.15, 0.10, 0.10, 0.05
+	}
+	if c.SlowDelay == 0 {
+		c.SlowDelay = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Injector makes deterministic fault decisions.  All methods are safe for
+// concurrent use; a nil *Injector never injects.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	attempts map[Site]uint64
+	fired    []int // per-rule injection counts
+	byKind   map[Kind]uint64
+	injected uint64
+}
+
+// NewInjector builds an injector from cfg.
+func NewInjector(cfg Config) *Injector {
+	return &Injector{
+		cfg:      cfg.withDefaults(),
+		attempts: make(map[Site]uint64),
+		fired:    make([]int, len(cfg.Rules)),
+		byKind:   make(map[Kind]uint64),
+	}
+}
+
+// Decide returns the fault (or KindNone) for the next attempt at site.
+// Calling Decide again for the same site advances its attempt counter, so a
+// retried operation re-rolls rather than repeating its last decision.
+func (in *Injector) Decide(site Site) Kind {
+	if in == nil {
+		return KindNone
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := in.attempts[site]
+	in.attempts[site] = n + 1
+
+	for i, r := range in.cfg.Rules {
+		if !r.matches(site) {
+			continue
+		}
+		if r.Count > 0 && in.fired[i] >= r.Count {
+			continue
+		}
+		in.fired[i]++
+		return in.record(normalize(r.Kind, site.Op))
+	}
+	// Probabilistic chaos targets only record-scoped sites: event-scoped
+	// operations (the shared executable image, abort-path cleanup) degrade
+	// a whole event, which is the job of targeted rules, not random noise.
+	if in.cfg.Rate <= 0 || site.Record == "" {
+		return KindNone
+	}
+	if draw(in.cfg.Seed, site, n, 0) >= in.cfg.Rate {
+		return KindNone
+	}
+	return in.record(normalize(in.pickKind(site, n), site.Op))
+}
+
+// record tallies an injected fault.
+func (in *Injector) record(k Kind) Kind {
+	if k != KindNone {
+		in.injected++
+		in.byKind[k]++
+	}
+	return k
+}
+
+// pickKind selects the random fault kind by the configured weights.
+func (in *Injector) pickKind(site Site, attempt uint64) Kind {
+	c := in.cfg
+	total := c.PTransient + c.PSlow + c.PTruncate + c.PCrash + c.PPermanent
+	u := draw(c.Seed, site, attempt, 1) * total
+	switch {
+	case u < c.PTransient:
+		return KindTransient
+	case u < c.PTransient+c.PSlow:
+		return KindSlow
+	case u < c.PTransient+c.PSlow+c.PTruncate:
+		return KindTruncate
+	case u < c.PTransient+c.PSlow+c.PTruncate+c.PCrash:
+		return KindCrash
+	default:
+		return KindPermanent
+	}
+}
+
+// normalize downgrades fault kinds that make no sense for the operation:
+// only writes can truncate, only executions can crash.
+func normalize(k Kind, op string) Kind {
+	switch k {
+	case KindTruncate:
+		if op != "write" {
+			return KindTransient
+		}
+	case KindCrash:
+		if op != "exec" {
+			return KindTransient
+		}
+	}
+	return k
+}
+
+// Injected returns the total number of faults injected so far.
+func (in *Injector) Injected() uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// Counts returns the injected-fault tally by kind.
+func (in *Injector) Counts() map[Kind]uint64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Kind]uint64, len(in.byKind))
+	for k, v := range in.byKind {
+		out[k] = v
+	}
+	return out
+}
+
+// draw hashes (seed, site, attempt, salt) to a uniform float64 in [0, 1).
+func draw(seed int64, site Site, attempt uint64, salt byte) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	putUint64(&b, uint64(seed))
+	h.Write(b[:])
+	h.Write([]byte(site.Stage))
+	h.Write([]byte{0})
+	h.Write([]byte(site.Record))
+	h.Write([]byte{0})
+	h.Write([]byte(site.Op))
+	h.Write([]byte{0})
+	h.Write([]byte(site.Path))
+	h.Write([]byte{0, salt})
+	putUint64(&b, attempt)
+	h.Write(b[:])
+	// splitmix64 finalizer spreads FNV's low-entropy tail bits.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+func putUint64(b *[8]byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,226 @@
+package faults
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// FS is the file-operation surface the pipeline's staging protocol runs on.
+// The production implementation is OS; chaos runs interpose a fault-deciding
+// wrapper obtained from Chaos.At.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	Stat(path string) (fs.FileInfo, error)
+	ReadFile(path string) ([]byte, error)
+	WriteFile(path string, data []byte, perm os.FileMode) error
+}
+
+// OS is the passthrough FS backed by the real filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(path string) error                     { return os.Remove(path) }
+func (OS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (OS) Stat(path string) (fs.FileInfo, error)        { return os.Stat(path) }
+func (OS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (OS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(path, data, perm)
+}
+
+// truncatePoint is how many bytes of a payload a KindTruncate fault lets
+// through before failing: enough that the destination file exists and looks
+// plausible, short enough that any real product is visibly cut.
+const truncatePoint = 512
+
+// Chaos binds an Injector to a base FS and hands out stage/record-scoped
+// views whose every operation consults the injector first.  A nil *Chaos
+// yields passthrough behavior everywhere.
+type Chaos struct {
+	inj   *Injector
+	base  FS
+	sleep func(time.Duration) error
+	delay time.Duration
+}
+
+// NewChaos wraps base with injector-driven faults.  sleep implements
+// KindSlow delays and may return early with an error on cancellation; nil
+// selects time.Sleep.
+func NewChaos(inj *Injector, base FS, sleep func(time.Duration) error) *Chaos {
+	if base == nil {
+		base = OS{}
+	}
+	if sleep == nil {
+		sleep = func(d time.Duration) error { time.Sleep(d); return nil }
+	}
+	delay := inj.cfgDelay()
+	return &Chaos{inj: inj, base: base, sleep: sleep, delay: delay}
+}
+
+// cfgDelay exposes the resolved slow-op delay (nil-safe).
+func (in *Injector) cfgDelay() time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.cfg.SlowDelay
+}
+
+// Injected reports the total faults injected so far (nil-safe).
+func (c *Chaos) Injected() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.inj.Injected()
+}
+
+// At returns an FS whose operations are attributed to (stage, record).
+// Event-scoped work passes "" for both.  A nil *Chaos returns the plain OS.
+func (c *Chaos) At(stage, record string) FS {
+	if c == nil {
+		return OS{}
+	}
+	return chaosFS{c: c, stage: stage, record: record}
+}
+
+// Exec asks the injector whether the simulated binary execution for
+// (stage, record) should fail.  KindCrash and KindTransient surface as
+// their sentinel errors, KindPermanent as ErrPermanent, KindSlow delays and
+// then succeeds.  A nil *Chaos never fails.
+func (c *Chaos) Exec(stage, record string) error {
+	if c == nil {
+		return nil
+	}
+	return c.fault(Site{Stage: stage, Record: record, Op: "exec", Path: record})
+}
+
+// fault turns the injector's decision for site into an error (or a delay,
+// or nothing).  KindTruncate is handled by the write path, not here.
+func (c *Chaos) fault(site Site) error {
+	switch c.inj.Decide(site) {
+	case KindTransient, KindTruncate:
+		return &injectedError{site: site, err: ErrTransient}
+	case KindPermanent:
+		return &injectedError{site: site, err: ErrPermanent}
+	case KindCrash:
+		return &injectedError{site: site, err: ErrCrash}
+	case KindSlow:
+		return c.sleep(c.delay)
+	}
+	return nil
+}
+
+// injectedError ties a sentinel fault to the site it hit.
+type injectedError struct {
+	site Site
+	err  error
+}
+
+func (e *injectedError) Error() string { return e.err.Error() + " at " + e.site.String() }
+func (e *injectedError) Unwrap() error { return e.err }
+
+// chaosFS consults the injector before delegating to the base FS.  Faults
+// are injected *before* the underlying operation runs (the op is not
+// performed), so op-granularity retries stay idempotent; KindTruncate is
+// the one exception — WriteFile delivers a prefix and then fails, modeling
+// a partial write that a retry must overwrite.
+type chaosFS struct {
+	c             *Chaos
+	stage, record string
+}
+
+func (f chaosFS) site(op, path string) Site {
+	return Site{Stage: f.stage, Record: f.record, Op: op, Path: filepath.Base(path)}
+}
+
+func (f chaosFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.c.fault(f.site("mkdir", path)); err != nil {
+		return err
+	}
+	return f.c.base.MkdirAll(path, perm)
+}
+
+func (f chaosFS) Rename(oldpath, newpath string) error {
+	if err := f.c.fault(f.site("move", oldpath)); err != nil {
+		return err
+	}
+	return f.c.base.Rename(oldpath, newpath)
+}
+
+func (f chaosFS) Remove(path string) error {
+	if err := f.c.fault(f.site("remove", path)); err != nil {
+		return err
+	}
+	return f.c.base.Remove(path)
+}
+
+func (f chaosFS) RemoveAll(path string) error {
+	if err := f.c.fault(f.site("remove", path)); err != nil {
+		return err
+	}
+	return f.c.base.RemoveAll(path)
+}
+
+func (f chaosFS) Stat(path string) (fs.FileInfo, error) {
+	if err := f.c.fault(f.site("stat", path)); err != nil {
+		return nil, err
+	}
+	return f.c.base.Stat(path)
+}
+
+func (f chaosFS) ReadFile(path string) ([]byte, error) {
+	if err := f.c.fault(f.site("read", path)); err != nil {
+		return nil, err
+	}
+	return f.c.base.ReadFile(path)
+}
+
+func (f chaosFS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	site := f.site("write", path)
+	switch f.c.inj.Decide(site) {
+	case KindTransient:
+		return &injectedError{site: site, err: ErrTransient}
+	case KindPermanent:
+		return &injectedError{site: site, err: ErrPermanent}
+	case KindCrash:
+		return &injectedError{site: site, err: ErrCrash}
+	case KindSlow:
+		if err := f.c.sleep(f.c.delay); err != nil {
+			return err
+		}
+	case KindTruncate:
+		n := truncatePoint
+		if n > len(data) {
+			n = len(data) / 2
+		}
+		if err := f.c.base.WriteFile(path, data[:n], perm); err != nil {
+			return err
+		}
+		return &injectedError{site: site, err: ErrTruncated}
+	}
+	return f.c.base.WriteFile(path, data, perm)
+}
+
+// CopyFile copies src to dst through fsys, so chaos runs can fault either
+// side of the copy.  It exists here because io.Copy-style streaming through
+// an interposed FS reduces to read-then-write for the pipeline's small
+// products.
+func CopyFile(fsys FS, dst, src string) error {
+	data, err := fsys.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return fsys.WriteFile(dst, data, 0o644)
+}
+
+// Interface satisfaction checks.
+var (
+	_ FS        = OS{}
+	_ FS        = chaosFS{}
+	_ io.Writer = (io.Writer)(nil)
+)

@@ -1,0 +1,30 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+)
+
+// isCancellation reports whether err is (or wraps) context cancellation.
+// The parallel constructs use it to keep the *first real cause* of a
+// failure: when one iteration fails and fail-fast cancellation makes every
+// sibling return "context canceled", the construct must still report the
+// error that triggered the cancellation, not the cancellation itself.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// betterError reports whether (err, idx) should replace (cur, curIdx) as a
+// construct's reported failure: a real error always beats a cancellation
+// error, and within the same class the smallest index wins, keeping the
+// report deterministic regardless of goroutine interleaving.
+func betterError(err error, idx int, cur error, curIdx int) bool {
+	if cur == nil {
+		return true
+	}
+	ec, cc := isCancellation(err), isCancellation(cur)
+	if ec != cc {
+		return cc
+	}
+	return idx < curIdx
+}

@@ -81,7 +81,9 @@ func parallelFor(n, workers int, sched Schedule, chunkSize int, mon Monitor, bod
 	}
 
 	// firstErr records the error from the smallest failing index so the
-	// reported failure is deterministic regardless of interleaving.
+	// reported failure is deterministic regardless of interleaving; real
+	// errors displace cancellation errors so fail-fast loops report the
+	// cause, not the cancellation it triggered.
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -92,7 +94,7 @@ func parallelFor(n, workers int, sched Schedule, chunkSize int, mon Monitor, bod
 			return
 		}
 		mu.Lock()
-		if firstErr == nil || i < firstIdx {
+		if betterError(err, i, firstErr, firstIdx) {
 			firstErr, firstIdx = err, i
 		}
 		mu.Unlock()
@@ -161,9 +163,10 @@ func parallelFor(n, workers int, sched Schedule, chunkSize int, mon Monitor, bod
 
 func serialFor(n int, body func(i int) error) error {
 	var firstErr error
+	var firstIdx int
 	for i := 0; i < n; i++ {
-		if err := body(i); err != nil && firstErr == nil {
-			firstErr = err
+		if err := body(i); err != nil && betterError(err, i, firstErr, firstIdx) {
+			firstErr, firstIdx = err, i
 		}
 	}
 	return firstErr
@@ -204,7 +207,7 @@ func ParallelRange(n, workers int, body func(lo, hi int) error) error {
 			defer wg.Done()
 			if err := body(lo, hi); err != nil {
 				mu.Lock()
-				if firstErr == nil || lo < firstLo {
+				if betterError(err, lo, firstErr, firstLo) {
 					firstErr, firstLo = err, lo
 				}
 				mu.Unlock()

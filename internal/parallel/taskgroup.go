@@ -46,7 +46,9 @@ func NewTaskGroupMonitored(workers int, mon Monitor) *TaskGroup {
 
 // Go spawns task as soon as a worker slot is free.  The first error returned
 // by any task is retained and reported by Wait; later errors are dropped,
-// like a single shared error flag in an OpenMP region.
+// like a single shared error flag in an OpenMP region — except that a real
+// error displaces a retained cancellation error, so a group cancelled by a
+// failing task reports the failure, not "context canceled".
 func (g *TaskGroup) Go(task func() error) {
 	g.wg.Add(1)
 	var spawned time.Time
@@ -76,7 +78,7 @@ func (g *TaskGroup) Go(task func() error) {
 		}
 		if err != nil {
 			g.mu.Lock()
-			if g.firstErr == nil {
+			if g.firstErr == nil || (isCancellation(g.firstErr) && !isCancellation(err)) {
 				g.firstErr = err
 			}
 			g.mu.Unlock()

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -84,6 +85,60 @@ func RunBatch(ctx context.Context, dirs []string, variant Variant, opts Options)
 		}
 	}
 	return results, firstErr
+}
+
+// Report aggregates the outcomes of a batch run: how many events succeeded
+// outright, how many failed, and which individual records were quarantined
+// inside otherwise-successful events — the graceful-degradation middle
+// ground between those two.
+type Report struct {
+	// Events is the batch size, Succeeded/Failed its event-level split.
+	Events    int
+	Succeeded int
+	Failed    int
+	// Quarantined lists every record given up on across the batch, in
+	// event order (stations sorted within each event).
+	Quarantined []RecordOutcome
+	// Retries and FaultsInjected total the per-event counts.
+	Retries        int64
+	FaultsInjected int64
+	// Err joins (errors.Join) every event-level error and every
+	// quarantined record's StageError, so errors.Is/As can match any
+	// individual failure through the aggregate.  Nil when the batch was
+	// fully healthy.
+	Err error
+}
+
+// Degraded reports whether the batch completed with losses: no failed
+// events, but at least one quarantined record.
+func (r Report) Degraded() bool { return r.Failed == 0 && len(r.Quarantined) > 0 }
+
+// String summarizes the report in one line for CLI output.
+func (r Report) String() string {
+	return fmt.Sprintf("events %d (ok %d, failed %d), records quarantined %d, retries %d, faults injected %d",
+		r.Events, r.Succeeded, r.Failed, len(r.Quarantined), r.Retries, r.FaultsInjected)
+}
+
+// BatchReport folds RunBatch results into a Report.
+func BatchReport(results []BatchResult) Report {
+	rep := Report{Events: len(results)}
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			rep.Failed++
+			errs = append(errs, fmt.Errorf("pipeline: event %s: %w", r.Dir, r.Err))
+		} else {
+			rep.Succeeded++
+		}
+		rep.Quarantined = append(rep.Quarantined, r.Result.Quarantined...)
+		rep.Retries += r.Result.Retries
+		rep.FaultsInjected += r.Result.FaultsInjected
+		for _, q := range r.Result.Quarantined {
+			errs = append(errs, q.Err)
+		}
+	}
+	rep.Err = errors.Join(errs...)
+	return rep
 }
 
 // BatchStations aggregates the station codes processed across a batch,

@@ -25,6 +25,12 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 	if err != nil {
 		return Result{}, err
 	}
+	defer func() {
+		// Flush the chaos tally into the observer and release the run's
+		// cancel-cause context (a no-op if fail-fast already fired).
+		s.faultsCtr.Add(float64(s.chaos.Injected()))
+		s.fail(nil)
+	}()
 	if opts.ParentSpan != nil {
 		s.runSpan = opts.ParentSpan.Child("run:"+variant.String(), obs.KindRun,
 			obs.String("variant", variant.String()), obs.String("dir", dir))
@@ -58,10 +64,20 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 		s.runSpan.EndCharged(total, obs.String("error", err.Error()))
 		return Result{}, err
 	}
-	// One corrected component record per (station, component) pair.
+	// One corrected component record per (station, component) pair; only
+	// surviving stations count — quarantined ones are reported separately.
 	s.records.Add(float64(3 * len(stations)))
-	s.runSpan.EndCharged(total, obs.Int("stations", int64(len(stations))))
-	return Result{Variant: variant, Stations: stations, Timings: s.tim}, nil
+	quarantined := s.quarantinedOutcomes()
+	s.runSpan.EndCharged(total, obs.Int("stations", int64(len(stations))),
+		obs.Int("quarantined", int64(len(quarantined))))
+	return Result{
+		Variant:        variant,
+		Stations:       stations,
+		Timings:        s.tim,
+		Quarantined:    quarantined,
+		Retries:        s.nRetries.Load(),
+		FaultsInjected: int64(s.chaos.Injected()),
+	}, nil
 }
 
 // runSequential executes the original (or optimized) strictly sequential
@@ -178,7 +194,7 @@ func (s *state) runStaged(full bool) error {
 				if s.opts.NoTempFolders {
 					return s.applyFilters(w)
 				}
-				return s.filterViaTempFolders(sp, "def", w)
+				return s.filterViaTempFolders(sp, StageIV, PDefaultFilter, "def", w)
 			}
 			return s.applyFilters(1)
 		})
@@ -232,7 +248,7 @@ func (s *state) runStaged(full bool) error {
 				if s.opts.NoTempFolders {
 					return s.applyFilters(w)
 				}
-				return s.filterViaTempFolders(sp, "cor", w)
+				return s.filterViaTempFolders(sp, StageVIII, PCorrectedFilter, "cor", w)
 			}
 			return s.applyFilters(1)
 		})

@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+
+	"accelproc/internal/faults"
+)
+
+// ErrorKind classifies a staging-protocol failure for the retry engine: it
+// decides whether an operation is retried, quarantines its record, or
+// aborts the run.
+type ErrorKind int
+
+const (
+	// ErrKindTransient failures are expected to succeed on retry.
+	ErrKindTransient ErrorKind = iota
+	// ErrKindPermanent failures cannot be fixed by retrying; the record is
+	// quarantined immediately.
+	ErrKindPermanent
+	// ErrKindTimeout marks an operation that exceeded RetryPolicy.OpTimeout;
+	// retried like a transient failure.
+	ErrKindTimeout
+	// ErrKindCanceled marks run-context cancellation; never retried, never
+	// quarantined — the whole run is aborting.
+	ErrKindCanceled
+)
+
+// String returns the lower-case kind name.
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrKindTransient:
+		return "transient"
+	case ErrKindPermanent:
+		return "permanent"
+	case ErrKindTimeout:
+		return "timeout"
+	case ErrKindCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("ErrorKind(%d)", int(k))
+	}
+}
+
+// errOpTimeout is the sentinel wrapped into operations that exceed the
+// retry policy's per-op timeout.
+var errOpTimeout = errors.New("pipeline: operation timed out")
+
+// StageError is the typed failure of one record inside one staged process:
+// where it happened (stage, process, record, op), how it classifies, and
+// how many attempts the retry policy spent before giving up.  It is the
+// error quarantined records carry in RecordOutcome and the error RunBatch
+// joins into its Report.
+//
+// StageError supports errors.Is matching with zero fields as wildcards:
+//
+//	errors.Is(err, &StageError{Record: "SS02"})            // any failure of SS02
+//	errors.Is(err, &StageError{Stage: StageVIII})          // any stage-VIII failure
+//	errors.Is(err, &StageError{Kind: ErrKindPermanent})    // by kind — note the
+//
+// Kind wildcard is ErrKindTransient (the zero value), so kind-matching a
+// transient requires the other fields to pin the target.
+type StageError struct {
+	Stage    StageID
+	Process  ProcessID
+	Record   string // station code
+	Op       string // "mkdir", "read", "write", "move", "remove", "exec", ...
+	Kind     ErrorKind
+	Attempts int
+	Err      error
+}
+
+func (e *StageError) Error() string {
+	return fmt.Sprintf("pipeline: stage %s process #%d record %s: %s failed (%s, %d attempts): %v",
+		e.Stage, int(e.Process), e.Record, e.Op, e.Kind, e.Attempts, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Is matches another *StageError treating the target's zero fields as
+// wildcards, so errors.Is can select failures by any subset of
+// (stage, process, record, op, kind).  Process zero (PInitFlags) acts as a
+// wildcard; that is safe because StageErrors only arise in the temp-folder
+// stages, whose processes are #4, #7, and #13.
+func (e *StageError) Is(target error) bool {
+	t, ok := target.(*StageError)
+	if !ok {
+		return false
+	}
+	return (t.Stage == 0 || t.Stage == e.Stage) &&
+		(t.Process == 0 || t.Process == e.Process) &&
+		(t.Record == "" || t.Record == e.Record) &&
+		(t.Op == "" || t.Op == e.Op) &&
+		(t.Kind == 0 || t.Kind == e.Kind)
+}
+
+// classify maps an operation error to its retry-engine kind.  Unknown
+// errors default to transient — the optimistic posture (retry, then
+// quarantine at attempt exhaustion) degrades one record instead of an
+// event when wrong.
+func classify(err error) ErrorKind {
+	switch {
+	case err == nil:
+		return ErrKindTransient
+	case errors.Is(err, errOpTimeout):
+		return ErrKindTimeout
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return ErrKindCanceled
+	case errors.Is(err, faults.ErrPermanent) || errors.Is(err, fs.ErrNotExist):
+		return ErrKindPermanent
+	default:
+		return ErrKindTransient
+	}
+}

@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"testing"
+
+	"accelproc/internal/faults"
+)
+
+func TestStageErrorMessageAndUnwrap(t *testing.T) {
+	serr := &StageError{
+		Stage: StageVIII, Process: PCorrectedFilter, Record: "SS02", Op: "move",
+		Kind: ErrKindTransient, Attempts: 3, Err: faults.ErrTransient,
+	}
+	msg := serr.Error()
+	for _, want := range []string{"SS02", "move", "transient", "3"} {
+		if !contains(msg, want) {
+			t.Errorf("error message %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(serr, faults.ErrTransient) {
+		t.Error("StageError does not unwrap to its cause")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStageErrorIsMatchesByFields covers the wildcard target semantics:
+// zero fields on the target match anything.
+func TestStageErrorIsMatchesByFields(t *testing.T) {
+	serr := &StageError{
+		Stage: StageIV, Process: PDefaultFilter, Record: "SS01", Op: "copy",
+		Kind: ErrKindPermanent, Err: faults.ErrPermanent,
+	}
+	wrapped := fmt.Errorf("event a: %w", fmt.Errorf("step: %w", serr))
+
+	match := []*StageError{
+		{},                               // full wildcard
+		{Record: "SS01"},                 // by record
+		{Stage: StageIV},                 // by stage
+		{Kind: ErrKindPermanent},         // by kind
+		{Record: "SS01", Op: "copy"},     // combined
+		{Stage: StageIV, Record: "SS01"}, // combined
+		{Kind: ErrKindPermanent, Op: "copy"},
+	}
+	for _, m := range match {
+		if !errors.Is(wrapped, m) {
+			t.Errorf("errors.Is failed to match target %+v", m)
+		}
+	}
+	miss := []*StageError{
+		{Record: "SS02"},
+		{Stage: StageV},
+		{Op: "exec"},
+		{Record: "SS01", Op: "exec"},
+	}
+	for _, m := range miss {
+		if errors.Is(wrapped, m) {
+			t.Errorf("errors.Is matched wrong target %+v", m)
+		}
+	}
+}
+
+func TestStageErrorAsThroughWrapping(t *testing.T) {
+	serr := &StageError{Stage: StageV, Process: PFourier, Record: "SS03", Kind: ErrKindTimeout, Attempts: 2}
+	wrapped := fmt.Errorf("outer: %w", errors.Join(errors.New("unrelated"), serr))
+	var got *StageError
+	if !errors.As(wrapped, &got) {
+		t.Fatal("errors.As failed through Join + fmt wrapping")
+	}
+	if got.Record != "SS03" || got.Kind != ErrKindTimeout || got.Attempts != 2 {
+		t.Errorf("extracted %+v", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrorKind
+	}{
+		{faults.ErrTransient, ErrKindTransient},
+		{faults.ErrCrash, ErrKindTransient},
+		{faults.ErrTruncated, ErrKindTransient},
+		{errors.New("opaque"), ErrKindTransient},
+		{faults.ErrPermanent, ErrKindPermanent},
+		{fs.ErrNotExist, ErrKindPermanent},
+		{fmt.Errorf("wrap: %w", faults.ErrPermanent), ErrKindPermanent},
+		{context.Canceled, ErrKindCanceled},
+		{context.DeadlineExceeded, ErrKindCanceled},
+		{errOpTimeout, ErrKindTimeout},
+		{fmt.Errorf("wrap: %w", errOpTimeout), ErrKindTimeout},
+	}
+	for _, c := range cases {
+		if got := classify(c.err); got != c.want {
+			t.Errorf("classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestErrorKindString(t *testing.T) {
+	want := map[ErrorKind]string{
+		ErrKindTransient: "transient", ErrKindPermanent: "permanent",
+		ErrKindTimeout: "timeout", ErrKindCanceled: "canceled",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

@@ -185,6 +185,11 @@ func TestRunBatchCancellationLeavesNoTempFolders(t *testing.T) {
 	for _, dir := range dirs {
 		assertNoScratchDirs(t, dir)
 	}
+	// The abort-path cleanup must have succeeded silently: the
+	// scratch_cleanup_errors counter only moves when a removal fails.
+	if v := opts.Observer.Counter("scratch_cleanup_errors").Value(); v != 0 {
+		t.Errorf("scratch_cleanup_errors = %v after clean cancellation, want 0", v)
+	}
 }
 
 // assertNoScratchDirs fails if any temp-folder scratch directory survived.

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"accelproc/internal/dsp"
+	"accelproc/internal/faults"
 	"accelproc/internal/fourier"
 	"accelproc/internal/obs"
 	"accelproc/internal/response"
@@ -339,6 +340,17 @@ type Options struct {
 	// concurrently; 0 means all available processors.  Run ignores it.
 	EventWorkers int
 
+	// Chaos, when non-nil, interposes a deterministic fault injector on the
+	// temp-folder protocol's file operations and simulated-binary
+	// executions (see internal/faults).  Each run builds its own injector
+	// from this config, so every event in a batch replays the same seeded
+	// fault sequence.  Chaos only reaches the staged protocol; combine it
+	// with the full-parallel variant, not the NoTempFolders ablation.
+	Chaos *faults.Config
+	// Retry governs how staging failures are retried and when a record is
+	// quarantined; the zero value selects the documented defaults.
+	Retry RetryPolicy
+
 	// Observer, when non-nil, receives the run's span tree (run → stage →
 	// process → task) and metrics: per-process durations, temp-folder
 	// staging bytes, worker occupancy, queue waits.  It replaces the old
@@ -377,6 +389,15 @@ type Timings struct {
 // Result reports one pipeline run.
 type Result struct {
 	Variant  Variant
-	Stations []string // processed station codes, sorted
+	Stations []string // surviving station codes, sorted
 	Timings  Timings
+
+	// Quarantined lists the records the retry engine gave up on, sorted by
+	// station; empty on a fully healthy run.
+	Quarantined []RecordOutcome
+	// Retries counts the staging operations that were re-attempted.
+	Retries int64
+	// FaultsInjected counts the faults the chaos layer injected (0 when
+	// Options.Chaos is nil).
+	FaultsInjected int64
 }

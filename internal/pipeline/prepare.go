@@ -40,8 +40,9 @@ func CleanOutputs(dir string) error {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() {
-			// Scratch folders from an aborted temp-folder run.
-			if strings.HasPrefix(name, "tmp_") {
+			// Scratch folders from an aborted temp-folder run, and the
+			// quarantine of a degraded one.
+			if strings.HasPrefix(name, "tmp_") || name == QuarantineDir {
 				if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
 					return err
 				}

@@ -239,8 +239,10 @@ func (s *state) procFourier(workers int) error {
 	if err != nil {
 		return err
 	}
-	return s.parFor(len(list.Files), workers, CostHeavyIO, func(i int) error {
-		v2, err := smformat.ReadV2File(s.path(list.Files[i]))
+	// The list was written before stage IV ran; drop quarantined records.
+	files := s.liveFiles(list.Files)
+	return s.parFor(len(files), workers, CostHeavyIO, func(i int) error {
+		v2, err := smformat.ReadV2File(s.path(files[i]))
 		if err != nil {
 			return err
 		}
@@ -366,8 +368,11 @@ func (s *state) procResponseSpectrum(workers int) error {
 	if err != nil {
 		return err
 	}
-	return s.parFor(len(list.Files), workers, CostHeavyFLOPS, func(i int) error {
-		v2, err := smformat.ReadV2File(s.path(list.Files[i]))
+	// The list was written before the temp-folder stages ran; drop
+	// quarantined records so stage IX only touches surviving V2 files.
+	files := s.liveFiles(list.Files)
+	return s.parFor(len(files), workers, CostHeavyFLOPS, func(i int) error {
+		v2, err := smformat.ReadV2File(s.path(files[i]))
 		if err != nil {
 			return err
 		}

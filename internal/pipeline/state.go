@@ -7,8 +7,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"accelproc/internal/faults"
 	"accelproc/internal/obs"
 	"accelproc/internal/parallel"
 	"accelproc/internal/seismic"
@@ -21,10 +24,30 @@ import (
 // observability handles.  All inter-process data flows through files, never
 // through state.
 type state struct {
-	ctx  context.Context
+	ctx context.Context
+	// fail cancels the run context with a cause: the fail-fast path taken
+	// when a parallel body hits a non-degradable error, so sibling workers
+	// stop at their next cancellation point instead of finishing the loop.
+	fail context.CancelCauseFunc
 	dir  string
 	opts Options
 	tim  Timings
+
+	// Robustness machinery.  fs is the filesystem every event-scoped
+	// staging operation goes through (fault-injected in chaos runs, the
+	// plain OS otherwise); chaos scopes record-level fault decisions;
+	// retry is the resolved policy.
+	fs    faults.FS
+	chaos *faults.Chaos
+	retry RetryPolicy
+
+	// Quarantine record: stations condemned by the retry engine, excluded
+	// from every subsequent stations() listing so the event continues with
+	// the survivors.
+	quarMu         sync.Mutex
+	quarantinedSet map[string]bool
+	outcomes       []RecordOutcome
+	nRetries       atomic.Int64
 	// virt accumulates virtual-time corrections from the simulated
 	// platform: each simulated parallel construct adds
 	// (simulated makespan - serial execution time), a negative quantity,
@@ -35,12 +58,16 @@ type state struct {
 	// sequential points between stages; process spans are threaded
 	// explicitly (timedProc) because task-parallel stages time processes
 	// concurrently.  All handles are nil-safe when no Observer is set.
-	runSpan   *obs.Span
-	stageSpan *obs.Span
-	wmon      *obs.WorkerMonitor
-	records   *obs.Counter
-	bytesIn   *obs.Counter
-	bytesOut  *obs.Counter
+	runSpan    *obs.Span
+	stageSpan  *obs.Span
+	wmon       *obs.WorkerMonitor
+	records    *obs.Counter
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
+	retries    *obs.Counter
+	quarCount  *obs.Counter
+	faultsCtr  *obs.Counter
+	cleanupErr *obs.Counter
 }
 
 // simulated reports whether parallel constructs run on the simulated
@@ -85,7 +112,14 @@ func (s *state) parFor(n, workers int, class Cost, body func(int) error) error {
 		if err := s.cancelled(); err != nil {
 			return err
 		}
-		return body(i)
+		err := body(i)
+		if err != nil && classify(err) != ErrKindCanceled {
+			// Fail fast: a body error that graceful degradation could not
+			// absorb dooms the run, so cancel the run context with the real
+			// cause and let sibling workers stop at their next check.
+			s.fail(err)
+		}
+		return err
 	}
 	if !s.simulated() || workers == 1 {
 		return parallel.ParallelForMonitored(n, workers, parallel.ScheduleStatic, 0, s.monitor(), checked)
@@ -130,15 +164,31 @@ func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s := &state{ctx: ctx, dir: dir, opts: opts.withDefaults()}
+	ctx, fail := context.WithCancelCause(ctx)
+	s := &state{ctx: ctx, fail: fail, dir: dir, opts: opts.withDefaults()}
+	s.retry = s.opts.Retry.withDefaults()
+	s.quarantinedSet = make(map[string]bool)
+	if c := s.opts.Chaos; c != nil {
+		s.chaos = faults.NewChaos(faults.NewInjector(*c), faults.OS{}, s.sleep)
+	}
+	s.fs = s.chaos.At("", "")
 	if o := s.opts.Observer; o != nil {
 		s.wmon = obs.NewWorkerMonitor(o, "pipeline")
 		s.records = o.Counter("records_processed_total")
 		s.bytesIn = o.Counter("bytes_staged_in_total")
 		s.bytesOut = o.Counter("bytes_staged_out_total")
+		s.retries = o.Counter("retries")
+		s.quarCount = o.Counter("records_quarantined")
+		s.faultsCtr = o.Counter("faults_injected")
+		s.cleanupErr = o.Counter("scratch_cleanup_errors")
 	}
 	return s, nil
 }
+
+// fsAt returns the filesystem for record-scoped staging operations of the
+// given stage tag and station: fault-injected under chaos, the plain OS
+// otherwise.
+func (s *state) fsAt(tag, station string) faults.FS { return s.chaos.At(tag, station) }
 
 // path resolves a file name inside the work directory.
 func (s *state) path(name string) string { return filepath.Join(s.dir, name) }
@@ -218,7 +268,8 @@ func (s *state) timedTask(parent *obs.Span, name string, body func() error) erro
 }
 
 // stations reads the gathered input list (the product of process #1) and
-// returns the station codes in sorted order.
+// returns the station codes in sorted order, excluding records condemned to
+// quarantine — downstream processes see only the survivors.
 func (s *state) stations() ([]string, error) {
 	list, err := smformat.ReadFileListFile(s.path(smformat.V1ListFile))
 	if err != nil {
@@ -230,10 +281,45 @@ func (s *state) stations() ([]string, error) {
 		if !ok {
 			return nil, fmt.Errorf("pipeline: v1list entry %q is not a .v1 file", f)
 		}
+		if s.isQuarantined(st) {
+			continue
+		}
 		stations = append(stations, st)
 	}
 	sort.Strings(stations)
 	return stations, nil
+}
+
+// liveFiles filters a metadata file list down to the entries of surviving
+// records.  The lists are written by the stage-II initializers before any
+// record can be quarantined, so the list-driven processes (#7, #16) must
+// drop the per-component files of condemned stations.
+func (s *state) liveFiles(names []string) []string {
+	s.quarMu.Lock()
+	qs := make([]string, 0, len(s.quarantinedSet))
+	for st := range s.quarantinedSet {
+		qs = append(qs, st)
+	}
+	s.quarMu.Unlock()
+	if len(qs) == 0 {
+		return names
+	}
+	dead := make(map[string]bool, 12*len(qs))
+	for _, st := range qs {
+		for _, c := range seismic.Components {
+			dead[smformat.V1ComponentFileName(st, c)] = true
+			dead[smformat.V2FileName(st, c)] = true
+			dead[smformat.FourierFileName(st, c)] = true
+			dead[smformat.ResponseFileName(st, c)] = true
+		}
+	}
+	live := make([]string, 0, len(names))
+	for _, n := range names {
+		if !dead[n] {
+			live = append(live, n)
+		}
+	}
+	return live
 }
 
 // signals expands stations into the 3N (station, component) pairs in

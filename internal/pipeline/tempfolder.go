@@ -1,11 +1,13 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 
+	"accelproc/internal/faults"
 	"accelproc/internal/fourier"
 	"accelproc/internal/obs"
 	"accelproc/internal/seismic"
@@ -33,6 +35,14 @@ import (
 // stand in for the Fortran programs, but the staging I/O — the real cost
 // the protocol adds — is performed with genuine file copies.
 //
+// On top of the paper's protocol this implementation adds the robustness
+// the paper assumes away: every staging operation and simulated execution
+// goes through a faults.FS / exec gate (the plain OS in production, the
+// fault injector under -chaos), failures are retried per RetryPolicy, and
+// a record whose operations are exhausted or permanently failed is
+// quarantined — its scratch folder preserved under <dir>/quarantine/ — so
+// the event completes with the surviving records.
+//
 // Each step reports a task span under the owning process span, and the
 // bytes moved across the scratch-folder boundary feed the
 // bytes_staged_in_total / bytes_staged_out_total counters.  If any step
@@ -51,65 +61,91 @@ const exeImageName = "program.exe"
 // it does not exist yet and returns its path.
 func (s *state) ensureExeImage() (string, error) {
 	path := s.path("_filter.exe")
-	if _, err := os.Stat(path); err == nil {
+	if _, err := s.fs.Stat(path); err == nil {
 		return path, nil
 	}
 	buf := make([]byte, exeImageSize)
 	for i := range buf {
 		buf[i] = byte(i * 2654435761)
 	}
-	if err := os.WriteFile(path, buf, 0o755); err != nil {
+	if err := s.fs.WriteFile(path, buf, 0o755); err != nil {
 		return "", err
 	}
 	return path, nil
 }
 
-// copyFile copies src to dst and returns the number of bytes written.
-func copyFile(dst, src string) (int64, error) {
-	in, err := os.Open(src)
+// stageCopy copies src across the scratch-folder boundary through fsys,
+// charging the copied bytes to the given staging counter on success only,
+// so a retried copy is charged once.
+func stageCopy(fsys faults.FS, dst, src string, c *obs.Counter) error {
+	data, err := fsys.ReadFile(src)
 	if err != nil {
-		return 0, err
+		return err
 	}
-	defer in.Close()
-	out, err := os.Create(dst)
-	if err != nil {
-		return 0, err
+	if err := fsys.WriteFile(dst, data, 0o644); err != nil {
+		return err
 	}
-	n, cpErr := io.Copy(out, in)
-	clErr := out.Close()
-	if cpErr != nil {
-		return n, cpErr
-	}
-	return n, clErr
-}
-
-// stageCopy copies src across the scratch-folder boundary, charging the
-// copied bytes to the given staging counter.
-func stageCopy(dst, src string, c *obs.Counter) error {
-	n, err := copyFile(dst, src)
-	c.Add(float64(n))
-	return err
+	c.Add(float64(len(data)))
+	return nil
 }
 
 // stageMove renames src across the scratch-folder boundary (the paper's
 // pseudocode moves data files rather than copying them), charging the
-// file's size to the given staging counter.
-func stageMove(dst, src string, c *obs.Counter) error {
-	if info, err := os.Stat(src); err == nil {
-		c.Add(float64(info.Size()))
+// file's size to the given staging counter on success.  A rename that fails
+// with EXDEV — scratch folders on a different filesystem than the work
+// directory, e.g. a tmpfs — falls back to copy + remove.
+func stageMove(fsys faults.FS, dst, src string, c *obs.Counter) error {
+	size := int64(-1)
+	if info, err := fsys.Stat(src); err == nil {
+		size = info.Size()
 	}
-	return os.Rename(src, dst)
+	if err := fsys.Rename(src, dst); err != nil {
+		if !errors.Is(err, syscall.EXDEV) {
+			return err
+		}
+		data, err := fsys.ReadFile(src)
+		if err != nil {
+			return err
+		}
+		if err := fsys.WriteFile(dst, data, 0o644); err != nil {
+			return err
+		}
+		if err := fsys.Remove(src); err != nil {
+			return err
+		}
+		size = int64(len(data))
+	}
+	if size >= 0 {
+		c.Add(float64(size))
+	}
+	return nil
+}
+
+// removeScratch deletes one scratch folder through fsys.  A failed removal
+// is counted in scratch_cleanup_errors and then forced with the plain
+// filesystem: cleanup accounting must not turn into scratch-dir leaks.
+func (s *state) removeScratch(fsys faults.FS, dir string) {
+	if err := fsys.RemoveAll(dir); err != nil {
+		s.cleanupErr.Add(1)
+		os.RemoveAll(dir)
+	}
 }
 
 // removeScratchDirs deletes the scratch folders after a failed protocol
 // run, so an aborted or cancelled pipeline leaves no tmp_* litter in the
-// work directory.
+// work directory.  Removal failures are counted in scratch_cleanup_errors
+// rather than silently ignored.
 func (s *state) removeScratchDirs(dirs []string) {
 	if s.opts.KeepTempDirs {
 		return
 	}
 	for _, d := range dirs {
-		os.RemoveAll(d)
+		if _, err := os.Stat(d); err != nil {
+			continue // already removed, or moved to quarantine
+		}
+		if err := os.RemoveAll(d); err != nil {
+			s.cleanupErr.Add(1)
+		}
 	}
 }
 
@@ -117,7 +153,7 @@ func (s *state) removeScratchDirs(dirs []string) {
 // (the paper's ParallelizeCorrection): one instance per station, three
 // component signals per instance.  proc is the owning process span; the
 // four protocol steps report task spans under it.
-func (s *state) filterViaTempFolders(proc *obs.Span, tag string, workers int) (err error) {
+func (s *state) filterViaTempFolders(proc *obs.Span, stage StageID, pid ProcessID, tag string, workers int) (err error) {
 	stations, err := s.stations()
 	if err != nil {
 		return err
@@ -128,8 +164,10 @@ func (s *state) filterViaTempFolders(proc *obs.Span, tag string, workers int) (e
 	}
 	n := len(stations)
 	dirs := make([]string, n)
+	rcs := make([]recordSite, n)
 	for i, st := range stations {
 		dirs[i] = s.path(fmt.Sprintf("tmp_%s_%02d_%s", tag, i, st))
+		rcs[i] = recordSite{stage: stage, proc: pid, tag: tag, station: st, scratch: dirs[i]}
 	}
 	defer func() {
 		if err != nil {
@@ -142,19 +180,30 @@ func (s *state) filterViaTempFolders(proc *obs.Span, tag string, workers int) (e
 	// paper's pseudocode does ("Move 10*i+3*j+k <s><comp>.v1 file").
 	err = s.timedTask(proc, "stage-in", func() error {
 		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
-			if err := os.MkdirAll(dirs[i], 0o755); err != nil {
-				return err
-			}
-			if err := stageCopy(filepath.Join(dirs[i], smformat.FilterParamsFile), s.path(smformat.FilterParamsFile), s.bytesIn); err != nil {
-				return err
-			}
-			for _, comp := range seismic.Components {
-				name := smformat.V1ComponentFileName(stations[i], comp)
-				if err := stageMove(filepath.Join(dirs[i], name), s.path(name), s.bytesIn); err != nil {
+			rc := rcs[i]
+			fsys := s.fsAt(tag, rc.station)
+			stageIn := func() error {
+				if err := s.retryOp(rc, "mkdir", func() error {
+					return fsys.MkdirAll(dirs[i], 0o755)
+				}); err != nil {
 					return err
 				}
+				if err := s.retryOp(rc, "copy", func() error {
+					return stageCopy(fsys, filepath.Join(dirs[i], smformat.FilterParamsFile), s.path(smformat.FilterParamsFile), s.bytesIn)
+				}); err != nil {
+					return err
+				}
+				for _, comp := range seismic.Components {
+					name := smformat.V1ComponentFileName(rc.station, comp)
+					if err := s.retryOp(rc, "move", func() error {
+						return stageMove(fsys, filepath.Join(dirs[i], name), s.path(name), s.bytesIn)
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
 			}
-			return nil
+			return s.degraded(rc, stageIn())
 		})
 	})
 	if err != nil {
@@ -167,7 +216,15 @@ func (s *state) filterViaTempFolders(proc *obs.Span, tag string, workers int) (e
 			if err := s.cancelled(); err != nil {
 				return err
 			}
-			if err := stageCopy(filepath.Join(dirs[i], exeImageName), exe, s.bytesIn); err != nil {
+			rc := rcs[i]
+			if s.isQuarantined(rc.station) {
+				continue
+			}
+			fsys := s.fsAt(tag, rc.station)
+			err := s.retryOp(rc, "copy", func() error {
+				return stageCopy(fsys, filepath.Join(dirs[i], exeImageName), exe, s.bytesIn)
+			})
+			if err := s.degraded(rc, err); err != nil {
 				return err
 			}
 		}
@@ -185,48 +242,75 @@ func (s *state) filterViaTempFolders(proc *obs.Span, tag string, workers int) (e
 	// (the paper observes 1.9x-2.0x for these stages on 8 cores).
 	err = s.timedTask(proc, "execute", func() error {
 		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
-			st := stations[i]
-			params, err := smformat.ReadFilterParamsFile(filepath.Join(dirs[i], smformat.FilterParamsFile))
-			if err != nil {
-				return err
+			rc := rcs[i]
+			st := rc.station
+			if s.isQuarantined(st) {
+				return nil
 			}
-			frag := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
-			for _, comp := range seismic.Components {
-				v1, err := smformat.ReadV1ComponentFile(filepath.Join(dirs[i], smformat.V1ComponentFileName(st, comp)))
+			fsys := s.fsAt(tag, st)
+			execute := func() error {
+				// The whole program run is one retryable unit: a crashed
+				// instance is re-run from its staged inputs, which the
+				// protocol leaves untouched inside the scratch folder.
+				frag := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
+				err := s.retryOp(rc, "exec", func() error {
+					if err := s.chaos.Exec(tag, st); err != nil {
+						return err
+					}
+					params, err := smformat.ReadFilterParamsFile(filepath.Join(dirs[i], smformat.FilterParamsFile))
+					if err != nil {
+						return err
+					}
+					for _, comp := range seismic.Components {
+						v1, err := smformat.ReadV1ComponentFile(filepath.Join(dirs[i], smformat.V1ComponentFileName(st, comp)))
+						if err != nil {
+							return err
+						}
+						key := smformat.SignalKey{Station: st, Component: comp}
+						v2, pk, err := s.correctSignal(v1, params.Spec(key))
+						if err != nil {
+							return err
+						}
+						if err := smformat.WriteV2File(filepath.Join(dirs[i], smformat.V2FileName(st, comp)), v2); err != nil {
+							return err
+						}
+						frag.Peaks[key] = pk
+					}
+					return nil
+				})
 				if err != nil {
 					return err
 				}
-				key := smformat.SignalKey{Station: st, Component: comp}
-				v2, pk, err := s.correctSignal(v1, params.Spec(key))
-				if err != nil {
-					return err
+				// Move the products back to the work directory, and the V1
+				// inputs with them (the chain never modifies V1 components —
+				// the rationale for dropping process #12 — so they must
+				// survive for the later stages that reuse them).
+				for _, comp := range seismic.Components {
+					v2name := smformat.V2FileName(st, comp)
+					if err := s.retryOp(rc, "move", func() error {
+						return stageMove(fsys, s.path(v2name), filepath.Join(dirs[i], v2name), s.bytesOut)
+					}); err != nil {
+						return err
+					}
+					v1name := smformat.V1ComponentFileName(st, comp)
+					if err := s.retryOp(rc, "move", func() error {
+						return stageMove(fsys, s.path(v1name), filepath.Join(dirs[i], v1name), s.bytesOut)
+					}); err != nil {
+						return err
+					}
 				}
-				local := filepath.Join(dirs[i], smformat.V2FileName(st, comp))
-				if err := smformat.WriteV2File(local, v2); err != nil {
-					return err
-				}
-				// Move the product back to the work directory, and the V1
-				// input with it (the chain never modifies V1 components — the
-				// rationale for dropping process #12 — so they must survive
-				// for the later stages that reuse them).
-				if err := stageMove(s.path(smformat.V2FileName(st, comp)), local, s.bytesOut); err != nil {
-					return err
-				}
-				name := smformat.V1ComponentFileName(st, comp)
-				if err := stageMove(s.path(name), filepath.Join(dirs[i], name), s.bytesOut); err != nil {
-					return err
-				}
-				frag.Peaks[key] = pk
+				fragments[i] = frag
+				return nil
 			}
-			fragments[i] = frag
-			return nil
+			return s.degraded(rc, execute())
 		})
 	})
 	if err != nil {
 		return err
 	}
 
-	// Merge fragments deterministically into the max-values metadata.
+	// Merge fragments deterministically into the max-values metadata
+	// (quarantined records contribute no fragment).
 	merged := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
 	for _, frag := range fragments {
 		for k, v := range frag.Peaks {
@@ -237,13 +321,18 @@ func (s *state) filterViaTempFolders(proc *obs.Span, tag string, workers int) (e
 		return err
 	}
 
-	// Step 4 (parallel): delete the scratch folders.
+	// Step 4 (parallel): delete the scratch folders (quarantined ones have
+	// already been moved under <dir>/quarantine).
 	if s.opts.KeepTempDirs {
 		return nil
 	}
 	return s.timedTask(proc, "cleanup", func() error {
 		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
-			return os.RemoveAll(dirs[i])
+			if s.isQuarantined(rcs[i].station) {
+				return nil
+			}
+			s.removeScratch(s.fsAt(tag, rcs[i].station), dirs[i])
+			return nil
 		})
 	})
 }
@@ -252,6 +341,7 @@ func (s *state) filterViaTempFolders(proc *obs.Span, tag string, workers int) (e
 // paper's ParallelizeFourier): one instance per station, transforming the
 // station's three component V2 files inside its scratch folder.
 func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
+	const tag = "fou"
 	stations, err := s.stations()
 	if err != nil {
 		return err
@@ -262,8 +352,10 @@ func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
 	}
 	n := len(stations)
 	dirs := make([]string, n)
+	rcs := make([]recordSite, n)
 	for i, st := range stations {
 		dirs[i] = s.path(fmt.Sprintf("tmp_fou_%02d_%s", i, st))
+		rcs[i] = recordSite{stage: StageV, proc: PFourier, tag: tag, station: st, scratch: dirs[i]}
 	}
 	defer func() {
 		if err != nil {
@@ -275,16 +367,25 @@ func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
 	// (the paper's pseudocode: "Move 3*i+1 <s><comp>.v2 file").
 	err = s.timedTask(proc, "stage-in", func() error {
 		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
-			if err := os.MkdirAll(dirs[i], 0o755); err != nil {
-				return err
-			}
-			for _, comp := range seismic.Components {
-				name := smformat.V2FileName(stations[i], comp)
-				if err := stageMove(filepath.Join(dirs[i], name), s.path(name), s.bytesIn); err != nil {
+			rc := rcs[i]
+			fsys := s.fsAt(tag, rc.station)
+			stageIn := func() error {
+				if err := s.retryOp(rc, "mkdir", func() error {
+					return fsys.MkdirAll(dirs[i], 0o755)
+				}); err != nil {
 					return err
 				}
+				for _, comp := range seismic.Components {
+					name := smformat.V2FileName(rc.station, comp)
+					if err := s.retryOp(rc, "move", func() error {
+						return stageMove(fsys, filepath.Join(dirs[i], name), s.path(name), s.bytesIn)
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
 			}
-			return nil
+			return s.degraded(rc, stageIn())
 		})
 	})
 	if err != nil {
@@ -297,7 +398,15 @@ func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
 			if err := s.cancelled(); err != nil {
 				return err
 			}
-			if err := stageCopy(filepath.Join(dirs[i], exeImageName), exe, s.bytesIn); err != nil {
+			rc := rcs[i]
+			if s.isQuarantined(rc.station) {
+				continue
+			}
+			fsys := s.fsAt(tag, rc.station)
+			err := s.retryOp(rc, "copy", func() error {
+				return stageCopy(fsys, filepath.Join(dirs[i], exeImageName), exe, s.bytesIn)
+			})
+			if err := s.degraded(rc, err); err != nil {
 				return err
 			}
 		}
@@ -311,30 +420,53 @@ func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
 	// back out.
 	err = s.timedTask(proc, "execute", func() error {
 		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
-			for _, comp := range seismic.Components {
-				v2, err := smformat.ReadV2File(filepath.Join(dirs[i], smformat.V2FileName(stations[i], comp)))
-				if err != nil {
-					return err
-				}
-				f, err := fourier.Spectra(v2)
-				if err != nil {
-					return err
-				}
-				name := smformat.FourierFileName(v2.Station, v2.Component)
-				local := filepath.Join(dirs[i], name)
-				if err := smformat.WriteFourierFile(local, f); err != nil {
-					return err
-				}
-				if err := stageMove(s.path(name), local, s.bytesOut); err != nil {
-					return err
-				}
-				// Move the V2 input back: stages VIII, IX, and XI reuse it.
-				v2name := smformat.V2FileName(stations[i], comp)
-				if err := stageMove(s.path(v2name), filepath.Join(dirs[i], v2name), s.bytesOut); err != nil {
-					return err
-				}
+			rc := rcs[i]
+			st := rc.station
+			if s.isQuarantined(st) {
+				return nil
 			}
-			return nil
+			fsys := s.fsAt(tag, st)
+			execute := func() error {
+				err := s.retryOp(rc, "exec", func() error {
+					if err := s.chaos.Exec(tag, st); err != nil {
+						return err
+					}
+					for _, comp := range seismic.Components {
+						v2, err := smformat.ReadV2File(filepath.Join(dirs[i], smformat.V2FileName(st, comp)))
+						if err != nil {
+							return err
+						}
+						f, err := fourier.Spectra(v2)
+						if err != nil {
+							return err
+						}
+						if err := smformat.WriteFourierFile(filepath.Join(dirs[i], smformat.FourierFileName(v2.Station, v2.Component)), f); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				for _, comp := range seismic.Components {
+					fname := smformat.FourierFileName(st, comp)
+					if err := s.retryOp(rc, "move", func() error {
+						return stageMove(fsys, s.path(fname), filepath.Join(dirs[i], fname), s.bytesOut)
+					}); err != nil {
+						return err
+					}
+					// Move the V2 input back: stages VIII, IX, and XI reuse it.
+					v2name := smformat.V2FileName(st, comp)
+					if err := s.retryOp(rc, "move", func() error {
+						return stageMove(fsys, s.path(v2name), filepath.Join(dirs[i], v2name), s.bytesOut)
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return s.degraded(rc, execute())
 		})
 	})
 	if err != nil {
@@ -347,7 +479,11 @@ func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
 	}
 	return s.timedTask(proc, "cleanup", func() error {
 		return s.parFor(n, workers, CostHeavyIO, func(i int) error {
-			return os.RemoveAll(dirs[i])
+			if s.isQuarantined(rcs[i].station) {
+				return nil
+			}
+			s.removeScratch(s.fsAt(tag, rcs[i].station), dirs[i])
+			return nil
 		})
 	})
 }
