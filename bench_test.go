@@ -62,7 +62,7 @@ func BenchmarkTable1(b *testing.B) {
 		b.Run(spec.Name, func(b *testing.B) {
 			cfg := benchConfig(b)
 			for i := 0; i < b.N; i++ {
-				cfg.Variants = nil // all four
+				cfg.Variants = nil // all five
 				res, err := bench.RunEvent(context.Background(), spec, cfg)
 				if err != nil {
 					b.Fatal(err)
@@ -88,6 +88,8 @@ func shortVariant(v pipeline.Variant) string {
 		return "partpar"
 	case pipeline.FullParallel:
 		return "fullpar"
+	case pipeline.Pipelined:
+		return "pipe"
 	}
 	return "unknown"
 }

@@ -21,8 +21,11 @@ go build ./...
 echo "== test =="
 go test ./...
 
-echo "== race (parallel runtime + pipeline drivers) =="
-go test -race ./internal/parallel/... ./internal/pipeline/...
+echo "== bench smoke (every benchmark compiles and runs once) =="
+go test -bench . -benchtime=1x -run '^$' ./...
+
+echo "== race (parallel runtime + dataflow scheduler + pipeline drivers) =="
+go test -race ./internal/parallel/... ./internal/dataflow/... ./internal/pipeline/...
 
 echo "== chaos (seeded fault-injection soak) =="
 go test -race -count=1 -run 'Chaos|Partial|Quarantine|RetryOp|StageMove' ./internal/pipeline/... ./internal/faults/...

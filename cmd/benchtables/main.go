@@ -7,12 +7,17 @@
 //	benchtables [-scale 0.16] [-workers 0] [-method duhamel|nj]
 //	            [-periods 8] [-repeat 1] [-variants seq-original,full]
 //	            [-table1] [-fig11] [-fig12] [-fig13] [-check]
+//	            [-json BENCH_label.json]
 //	            [-trace spans.jsonl] [-metrics metrics.txt] [-pprof cpu.out]
 //
 // With no selection flags, everything is produced.  -scale sets the
 // workload size (1.0 = the paper's data-point counts; the default is the
 // calibrated reference scale, see EXPERIMENTS.md); -check evaluates the
-// reproduction-shape assertions and exits non-zero if any fails.  -trace
+// reproduction-shape assertions and exits non-zero if any fails.  -json
+// writes a machine-readable report of the Table I run — per-variant and
+// per-stage timings, derived speedups, host info, and any -check results —
+// to the given file; the repo commits such reports as BENCH_<label>.json
+// baselines (see EXPERIMENTS.md "Machine-readable reports").  -trace
 // captures every measured run's span tree — the Figure 11 rows are derived
 // from the same spans — and -metrics/-pprof write the metrics exposition
 // and a CPU profile (see README "Observability").
@@ -25,6 +30,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -74,7 +80,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		method    = fs.String("method", "duhamel", "stage IX method: duhamel (legacy O(D^2)) or nj (Nigam-Jennings O(D))")
 		periods   = fs.Int("periods", bench.ShapePeriods, "response-spectrum period count")
 		repeat    = fs.Int("repeat", 1, "repetitions per measurement (fastest kept)")
-		variants  = fs.String("variants", "", "comma-separated variants to measure (default: all four)")
+		variants  = fs.String("variants", "", "comma-separated variants to measure (default: all five)")
+		jsonPath  = fs.String("json", "", "write a machine-readable report of the Table I run to this file")
 		table1    = fs.Bool("table1", false, "produce Table I")
 		fig11     = fs.Bool("fig11", false, "produce Figure 11 (per-stage, largest event)")
 		fig12     = fs.Bool("fig12", false, "produce Figure 12 (per-event bars)")
@@ -138,7 +145,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	progress := func(s string) { fmt.Fprintln(stderr, "running "+s) }
 
 	var results []bench.EventResult
-	if all || *table1 || *fig12 || *fig13 || *check {
+	if all || *table1 || *fig12 || *fig13 || *check || *jsonPath != "" {
 		var err error
 		results, err = bench.RunTable1(ctx, cfg, progress)
 		if err != nil {
@@ -175,18 +182,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout, bench.FormatAblations(abl))
 	}
+	var checkLines []string
+	checksFailed := false
 	if all || *check {
+		checkLines = bench.ShapeChecks(results, f11)
 		fmt.Fprintln(stdout, "REPRODUCTION SHAPE CHECKS")
-		failed := false
-		for _, line := range bench.ShapeChecks(results, f11) {
+		for _, line := range checkLines {
 			fmt.Fprintln(stdout, line)
 			if strings.HasPrefix(line, "[FAIL]") {
-				failed = true
+				checksFailed = true
 			}
 		}
-		if failed {
-			return errChecksFailed
+	}
+	// The JSON report is written even when checks fail: a failing baseline
+	// is evidence worth keeping.
+	if *jsonPath != "" {
+		label := strings.TrimSuffix(filepath.Base(*jsonPath), filepath.Ext(*jsonPath))
+		label = strings.TrimPrefix(label, "BENCH_")
+		rep := bench.NewReport(label, cfg, results, checkLines)
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			return err
 		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+	}
+	if checksFailed {
+		return errChecksFailed
 	}
 	return session.Close()
 }

@@ -3,9 +3,15 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"accelproc/internal/bench"
+	"accelproc/internal/pipeline"
 )
 
 func TestRunSmokeTable1(t *testing.T) {
@@ -71,5 +77,41 @@ func TestRunSmokeAblations(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q", want)
 		}
+	}
+}
+
+func TestRunSmokeJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-smoke", "-table1", "-periods", "6", "-method", "nj", "-json", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Label != "smoke" {
+		t.Errorf("label = %q, want smoke (derived from the file name)", rep.Label)
+	}
+	if len(rep.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(rep.Events))
+	}
+	for _, ev := range rep.Events {
+		for _, v := range pipeline.Variants {
+			vr, ok := ev.Variants[v.String()]
+			if !ok || vr.Seconds <= 0 {
+				t.Errorf("event %s: variant %v missing or zero", ev.Event, v)
+			}
+		}
+		if ev.SpeedupPipelined <= 0 || ev.PipelinedVsFull <= 0 {
+			t.Errorf("event %s: dataflow ratios not derived", ev.Event)
+		}
+	}
+	if rep.Host.NumCPU <= 0 || rep.Host.GoVersion == "" {
+		t.Errorf("host info incomplete: %+v", rep.Host)
 	}
 }

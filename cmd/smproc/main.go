@@ -1,4 +1,4 @@
-// Command smproc processes strong-motion V1 files with one of the four
+// Command smproc processes strong-motion V1 files with one of the five
 // pipeline implementations, reporting per-stage timings and the produced
 // file inventory.
 //
@@ -10,7 +10,8 @@
 //
 // A directory must contain multiplexed <station>.v1 files (generate
 // synthetic ones with the synthgen command).  -variant selects
-// seq-original, seq-optimized, partial, or full.  -clean removes all
+// seq-original, seq-optimized, partial, full, or pipelined (the
+// barrier-free record-level dataflow schedule).  -clean removes all
 // pipeline products first so the run starts from a pristine directory.
 // -batch processes several event directories concurrently.  -trace,
 // -metrics, and -pprof capture the run's span tree, metrics exposition,
@@ -67,7 +68,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	var (
 		dir          = fs.String("dir", "", "work directory containing <station>.v1 inputs")
 		batch        = fs.String("batch", "", "comma-separated list of work directories to process concurrently")
-		variant      = fs.String("variant", "full", "implementation: seq-original, seq-optimized, partial, or full")
+		variant      = fs.String("variant", "full", "implementation: seq-original, seq-optimized, partial, full, or pipelined")
 		workers      = fs.Int("workers", 0, "worker budget for parallel stages (0 = all processors)")
 		eventWorkers = fs.Int("event-workers", 0, "concurrent events in batch mode (0 = all processors)")
 		method       = fs.String("method", "nj", "response-spectrum method: duhamel (legacy) or nj (fast)")

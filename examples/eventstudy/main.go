@@ -1,4 +1,4 @@
-// Eventstudy: process one of the paper's seismic events with all four
+// Eventstudy: process one of the paper's seismic events with all five
 // pipeline implementations and compare them — a single-event slice of the
 // paper's Table I.
 //

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness that regenerates the paper's
-// evaluation: Table I (per-event execution times of the four variants),
+// evaluation: Table I (per-event execution times of the variants),
 // Figure 11 (per-stage times and speedups on the largest event), Figure 12
 // (the per-event comparison, the same data as Table I), and Figure 13
 // (speedup and throughput versus problem size).
@@ -43,7 +43,8 @@ type Config struct {
 	// WorkRoot is where per-run work directories are created; empty
 	// selects the OS temp directory.
 	WorkRoot string
-	// Variants are the implementations to run; nil selects all four.
+	// Variants are the implementations to run; nil selects all five (the
+	// paper's four plus the barrier-free Pipelined dataflow schedule).
 	Variants []pipeline.Variant
 	// SimProcessors selects the evaluation platform: 0 (auto) simulates
 	// the paper's 8-processor machine when the host has fewer than

@@ -195,8 +195,8 @@ func TestDefaultConfigUsesPaperWorkload(t *testing.T) {
 	if len(cfg.Response.Periods) != ShapePeriods {
 		t.Errorf("default periods = %d, want %d", len(cfg.Response.Periods), ShapePeriods)
 	}
-	if len(cfg.Variants) != 4 {
-		t.Errorf("default variants = %d", len(cfg.Variants))
+	if len(cfg.Variants) != len(pipeline.Variants) {
+		t.Errorf("default variants = %d, want all %d", len(cfg.Variants), len(pipeline.Variants))
 	}
 }
 

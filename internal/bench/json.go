@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"accelproc/internal/pipeline"
+)
+
+// This file renders experiment results as a machine-readable JSON report,
+// the artifact behind the committed BENCH_<label>.json baselines: the same
+// numbers as Table I and Figures 11-13, plus enough host and configuration
+// context to interpret them later (see EXPERIMENTS.md "Machine-readable
+// reports").
+
+// HostInfo records the platform a report's measurements ran on.
+type HostInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// VariantReport is one variant's measurement on one event.
+type VariantReport struct {
+	Seconds float64 `json:"seconds"`
+	// Stages maps the Roman stage numeral to the stage's charged seconds.
+	Stages map[string]float64 `json:"stages,omitempty"`
+}
+
+// EventReport is one event processed by every measured variant, with the
+// derived headline ratios (zero when an endpoint variant was not measured).
+type EventReport struct {
+	Event    string                   `json:"event"`
+	Files    int                      `json:"files"`
+	Points   int                      `json:"points"`
+	Variants map[string]VariantReport `json:"variants"`
+	// SpeedupFull is the paper's headline metric: SeqOriginal over
+	// FullParallel.
+	SpeedupFull float64 `json:"speedup_full,omitempty"`
+	// SpeedupPipelined is SeqOriginal over the dataflow variant.
+	SpeedupPipelined float64 `json:"speedup_pipelined,omitempty"`
+	// PipelinedVsFull is FullParallel over Pipelined: above 1.0 the
+	// barrier-free schedule beats the staged one.
+	PipelinedVsFull float64 `json:"pipelined_vs_full,omitempty"`
+	// PointsPerSecond is the fully-parallelized throughput.
+	PointsPerSecond float64 `json:"fullpar_points_per_second,omitempty"`
+}
+
+// Report is the machine-readable form of a benchtables run.
+type Report struct {
+	Label         string        `json:"label"`
+	CreatedAt     time.Time     `json:"created_at"`
+	Host          HostInfo      `json:"host"`
+	Scale         float64       `json:"scale"`
+	Workers       int           `json:"workers"`
+	SimProcessors int           `json:"sim_processors"` // 0 = real goroutine parallelism
+	Repeat        int           `json:"repeat"`
+	Method        string        `json:"method"`
+	Periods       int           `json:"periods"`
+	Events        []EventReport `json:"events"`
+	Checks        []string      `json:"checks,omitempty"`
+}
+
+// ratio returns num/den in seconds, or 0 when either endpoint is missing.
+func ratio(times map[pipeline.Variant]time.Duration, num, den pipeline.Variant) float64 {
+	n, okN := times[num]
+	d, okD := times[den]
+	if !okN || !okD || d <= 0 {
+		return 0
+	}
+	return n.Seconds() / d.Seconds()
+}
+
+// NewReport assembles the report for a Table I run under the given
+// configuration; checks may be nil when -check did not run.
+func NewReport(label string, cfg Config, results []EventResult, checks []string) Report {
+	cfg = cfg.withDefaults()
+	rep := Report{
+		Label:     label,
+		CreatedAt: time.Now().UTC(),
+		Host: HostInfo{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Scale:         cfg.Scale,
+		Workers:       cfg.Workers,
+		SimProcessors: resolveSimProcessors(cfg.SimProcessors),
+		Repeat:        cfg.Repeat,
+		Method:        cfg.Response.Method.String(),
+		Periods:       len(cfg.Response.Periods),
+		Checks:        checks,
+	}
+	for _, r := range results {
+		er := EventReport{
+			Event:            r.Spec.Name,
+			Files:            r.Files,
+			Points:           r.Points,
+			Variants:         make(map[string]VariantReport, len(r.Times)),
+			SpeedupFull:      r.Speedup(),
+			SpeedupPipelined: ratio(r.Times, pipeline.SeqOriginal, pipeline.Pipelined),
+			PipelinedVsFull:  ratio(r.Times, pipeline.FullParallel, pipeline.Pipelined),
+			PointsPerSecond:  r.PointsPerSecond(),
+		}
+		for v, d := range r.Times {
+			vr := VariantReport{
+				Seconds: d.Seconds(),
+				Stages:  make(map[string]float64, pipeline.NumStages),
+			}
+			for _, st := range pipeline.Stages {
+				if sd := r.Timings[v].Stage[st.ID]; sd > 0 {
+					vr.Stages[st.ID.String()] = sd.Seconds()
+				}
+			}
+			er.Variants[v.String()] = vr
+		}
+		rep.Events = append(rep.Events, er)
+	}
+	return rep
+}
+
+// Encode renders the report as indented JSON with a trailing newline.
+func (r Report) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: encoding report: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteFile writes the encoded report to path.
+func (r Report) WriteFile(path string) error {
+	out, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("bench: writing report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"accelproc/internal/pipeline"
+)
+
+// TestNewReportRoundTrips pins the JSON report contract: every measured
+// variant appears with positive per-stage seconds, the derived ratios are
+// consistent with the raw times, and the file round-trips through
+// encoding/json.
+func TestNewReportRoundTrips(t *testing.T) {
+	cfg := quickConfig(t)
+	results, err := RunTable1(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport("quick", cfg, results, []string{"[PASS] example"})
+	if rep.Label != "quick" || rep.Periods != 8 || rep.Method != "nigam-jennings" {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Events) != len(results) {
+		t.Fatalf("events = %d, want %d", len(rep.Events), len(results))
+	}
+	for i, ev := range rep.Events {
+		if len(ev.Variants) != len(pipeline.Variants) {
+			t.Errorf("event %s: %d variants, want %d", ev.Event, len(ev.Variants), len(pipeline.Variants))
+		}
+		for name, vr := range ev.Variants {
+			if vr.Seconds <= 0 {
+				t.Errorf("event %s variant %s: seconds = %v", ev.Event, name, vr.Seconds)
+			}
+			if vr.Stages["IX"] <= 0 {
+				t.Errorf("event %s variant %s: no stage IX seconds", ev.Event, name)
+			}
+		}
+		r := results[i]
+		wantRatio := r.Times[pipeline.FullParallel].Seconds() / r.Times[pipeline.Pipelined].Seconds()
+		if diff := ev.PipelinedVsFull - wantRatio; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("event %s: pipelined_vs_full = %v, want %v", ev.Event, ev.PipelinedVsFull, wantRatio)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_quick.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Label != rep.Label || len(back.Events) != len(rep.Events) || len(back.Checks) != 1 {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}
+
+// TestRatioMissingEndpoints pins the zero-on-missing contract the omitempty
+// fields rely on.
+func TestRatioMissingEndpoints(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.Variants = []pipeline.Variant{pipeline.FullParallel}
+	results, err := RunTable1(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport("partial", cfg, results, nil)
+	for _, ev := range rep.Events {
+		if ev.SpeedupFull != 0 || ev.SpeedupPipelined != 0 || ev.PipelinedVsFull != 0 {
+			t.Errorf("event %s: ratios should be zero without endpoints: %+v", ev.Event, ev)
+		}
+	}
+}

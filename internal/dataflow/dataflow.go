@@ -1,0 +1,332 @@
+// Package dataflow is a record-level task-DAG scheduler: it executes a
+// directed acyclic graph of tasks on a bounded worker pool, dispatching
+// ready nodes critical-path-first.
+//
+// The pipeline's staged drivers synchronize at an inter-stage barrier after
+// every stage, so each stage costs the *maximum* over records — a single
+// 384K-point station stalls stations that finished long ago.  This package
+// removes those barriers: a node becomes runnable the moment its declared
+// dependencies finish, so one record can compute its response spectrum
+// while another is still band-pass filtering, overlapping compute-bound and
+// I/O-bound work.
+//
+// Scheduling policy: among ready nodes the executor picks the node with the
+// largest critical-path length (its weight plus the heaviest chain of
+// dependents below it); ties break heaviest-node-first, then by insertion
+// order.  Weights are caller-supplied cost estimates — the pipeline uses
+// record data-point counts — so the policy degenerates to longest-first
+// list scheduling on wide graphs, the classic makespan heuristic.
+//
+// Graphs are acyclic by construction: a node's dependencies must already be
+// in the graph when it is added, so edges always point backwards in
+// insertion order and no cycle check is needed at run time.
+package dataflow
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NodeID identifies one node of a Graph; IDs are dense and assigned in
+// insertion order.
+type NodeID int
+
+// Spec describes one node to add to a Graph.
+type Spec struct {
+	// Label names the node in stats and error messages, e.g. "fourier:SS03".
+	Label string
+	// Weight is the node's estimated cost in arbitrary units (the pipeline
+	// uses record data-point counts).  It feeds the critical-path priority
+	// and the heaviest-first tie-breaker; non-positive weights are treated
+	// as zero.
+	Weight float64
+	// Alpha is the node's contention coefficient on the simulated platform
+	// (see internal/simsched); unused by the real executor.
+	Alpha float64
+	// Run executes the node's work.  A non-nil error marks the node failed:
+	// its transitive dependents are skipped and the error is reported by
+	// Execute.  Run must be safe to call from any goroutine.
+	Run func() error
+}
+
+type node struct {
+	id   NodeID
+	spec Spec
+	deps []NodeID
+	// children and indegree describe the forward edges; pri is the
+	// critical-path priority computed at execution time.
+	children []NodeID
+	pri      float64
+}
+
+// Graph is a DAG of tasks under construction.  It is not safe for
+// concurrent mutation; build it fully, then call Execute or ExecuteSim.
+type Graph struct {
+	nodes []*node
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// Len returns the number of nodes added so far.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Add appends a node depending on the given existing nodes and returns its
+// ID.  It panics if a dependency has not been added yet — that ordering is
+// what guarantees acyclicity by construction.
+func (g *Graph) Add(spec Spec, deps ...NodeID) NodeID {
+	id := NodeID(len(g.nodes))
+	for _, d := range deps {
+		if d < 0 || d >= id {
+			panic(fmt.Sprintf("dataflow: node %q depends on %d, not yet in graph (next id %d)", spec.Label, d, id))
+		}
+	}
+	if spec.Weight < 0 {
+		spec.Weight = 0
+	}
+	n := &node{id: id, spec: spec, deps: append([]NodeID(nil), deps...)}
+	g.nodes = append(g.nodes, n)
+	return id
+}
+
+// Deps returns the dependency IDs of id (for tests and introspection).
+func (g *Graph) Deps(id NodeID) []NodeID {
+	return append([]NodeID(nil), g.nodes[id].deps...)
+}
+
+// Label returns the label of id.
+func (g *Graph) Label(id NodeID) string { return g.nodes[id].spec.Label }
+
+// prioritize computes every node's critical-path length: its own weight
+// plus the heaviest chain of dependents below it.  Nodes are stored in
+// topological order (edges point backwards), so one reverse sweep suffices.
+func (g *Graph) prioritize() {
+	for i := range g.nodes {
+		g.nodes[i].children = g.nodes[i].children[:0]
+	}
+	for _, n := range g.nodes {
+		for _, d := range n.deps {
+			g.nodes[d].children = append(g.nodes[d].children, n.id)
+		}
+	}
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		n := g.nodes[i]
+		best := 0.0
+		for _, c := range n.children {
+			if p := g.nodes[c].pri; p > best {
+				best = p
+			}
+		}
+		n.pri = n.spec.Weight + best
+	}
+}
+
+// NodeStat reports one executed node: when it became ready (all deps done),
+// when a worker started it, and when it finished — all offsets from the
+// Execute call.  Skipped nodes (a dependency failed) report Start == End ==
+// Ready with Worker == -1 and Skipped == true.
+type NodeStat struct {
+	ID      NodeID
+	Label   string
+	Ready   time.Duration
+	Start   time.Duration
+	End     time.Duration
+	Worker  int
+	Skipped bool
+}
+
+// Wait returns how long the node sat in the ready queue before a worker
+// picked it up.
+func (s NodeStat) Wait() time.Duration { return s.Start - s.Ready }
+
+// Duration returns the node's execution time.
+func (s NodeStat) Duration() time.Duration { return s.End - s.Start }
+
+// Monitor receives per-worker busy/idle accounting, structurally matching
+// parallel.Monitor so obs.WorkerMonitor plugs in directly.
+type Monitor interface {
+	WorkerSpan(worker int, busy, idle time.Duration, tasks int)
+}
+
+// WaitMonitor optionally extends Monitor with per-node ready-queue waits.
+type WaitMonitor interface {
+	TaskWait(d time.Duration)
+}
+
+// readyHeap orders ready nodes critical-path-first, then heaviest-first,
+// then by insertion order — a max-heap on (pri, weight, -id).
+type readyHeap []*node
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.pri != b.pri {
+		return a.pri > b.pri
+	}
+	if a.spec.Weight != b.spec.Weight {
+		return a.spec.Weight > b.spec.Weight
+	}
+	return a.id < b.id
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(*node)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Execute runs the graph on a bounded pool of workers (values <= 0 select
+// one worker per node) and returns per-node stats in node-ID order.
+//
+// Error semantics follow the parallel package: when a node's Run fails, its
+// transitive dependents are skipped (their inputs never materialized) but
+// independent branches keep running; the returned error is the failure of
+// the smallest node ID, with real errors displacing cancellations so
+// fail-fast graphs report the cause rather than the cancellation it
+// triggered.
+func (g *Graph) Execute(workers int, mon Monitor) ([]NodeStat, error) {
+	n := len(g.nodes)
+	if n == 0 {
+		return nil, nil
+	}
+	g.prioritize()
+	w := workers
+	if w <= 0 || w > n {
+		w = n
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		ready    readyHeap
+		indeg    = make([]int, n)
+		failed   = make([]bool, n) // node failed or was skipped
+		done     = 0               // nodes finished, failed, or skipped
+		firstErr error
+		firstID  NodeID = -1
+	)
+	stats := make([]NodeStat, n)
+	start := time.Now()
+	for _, nd := range g.nodes {
+		indeg[nd.id] = len(nd.deps)
+		stats[nd.id] = NodeStat{ID: nd.id, Label: nd.spec.Label, Worker: -1}
+		if len(nd.deps) == 0 {
+			heap.Push(&ready, nd)
+		}
+	}
+
+	record := func(id NodeID, err error) {
+		if err == nil {
+			return
+		}
+		if better(err, id, firstErr, firstID) {
+			firstErr, firstID = err, id
+		}
+	}
+
+	// complete marks nd finished (err == nil) or failed, releasing its
+	// children; a failed node's children are skipped recursively, counting
+	// toward done so the pool drains.  Caller holds mu.
+	var complete func(nd *node, err error, now time.Duration)
+	complete = func(nd *node, err error, now time.Duration) {
+		done++
+		if err != nil {
+			failed[nd.id] = true
+			record(nd.id, err)
+		}
+		for _, c := range nd.children {
+			child := g.nodes[c]
+			indeg[c]--
+			if failed[nd.id] && !failed[c] {
+				failed[c] = true
+				stats[c].Skipped = true
+			}
+			if indeg[c] == 0 {
+				if failed[c] {
+					// Skipped: resolve immediately, cascading to its own
+					// children without ever dispatching it.
+					stats[c].Ready = now
+					stats[c].Start = now
+					stats[c].End = now
+					complete(child, nil, now)
+				} else {
+					stats[c].Ready = now
+					heap.Push(&ready, child)
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for t := 0; t < w; t++ {
+		worker := t
+		go func() {
+			defer wg.Done()
+			var busy time.Duration
+			tasks := 0
+			joined := time.Now()
+			mu.Lock()
+			for {
+				for len(ready) == 0 && done < n {
+					cond.Wait()
+				}
+				if len(ready) == 0 {
+					break
+				}
+				nd := heap.Pop(&ready).(*node)
+				now := time.Since(start)
+				stats[nd.id].Start = now
+				stats[nd.id].Worker = worker
+				if wm, ok := mon.(WaitMonitor); ok && mon != nil {
+					wm.TaskWait(now - stats[nd.id].Ready)
+				}
+				mu.Unlock()
+
+				t0 := time.Now()
+				err := nd.spec.Run()
+				busy += time.Since(t0)
+				tasks++
+
+				mu.Lock()
+				end := time.Since(start)
+				stats[nd.id].End = end
+				complete(nd, err, end)
+				cond.Broadcast()
+			}
+			mu.Unlock()
+			if mon != nil {
+				idle := time.Since(joined) - busy
+				if idle < 0 {
+					idle = 0
+				}
+				mon.WorkerSpan(worker, busy, idle, tasks)
+			}
+		}()
+	}
+	wg.Wait()
+	return stats, firstErr
+}
+
+// better reports whether (err, id) should displace (cur, curID) as the
+// reported failure: any error beats none, real errors beat cancellations,
+// and among peers the smallest node ID wins — the same determinism contract
+// as the parallel package's loops.
+func better(err error, id NodeID, cur error, curID NodeID) bool {
+	if cur == nil {
+		return true
+	}
+	curCancel := errors.Is(cur, context.Canceled) || errors.Is(cur, context.DeadlineExceeded)
+	newCancel := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if curCancel != newCancel {
+		return curCancel
+	}
+	return id < curID
+}

@@ -1,0 +1,113 @@
+package dataflow
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Order returns the node IDs in serial priority-dispatch order: the order a
+// single-worker Execute would run them, popping the highest critical-path
+// priority among ready nodes after each completion.  The simulated platform
+// executes bodies serially in this order, measuring real per-node costs,
+// then charges the virtual clock via SimMakespan.
+func (g *Graph) Order() []NodeID {
+	n := len(g.nodes)
+	if n == 0 {
+		return nil
+	}
+	g.prioritize()
+	indeg := make([]int, n)
+	var ready readyHeap
+	for _, nd := range g.nodes {
+		indeg[nd.id] = len(nd.deps)
+		if indeg[nd.id] == 0 {
+			heap.Push(&ready, nd)
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(ready) > 0 {
+		nd := heap.Pop(&ready).(*node)
+		order = append(order, nd.id)
+		for _, c := range nd.children {
+			indeg[c]--
+			if indeg[c] == 0 {
+				heap.Push(&ready, g.nodes[c])
+			}
+		}
+	}
+	return order
+}
+
+// freeHeap is a min-heap of simulated worker finish times.
+type freeHeap []time.Duration
+
+func (h freeHeap) Len() int           { return len(h) }
+func (h freeHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h freeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *freeHeap) Push(x any)        { *h = append(*h, x.(time.Duration)) }
+func (h *freeHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// SimMakespan returns the wall time the graph would take on w simulated
+// workers under greedy critical-path-first list scheduling, where node i
+// costs durs[i] scaled by the contention slowdown 1 + alpha_i*(w-1) — the
+// same linear model as internal/simsched, but with a per-node coefficient
+// because a dataflow pool mixes compute-bound and I/O-bound nodes.
+//
+// durs must be indexed by NodeID and hold the serially measured costs.
+// Nodes are committed in priority order to the earliest-free worker, never
+// before their last dependency finishes; because a node's finish time is
+// fixed at commit time, releases cascade within the loop and the schedule
+// is deterministic.
+func (g *Graph) SimMakespan(durs []time.Duration, workers int) time.Duration {
+	n := len(g.nodes)
+	if n == 0 {
+		return 0
+	}
+	w := workers
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	g.prioritize()
+	indeg := make([]int, n)
+	readyAt := make([]time.Duration, n)
+	var ready readyHeap
+	for _, nd := range g.nodes {
+		indeg[nd.id] = len(nd.deps)
+		if indeg[nd.id] == 0 {
+			heap.Push(&ready, nd)
+		}
+	}
+	free := make(freeHeap, w)
+	heap.Init(&free)
+	var makespan time.Duration
+	for len(ready) > 0 {
+		nd := heap.Pop(&ready).(*node)
+		tw := heap.Pop(&free).(time.Duration)
+		start := tw
+		if r := readyAt[nd.id]; r > start {
+			start = r
+		}
+		slow := 1.0
+		if w > 1 {
+			slow = 1 + nd.spec.Alpha*float64(w-1)
+		}
+		finish := start + time.Duration(float64(durs[nd.id])*slow)
+		heap.Push(&free, finish)
+		if finish > makespan {
+			makespan = finish
+		}
+		for _, c := range nd.children {
+			indeg[c]--
+			if readyAt[c] < finish {
+				readyAt[c] = finish
+			}
+			if indeg[c] == 0 {
+				heap.Push(&ready, g.nodes[c])
+			}
+		}
+	}
+	return makespan
+}

@@ -106,3 +106,71 @@ func BenchmarkDetrend(b *testing.B) {
 		Detrend(x)
 	}
 }
+
+// TestFFTSteadyStateAllocations pins the hot-path allocation contract: once
+// the per-length Bluestein tables exist, transforms into caller-provided
+// buffers allocate nothing (pow2 and chirp-z alike), and an amplitude
+// spectrum allocates only its returned slice.
+func TestFFTSteadyStateAllocations(t *testing.T) {
+	x := randSignal(7300) // non-power-of-two: exercises the chirp-z path
+	buf := make([]complex128, len(x))
+	FFTRealInto(buf, x) // build the n=7300 tables and warm the scratch pool
+	if n := testing.AllocsPerRun(20, func() { FFTRealInto(buf, x) }); n > 0 {
+		t.Errorf("FFTRealInto (bluestein) allocates %v per run, want 0", n)
+	}
+
+	cx := make([]complex128, 2048)
+	copy(cx, buf)
+	dst := make([]complex128, len(cx))
+	if n := testing.AllocsPerRun(20, func() { FFTInto(dst, cx) }); n > 0 {
+		t.Errorf("FFTInto (radix-2) allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { IFFTInto(dst, cx) }); n > 0 {
+		t.Errorf("IFFTInto (radix-2) allocates %v per run, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(20, func() {
+		if _, _, err := AmplitudeSpectrum(x, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 1 {
+		t.Errorf("AmplitudeSpectrum allocates %v per run, want <= 1 (the result)", n)
+	}
+}
+
+// TestFFTIntoMatchesFFT pins the caller-buffer variants to the allocating
+// ones bit for bit, including aliasing dst == x.
+func TestFFTIntoMatchesFFT(t *testing.T) {
+	for _, n := range []int{64, 100, 7300} {
+		sig := randSignal(n)
+		x := make([]complex128, n)
+		for i, v := range sig {
+			x[i] = complex(v, 0)
+		}
+		want := FFT(x)
+		dst := make([]complex128, n)
+		FFTInto(dst, x)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: FFTInto[%d] = %v, want %v", n, i, dst[i], want[i])
+			}
+		}
+		if got := FFTRealInto(make([]complex128, n), sig); got[1] != want[1] {
+			t.Errorf("n=%d: FFTRealInto differs from FFT", n)
+		}
+		alias := append([]complex128(nil), x...)
+		FFTInto(alias, alias)
+		for i := range want {
+			if alias[i] != want[i] {
+				t.Fatalf("n=%d: aliased FFTInto[%d] = %v, want %v", n, i, alias[i], want[i])
+			}
+		}
+		wantInv := IFFT(want)
+		IFFTInto(dst, want)
+		for i := range wantInv {
+			if dst[i] != wantInv[i] {
+				t.Fatalf("n=%d: IFFTInto[%d] = %v, want %v", n, i, dst[i], wantInv[i])
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // FFT computes the in-place-free discrete Fourier transform of x and returns
@@ -46,6 +47,61 @@ func FFTReal(x []float64) []complex128 {
 	fftInPlace(c, false)
 	return c
 }
+
+// FFTInto computes the DFT of x into the caller-provided dst and returns
+// dst.  len(dst) must equal len(x); dst may alias x.  Power-of-two lengths
+// allocate nothing; other lengths draw their convolution scratch from a
+// pool, so steady-state repeated transforms are allocation-free.
+func FFTInto(dst, x []complex128) []complex128 {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("dsp: FFTInto buffer length %d != signal length %d", len(dst), len(x)))
+	}
+	copy(dst, x)
+	fftInPlace(dst, false)
+	return dst
+}
+
+// IFFTInto computes the inverse DFT of x (including the 1/N normalization)
+// into dst and returns dst, under the same aliasing and allocation contract
+// as FFTInto.
+func IFFTInto(dst, x []complex128) []complex128 {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("dsp: IFFTInto buffer length %d != signal length %d", len(dst), len(x)))
+	}
+	copy(dst, x)
+	fftInPlace(dst, true)
+	return dst
+}
+
+// FFTRealInto transforms a real-valued signal into the caller-provided
+// complex buffer and returns it, under the same contract as FFTInto.
+func FFTRealInto(dst []complex128, x []float64) []complex128 {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("dsp: FFTRealInto buffer length %d != signal length %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] = complex(v, 0)
+	}
+	fftInPlace(dst, false)
+	return dst
+}
+
+// cxScratch pools complex work buffers.  The pipeline transforms many
+// same-length signals back to back (three components per record, three
+// spectra per component), so the steady state reuses one buffer instead of
+// allocating a transform-sized slice per call.
+var cxScratch sync.Pool // of *[]complex128
+
+func getCx(n int) *[]complex128 {
+	if v, ok := cxScratch.Get().(*[]complex128); ok && cap(*v) >= n {
+		*v = (*v)[:n]
+		return v
+	}
+	s := make([]complex128, n)
+	return &s
+}
+
+func putCx(s *[]complex128) { cxScratch.Put(s) }
 
 // NextPow2 returns the smallest power of two >= n (and 1 for n <= 1).
 func NextPow2(n int) int {
@@ -112,10 +168,30 @@ func radix2(x []complex128, inverse bool) {
 	}
 }
 
-// bluestein computes an arbitrary-length DFT as a convolution, using
-// power-of-two FFTs internally (chirp-z transform).
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
+// bluesteinTab holds the length-dependent constants of the chirp-z
+// transform: the chirp sequence and the forward transform of the
+// conjugate-chirp convolution filter.  Both depend only on (n, inverse), so
+// they are built once per distinct length and shared — record lengths repeat
+// across components and stations, and rebuilding the filter spectrum costs
+// two of the three radix-2 passes of a transform.
+type bluesteinTab struct {
+	m     int          // power-of-two convolution length
+	chirp []complex128 // w[k] = exp(sign*i*pi*k^2/n), length n
+	bhat  []complex128 // forward FFT of the conjugate-chirp filter, length m
+}
+
+type bluesteinKey struct {
+	n       int
+	inverse bool
+}
+
+var bluesteinTabs sync.Map // map[bluesteinKey]*bluesteinTab
+
+func bluesteinTabFor(n int, inverse bool) *bluesteinTab {
+	key := bluesteinKey{n, inverse}
+	if v, ok := bluesteinTabs.Load(key); ok {
+		return v.(*bluesteinTab)
+	}
 	m := NextPow2(2*n - 1)
 	sign := -1.0
 	if inverse {
@@ -128,10 +204,6 @@ func bluestein(x []complex128, inverse bool) {
 		k2 := (int64(k) * int64(k)) % int64(2*n)
 		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(k2)/float64(n))
 	}
-	a := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-	}
 	b := make([]complex128, m)
 	b[0] = cmplx.Conj(chirp[0])
 	for k := 1; k < n; k++ {
@@ -139,15 +211,39 @@ func bluestein(x []complex128, inverse bool) {
 		b[k] = c
 		b[m-k] = c
 	}
-	radix2(a, false)
 	radix2(b, false)
+	// Concurrent builders compute identical tables; keep whichever landed.
+	v, _ := bluesteinTabs.LoadOrStore(key, &bluesteinTab{m: m, chirp: chirp, bhat: b})
+	return v.(*bluesteinTab)
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, using
+// power-of-two FFTs internally (chirp-z transform).  The chirp and filter
+// constants come from the per-length table cache and the convolution buffer
+// from the scratch pool, so repeated transforms of seen lengths allocate
+// nothing — the operation sequence (and hence the result, bit for bit) is
+// unchanged from the uncached form.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	tab := bluesteinTabFor(n, inverse)
+	m := tab.m
+	p := getCx(m)
+	a := *p
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * tab.chirp[k]
+	}
+	for k := n; k < m; k++ {
+		a[k] = 0
+	}
+	radix2(a, false)
 	for i := range a {
-		a[i] *= b[i]
+		a[i] *= tab.bhat[i]
 	}
 	radix2(a, true) // includes the 1/m inverse normalization
 	for k := 0; k < n; k++ {
-		x[k] = a[k] * chirp[k]
+		x[k] = a[k] * tab.chirp[k]
 	}
+	putCx(p)
 	if inverse {
 		invN := complex(1/float64(n), 0)
 		for i := range x {
@@ -168,13 +264,15 @@ func AmplitudeSpectrum(x []float64, dt float64) (amps []float64, df float64, err
 	if dt <= 0 {
 		return nil, 0, fmt.Errorf("dsp: non-positive sample interval %g", dt)
 	}
-	spec := FFTReal(x)
 	n := len(x)
+	p := getCx(n)
+	spec := FFTRealInto(*p, x)
 	half := n/2 + 1
 	amps = make([]float64, half)
 	for i := 0; i < half; i++ {
 		amps[i] = cmplx.Abs(spec[i]) * dt
 	}
+	putCx(p)
 	df = 1 / (float64(n) * dt)
 	return amps, df, nil
 }

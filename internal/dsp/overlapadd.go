@@ -21,14 +21,15 @@ func (f *FIRFilter) ApplyFFT(x []float64) []float64 {
 	fftSize := NextPow2(blockData + m - 1)
 	blockData = fftSize - m + 1
 
-	// Kernel spectrum, computed once.
-	kern := make([]complex128, fftSize)
+	// Kernel spectrum, computed once, transformed in place.
+	kernSpec := make([]complex128, fftSize)
 	for i, t := range f.Taps {
-		kern[i] = complex(t, 0)
+		kernSpec[i] = complex(t, 0)
 	}
-	kernSpec := FFT(kern)
+	fftInPlace(kernSpec, false)
 
 	delay := f.Delay()
+	// One block buffer, transformed forth and back in place per block.
 	buf := make([]complex128, fftSize)
 	for start := 0; start < n; start += blockData {
 		end := start + blockData
@@ -41,11 +42,12 @@ func (f *FIRFilter) ApplyFFT(x []float64) []float64 {
 		for i := start; i < end; i++ {
 			buf[i-start] = complex(x[i], 0)
 		}
-		spec := FFT(buf)
-		for i := range spec {
-			spec[i] *= kernSpec[i]
+		fftInPlace(buf, false)
+		for i := range buf {
+			buf[i] *= kernSpec[i]
 		}
-		conv := IFFT(spec)
+		fftInPlace(buf, true)
+		conv := buf
 		// Overlap-add into the delay-compensated output: full-convolution
 		// index k = start + j maps to output index k - delay.
 		for j := 0; j < end-start+m-1; j++ {

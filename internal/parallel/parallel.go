@@ -50,6 +50,13 @@ const (
 	// counter, like schedule(dynamic, chunk).  Best when iteration costs are
 	// uneven, e.g. V1 files with very different sample counts.
 	ScheduleDynamic
+	// ScheduleGuided hands out exponentially shrinking chunks — each claim
+	// takes remaining/workers iterations, never fewer than the chunk size —
+	// like schedule(guided, chunk).  It keeps the low scheduling overhead of
+	// big chunks early while leaving small chunks at the end to smooth out
+	// stragglers, the right default for loops over records spanning 56K-384K
+	// data points.
+	ScheduleGuided
 )
 
 // String returns the OpenMP-style name of the schedule.
@@ -59,6 +66,8 @@ func (s Schedule) String() string {
 		return "static"
 	case ScheduleDynamic:
 		return "dynamic"
+	case ScheduleGuided:
+		return "guided"
 	default:
 		return fmt.Sprintf("Schedule(%d)", int(s))
 	}

@@ -103,6 +103,41 @@ func parallelFor(n, workers int, sched Schedule, chunkSize int, mon Monitor, bod
 	var wg sync.WaitGroup
 	wg.Add(w)
 	switch sched {
+	case ScheduleGuided:
+		// Guided self-scheduling: each claim takes remaining/w iterations
+		// (at least chunkSize), so early claims are large and cheap while the
+		// tail is fine-grained enough that no worker is left holding a big
+		// block behind the join barrier.
+		if chunkSize <= 0 {
+			chunkSize = 1
+		}
+		var next atomic.Int64
+		for t := 0; t < w; t++ {
+			run := wrap(t, body)
+			go func() {
+				defer wg.Done()
+				for {
+					cur := next.Load()
+					if cur >= int64(n) {
+						return
+					}
+					size := (n - int(cur)) / w
+					if size < chunkSize {
+						size = chunkSize
+					}
+					if !next.CompareAndSwap(cur, cur+int64(size)) {
+						continue
+					}
+					end := int(cur) + size
+					if end > n {
+						end = n
+					}
+					for i := int(cur); i < end; i++ {
+						record(i, run(i))
+					}
+				}
+			}()
+		}
 	case ScheduleDynamic:
 		if chunkSize <= 0 {
 			chunkSize = 1

@@ -53,9 +53,32 @@ func TestParallelForDynamicRunsEveryIndexExactlyOnce(t *testing.T) {
 	}
 }
 
+func TestParallelForGuidedRunsEveryIndexExactlyOnce(t *testing.T) {
+	for _, chunk := range []int{0, 1, 3, 17, 1000} {
+		for _, workers := range []int{1, 2, 4, 9} {
+			t.Run(fmt.Sprintf("chunk=%d/w=%d", chunk, workers), func(t *testing.T) {
+				const n = 257
+				counts := make([]atomic.Int32, n)
+				err := ParallelForSched(n, workers, ScheduleGuided, chunk, func(i int) error {
+					counts[i].Add(1)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("guided: %v", err)
+				}
+				for i := range counts {
+					if got := counts[i].Load(); got != 1 {
+						t.Errorf("index %d ran %d times, want 1", i, got)
+					}
+				}
+			})
+		}
+	}
+}
+
 func TestParallelForReportsSmallestFailingIndex(t *testing.T) {
 	errBoom := errors.New("boom")
-	for _, sched := range []Schedule{ScheduleStatic, ScheduleDynamic} {
+	for _, sched := range []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided} {
 		t.Run(sched.String(), func(t *testing.T) {
 			err := ParallelForSched(100, 4, sched, 1, func(i int) error {
 				if i%10 == 3 {
@@ -168,6 +191,9 @@ func TestWorkersNormalization(t *testing.T) {
 func TestScheduleString(t *testing.T) {
 	if ScheduleStatic.String() != "static" || ScheduleDynamic.String() != "dynamic" {
 		t.Errorf("unexpected names: %v %v", ScheduleStatic, ScheduleDynamic)
+	}
+	if ScheduleGuided.String() != "guided" {
+		t.Errorf("guided schedule = %q", ScheduleGuided.String())
 	}
 	if got := Schedule(42).String(); got != "Schedule(42)" {
 		t.Errorf("unknown schedule = %q", got)

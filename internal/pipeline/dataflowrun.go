@@ -1,0 +1,789 @@
+package pipeline
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"accelproc/internal/dataflow"
+	"accelproc/internal/dsp"
+	"accelproc/internal/fourier"
+	"accelproc/internal/obs"
+	"accelproc/internal/parallel"
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+)
+
+// This file implements the Pipelined variant: instead of the 11-stage
+// schedule with a barrier after every stage, the run is compiled into one
+// record-level task DAG and handed to the internal/dataflow executor.  The
+// graph is derived from the declared process artifacts (DeriveArtifactEdges),
+// never hand-written, so it cannot drift from the artifact table.
+//
+// Node granularity: a per-record process (PerRecordProcess) contributes one
+// node per station, so station A's Fourier transform can start the moment
+// A's default filter lands, while station B is still being filtered — the
+// inter-stage barrier the staged schedule imposes is gone.  A per-record
+// process that also writes an event-global artifact (the max-values metadata
+// of #4/#13, the filter-params file of #10) gets an extra join node that
+// merges the per-record fragments and performs the single global write;
+// downstream readers of the global artifact depend on the join, downstream
+// readers of the per-record files depend only on their own record's node.
+//
+// Edge mapping, per derived ArtifactEdge d→p:
+//   - record-scoped artifact (both ends per-record): d[r] → p[r];
+//   - global artifact read by p (RAW): producer → every p[r];
+//   - global artifact written by p (WAR/WAW): producer → join(p);
+// where the producer side is the global node of d, the join of d when d is a
+// per-record writer of the artifact, or all d[r] when d merely read it (WAR).
+//
+// Processes #0 and #1 run before the graph is built — #1 discovers the
+// record set the graph is shaped by — exactly as stage I of the staged
+// schedule, so their timings and spans are reported identically.
+//
+// Scheduling: critical-path-first with record size (NPTS, peeked from the V1
+// header) as the weight, so big records — the stragglers of the staged
+// schedule — enter the pool first.  Retry, quarantine, and chaos injection
+// work unchanged: the per-record staging bodies below mirror the temp-folder
+// protocol of tempfolder.go operation for operation, and a quarantined
+// record's downstream nodes complete as no-ops instead of poisoning the run.
+
+// dfNodeMeta locates a node in the process/stage taxonomy for timing
+// attribution and metrics.
+type dfNodeMeta struct {
+	pid     ProcessID
+	stage   StageID
+	station string
+}
+
+// dfBuild accumulates the graph, the per-node bodies' side-channel state
+// (max-values fragments, picked corners), and the per-node measurements.
+type dfBuild struct {
+	s        *state
+	g        *dataflow.Graph
+	stations []string
+	weights  []float64
+	exe      string
+
+	durs []time.Duration // per-node measured cost, written by node index
+	meta []dfNodeMeta
+
+	global map[ProcessID]dataflow.NodeID
+	perRec map[ProcessID][]dataflow.NodeID
+	join   map[ProcessID]dataflow.NodeID
+
+	fragsDef []smformat.MaxValues
+	fragsCor []smformat.MaxValues
+	picks    [][3]dsp.BandPassSpec
+	picked   []bool
+}
+
+// runPipelined executes the dataflow variant: stage I as in the staged
+// schedule, then everything else as one barrier-free task graph.
+func (s *state) runPipelined() error {
+	err := s.taskStage(StageI, s.opts.MetaWorkers, []taskSpec{
+		{PInitFlags, s.procInitFlags},
+		{PGatherInputs, s.procGatherInputs},
+	})
+	if err != nil {
+		return err
+	}
+	stations, err := s.stations()
+	if err != nil {
+		return err
+	}
+	exe := ""
+	if !s.opts.NoTempFolders {
+		// Installed once, up front: the staged schedule creates the image
+		// lazily inside the first temp-folder stage, but concurrent dataflow
+		// nodes must not race to create it.
+		if exe, err = s.ensureExeImage(); err != nil {
+			return err
+		}
+	}
+	b := s.buildDataflow(stations, exe)
+	if s.simulated() {
+		return s.executeDataflowSim(b)
+	}
+	return s.executeDataflow(b)
+}
+
+// executeDataflow runs the graph on real goroutines with the run's worker
+// budget, then reports the scheduler metrics.
+func (s *state) executeDataflow(b *dfBuild) error {
+	var mon dataflow.Monitor
+	if o := s.opts.Observer; o != nil {
+		mon = obs.NewWorkerMonitor(o, "dataflow")
+	}
+	stats, err := b.g.Execute(parallel.Workers(s.opts.Workers), mon)
+	b.foldTimings()
+	if err != nil {
+		return err
+	}
+	b.reportMetrics(stats)
+	return nil
+}
+
+// executeDataflowSim runs the graph on the simulated platform: one worker
+// dispatches the bodies serially in priority order while the CPU clock
+// measures each node, then the virtual clock is charged the list-scheduling
+// makespan of the measured graph on the simulated processors.
+func (s *state) executeDataflowSim(b *dfBuild) error {
+	_, err := b.g.Execute(1, nil)
+	b.foldTimings()
+	if err != nil {
+		return err
+	}
+	var serial time.Duration
+	for _, d := range b.durs {
+		serial += d
+	}
+	s.virt += b.g.SimMakespan(b.durs, s.opts.SimProcessors) - serial
+	return nil
+}
+
+// foldTimings attributes every node's measured cost to its process and
+// stage.  With no barriers there is no joint stage wall time; a stage's
+// entry is the summed cost of its nodes, which keeps per-stage comparisons
+// against the staged variants meaningful (work moved, not renamed).
+func (b *dfBuild) foldTimings() {
+	for i, m := range b.meta {
+		b.s.tim.Process[m.pid] += b.durs[i]
+		b.s.tim.Stage[m.stage] += b.durs[i]
+	}
+}
+
+// reportMetrics feeds the scheduler's post-run gauges: the ready-queue wait
+// distribution, and the total per-stage tail wait a barrier schedule would
+// have added (for every node, the gap between its finish and its stage's
+// last finish — exactly the idle time the dataflow executor reclaims).
+func (b *dfBuild) reportMetrics(stats []dataflow.NodeStat) {
+	o := b.s.opts.Observer
+	if o == nil {
+		return
+	}
+	h := o.Histogram("dataflow_ready_queue_wait_seconds", nil)
+	stageEnd := map[StageID]time.Duration{}
+	for _, st := range stats {
+		if st.Skipped {
+			continue
+		}
+		h.Observe(st.Wait().Seconds())
+		if stage := b.meta[st.ID].stage; st.End > stageEnd[stage] {
+			stageEnd[stage] = st.End
+		}
+	}
+	var eliminated time.Duration
+	for _, st := range stats {
+		if !st.Skipped {
+			eliminated += stageEnd[b.meta[st.ID].stage] - st.End
+		}
+	}
+	o.Gauge("dataflow_barrier_wait_eliminated_seconds").Set(eliminated.Seconds())
+}
+
+// buildDataflow compiles the derived artifact edges into the record-level
+// task graph for the given surviving stations.
+func (s *state) buildDataflow(stations []string, exe string) *dfBuild {
+	b := &dfBuild{
+		s: s, g: dataflow.New(), stations: stations, exe: exe,
+		weights:  s.recordWeights(stations),
+		global:   map[ProcessID]dataflow.NodeID{},
+		perRec:   map[ProcessID][]dataflow.NodeID{},
+		join:     map[ProcessID]dataflow.NodeID{},
+		fragsDef: make([]smformat.MaxValues, len(stations)),
+		fragsCor: make([]smformat.MaxValues, len(stations)),
+		picks:    make([][3]dsp.BandPassSpec, len(stations)),
+		picked:   make([]bool, len(stations)),
+	}
+	incoming := map[ProcessID][]ArtifactEdge{}
+	for _, e := range DeriveArtifactEdges() {
+		if e.From <= PGatherInputs {
+			continue // stage-I producers finish before the graph starts
+		}
+		incoming[e.To] = append(incoming[e.To], e)
+	}
+	for _, p := range Processes {
+		if p.Redundant || p.ID <= PGatherInputs {
+			continue
+		}
+		b.addProcess(p.ID, incoming[p.ID])
+	}
+	return b
+}
+
+// addProcess adds the node (or per-record nodes plus optional join) of one
+// process, wiring the derived edges per the mapping in the file comment.
+// Processes is iterated in chain order, so every producer node exists.
+func (b *dfBuild) addProcess(pid ProcessID, in []ArtifactEdge) {
+	if !PerRecordProcess(pid) {
+		var deps []dataflow.NodeID
+		for _, e := range in {
+			deps = append(deps, b.producersOf(e)...)
+		}
+		b.global[pid] = b.add(pid, "", b.globalBody(pid), deps)
+		return
+	}
+	var recEdges, readEdges, writeEdges []ArtifactEdge
+	for _, e := range in {
+		switch {
+		case RecordScoped(e.Artifact):
+			recEdges = append(recEdges, e)
+		case e.Hazard == HazardRAW:
+			readEdges = append(readEdges, e)
+		default:
+			writeEdges = append(writeEdges, e)
+		}
+	}
+	var shared []dataflow.NodeID
+	for _, e := range readEdges {
+		shared = append(shared, b.producersOf(e)...)
+	}
+	ids := make([]dataflow.NodeID, len(b.stations))
+	for i, st := range b.stations {
+		deps := append([]dataflow.NodeID(nil), shared...)
+		for _, e := range recEdges {
+			deps = append(deps, b.perRec[e.From][i])
+		}
+		ids[i] = b.add(pid, st, b.recordBody(pid, i, st), deps)
+	}
+	b.perRec[pid] = ids
+	if !writesGlobal(pid) {
+		return
+	}
+	deps := append([]dataflow.NodeID(nil), ids...)
+	for _, e := range writeEdges {
+		deps = append(deps, b.producersOf(e)...)
+	}
+	b.join[pid] = b.add(pid, "", b.joinBody(pid), deps)
+}
+
+// producersOf resolves the producer side of one global-artifact edge to
+// concrete nodes.
+func (b *dfBuild) producersOf(e ArtifactEdge) []dataflow.NodeID {
+	if !PerRecordProcess(e.From) {
+		return []dataflow.NodeID{b.global[e.From]}
+	}
+	if e.Hazard == HazardWAR {
+		// Anti-dependency: wait for every per-record reader of the artifact
+		// about to be overwritten.
+		return b.perRec[e.From]
+	}
+	// True or output dependency on a per-record writer: its join node owns
+	// the merged global artifact.
+	return []dataflow.NodeID{b.join[e.From]}
+}
+
+// writesGlobal reports whether a per-record process also writes an
+// event-global artifact and therefore needs a join node.
+func writesGlobal(pid ProcessID) bool {
+	for _, a := range Processes[pid].Outputs {
+		if !RecordScoped(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// add registers one node: the body is wrapped with the quarantine skip, the
+// cancellation check, a task span under the run span, cost measurement, and
+// the fail-fast cancellation that parFor bodies get on the staged path.
+func (b *dfBuild) add(pid ProcessID, station string, inner func() error, deps []dataflow.NodeID) dataflow.NodeID {
+	s := b.s
+	id := dataflow.NodeID(b.g.Len())
+	name := Processes[pid].Name
+	label := name
+	weight := 0.0
+	if station != "" {
+		label = name + ":" + station
+		weight = b.weights[b.stationIndex(station)]
+	} else if PerRecordProcess(pid) {
+		label = name + ":join"
+	}
+	alpha := s.opts.ContentionIO
+	if Processes[pid].Cost == CostHeavyFLOPS {
+		alpha = s.opts.ContentionCPU
+	}
+	b.durs = append(b.durs, 0)
+	b.meta = append(b.meta, dfNodeMeta{pid: pid, stage: StageOf(pid), station: station})
+	run := func() error {
+		if station != "" && s.isQuarantined(station) {
+			return nil
+		}
+		if err := s.cancelled(); err != nil {
+			return err
+		}
+		attrs := []obs.Attr{obs.Int("process", int64(pid)), obs.String("process_name", name)}
+		if station != "" {
+			attrs = append(attrs, obs.String("record", station))
+		}
+		sp := s.runSpan.Child("node:"+label, obs.KindTask, attrs...)
+		start := s.now()
+		err := inner()
+		d := s.now() - start
+		b.durs[id] = d
+		if err != nil {
+			sp.EndCharged(d, obs.String("error", err.Error()))
+			if classify(err) != ErrKindCanceled {
+				s.fail(err)
+			}
+			return fmt.Errorf("pipeline: process #%d (%s): %w", pid, name, err)
+		}
+		sp.EndCharged(d)
+		return nil
+	}
+	return b.g.Add(dataflow.Spec{Label: label, Weight: weight, Alpha: alpha, Run: run}, dedupNodes(deps)...)
+}
+
+func (b *dfBuild) stationIndex(st string) int {
+	for i, have := range b.stations {
+		if have == st {
+			return i
+		}
+	}
+	return 0
+}
+
+// dedupNodes sorts and deduplicates a dependency list in place.
+func dedupNodes(deps []dataflow.NodeID) []dataflow.NodeID {
+	if len(deps) < 2 {
+		return deps
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	out := deps[:1]
+	for _, d := range deps[1:] {
+		if d != out[len(out)-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// globalBody returns the body of an event-global process node.
+func (b *dfBuild) globalBody(pid ProcessID) func() error {
+	s := b.s
+	switch pid {
+	case PInitFilterParams:
+		return s.procInitFilterParams
+	case PInitMetadata:
+		return s.procInitMetadata
+	case PInitFourierGraph:
+		return s.procInitFourierGraph
+	case PInitFlags2:
+		return s.procInitFlags
+	case PInitResponseGraph:
+		return s.procInitResponseGraph
+	}
+	panic(fmt.Sprintf("pipeline: no dataflow body for global process #%d", pid))
+}
+
+// recordBody returns the body of one process's node for station index i.
+func (b *dfBuild) recordBody(pid ProcessID, i int, st string) func() error {
+	s := b.s
+	switch pid {
+	case PSeparateComponents:
+		return func() error { return s.separateStation(st) }
+	case PDefaultFilter:
+		return b.filterRecordBody(StageIV, PDefaultFilter, "def", b.fragsDef, i, st)
+	case PFourier:
+		return func() error {
+			if s.opts.NoTempFolders {
+				for _, comp := range seismic.Components {
+					if err := s.fourierSignal(smformat.V2FileName(st, comp)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return s.fourierRecordViaTempFolder(i, st, b.exe)
+		}
+	case PPlotFourier:
+		return func() error { return s.plotFourierStation(st) }
+	case PPickCorners:
+		return func() error {
+			var specs [3]dsp.BandPassSpec
+			for ci, comp := range seismic.Components {
+				spec, err := s.pickSignalSpec(st, comp)
+				if err != nil {
+					return err
+				}
+				specs[ci] = spec
+			}
+			b.picks[i] = specs
+			b.picked[i] = true
+			return nil
+		}
+	case PCorrectedFilter:
+		return b.filterRecordBody(StageVIII, PCorrectedFilter, "cor", b.fragsCor, i, st)
+	case PPlotAccel:
+		return func() error { return s.plotAccelStation(st) }
+	case PResponseSpectrum:
+		return func() error {
+			for _, comp := range seismic.Components {
+				if err := s.responseSignal(smformat.V2FileName(st, comp)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	case PPlotResponse:
+		return func() error { return s.plotResponseStation(st) }
+	case PGenerateGEM:
+		return func() error {
+			for _, comp := range seismic.Components {
+				key := smformat.SignalKey{Station: st, Component: comp}
+				if err := s.gemJob(key, false); err != nil {
+					return err
+				}
+				if err := s.gemJob(key, true); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	panic(fmt.Sprintf("pipeline: no dataflow body for per-record process #%d", pid))
+}
+
+// filterRecordBody builds the per-record body of processes #4 and #13,
+// storing the record's max-values fragment for the join node to merge.
+func (b *dfBuild) filterRecordBody(stage StageID, pid ProcessID, tag string, frags []smformat.MaxValues, i int, st string) func() error {
+	s := b.s
+	return func() error {
+		var frag smformat.MaxValues
+		var err error
+		if s.opts.NoTempFolders {
+			frag, err = s.filterRecordDirect(st)
+		} else {
+			frag, err = s.filterRecordViaTempFolder(stage, pid, tag, i, st, b.exe)
+		}
+		if err != nil {
+			return err
+		}
+		frags[i] = frag
+		return nil
+	}
+}
+
+// joinBody returns the merge body of a per-record process's join node.
+func (b *dfBuild) joinBody(pid ProcessID) func() error {
+	s := b.s
+	switch pid {
+	case PDefaultFilter:
+		return func() error { return s.writeMergedMaxValues(b.fragsDef) }
+	case PCorrectedFilter:
+		return func() error { return s.writeMergedMaxValues(b.fragsCor) }
+	case PPickCorners:
+		return func() error {
+			params, err := smformat.ReadFilterParamsFile(s.path(smformat.FilterParamsFile))
+			if err != nil {
+				return err
+			}
+			for i, st := range b.stations {
+				if !b.picked[i] {
+					continue // quarantined before its pick node ran
+				}
+				for ci, comp := range seismic.Components {
+					params.PerSignal[smformat.SignalKey{Station: st, Component: comp}] = b.picks[i][ci]
+				}
+			}
+			return smformat.WriteFilterParamsFile(s.path(smformat.FilterParamsFile), params)
+		}
+	}
+	panic(fmt.Sprintf("pipeline: no dataflow join body for process #%d", pid))
+}
+
+// writeMergedMaxValues merges per-record fragments (quarantined records
+// contribute an empty one) into the max-values metadata, exactly as step 3
+// of filterViaTempFolders does.
+func (s *state) writeMergedMaxValues(frags []smformat.MaxValues) error {
+	merged := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
+	for _, frag := range frags {
+		for k, v := range frag.Peaks {
+			merged.Peaks[k] = v
+		}
+	}
+	return smformat.WriteMaxValuesFile(s.path(smformat.MaxValuesFile), merged)
+}
+
+// filterRecordDirect is the NoTempFolders body of one record of processes
+// #4/#13: the per-station slice of applyFilters.
+func (s *state) filterRecordDirect(st string) (smformat.MaxValues, error) {
+	params, err := smformat.ReadFilterParamsFile(s.path(smformat.FilterParamsFile))
+	if err != nil {
+		return smformat.MaxValues{}, err
+	}
+	frag := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
+	for _, comp := range seismic.Components {
+		v1, err := smformat.ReadV1ComponentFile(s.path(smformat.V1ComponentFileName(st, comp)))
+		if err != nil {
+			return smformat.MaxValues{}, err
+		}
+		key := smformat.SignalKey{Station: st, Component: comp}
+		v2, pk, err := s.correctSignal(v1, params.Spec(key))
+		if err != nil {
+			return smformat.MaxValues{}, err
+		}
+		if err := smformat.WriteV2File(s.path(smformat.V2FileName(st, comp)), v2); err != nil {
+			return smformat.MaxValues{}, err
+		}
+		frag.Peaks[key] = pk
+	}
+	return frag, nil
+}
+
+// filterRecordViaTempFolder runs the whole temp-folder protocol of processes
+// #4/#13 for one record: stage in, install the executable, execute, stage
+// out, clean up — the same operations, retry wrappers, and degradation rules
+// as filterViaTempFolders, but fused into one schedulable unit so no record
+// waits at a step barrier for its siblings.  A quarantined record returns an
+// empty fragment and nil.
+func (s *state) filterRecordViaTempFolder(stage StageID, pid ProcessID, tag string, idx int, st, exe string) (frag smformat.MaxValues, err error) {
+	dir := s.path(fmt.Sprintf("tmp_%s_%02d_%s", tag, idx, st))
+	rc := recordSite{stage: stage, proc: pid, tag: tag, station: st, scratch: dir}
+	fsys := s.fsAt(tag, st)
+	defer func() {
+		if err != nil {
+			s.removeScratchDirs([]string{dir})
+		}
+	}()
+
+	// Stage in: create the folder, copy the parameter file, move the V1
+	// components.
+	stageIn := func() error {
+		if err := s.retryOp(rc, "mkdir", func() error {
+			return fsys.MkdirAll(dir, 0o755)
+		}); err != nil {
+			return err
+		}
+		if err := s.retryOp(rc, "copy", func() error {
+			return stageCopy(fsys, filepath.Join(dir, smformat.FilterParamsFile), s.path(smformat.FilterParamsFile), s.bytesIn)
+		}); err != nil {
+			return err
+		}
+		for _, comp := range seismic.Components {
+			name := smformat.V1ComponentFileName(st, comp)
+			if err := s.retryOp(rc, "move", func() error {
+				return stageMove(fsys, filepath.Join(dir, name), s.path(name), s.bytesIn)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err = s.degraded(rc, stageIn()); err != nil || s.isQuarantined(st) {
+		return smformat.MaxValues{}, err
+	}
+	if err = s.cancelled(); err != nil {
+		return smformat.MaxValues{}, err
+	}
+
+	// Install the executable image (copied from the event-scoped master,
+	// which runPipelined created before the graph started).
+	err = s.degraded(rc, s.retryOp(rc, "copy", func() error {
+		return stageCopy(fsys, filepath.Join(dir, exeImageName), exe, s.bytesIn)
+	}))
+	if err != nil || s.isQuarantined(st) {
+		return smformat.MaxValues{}, err
+	}
+	if err = s.cancelled(); err != nil {
+		return smformat.MaxValues{}, err
+	}
+
+	// Execute the program and stage the products (and the reusable V1
+	// inputs) back out.
+	execute := func() error {
+		out := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
+		err := s.retryOp(rc, "exec", func() error {
+			if err := s.chaos.Exec(tag, st); err != nil {
+				return err
+			}
+			params, err := smformat.ReadFilterParamsFile(filepath.Join(dir, smformat.FilterParamsFile))
+			if err != nil {
+				return err
+			}
+			for _, comp := range seismic.Components {
+				v1, err := smformat.ReadV1ComponentFile(filepath.Join(dir, smformat.V1ComponentFileName(st, comp)))
+				if err != nil {
+					return err
+				}
+				key := smformat.SignalKey{Station: st, Component: comp}
+				v2, pk, err := s.correctSignal(v1, params.Spec(key))
+				if err != nil {
+					return err
+				}
+				if err := smformat.WriteV2File(filepath.Join(dir, smformat.V2FileName(st, comp)), v2); err != nil {
+					return err
+				}
+				out.Peaks[key] = pk
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, comp := range seismic.Components {
+			v2name := smformat.V2FileName(st, comp)
+			if err := s.retryOp(rc, "move", func() error {
+				return stageMove(fsys, s.path(v2name), filepath.Join(dir, v2name), s.bytesOut)
+			}); err != nil {
+				return err
+			}
+			v1name := smformat.V1ComponentFileName(st, comp)
+			if err := s.retryOp(rc, "move", func() error {
+				return stageMove(fsys, s.path(v1name), filepath.Join(dir, v1name), s.bytesOut)
+			}); err != nil {
+				return err
+			}
+		}
+		frag = out
+		return nil
+	}
+	if err = s.degraded(rc, execute()); err != nil || s.isQuarantined(st) {
+		return smformat.MaxValues{}, err
+	}
+
+	// Clean up the scratch folder.
+	if !s.opts.KeepTempDirs {
+		s.removeScratch(fsys, dir)
+	}
+	return frag, nil
+}
+
+// fourierRecordViaTempFolder is the fused temp-folder protocol of process #7
+// for one record, mirroring fourierViaTempFolders operation for operation.
+func (s *state) fourierRecordViaTempFolder(idx int, st, exe string) (err error) {
+	const tag = "fou"
+	dir := s.path(fmt.Sprintf("tmp_fou_%02d_%s", idx, st))
+	rc := recordSite{stage: StageV, proc: PFourier, tag: tag, station: st, scratch: dir}
+	fsys := s.fsAt(tag, st)
+	defer func() {
+		if err != nil {
+			s.removeScratchDirs([]string{dir})
+		}
+	}()
+
+	// Stage in: create the folder and move the V2 inputs.
+	stageIn := func() error {
+		if err := s.retryOp(rc, "mkdir", func() error {
+			return fsys.MkdirAll(dir, 0o755)
+		}); err != nil {
+			return err
+		}
+		for _, comp := range seismic.Components {
+			name := smformat.V2FileName(st, comp)
+			if err := s.retryOp(rc, "move", func() error {
+				return stageMove(fsys, filepath.Join(dir, name), s.path(name), s.bytesIn)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err = s.degraded(rc, stageIn()); err != nil || s.isQuarantined(st) {
+		return err
+	}
+	if err = s.cancelled(); err != nil {
+		return err
+	}
+
+	// Install the executable image.
+	err = s.degraded(rc, s.retryOp(rc, "copy", func() error {
+		return stageCopy(fsys, filepath.Join(dir, exeImageName), exe, s.bytesIn)
+	}))
+	if err != nil || s.isQuarantined(st) {
+		return err
+	}
+	if err = s.cancelled(); err != nil {
+		return err
+	}
+
+	// Execute the transform and stage the F products (and the reusable V2
+	// inputs) back out.
+	execute := func() error {
+		err := s.retryOp(rc, "exec", func() error {
+			if err := s.chaos.Exec(tag, st); err != nil {
+				return err
+			}
+			for _, comp := range seismic.Components {
+				v2, err := smformat.ReadV2File(filepath.Join(dir, smformat.V2FileName(st, comp)))
+				if err != nil {
+					return err
+				}
+				f, err := fourier.Spectra(v2)
+				if err != nil {
+					return err
+				}
+				if err := smformat.WriteFourierFile(filepath.Join(dir, smformat.FourierFileName(v2.Station, v2.Component)), f); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, comp := range seismic.Components {
+			fname := smformat.FourierFileName(st, comp)
+			if err := s.retryOp(rc, "move", func() error {
+				return stageMove(fsys, s.path(fname), filepath.Join(dir, fname), s.bytesOut)
+			}); err != nil {
+				return err
+			}
+			v2name := smformat.V2FileName(st, comp)
+			if err := s.retryOp(rc, "move", func() error {
+				return stageMove(fsys, s.path(v2name), filepath.Join(dir, v2name), s.bytesOut)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err = s.degraded(rc, execute()); err != nil || s.isQuarantined(st) {
+		return err
+	}
+
+	// Clean up the scratch folder.
+	if !s.opts.KeepTempDirs {
+		s.removeScratch(fsys, dir)
+	}
+	return nil
+}
+
+// recordWeights estimates each record's size by peeking at the NPTS header
+// of its V1 file, so the scheduler starts the heaviest records first.  The
+// peek is best-effort: any read or parse problem yields weight 1 and is
+// surfaced later by the processes that actually consume the file.
+func (s *state) recordWeights(stations []string) []float64 {
+	w := make([]float64, len(stations))
+	for i, st := range stations {
+		w[i] = float64(nptsOf(s.path(smformat.V1FileName(st))))
+	}
+	return w
+}
+
+// nptsOf scans the V1 header (NPTS is on the fourth line) for the sample
+// count, returning 1 when it cannot be determined.
+func nptsOf(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return 1
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 4096), 1024*1024)
+	for i := 0; i < 4 && sc.Scan(); i++ {
+		if rest, ok := strings.CutPrefix(sc.Text(), "NPTS:"); ok {
+			if v, err := strconv.Atoi(strings.TrimSpace(rest)); err == nil && v > 0 {
+				return v
+			}
+			return 1
+		}
+	}
+	return 1
+}

@@ -48,6 +48,8 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 		err = s.runStaged(false)
 	case FullParallel:
 		err = s.runStaged(true)
+	case Pipelined:
+		err = s.runPipelined()
 	default:
 		return Result{}, fmt.Errorf("pipeline: unknown variant %d", int(variant))
 	}

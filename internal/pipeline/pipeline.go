@@ -42,10 +42,15 @@ const (
 	PartialParallel
 	// FullParallel parallelizes every stage except VII (process #11).
 	FullParallel
+	// Pipelined replaces the staged schedule with a record-level task DAG
+	// derived from the declared process artifacts: no inter-stage barriers,
+	// each record flows through the chain as its own dependencies resolve.
+	Pipelined
 )
 
-// Variants lists all four implementations in the paper's order.
-var Variants = [4]Variant{SeqOriginal, SeqOptimized, PartialParallel, FullParallel}
+// Variants lists the paper's four implementations in order, plus the
+// barrier-free dataflow variant this implementation adds.
+var Variants = [5]Variant{SeqOriginal, SeqOptimized, PartialParallel, FullParallel, Pipelined}
 
 // String returns the paper's name for the variant.
 func (v Variant) String() string {
@@ -58,6 +63,8 @@ func (v Variant) String() string {
 		return "partially-parallelized"
 	case FullParallel:
 		return "fully-parallelized"
+	case Pipelined:
+		return "pipelined"
 	default:
 		return fmt.Sprintf("Variant(%d)", int(v))
 	}
@@ -256,7 +263,7 @@ var Stages = [NumStages]StageInfo{
 
 // ParseVariant maps a command-line spelling to a Variant.  It accepts the
 // paper's full names (the String values) plus the short forms the CLIs
-// document: seq-original, seq-optimized, partial, full.
+// document: seq-original, seq-optimized, partial, full, pipelined.
 func ParseVariant(name string) (Variant, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "seq-original", "seq", "original", "sequential-original":
@@ -267,8 +274,10 @@ func ParseVariant(name string) (Variant, error) {
 		return PartialParallel, nil
 	case "full", "parallel", "fully-parallelized":
 		return FullParallel, nil
+	case "pipelined", "pipe", "dataflow":
+		return Pipelined, nil
 	default:
-		return 0, fmt.Errorf("pipeline: unknown variant %q (want seq-original, seq-optimized, partial, or full)", name)
+		return 0, fmt.Errorf("pipeline: unknown variant %q (want seq-original, seq-optimized, partial, full, or pipelined)", name)
 	}
 }
 

@@ -80,24 +80,30 @@ func (s *state) procSeparateComponents(workers int) error {
 		return err
 	}
 	return s.parFor(len(stations), workers, CostHeavyIO, func(i int) error {
-		st := stations[i]
-		v1, err := smformat.ReadV1File(s.path(smformat.V1FileName(st)))
-		if err != nil {
+		return s.separateStation(stations[i])
+	})
+}
+
+// separateStation splits one multiplexed <s>.v1 into its three per-component
+// files: the per-record unit of process #3, scheduled directly as a dataflow
+// node by the pipelined variant.
+func (s *state) separateStation(st string) error {
+	v1, err := smformat.ReadV1File(s.path(smformat.V1FileName(st)))
+	if err != nil {
+		return err
+	}
+	for ci, comp := range seismic.Components {
+		vc := smformat.V1Component{
+			Station:   st,
+			Component: comp,
+			DT:        v1.DT,
+			Accel:     v1.Accel[ci],
+		}
+		if err := smformat.WriteV1ComponentFile(s.path(smformat.V1ComponentFileName(st, comp)), vc); err != nil {
 			return err
 		}
-		for ci, comp := range seismic.Components {
-			vc := smformat.V1Component{
-				Station:   st,
-				Component: comp,
-				DT:        v1.DT,
-				Accel:     v1.Accel[ci],
-			}
-			if err := smformat.WriteV1ComponentFile(s.path(smformat.V1ComponentFileName(st, comp)), vc); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
+	}
+	return nil
 }
 
 // correctSignal performs the shared work of processes #4 and #13: band-pass
@@ -242,16 +248,22 @@ func (s *state) procFourier(workers int) error {
 	// The list was written before stage IV ran; drop quarantined records.
 	files := s.liveFiles(list.Files)
 	return s.parFor(len(files), workers, CostHeavyIO, func(i int) error {
-		v2, err := smformat.ReadV2File(s.path(files[i]))
-		if err != nil {
-			return err
-		}
-		f, err := fourier.Spectra(v2)
-		if err != nil {
-			return err
-		}
-		return smformat.WriteFourierFile(s.path(smformat.FourierFileName(v2.Station, v2.Component)), f)
+		return s.fourierSignal(files[i])
 	})
+}
+
+// fourierSignal computes and writes the Fourier spectra of one corrected
+// component file: the per-signal unit of process #7.
+func (s *state) fourierSignal(name string) error {
+	v2, err := smformat.ReadV2File(s.path(name))
+	if err != nil {
+		return err
+	}
+	f, err := fourier.Spectra(v2)
+	if err != nil {
+		return err
+	}
+	return smformat.WriteFourierFile(s.path(smformat.FourierFileName(v2.Station, v2.Component)), f)
 }
 
 // procInitFourierGraph is process #8: the fourier-graph file list.
@@ -281,43 +293,49 @@ func (s *state) procPlotFourier() error {
 		return err
 	}
 	for _, st := range stations {
-		var panels []plotps.Plot
-		for _, comp := range seismic.Components {
-			f, err := smformat.ReadFourierFile(s.path(smformat.FourierFileName(st, comp)))
-			if err != nil {
-				return err
-			}
-			spec, err := fourier.CalculateInflectionPoint(f, s.opts.Pick)
-			if err != nil {
-				return err
-			}
-			periods := make([]float64, 0, len(f.Vel)-1)
-			vel := make([]float64, 0, len(f.Vel)-1)
-			for k := len(f.Vel) - 1; k >= 1; k-- {
-				periods = append(periods, 1/f.Frequency(k))
-				vel = append(vel, f.Vel[k])
-			}
-			var markers []plotps.Marker
-			if spec.FPL > 0 {
-				markers = append(markers, plotps.Marker{Label: "FPL", X: 1 / spec.FPL})
-			}
-			if spec.FSL > 0 {
-				markers = append(markers, plotps.Marker{Label: "FSL", X: 1 / spec.FSL})
-			}
-			panels = append(panels, plotps.Plot{
-				Axes: plotps.Axes{
-					Title:  st + comp.Suffix() + " Fourier velocity",
-					XLabel: "Period (s)", YLabel: "cm", XLog: true, YLog: true,
-				},
-				Series:  []plotps.Series{{Label: "vel", X: periods, Y: vel}},
-				Markers: markers,
-			})
-		}
-		if err := writePlotFile(s.path(smformat.FourierPlotFileName(st)), "Fourier spectra "+st, panels); err != nil {
+		if err := s.plotFourierStation(st); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// plotFourierStation draws one station's <s>f.ps page: the per-record unit
+// of process #9.
+func (s *state) plotFourierStation(st string) error {
+	var panels []plotps.Plot
+	for _, comp := range seismic.Components {
+		f, err := smformat.ReadFourierFile(s.path(smformat.FourierFileName(st, comp)))
+		if err != nil {
+			return err
+		}
+		spec, err := fourier.CalculateInflectionPoint(f, s.opts.Pick)
+		if err != nil {
+			return err
+		}
+		periods := make([]float64, 0, len(f.Vel)-1)
+		vel := make([]float64, 0, len(f.Vel)-1)
+		for k := len(f.Vel) - 1; k >= 1; k-- {
+			periods = append(periods, 1/f.Frequency(k))
+			vel = append(vel, f.Vel[k])
+		}
+		var markers []plotps.Marker
+		if spec.FPL > 0 {
+			markers = append(markers, plotps.Marker{Label: "FPL", X: 1 / spec.FPL})
+		}
+		if spec.FSL > 0 {
+			markers = append(markers, plotps.Marker{Label: "FSL", X: 1 / spec.FSL})
+		}
+		panels = append(panels, plotps.Plot{
+			Axes: plotps.Axes{
+				Title:  st + comp.Suffix() + " Fourier velocity",
+				XLabel: "Period (s)", YLabel: "cm", XLog: true, YLog: true,
+			},
+			Series:  []plotps.Series{{Label: "vel", X: periods, Y: vel}},
+			Markers: markers,
+		})
+	}
+	return writePlotFile(s.path(smformat.FourierPlotFileName(st)), "Fourier spectra "+st, panels)
 }
 
 // procPickCorners is process #10: pick FPL/FSL per signal from the velocity
@@ -341,11 +359,7 @@ func (s *state) procPickCorners(compWorkers int) error {
 		// j = 0..2), so the file reads parallelize along with the scan.
 		err := s.parFor(3, compWorkers, CostHeavyFLOPS, func(j int) error {
 			comp := seismic.Components[j]
-			f, err := smformat.ReadFourierFile(s.path(smformat.FourierFileName(st, comp)))
-			if err != nil {
-				return err
-			}
-			spec, err := fourier.CalculateInflectionPoint(f, s.opts.Pick)
+			spec, err := s.pickSignalSpec(st, comp)
 			if err != nil {
 				return err
 			}
@@ -361,6 +375,16 @@ func (s *state) procPickCorners(compWorkers int) error {
 	return smformat.WriteFilterParamsFile(s.path(smformat.FilterParamsFile), params)
 }
 
+// pickSignalSpec picks the FPL/FSL corners of one component spectrum: the
+// per-signal unit of process #10.
+func (s *state) pickSignalSpec(st string, comp seismic.Component) (dsp.BandPassSpec, error) {
+	f, err := smformat.ReadFourierFile(s.path(smformat.FourierFileName(st, comp)))
+	if err != nil {
+		return dsp.BandPassSpec{}, err
+	}
+	return fourier.CalculateInflectionPoint(f, s.opts.Pick)
+}
+
 // procResponseSpectrum is process #16, the dominant stage IX workload:
 // compute the elastic response spectra of all 3N corrected components.
 func (s *state) procResponseSpectrum(workers int) error {
@@ -372,16 +396,22 @@ func (s *state) procResponseSpectrum(workers int) error {
 	// quarantined records so stage IX only touches surviving V2 files.
 	files := s.liveFiles(list.Files)
 	return s.parFor(len(files), workers, CostHeavyFLOPS, func(i int) error {
-		v2, err := smformat.ReadV2File(s.path(files[i]))
-		if err != nil {
-			return err
-		}
-		r, err := response.Spectrum(v2, s.opts.Response)
-		if err != nil {
-			return err
-		}
-		return smformat.WriteResponseFile(s.path(smformat.ResponseFileName(v2.Station, v2.Component)), r)
+		return s.responseSignal(files[i])
 	})
+}
+
+// responseSignal computes and writes the response spectrum of one corrected
+// component file: the per-signal unit of process #16.
+func (s *state) responseSignal(name string) error {
+	v2, err := smformat.ReadV2File(s.path(name))
+	if err != nil {
+		return err
+	}
+	r, err := response.Spectrum(v2, s.opts.Response)
+	if err != nil {
+		return err
+	}
+	return smformat.WriteResponseFile(s.path(smformat.ResponseFileName(v2.Station, v2.Component)), r)
 }
 
 // procInitResponseGraph is process #17: the response-graph file list.
@@ -406,29 +436,35 @@ func (s *state) procPlotAccel() error {
 		return err
 	}
 	for _, st := range stations {
-		var panels []plotps.Plot
-		for _, comp := range seismic.Components {
-			v2, err := smformat.ReadV2File(s.path(smformat.V2FileName(st, comp)))
-			if err != nil {
-				return err
-			}
-			t := make([]float64, len(v2.Accel))
-			for i := range t {
-				t[i] = float64(i) * v2.DT
-			}
-			panels = append(panels, plotps.Plot{
-				Axes: plotps.Axes{
-					Title:  st + comp.Suffix() + " corrected acceleration",
-					XLabel: "Time (s)", YLabel: "cm/s^2",
-				},
-				Series: []plotps.Series{{Label: "acc", X: t, Y: v2.Accel}},
-			})
-		}
-		if err := writePlotFile(s.path(smformat.AccelPlotFileName(st)), "Accelerogram "+st, panels); err != nil {
+		if err := s.plotAccelStation(st); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// plotAccelStation draws one station's corrected accelerogram page <s>.ps:
+// the per-record unit of process #15.
+func (s *state) plotAccelStation(st string) error {
+	var panels []plotps.Plot
+	for _, comp := range seismic.Components {
+		v2, err := smformat.ReadV2File(s.path(smformat.V2FileName(st, comp)))
+		if err != nil {
+			return err
+		}
+		t := make([]float64, len(v2.Accel))
+		for i := range t {
+			t[i] = float64(i) * v2.DT
+		}
+		panels = append(panels, plotps.Plot{
+			Axes: plotps.Axes{
+				Title:  st + comp.Suffix() + " corrected acceleration",
+				XLabel: "Time (s)", YLabel: "cm/s^2",
+			},
+			Series: []plotps.Series{{Label: "acc", X: t, Y: v2.Accel}},
+		})
+	}
+	return writePlotFile(s.path(smformat.AccelPlotFileName(st)), "Accelerogram "+st, panels)
 }
 
 // procPlotResponse is process #18: the response-spectra page <s>r.ps, one
@@ -439,29 +475,35 @@ func (s *state) procPlotResponse() error {
 		return err
 	}
 	for _, st := range stations {
-		var panels []plotps.Plot
-		for _, comp := range seismic.Components {
-			r, err := smformat.ReadResponseFile(s.path(smformat.ResponseFileName(st, comp)))
-			if err != nil {
-				return err
-			}
-			panels = append(panels, plotps.Plot{
-				Axes: plotps.Axes{
-					Title:  fmt.Sprintf("%s%s response (%.0f%% damping)", st, comp.Suffix(), r.Damping*100),
-					XLabel: "Period (s)", YLabel: "SA/SV/SD", XLog: true, YLog: true,
-				},
-				Series: []plotps.Series{
-					{Label: "SA", X: r.Periods, Y: r.SA},
-					{Label: "SV", X: r.Periods, Y: r.SV},
-					{Label: "SD", X: r.Periods, Y: r.SD},
-				},
-			})
-		}
-		if err := writePlotFile(s.path(smformat.ResponsePlotFileName(st)), "Response spectra "+st, panels); err != nil {
+		if err := s.plotResponseStation(st); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// plotResponseStation draws one station's response-spectra page <s>r.ps: the
+// per-record unit of process #18.
+func (s *state) plotResponseStation(st string) error {
+	var panels []plotps.Plot
+	for _, comp := range seismic.Components {
+		r, err := smformat.ReadResponseFile(s.path(smformat.ResponseFileName(st, comp)))
+		if err != nil {
+			return err
+		}
+		panels = append(panels, plotps.Plot{
+			Axes: plotps.Axes{
+				Title:  fmt.Sprintf("%s%s response (%.0f%% damping)", st, comp.Suffix(), r.Damping*100),
+				XLabel: "Period (s)", YLabel: "SA/SV/SD", XLog: true, YLog: true,
+			},
+			Series: []plotps.Series{
+				{Label: "SA", X: r.Periods, Y: r.SA},
+				{Label: "SV", X: r.Periods, Y: r.SV},
+				{Label: "SD", X: r.Periods, Y: r.SD},
+			},
+		})
+	}
+	return writePlotFile(s.path(smformat.ResponsePlotFileName(st)), "Response spectra "+st, panels)
 }
 
 // procGenerateGEM is process #19: split every V2 and R file into three GEM
@@ -484,33 +526,38 @@ func (s *state) procGenerateGEM(workers int) error {
 		jobs = append(jobs, job{key, false}, job{key, true})
 	}
 	return s.parFor(len(jobs), workers, CostHeavyIO, func(i int) error {
-		j := jobs[i]
-		var gems [3]smformat.GEM
-		if j.isR {
-			r, err := smformat.ReadResponseFile(s.path(smformat.ResponseFileName(j.key.Station, j.key.Component)))
-			if err != nil {
-				return err
-			}
-			if gems, err = smformat.SplitResponse(r); err != nil {
-				return err
-			}
-		} else {
-			v2, err := smformat.ReadV2File(s.path(smformat.V2FileName(j.key.Station, j.key.Component)))
-			if err != nil {
-				return err
-			}
-			var err2 error
-			if gems, err2 = smformat.SplitV2(v2); err2 != nil {
-				return err2
-			}
-		}
-		for _, g := range gems {
-			if err := smformat.WriteGEMFile(s.path(g.FileName()), g); err != nil {
-				return err
-			}
-		}
-		return nil
+		return s.gemJob(jobs[i].key, jobs[i].isR)
 	})
+}
+
+// gemJob splits one V2 or R file into its three GEM exports: the per-file
+// unit of process #19.
+func (s *state) gemJob(key smformat.SignalKey, isR bool) error {
+	var gems [3]smformat.GEM
+	if isR {
+		r, err := smformat.ReadResponseFile(s.path(smformat.ResponseFileName(key.Station, key.Component)))
+		if err != nil {
+			return err
+		}
+		if gems, err = smformat.SplitResponse(r); err != nil {
+			return err
+		}
+	} else {
+		v2, err := smformat.ReadV2File(s.path(smformat.V2FileName(key.Station, key.Component)))
+		if err != nil {
+			return err
+		}
+		var err2 error
+		if gems, err2 = smformat.SplitV2(v2); err2 != nil {
+			return err2
+		}
+	}
+	for _, g := range gems {
+		if err := smformat.WriteGEMFile(s.path(g.FileName()), g); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // firstLine returns the first line of a file (without the newline), or ""

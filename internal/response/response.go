@@ -144,13 +144,20 @@ func Spectrum(v smformat.V2, cfg Config) (smformat.Response, error) {
 		SV:        make([]float64, len(cfg.Periods)),
 		SD:        make([]float64, len(cfg.Periods)),
 	}
+	var h, hv []float64
+	if cfg.Method != NigamJennings {
+		// The Duhamel kernel tables are period-dependent but their storage
+		// is not: hoist the two record-length buffers out of the period loop.
+		h = make([]float64, len(v.Accel))
+		hv = make([]float64, len(v.Accel))
+	}
 	for i, T := range cfg.Periods {
 		var sd, sv, sa float64
 		switch cfg.Method {
 		case NigamJennings:
 			sd, sv, sa = nigamJennings(v.Accel, v.DT, T, cfg.Damping)
 		default:
-			sd, sv, sa = duhamel(v.Accel, v.DT, T, cfg.Damping)
+			sd, sv, sa = duhamelWith(v.Accel, v.DT, T, cfg.Damping, h, hv)
 		}
 		r.SD[i], r.SV[i], r.SA[i] = sd, sv, sa
 	}
@@ -187,6 +194,13 @@ func Oscillator(accel seismic.Trace, period, damping float64, m Method) (sd, sv,
 // the same pass), keeping a single history loop.
 func duhamel(a []float64, dt, period, xi float64) (sd, sv, sa float64) {
 	n := len(a)
+	return duhamelWith(a, dt, period, xi, make([]float64, n), make([]float64, n))
+}
+
+// duhamelWith is duhamel with caller-provided kernel scratch (len(a) each),
+// letting Spectrum reuse two buffers across its whole period grid.
+func duhamelWith(a []float64, dt, period, xi float64, h, hv []float64) (sd, sv, sa float64) {
+	n := len(a)
 	w := 2 * math.Pi / period
 	wd := w * math.Sqrt(1-xi*xi)
 
@@ -194,8 +208,6 @@ func duhamel(a []float64, dt, period, xi float64) (sd, sv, sa float64) {
 	// velocity kernel hv[k] = d/dt of the displacement kernel.  The legacy
 	// cost profile comes from the O(D²) accumulation below, not from
 	// recomputing transcendentals, so tabulating them is faithful.
-	h := make([]float64, n)
-	hv := make([]float64, n)
 	for k := 0; k < n; k++ {
 		tk := float64(k) * dt
 		e := math.Exp(-xi * w * tk)
