@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos bench ci
+.PHONY: all fmt vet build test race chaos cache-ablation bench ci
 
 all: build
 
@@ -24,16 +24,24 @@ test:
 	$(GO) test ./...
 
 # The parallel runtime and the pipeline drivers carry the concurrency and
-# the occupancy instrumentation; they must stay race-clean.
+# the occupancy instrumentation; they must stay race-clean, and so must the
+# shared artifact store under them.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/pipeline/...
+	$(GO) test -race ./internal/parallel/... ./internal/pipeline/... ./internal/artifact/...
 
 # Seeded chaos soak: the fault-injection suite (rate sweep, poisoned-record
-# batch, retry/quarantine engine) under the race detector.
+# batch, retry/quarantine engine) under the race detector, with the artifact
+# cache enabled as in production.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Partial|Quarantine|RetryOp|StageMove' ./internal/pipeline/... ./internal/faults/...
+
+# Cache-ablation smoke: every variant on a small event, artifact cache on
+# and off, must produce byte-identical outputs, with cache hits observed on
+# the cached run.
+cache-ablation:
+	$(GO) test -count=1 -run 'ArtifactCache' ./internal/pipeline/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: fmt vet build test race chaos
+ci: fmt vet build test race chaos cache-ablation

@@ -24,10 +24,13 @@ go test ./...
 echo "== bench smoke (every benchmark compiles and runs once) =="
 go test -bench . -benchtime=1x -run '^$' ./...
 
-echo "== race (parallel runtime + dataflow scheduler + pipeline drivers) =="
-go test -race ./internal/parallel/... ./internal/dataflow/... ./internal/pipeline/...
+echo "== race (parallel runtime + dataflow scheduler + pipeline drivers + artifact store) =="
+go test -race ./internal/parallel/... ./internal/dataflow/... ./internal/pipeline/... ./internal/artifact/...
 
-echo "== chaos (seeded fault-injection soak) =="
+echo "== chaos (seeded fault-injection soak, artifact cache enabled) =="
 go test -race -count=1 -run 'Chaos|Partial|Quarantine|RetryOp|StageMove' ./internal/pipeline/... ./internal/faults/...
+
+echo "== cache ablation smoke (cached vs uncached outputs byte-identical, hits observed) =="
+go test -count=1 -run 'ArtifactCache' ./internal/pipeline/...
 
 echo "CI gate passed."

@@ -7,7 +7,8 @@
 //	benchtables [-scale 0.16] [-workers 0] [-method duhamel|nj]
 //	            [-periods 8] [-repeat 1] [-variants seq-original,full]
 //	            [-table1] [-fig11] [-fig12] [-fig13] [-check]
-//	            [-json BENCH_label.json]
+//	            [-no-artifact-cache] [-json BENCH_label.json]
+//	            [-compare old.json [-threshold 0.1]] [new.json]
 //	            [-trace spans.jsonl] [-metrics metrics.txt] [-pprof cpu.out]
 //
 // With no selection flags, everything is produced.  -scale sets the
@@ -17,10 +18,17 @@
 // writes a machine-readable report of the Table I run — per-variant and
 // per-stage timings, derived speedups, host info, and any -check results —
 // to the given file; the repo commits such reports as BENCH_<label>.json
-// baselines (see EXPERIMENTS.md "Machine-readable reports").  -trace
-// captures every measured run's span tree — the Figure 11 rows are derived
-// from the same spans — and -metrics/-pprof write the metrics exposition
-// and a CPU profile (see README "Observability").
+// baselines (see EXPERIMENTS.md "Machine-readable reports").
+// -no-artifact-cache disables the content-addressed artifact cache in every
+// measured run (the cached-vs-uncached ablation endpoint; outputs are
+// byte-identical either way).  -compare runs no benchmarks: it diffs two
+// committed reports — the old baseline named by the flag, the new one as
+// the positional argument — printing per-event, per-variant deltas and
+// exiting non-zero when any variant slowed down by more than -threshold
+// (relative, default 0.10).  -trace captures every measured run's span
+// tree — the Figure 11 rows are derived from the same spans — and
+// -metrics/-pprof write the metrics exposition and a CPU profile (see
+// README "Observability").
 package main
 
 import (
@@ -70,6 +78,28 @@ func parseVariants(s string) ([]pipeline.Variant, error) {
 // errChecksFailed marks a completed run whose shape checks did not pass.
 var errChecksFailed = fmt.Errorf("reproduction shape checks failed")
 
+// runCompare implements -compare: diff two committed reports and fail on
+// regressions beyond the threshold.
+func runCompare(stdout io.Writer, oldPath, newPath string, threshold float64) error {
+	if threshold < 0 {
+		return fmt.Errorf("-threshold %g must be non-negative", threshold)
+	}
+	oldRep, err := bench.ReadReportFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := bench.ReadReportFile(newPath)
+	if err != nil {
+		return err
+	}
+	c := bench.Compare(oldRep, newRep)
+	fmt.Fprint(stdout, c.Format(threshold))
+	if n := len(c.Regressions(threshold)); n > 0 {
+		return fmt.Errorf("%d variant(s) regressed beyond %.1f%%", n, 100*threshold)
+	}
+	return nil
+}
+
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
 	var obsFlags cliobs.Flags
@@ -91,9 +121,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		smoke     = fs.Bool("smoke", false, "self-test mode: two tiny synthetic events instead of the paper's six")
 		chaos     = fs.Float64("chaos", 0, "fault-injection rate in [0,1] for the temp-folder protocol: measure the degraded mode")
 		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
+		noCache   = fs.Bool("no-artifact-cache", false, "disable the content-addressed artifact cache in every measured run")
+		compare   = fs.String("compare", "", "diff this baseline report against the report given as positional argument, then exit")
+		threshold = fs.Float64("threshold", 0.10, "relative slowdown treated as a regression by -compare (0.10 = 10%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *compare != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-compare needs exactly one positional argument (the new report), got %d", fs.NArg())
+		}
+		return runCompare(stdout, *compare, fs.Arg(0), *threshold)
 	}
 
 	all := !*table1 && !*fig11 && !*fig12 && !*fig13 && !*check && !*ablations
@@ -112,13 +152,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	defer session.Close()
 	cfg := bench.Config{
-		Scale:     *scale,
-		Workers:   *workers,
-		Repeat:    *repeat,
-		Variants:  vs,
-		Observer:  session.Observer,
-		ChaosRate: *chaos,
-		ChaosSeed: *chaosSeed,
+		Scale:           *scale,
+		Workers:         *workers,
+		Repeat:          *repeat,
+		Variants:        vs,
+		Observer:        session.Observer,
+		ChaosRate:       *chaos,
+		ChaosSeed:       *chaosSeed,
+		NoArtifactCache: *noCache,
 		Response: response.Config{
 			Method:  m,
 			Periods: response.LogPeriods(0.05, 10, *periods),

@@ -80,6 +80,48 @@ func TestRunSmokeAblations(t *testing.T) {
 	}
 }
 
+func TestRunCompareReports(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	oldRep := bench.Report{Label: "old", Events: []bench.EventReport{
+		{Event: "ev", Variants: map[string]bench.VariantReport{"full": {Seconds: 10}}},
+	}}
+	newRep := bench.Report{Label: "new", Events: []bench.EventReport{
+		{Event: "ev", Variants: map[string]bench.VariantReport{"full": {Seconds: 13}}},
+	}}
+	if err := oldRep.WriteFile(oldPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := newRep.WriteFile(newPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// +30% against a 10% threshold: regression, non-nil error.
+	var out, errBuf bytes.Buffer
+	err := run(context.Background(), []string{"-compare", oldPath, newPath}, &out, &errBuf)
+	if err == nil {
+		t.Error("regression did not produce an error")
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("comparison output missing REGRESSED marker:\n%s", out.String())
+	}
+
+	// Same diff under a 50% threshold: in the noise, clean exit.
+	out.Reset()
+	if err := run(context.Background(), []string{"-compare", oldPath, "-threshold", "0.5", newPath}, &out, &errBuf); err != nil {
+		t.Fatalf("within-threshold compare failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("comparison output missing summary:\n%s", out.String())
+	}
+
+	// Missing the positional new-report argument is a usage error.
+	if err := run(context.Background(), []string{"-compare", oldPath}, &out, &errBuf); err == nil {
+		t.Error("missing positional argument accepted")
+	}
+}
+
 func TestRunSmokeJSONReport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_smoke.json")
 	var out, errBuf bytes.Buffer

@@ -18,8 +18,11 @@
 // and CPU profile (see README "Observability").  -chaos injects seeded
 // faults into the temp-folder protocol (-chaos-seed makes runs
 // reproducible); failing records are retried per -retries and then
-// quarantined under <dir>/quarantine.  Interrupting the process
-// (SIGINT/SIGTERM) cancels the run cleanly, including scratch folders.
+// quarantined under <dir>/quarantine.  -no-artifact-cache disables the
+// content-addressed artifact cache for A/B runs (outputs are
+// byte-identical either way; see README "The artifact cache").
+// Interrupting the process (SIGINT/SIGTERM) cancels the run cleanly,
+// including scratch folders.
 package main
 
 import (
@@ -79,6 +82,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		chaos        = fs.Float64("chaos", 0, "fault-injection rate in [0,1] for the temp-folder protocol (0 = off); failing records are retried, then quarantined")
 		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector (same seed = same faults)")
 		maxAttempts  = fs.Int("retries", 0, "max attempts per staging operation before quarantining the record (0 = default 3)")
+		noCache      = fs.Bool("no-artifact-cache", false, "disable the content-addressed artifact cache (outputs are byte-identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,8 +109,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	defer session.Close()
 	opts := pipeline.Options{
-		Workers:      *workers,
-		EventWorkers: *eventWorkers,
+		Workers:         *workers,
+		EventWorkers:    *eventWorkers,
+		NoArtifactCache: *noCache,
 		Response: response.Config{
 			Method:  m,
 			Periods: response.LogPeriods(0.02, 20, *periods),

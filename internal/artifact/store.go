@@ -1,0 +1,192 @@
+// Package artifact implements a concurrency-safe, content-addressed,
+// write-through store of decoded pipeline artifacts.
+//
+// The processing chain exchanges every intermediate product through text
+// files: a producer formats []float64 payloads with 17-digit precision and
+// the consumer tokenizes and ParseFloats them right back.  The store layers
+// memoization over that protocol without changing it: writers keep emitting
+// byte-identical files, but the decoded in-memory value is retained, keyed
+// by path and by the file's content generation (size + mtime as observed
+// right after the write).  A reader that finds a live entry skips the
+// tokenize+parse entirely; any path whose on-disk generation no longer
+// matches — an external mutation, a fault-injected partial write, a retry
+// overwrite — falls back to disk.
+//
+// Entries follow artifacts across rename boundaries (the temp-folder
+// staging protocol moves files between the work directory and per-record
+// scratch folders) and across hardlinks (Clone), because a rename or link
+// preserves the inode and therefore the generation.  A nil *Store is valid
+// everywhere and caches nothing, which is how the -no-artifact-cache
+// ablation runs.
+package artifact
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"accelproc/internal/obs"
+)
+
+// entry is one cached decoded value plus the content generation of the file
+// it was decoded from (or encoded to).
+type entry struct {
+	value any
+	size  int64
+	mtime time.Time
+}
+
+// Store maps file paths to decoded artifact values.  All methods are safe
+// for concurrent use and are no-ops on a nil receiver.
+type Store struct {
+	mu      sync.RWMutex
+	entries map[string]entry
+
+	// Nil-safe observability counters (see obs.Counter); zero-valued until
+	// SetCounters attaches real ones.
+	hits   *obs.Counter
+	misses *obs.Counter
+	saved  *obs.Counter
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: make(map[string]entry)}
+}
+
+// SetCounters attaches the cache metrics: hits, misses, and the on-disk
+// bytes whose re-read+re-parse each hit avoided.
+func (s *Store) SetCounters(hits, misses, saved *obs.Counter) {
+	if s == nil {
+		return
+	}
+	s.hits, s.misses, s.saved = hits, misses, saved
+}
+
+// Put records value as the decoded form of path's current on-disk content.
+// It must be called after the file has been successfully written (or read):
+// the file is stat'ed to capture its generation, and a failed stat drops
+// any existing entry instead of storing an unverifiable one.
+func (s *Store) Put(path string, value any) {
+	if s == nil {
+		return
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		s.Invalidate(path)
+		return
+	}
+	s.mu.Lock()
+	s.entries[path] = entry{value: value, size: info.Size(), mtime: info.ModTime()}
+	s.mu.Unlock()
+}
+
+// Get returns the cached decoded value for path if the file's current
+// generation still matches the one recorded at Put time.  A mismatch (or a
+// vanished file) invalidates the entry and reports a miss, so a mutation
+// behind the store's back is never served stale.
+func (s *Store) Get(path string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.RLock()
+	e, ok := s.entries[path]
+	s.mu.RUnlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	info, err := os.Stat(path)
+	if err != nil || info.Size() != e.size || !info.ModTime().Equal(e.mtime) {
+		s.Invalidate(path)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.saved.Add(float64(e.size))
+	return e.value, true
+}
+
+// Cached is the typed read path: the entry for path, if live and of type T.
+func Cached[T any](s *Store, path string) (T, bool) {
+	v, ok := s.Get(path)
+	if ok {
+		if t, tok := v.(T); tok {
+			return t, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// Invalidate drops the entry for path, if any: called when a write failed
+// (a fault-injected or partial write leaves unknown bytes on disk) and when
+// a file is removed.
+func (s *Store) Invalidate(path string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	delete(s.entries, path)
+	s.mu.Unlock()
+}
+
+// InvalidateDir drops every entry at or under dir: called when a scratch
+// folder is deleted or moved wholesale into quarantine.
+func (s *Store) InvalidateDir(dir string) {
+	if s == nil {
+		return
+	}
+	prefix := strings.TrimSuffix(dir, string(os.PathSeparator)) + string(os.PathSeparator)
+	s.mu.Lock()
+	for p := range s.entries {
+		if p == dir || strings.HasPrefix(p, prefix) {
+			delete(s.entries, p)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Rename moves the entry for oldpath to newpath, following a successful
+// file rename.  A rename preserves the inode, so the recorded generation
+// stays valid for the new path.
+func (s *Store) Rename(oldpath, newpath string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[oldpath]; ok {
+		delete(s.entries, oldpath)
+		s.entries[newpath] = e
+	} else {
+		delete(s.entries, newpath)
+	}
+	s.mu.Unlock()
+}
+
+// Clone copies src's entry to dst, following a successful hardlink: both
+// names now share the inode, so they share the generation too.  Without a
+// src entry any stale dst entry is dropped.
+func (s *Store) Clone(src, dst string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[src]; ok {
+		s.entries[dst] = e
+	} else {
+		delete(s.entries, dst)
+	}
+	s.mu.Unlock()
+}
+
+// Len reports the number of live entries (for tests and introspection).
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}

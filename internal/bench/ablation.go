@@ -29,6 +29,12 @@ type AblationResults struct {
 
 	// Simulated processor sweep: full-parallel total per processor count.
 	ThreadSweep map[int]time.Duration
+
+	// Content-addressed artifact cache on vs off: full-parallel pipeline
+	// total with and without the write-through store (outputs are
+	// byte-identical; only redundant decode/copy work differs).
+	CachedTotal   time.Duration
+	UncachedTotal time.Duration
 }
 
 // RunAblations executes the ablation suite on the given event spec.
@@ -98,6 +104,20 @@ func RunAblations(ctx context.Context, spec synth.EventSpec, cfg Config) (Ablati
 		}
 		out.ThreadSweep[procs] = tim.Total
 	}
+
+	// 4. Artifact cache on vs off.
+	cached := baseOpts
+	cached.NoArtifactCache = false
+	if tim, err = runOnce(cached); err != nil {
+		return AblationResults{}, fmt.Errorf("bench: cached ablation: %w", err)
+	}
+	out.CachedTotal = tim.Total
+	uncached := baseOpts
+	uncached.NoArtifactCache = true
+	if tim, err = runOnce(uncached); err != nil {
+		return AblationResults{}, fmt.Errorf("bench: uncached ablation: %w", err)
+	}
+	out.UncachedTotal = tim.Total
 	return out, nil
 }
 
@@ -114,6 +134,12 @@ func FormatAblations(a AblationResults) string {
 	fmt.Fprintf(&b, "stage IX method: %.2f s pipeline with Duhamel vs %.2f s with Nigam-Jennings (%.1fx total)\n",
 		a.DuhamelTotal.Seconds(), a.NigamJenningsTotal.Seconds(),
 		a.DuhamelTotal.Seconds()/a.NigamJenningsTotal.Seconds())
+
+	if a.CachedTotal > 0 && a.UncachedTotal > 0 {
+		fmt.Fprintf(&b, "artifact cache: %.2f s cached vs %.2f s uncached (%.1f%% saved)\n",
+			a.CachedTotal.Seconds(), a.UncachedTotal.Seconds(),
+			100*(1-a.CachedTotal.Seconds()/a.UncachedTotal.Seconds()))
+	}
 
 	fmt.Fprintln(&b, "processor sweep (fully parallelized, simulated platform):")
 	base := a.ThreadSweep[1]

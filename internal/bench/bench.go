@@ -71,6 +71,10 @@ type Config struct {
 	// ChaosSeed drives the injector; the same seed reproduces the same
 	// fault sequence run over run.
 	ChaosSeed int64
+	// NoArtifactCache disables the content-addressed artifact cache in
+	// every pipeline run (the -no-artifact-cache ablation).  On-disk
+	// outputs are byte-identical either way; only decode/copy work changes.
+	NoArtifactCache bool
 }
 
 // PaperProcessors is the core count of the paper's experimental platform
@@ -205,10 +209,11 @@ func RunEvent(ctx context.Context, spec synth.EventSpec, cfg Config) (EventResul
 	o.AddSink(col)
 	defer o.RemoveSink(col)
 	opts := pipeline.Options{
-		Workers:       cfg.Workers,
-		Response:      cfg.Response,
-		SimProcessors: resolveSimProcessors(cfg.SimProcessors),
-		Observer:      o,
+		Workers:         cfg.Workers,
+		Response:        cfg.Response,
+		SimProcessors:   resolveSimProcessors(cfg.SimProcessors),
+		Observer:        o,
+		NoArtifactCache: cfg.NoArtifactCache,
 	}
 	if cfg.ChaosRate > 0 {
 		opts.Chaos = &faults.Config{Seed: cfg.ChaosSeed, Rate: cfg.ChaosRate}

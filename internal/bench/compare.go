@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file diffs two machine-readable reports (the committed BENCH_*.json
+// baselines), the engine behind `benchtables -compare old.json new.json`:
+// per-event, per-variant timing deltas, with a relative threshold that
+// separates noise from regression.
+
+// ReadReportFile decodes a report written by Report.WriteFile.
+func ReadReportFile(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("bench: reading report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: decoding report %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// VariantDelta is one (event, variant) cell of a report comparison.
+type VariantDelta struct {
+	Event      string
+	Variant    string
+	OldSeconds float64
+	NewSeconds float64
+	// Ratio is new/old: above 1.0 the new report is slower.
+	Ratio float64
+}
+
+// Regressed reports whether the cell slowed down by more than the given
+// relative threshold (0.10 = ten percent).
+func (d VariantDelta) Regressed(threshold float64) bool {
+	return d.Ratio > 1+threshold
+}
+
+// Comparison is the full diff of two reports.
+type Comparison struct {
+	Old, New Report
+	// Deltas covers every (event, variant) present in both reports, in
+	// (event, variant) order.
+	Deltas []VariantDelta
+	// OnlyOld and OnlyNew list events or variants without a counterpart,
+	// as "event" or "event/variant" strings; they never count as
+	// regressions but are always surfaced.
+	OnlyOld, OnlyNew []string
+}
+
+// Compare diffs two decoded reports.
+func Compare(oldRep, newRep Report) Comparison {
+	c := Comparison{Old: oldRep, New: newRep}
+	newEvents := make(map[string]EventReport, len(newRep.Events))
+	for _, e := range newRep.Events {
+		newEvents[e.Event] = e
+	}
+	seen := make(map[string]bool, len(oldRep.Events))
+	for _, oe := range oldRep.Events {
+		seen[oe.Event] = true
+		ne, ok := newEvents[oe.Event]
+		if !ok {
+			c.OnlyOld = append(c.OnlyOld, oe.Event)
+			continue
+		}
+		variants := make([]string, 0, len(oe.Variants))
+		for v := range oe.Variants {
+			variants = append(variants, v)
+		}
+		sort.Strings(variants)
+		for _, v := range variants {
+			ov := oe.Variants[v]
+			nv, ok := ne.Variants[v]
+			if !ok {
+				c.OnlyOld = append(c.OnlyOld, oe.Event+"/"+v)
+				continue
+			}
+			d := VariantDelta{
+				Event: oe.Event, Variant: v,
+				OldSeconds: ov.Seconds, NewSeconds: nv.Seconds,
+			}
+			if ov.Seconds > 0 {
+				d.Ratio = nv.Seconds / ov.Seconds
+			}
+			c.Deltas = append(c.Deltas, d)
+		}
+		for v := range ne.Variants {
+			if _, ok := oe.Variants[v]; !ok {
+				c.OnlyNew = append(c.OnlyNew, oe.Event+"/"+v)
+			}
+		}
+	}
+	for _, ne := range newRep.Events {
+		if !seen[ne.Event] {
+			c.OnlyNew = append(c.OnlyNew, ne.Event)
+		}
+	}
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+	return c
+}
+
+// Regressions returns the cells that slowed down beyond the threshold.
+func (c Comparison) Regressions(threshold float64) []VariantDelta {
+	var out []VariantDelta
+	for _, d := range c.Deltas {
+		if d.Regressed(threshold) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format renders the comparison as a per-event table.  Cells beyond the
+// threshold are marked REGRESSED; improvements and in-noise deltas are
+// printed as signed percentages.
+func (c Comparison) Format(threshold float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "REPORT COMPARISON: %s -> %s (threshold %.1f%%)\n",
+		c.Old.Label, c.New.Label, 100*threshold)
+	event := ""
+	for _, d := range c.Deltas {
+		if d.Event != event {
+			event = d.Event
+			fmt.Fprintf(&b, "event %s\n", event)
+		}
+		mark := ""
+		if d.Regressed(threshold) {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(&b, "  %-22s %9.3f s -> %9.3f s  %+7.1f%%%s\n",
+			d.Variant, d.OldSeconds, d.NewSeconds, 100*(d.Ratio-1), mark)
+	}
+	for _, s := range c.OnlyOld {
+		fmt.Fprintf(&b, "only in %s: %s\n", c.Old.Label, s)
+	}
+	for _, s := range c.OnlyNew {
+		fmt.Fprintf(&b, "only in %s: %s\n", c.New.Label, s)
+	}
+	n := len(c.Regressions(threshold))
+	switch n {
+	case 0:
+		fmt.Fprintf(&b, "no regressions beyond %.1f%%\n", 100*threshold)
+	case 1:
+		fmt.Fprintf(&b, "1 regression beyond %.1f%%\n", 100*threshold)
+	default:
+		fmt.Fprintf(&b, "%d regressions beyond %.1f%%\n", n, 100*threshold)
+	}
+	return b.String()
+}

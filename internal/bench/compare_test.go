@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func compareFixture() (Report, Report) {
+	oldRep := Report{
+		Label: "base",
+		Events: []EventReport{
+			{Event: "ev1", Variants: map[string]VariantReport{
+				"full":      {Seconds: 10},
+				"pipelined": {Seconds: 8},
+			}},
+			{Event: "gone", Variants: map[string]VariantReport{
+				"full": {Seconds: 3},
+			}},
+		},
+	}
+	newRep := Report{
+		Label: "next",
+		Events: []EventReport{
+			{Event: "ev1", Variants: map[string]VariantReport{
+				"full":      {Seconds: 12}, // +20%: regression at 10%
+				"pipelined": {Seconds: 7},  // improvement
+				"partial":   {Seconds: 5},  // no old counterpart
+			}},
+			{Event: "fresh", Variants: map[string]VariantReport{
+				"full": {Seconds: 1},
+			}},
+		},
+	}
+	return oldRep, newRep
+}
+
+func TestCompareDeltasAndCoverage(t *testing.T) {
+	oldRep, newRep := compareFixture()
+	c := Compare(oldRep, newRep)
+	if len(c.Deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2: %+v", len(c.Deltas), c.Deltas)
+	}
+	full := c.Deltas[0]
+	if full.Variant != "full" || full.Ratio < 1.19 || full.Ratio > 1.21 {
+		t.Errorf("full delta = %+v, want ratio 1.2", full)
+	}
+	if !full.Regressed(0.10) {
+		t.Error("+20% not flagged at a 10% threshold")
+	}
+	if full.Regressed(0.25) {
+		t.Error("+20% flagged at a 25% threshold")
+	}
+	pip := c.Deltas[1]
+	if pip.Variant != "pipelined" || pip.Regressed(0.10) {
+		t.Errorf("improvement flagged as regression: %+v", pip)
+	}
+	wantOld := []string{"gone"}
+	wantNew := []string{"ev1/partial", "fresh"}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != wantOld[0] {
+		t.Errorf("OnlyOld = %v, want %v", c.OnlyOld, wantOld)
+	}
+	if len(c.OnlyNew) != 2 || c.OnlyNew[0] != wantNew[0] || c.OnlyNew[1] != wantNew[1] {
+		t.Errorf("OnlyNew = %v, want %v", c.OnlyNew, wantNew)
+	}
+	if got := len(c.Regressions(0.10)); got != 1 {
+		t.Errorf("regressions at 10%% = %d, want 1", got)
+	}
+}
+
+func TestCompareFormatMarksRegressions(t *testing.T) {
+	oldRep, newRep := compareFixture()
+	out := Compare(oldRep, newRep).Format(0.10)
+	for _, want := range []string{"event ev1", "REGRESSED", "only in base: gone", "only in next: fresh", "1 regression"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted comparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadReportFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadReportFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing report accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReportFile(bad); err == nil {
+		t.Error("malformed report accepted")
+	}
+}

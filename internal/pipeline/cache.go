@@ -1,0 +1,217 @@
+package pipeline
+
+import (
+	"errors"
+	"os"
+
+	"accelproc/internal/artifact"
+	"accelproc/internal/dsp"
+	"accelproc/internal/faults"
+	"accelproc/internal/obs"
+	"accelproc/internal/smformat"
+)
+
+// This file is the pipeline's view of the artifact store: codec-aware
+// read/write handles for the hot file formats, and staging wrappers that
+// keep cache entries attached to artifacts as they move (or hardlink)
+// across the scratch-folder boundary.
+//
+// The contract, in both directions:
+//
+//   - Writes are write-through.  The smformat writer runs first and emits
+//     exactly the bytes it always has — the on-disk protocol, the chaos
+//     semantics, and every golden output stay untouched — then the decoded
+//     value is retained under the file's fresh content generation.  A
+//     failed write invalidates instead, so a partial (fault-injected)
+//     file is never shadowed by a confident cache entry.
+//   - Reads are read-through.  A generation-checked hit skips
+//     tokenize+ParseFloat entirely; a miss parses from disk and back-fills
+//     the store.
+//
+// Cached values are shared, not copied: every consumer of the decoded
+// V1/V2/Fourier/Response payloads is read-only on its input slices (the
+// DSP kernels copy before mutating), so aliasing is safe.  The one
+// exception is FilterParams, whose PerSignal map process #10 mutates in
+// place between read and write — its handles copy the map on both sides of
+// the store.
+//
+// All handles degrade to the plain smformat calls when the store is nil
+// (Options.NoArtifactCache), because every *artifact.Store method is
+// nil-safe.
+
+func (s *state) readV1(path string) (smformat.V1, error) {
+	if v, ok := artifact.Cached[smformat.V1](s.arts, path); ok {
+		return v, nil
+	}
+	v, err := smformat.ReadV1File(path)
+	if err != nil {
+		return v, err
+	}
+	s.arts.Put(path, v)
+	return v, nil
+}
+
+func (s *state) readV1Comp(path string) (smformat.V1Component, error) {
+	if v, ok := artifact.Cached[smformat.V1Component](s.arts, path); ok {
+		return v, nil
+	}
+	v, err := smformat.ReadV1ComponentFile(path)
+	if err != nil {
+		return v, err
+	}
+	s.arts.Put(path, v)
+	return v, nil
+}
+
+func (s *state) writeV1Comp(path string, v smformat.V1Component) error {
+	if err := smformat.WriteV1ComponentFile(path, v); err != nil {
+		s.arts.Invalidate(path)
+		return err
+	}
+	s.arts.Put(path, v)
+	return nil
+}
+
+func (s *state) readV2(path string) (smformat.V2, error) {
+	if v, ok := artifact.Cached[smformat.V2](s.arts, path); ok {
+		return v, nil
+	}
+	v, err := smformat.ReadV2File(path)
+	if err != nil {
+		return v, err
+	}
+	s.arts.Put(path, v)
+	return v, nil
+}
+
+func (s *state) writeV2(path string, v smformat.V2) error {
+	if err := smformat.WriteV2File(path, v); err != nil {
+		s.arts.Invalidate(path)
+		return err
+	}
+	s.arts.Put(path, v)
+	return nil
+}
+
+func (s *state) readFourier(path string) (smformat.Fourier, error) {
+	if v, ok := artifact.Cached[smformat.Fourier](s.arts, path); ok {
+		return v, nil
+	}
+	v, err := smformat.ReadFourierFile(path)
+	if err != nil {
+		return v, err
+	}
+	s.arts.Put(path, v)
+	return v, nil
+}
+
+func (s *state) writeFourier(path string, f smformat.Fourier) error {
+	if err := smformat.WriteFourierFile(path, f); err != nil {
+		s.arts.Invalidate(path)
+		return err
+	}
+	s.arts.Put(path, f)
+	return nil
+}
+
+func (s *state) readResponse(path string) (smformat.Response, error) {
+	if v, ok := artifact.Cached[smformat.Response](s.arts, path); ok {
+		return v, nil
+	}
+	v, err := smformat.ReadResponseFile(path)
+	if err != nil {
+		return v, err
+	}
+	s.arts.Put(path, v)
+	return v, nil
+}
+
+func (s *state) writeResponse(path string, r smformat.Response) error {
+	if err := smformat.WriteResponseFile(path, r); err != nil {
+		s.arts.Invalidate(path)
+		return err
+	}
+	s.arts.Put(path, r)
+	return nil
+}
+
+// copyParams returns p with a private PerSignal map, so a cached params
+// value is never aliased to the map process #10 mutates in place.
+func copyParams(p smformat.FilterParams) smformat.FilterParams {
+	m := make(map[smformat.SignalKey]dsp.BandPassSpec, len(p.PerSignal))
+	for k, v := range p.PerSignal {
+		m[k] = v
+	}
+	p.PerSignal = m
+	return p
+}
+
+func (s *state) readFilterParams(path string) (smformat.FilterParams, error) {
+	if v, ok := artifact.Cached[smformat.FilterParams](s.arts, path); ok {
+		return copyParams(v), nil
+	}
+	v, err := smformat.ReadFilterParamsFile(path)
+	if err != nil {
+		return v, err
+	}
+	s.arts.Put(path, copyParams(v))
+	return v, nil
+}
+
+func (s *state) writeFilterParams(path string, p smformat.FilterParams) error {
+	if err := smformat.WriteFilterParamsFile(path, p); err != nil {
+		s.arts.Invalidate(path)
+		return err
+	}
+	s.arts.Put(path, copyParams(p))
+	return nil
+}
+
+// moveArtifact renames an artifact across the scratch-folder boundary (the
+// package-level stageMove, unchanged and chaos-visible) and moves its cache
+// entry with it: a rename preserves the inode, so the entry's recorded
+// generation stays valid under the new path.  A failed move drops any entry
+// at the destination — an EXDEV copy fallback may have left partial bytes.
+func (s *state) moveArtifact(fsys faults.FS, dst, src string, c *obs.Counter) error {
+	if err := stageMove(fsys, dst, src, c); err != nil {
+		s.arts.Invalidate(dst)
+		return err
+	}
+	s.arts.Rename(src, dst)
+	return nil
+}
+
+// copyArtifact stages src to dst.  On the plain filesystem it first
+// attempts a hardlink — the staged file is identical content by
+// construction, the link is charged to links_total instead of the staging
+// byte counters (no bytes actually cross the boundary), and the cache entry
+// is cloned since both names now share the inode.  Under chaos the fault
+// injector must see the read+write pair, so the existing stageCopy runs
+// with its accounting unchanged; it is also the fallback when linking
+// fails (filesystem without hardlinks, dst left over from a retry).
+//
+// Linked sources are never mutated in place afterwards: the executable
+// image is written once per run, and the metadata writers replace files
+// atomically (write-temp + rename), so a later overwrite of src detaches
+// from the linked inode instead of writing through it.
+func (s *state) copyArtifact(fsys faults.FS, dst, src string, c *obs.Counter) error {
+	if _, plain := fsys.(faults.OS); plain {
+		if err := os.Link(src, dst); err == nil {
+			s.links.Add(1)
+			s.arts.Clone(src, dst)
+			return nil
+		} else if errors.Is(err, os.ErrExist) {
+			// A previous attempt already staged it; relink over the leftover.
+			if os.Remove(dst) == nil && os.Link(src, dst) == nil {
+				s.links.Add(1)
+				s.arts.Clone(src, dst)
+				return nil
+			}
+		}
+	}
+	s.arts.Invalidate(dst)
+	if err := stageCopy(fsys, dst, src, c); err != nil {
+		return err
+	}
+	return nil
+}

@@ -480,7 +480,7 @@ func (b *dfBuild) joinBody(pid ProcessID) func() error {
 		return func() error { return s.writeMergedMaxValues(b.fragsCor) }
 	case PPickCorners:
 		return func() error {
-			params, err := smformat.ReadFilterParamsFile(s.path(smformat.FilterParamsFile))
+			params, err := s.readFilterParams(s.path(smformat.FilterParamsFile))
 			if err != nil {
 				return err
 			}
@@ -492,7 +492,7 @@ func (b *dfBuild) joinBody(pid ProcessID) func() error {
 					params.PerSignal[smformat.SignalKey{Station: st, Component: comp}] = b.picks[i][ci]
 				}
 			}
-			return smformat.WriteFilterParamsFile(s.path(smformat.FilterParamsFile), params)
+			return s.writeFilterParams(s.path(smformat.FilterParamsFile), params)
 		}
 	}
 	panic(fmt.Sprintf("pipeline: no dataflow join body for process #%d", pid))
@@ -514,13 +514,13 @@ func (s *state) writeMergedMaxValues(frags []smformat.MaxValues) error {
 // filterRecordDirect is the NoTempFolders body of one record of processes
 // #4/#13: the per-station slice of applyFilters.
 func (s *state) filterRecordDirect(st string) (smformat.MaxValues, error) {
-	params, err := smformat.ReadFilterParamsFile(s.path(smformat.FilterParamsFile))
+	params, err := s.readFilterParams(s.path(smformat.FilterParamsFile))
 	if err != nil {
 		return smformat.MaxValues{}, err
 	}
 	frag := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
 	for _, comp := range seismic.Components {
-		v1, err := smformat.ReadV1ComponentFile(s.path(smformat.V1ComponentFileName(st, comp)))
+		v1, err := s.readV1Comp(s.path(smformat.V1ComponentFileName(st, comp)))
 		if err != nil {
 			return smformat.MaxValues{}, err
 		}
@@ -529,7 +529,7 @@ func (s *state) filterRecordDirect(st string) (smformat.MaxValues, error) {
 		if err != nil {
 			return smformat.MaxValues{}, err
 		}
-		if err := smformat.WriteV2File(s.path(smformat.V2FileName(st, comp)), v2); err != nil {
+		if err := s.writeV2(s.path(smformat.V2FileName(st, comp)), v2); err != nil {
 			return smformat.MaxValues{}, err
 		}
 		frag.Peaks[key] = pk
@@ -562,14 +562,14 @@ func (s *state) filterRecordViaTempFolder(stage StageID, pid ProcessID, tag stri
 			return err
 		}
 		if err := s.retryOp(rc, "copy", func() error {
-			return stageCopy(fsys, filepath.Join(dir, smformat.FilterParamsFile), s.path(smformat.FilterParamsFile), s.bytesIn)
+			return s.copyArtifact(fsys, filepath.Join(dir, smformat.FilterParamsFile), s.path(smformat.FilterParamsFile), s.bytesIn)
 		}); err != nil {
 			return err
 		}
 		for _, comp := range seismic.Components {
 			name := smformat.V1ComponentFileName(st, comp)
 			if err := s.retryOp(rc, "move", func() error {
-				return stageMove(fsys, filepath.Join(dir, name), s.path(name), s.bytesIn)
+				return s.moveArtifact(fsys, filepath.Join(dir, name), s.path(name), s.bytesIn)
 			}); err != nil {
 				return err
 			}
@@ -586,7 +586,7 @@ func (s *state) filterRecordViaTempFolder(stage StageID, pid ProcessID, tag stri
 	// Install the executable image (copied from the event-scoped master,
 	// which runPipelined created before the graph started).
 	err = s.degraded(rc, s.retryOp(rc, "copy", func() error {
-		return stageCopy(fsys, filepath.Join(dir, exeImageName), exe, s.bytesIn)
+		return s.copyArtifact(fsys, filepath.Join(dir, exeImageName), exe, s.bytesIn)
 	}))
 	if err != nil || s.isQuarantined(st) {
 		return smformat.MaxValues{}, err
@@ -603,12 +603,12 @@ func (s *state) filterRecordViaTempFolder(stage StageID, pid ProcessID, tag stri
 			if err := s.chaos.Exec(tag, st); err != nil {
 				return err
 			}
-			params, err := smformat.ReadFilterParamsFile(filepath.Join(dir, smformat.FilterParamsFile))
+			params, err := s.readFilterParams(filepath.Join(dir, smformat.FilterParamsFile))
 			if err != nil {
 				return err
 			}
 			for _, comp := range seismic.Components {
-				v1, err := smformat.ReadV1ComponentFile(filepath.Join(dir, smformat.V1ComponentFileName(st, comp)))
+				v1, err := s.readV1Comp(filepath.Join(dir, smformat.V1ComponentFileName(st, comp)))
 				if err != nil {
 					return err
 				}
@@ -617,7 +617,7 @@ func (s *state) filterRecordViaTempFolder(stage StageID, pid ProcessID, tag stri
 				if err != nil {
 					return err
 				}
-				if err := smformat.WriteV2File(filepath.Join(dir, smformat.V2FileName(st, comp)), v2); err != nil {
+				if err := s.writeV2(filepath.Join(dir, smformat.V2FileName(st, comp)), v2); err != nil {
 					return err
 				}
 				out.Peaks[key] = pk
@@ -630,13 +630,13 @@ func (s *state) filterRecordViaTempFolder(stage StageID, pid ProcessID, tag stri
 		for _, comp := range seismic.Components {
 			v2name := smformat.V2FileName(st, comp)
 			if err := s.retryOp(rc, "move", func() error {
-				return stageMove(fsys, s.path(v2name), filepath.Join(dir, v2name), s.bytesOut)
+				return s.moveArtifact(fsys, s.path(v2name), filepath.Join(dir, v2name), s.bytesOut)
 			}); err != nil {
 				return err
 			}
 			v1name := smformat.V1ComponentFileName(st, comp)
 			if err := s.retryOp(rc, "move", func() error {
-				return stageMove(fsys, s.path(v1name), filepath.Join(dir, v1name), s.bytesOut)
+				return s.moveArtifact(fsys, s.path(v1name), filepath.Join(dir, v1name), s.bytesOut)
 			}); err != nil {
 				return err
 			}
@@ -678,7 +678,7 @@ func (s *state) fourierRecordViaTempFolder(idx int, st, exe string) (err error) 
 		for _, comp := range seismic.Components {
 			name := smformat.V2FileName(st, comp)
 			if err := s.retryOp(rc, "move", func() error {
-				return stageMove(fsys, filepath.Join(dir, name), s.path(name), s.bytesIn)
+				return s.moveArtifact(fsys, filepath.Join(dir, name), s.path(name), s.bytesIn)
 			}); err != nil {
 				return err
 			}
@@ -694,7 +694,7 @@ func (s *state) fourierRecordViaTempFolder(idx int, st, exe string) (err error) 
 
 	// Install the executable image.
 	err = s.degraded(rc, s.retryOp(rc, "copy", func() error {
-		return stageCopy(fsys, filepath.Join(dir, exeImageName), exe, s.bytesIn)
+		return s.copyArtifact(fsys, filepath.Join(dir, exeImageName), exe, s.bytesIn)
 	}))
 	if err != nil || s.isQuarantined(st) {
 		return err
@@ -711,7 +711,7 @@ func (s *state) fourierRecordViaTempFolder(idx int, st, exe string) (err error) 
 				return err
 			}
 			for _, comp := range seismic.Components {
-				v2, err := smformat.ReadV2File(filepath.Join(dir, smformat.V2FileName(st, comp)))
+				v2, err := s.readV2(filepath.Join(dir, smformat.V2FileName(st, comp)))
 				if err != nil {
 					return err
 				}
@@ -719,7 +719,7 @@ func (s *state) fourierRecordViaTempFolder(idx int, st, exe string) (err error) 
 				if err != nil {
 					return err
 				}
-				if err := smformat.WriteFourierFile(filepath.Join(dir, smformat.FourierFileName(v2.Station, v2.Component)), f); err != nil {
+				if err := s.writeFourier(filepath.Join(dir, smformat.FourierFileName(v2.Station, v2.Component)), f); err != nil {
 					return err
 				}
 			}
@@ -731,13 +731,13 @@ func (s *state) fourierRecordViaTempFolder(idx int, st, exe string) (err error) 
 		for _, comp := range seismic.Components {
 			fname := smformat.FourierFileName(st, comp)
 			if err := s.retryOp(rc, "move", func() error {
-				return stageMove(fsys, s.path(fname), filepath.Join(dir, fname), s.bytesOut)
+				return s.moveArtifact(fsys, s.path(fname), filepath.Join(dir, fname), s.bytesOut)
 			}); err != nil {
 				return err
 			}
 			v2name := smformat.V2FileName(st, comp)
 			if err := s.retryOp(rc, "move", func() error {
-				return stageMove(fsys, s.path(v2name), filepath.Join(dir, v2name), s.bytesOut)
+				return s.moveArtifact(fsys, s.path(v2name), filepath.Join(dir, v2name), s.bytesOut)
 			}); err != nil {
 				return err
 			}

@@ -330,6 +330,14 @@ type Options struct {
 	// binaries), quantifying what the staging protocol costs.
 	NoTempFolders bool
 
+	// NoArtifactCache is the ablation of the write-through artifact cache
+	// (see internal/artifact): every process re-reads and re-parses its
+	// file inputs from disk and staging always copies bytes instead of
+	// hardlinking, quantifying what the file-based inter-process protocol
+	// costs.  On-disk outputs are byte-identical either way; only the
+	// redundant decode/copy work changes.
+	NoArtifactCache bool
+
 	// SimProcessors switches the parallel variants to the simulated
 	// platform: every parallel construct executes its real work serially,
 	// measures genuine per-task costs, and charges the wall time a

@@ -68,7 +68,7 @@ func (s *state) procInitFilterParams() error {
 		Default:   fourier.DefaultSpec(),
 		PerSignal: map[smformat.SignalKey]dsp.BandPassSpec{},
 	}
-	return smformat.WriteFilterParamsFile(s.path(smformat.FilterParamsFile), params)
+	return s.writeFilterParams(s.path(smformat.FilterParamsFile), params)
 }
 
 // procSeparateComponents is process #3 (and #12): split every multiplexed
@@ -88,7 +88,7 @@ func (s *state) procSeparateComponents(workers int) error {
 // files: the per-record unit of process #3, scheduled directly as a dataflow
 // node by the pipelined variant.
 func (s *state) separateStation(st string) error {
-	v1, err := smformat.ReadV1File(s.path(smformat.V1FileName(st)))
+	v1, err := s.readV1(s.path(smformat.V1FileName(st)))
 	if err != nil {
 		return err
 	}
@@ -99,7 +99,7 @@ func (s *state) separateStation(st string) error {
 			DT:        v1.DT,
 			Accel:     v1.Accel[ci],
 		}
-		if err := smformat.WriteV1ComponentFile(s.path(smformat.V1ComponentFileName(st, comp)), vc); err != nil {
+		if err := s.writeV1Comp(s.path(smformat.V1ComponentFileName(st, comp)), vc); err != nil {
 			return err
 		}
 	}
@@ -152,7 +152,7 @@ func (s *state) applyFilters(workers int) error {
 	if err != nil {
 		return err
 	}
-	params, err := smformat.ReadFilterParamsFile(s.path(smformat.FilterParamsFile))
+	params, err := s.readFilterParams(s.path(smformat.FilterParamsFile))
 	if err != nil {
 		return err
 	}
@@ -160,7 +160,7 @@ func (s *state) applyFilters(workers int) error {
 	peaks := make([]seismic.PeakValues, len(keys))
 	err = s.parFor(len(keys), workers, CostHeavyIO, func(i int) error {
 		key := keys[i]
-		v1, err := smformat.ReadV1ComponentFile(s.path(smformat.V1ComponentFileName(key.Station, key.Component)))
+		v1, err := s.readV1Comp(s.path(smformat.V1ComponentFileName(key.Station, key.Component)))
 		if err != nil {
 			return err
 		}
@@ -169,7 +169,7 @@ func (s *state) applyFilters(workers int) error {
 			return err
 		}
 		peaks[i] = pk
-		return smformat.WriteV2File(s.path(smformat.V2FileName(key.Station, key.Component)), v2)
+		return s.writeV2(s.path(smformat.V2FileName(key.Station, key.Component)), v2)
 	})
 	if err != nil {
 		return err
@@ -216,7 +216,7 @@ func (s *state) procPlotUncorrected() error {
 	for _, st := range stations {
 		var panels []plotps.Plot
 		for _, comp := range seismic.Components {
-			v1, err := smformat.ReadV1ComponentFile(s.path(smformat.V1ComponentFileName(st, comp)))
+			v1, err := s.readV1Comp(s.path(smformat.V1ComponentFileName(st, comp)))
 			if err != nil {
 				return err
 			}
@@ -255,7 +255,7 @@ func (s *state) procFourier(workers int) error {
 // fourierSignal computes and writes the Fourier spectra of one corrected
 // component file: the per-signal unit of process #7.
 func (s *state) fourierSignal(name string) error {
-	v2, err := smformat.ReadV2File(s.path(name))
+	v2, err := s.readV2(s.path(name))
 	if err != nil {
 		return err
 	}
@@ -263,7 +263,7 @@ func (s *state) fourierSignal(name string) error {
 	if err != nil {
 		return err
 	}
-	return smformat.WriteFourierFile(s.path(smformat.FourierFileName(v2.Station, v2.Component)), f)
+	return s.writeFourier(s.path(smformat.FourierFileName(v2.Station, v2.Component)), f)
 }
 
 // procInitFourierGraph is process #8: the fourier-graph file list.
@@ -305,7 +305,7 @@ func (s *state) procPlotFourier() error {
 func (s *state) plotFourierStation(st string) error {
 	var panels []plotps.Plot
 	for _, comp := range seismic.Components {
-		f, err := smformat.ReadFourierFile(s.path(smformat.FourierFileName(st, comp)))
+		f, err := s.readFourier(s.path(smformat.FourierFileName(st, comp)))
 		if err != nil {
 			return err
 		}
@@ -347,7 +347,7 @@ func (s *state) procPickCorners(compWorkers int) error {
 	if err != nil {
 		return err
 	}
-	params, err := smformat.ReadFilterParamsFile(s.path(smformat.FilterParamsFile))
+	params, err := s.readFilterParams(s.path(smformat.FilterParamsFile))
 	if err != nil {
 		return err
 	}
@@ -372,13 +372,13 @@ func (s *state) procPickCorners(compWorkers int) error {
 			return err
 		}
 	}
-	return smformat.WriteFilterParamsFile(s.path(smformat.FilterParamsFile), params)
+	return s.writeFilterParams(s.path(smformat.FilterParamsFile), params)
 }
 
 // pickSignalSpec picks the FPL/FSL corners of one component spectrum: the
 // per-signal unit of process #10.
 func (s *state) pickSignalSpec(st string, comp seismic.Component) (dsp.BandPassSpec, error) {
-	f, err := smformat.ReadFourierFile(s.path(smformat.FourierFileName(st, comp)))
+	f, err := s.readFourier(s.path(smformat.FourierFileName(st, comp)))
 	if err != nil {
 		return dsp.BandPassSpec{}, err
 	}
@@ -403,7 +403,7 @@ func (s *state) procResponseSpectrum(workers int) error {
 // responseSignal computes and writes the response spectrum of one corrected
 // component file: the per-signal unit of process #16.
 func (s *state) responseSignal(name string) error {
-	v2, err := smformat.ReadV2File(s.path(name))
+	v2, err := s.readV2(s.path(name))
 	if err != nil {
 		return err
 	}
@@ -411,7 +411,7 @@ func (s *state) responseSignal(name string) error {
 	if err != nil {
 		return err
 	}
-	return smformat.WriteResponseFile(s.path(smformat.ResponseFileName(v2.Station, v2.Component)), r)
+	return s.writeResponse(s.path(smformat.ResponseFileName(v2.Station, v2.Component)), r)
 }
 
 // procInitResponseGraph is process #17: the response-graph file list.
@@ -448,7 +448,7 @@ func (s *state) procPlotAccel() error {
 func (s *state) plotAccelStation(st string) error {
 	var panels []plotps.Plot
 	for _, comp := range seismic.Components {
-		v2, err := smformat.ReadV2File(s.path(smformat.V2FileName(st, comp)))
+		v2, err := s.readV2(s.path(smformat.V2FileName(st, comp)))
 		if err != nil {
 			return err
 		}
@@ -487,7 +487,7 @@ func (s *state) procPlotResponse() error {
 func (s *state) plotResponseStation(st string) error {
 	var panels []plotps.Plot
 	for _, comp := range seismic.Components {
-		r, err := smformat.ReadResponseFile(s.path(smformat.ResponseFileName(st, comp)))
+		r, err := s.readResponse(s.path(smformat.ResponseFileName(st, comp)))
 		if err != nil {
 			return err
 		}
@@ -535,7 +535,7 @@ func (s *state) procGenerateGEM(workers int) error {
 func (s *state) gemJob(key smformat.SignalKey, isR bool) error {
 	var gems [3]smformat.GEM
 	if isR {
-		r, err := smformat.ReadResponseFile(s.path(smformat.ResponseFileName(key.Station, key.Component)))
+		r, err := s.readResponse(s.path(smformat.ResponseFileName(key.Station, key.Component)))
 		if err != nil {
 			return err
 		}
@@ -543,7 +543,7 @@ func (s *state) gemJob(key smformat.SignalKey, isR bool) error {
 			return err
 		}
 	} else {
-		v2, err := smformat.ReadV2File(s.path(smformat.V2FileName(key.Station, key.Component)))
+		v2, err := s.readV2(s.path(smformat.V2FileName(key.Station, key.Component)))
 		if err != nil {
 			return err
 		}

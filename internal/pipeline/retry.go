@@ -193,6 +193,10 @@ func (s *state) degraded(rc recordSite, err error) error {
 func (s *state) quarantine(rc recordSite, serr *StageError) {
 	preserved := ""
 	if rc.scratch != "" {
+		// Whatever cache entries the record accumulated under its scratch
+		// folder are about to be renamed into quarantine (or deleted); drop
+		// them before the paths go stale.
+		s.arts.InvalidateDir(rc.scratch)
 		if _, err := os.Stat(rc.scratch); err == nil {
 			qdir := s.path(QuarantineDir)
 			if err := os.MkdirAll(qdir, 0o755); err == nil {

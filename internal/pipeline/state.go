@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accelproc/internal/artifact"
 	"accelproc/internal/faults"
 	"accelproc/internal/obs"
 	"accelproc/internal/parallel"
@@ -41,6 +42,13 @@ type state struct {
 	chaos *faults.Chaos
 	retry RetryPolicy
 
+	// arts is the run's write-through artifact store (see internal/artifact
+	// and cache.go): decoded V1/V2/F/R payloads keyed by path and content
+	// generation, so consumers skip re-parsing what a producer just
+	// formatted.  Nil when Options.NoArtifactCache disables the cache —
+	// every store method is nil-safe, so no call site checks.
+	arts *artifact.Store
+
 	// Quarantine record: stations condemned by the retry engine, excluded
 	// from every subsequent stations() listing so the event continues with
 	// the survivors.
@@ -68,6 +76,7 @@ type state struct {
 	quarCount  *obs.Counter
 	faultsCtr  *obs.Counter
 	cleanupErr *obs.Counter
+	links      *obs.Counter
 }
 
 // simulated reports whether parallel constructs run on the simulated
@@ -177,6 +186,9 @@ func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 		s.chaos = faults.NewChaos(faults.NewInjector(*c), faults.OS{}, s.sleep)
 	}
 	s.fs = s.chaos.At("", "")
+	if !s.opts.NoArtifactCache {
+		s.arts = artifact.NewStore()
+	}
 	if o := s.opts.Observer; o != nil {
 		s.wmon = obs.NewWorkerMonitor(o, "pipeline")
 		s.records = o.Counter("records_processed_total")
@@ -186,6 +198,9 @@ func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 		s.quarCount = o.Counter("records_quarantined")
 		s.faultsCtr = o.Counter("faults_injected")
 		s.cleanupErr = o.Counter("scratch_cleanup_errors")
+		s.links = o.Counter("links_total")
+		s.arts.SetCounters(o.Counter("cache_hits_total"),
+			o.Counter("cache_misses_total"), o.Counter("cache_bytes_saved_total"))
 	}
 	return s, nil
 }

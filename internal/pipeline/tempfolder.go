@@ -124,7 +124,10 @@ func stageMove(fsys faults.FS, dst, src string, c *obs.Counter) error {
 // removeScratch deletes one scratch folder through fsys.  A failed removal
 // is counted in scratch_cleanup_errors and then forced with the plain
 // filesystem: cleanup accounting must not turn into scratch-dir leaks.
+// Cache entries under the folder are dropped first — by this point every
+// artifact worth keeping has been moved (and its entry renamed) out.
 func (s *state) removeScratch(fsys faults.FS, dir string) {
+	s.arts.InvalidateDir(dir)
 	if err := fsys.RemoveAll(dir); err != nil {
 		s.cleanupErr.Add(1)
 		os.RemoveAll(dir)
@@ -143,6 +146,7 @@ func (s *state) removeScratchDirs(dirs []string) {
 		if _, err := os.Stat(d); err != nil {
 			continue // already removed, or moved to quarantine
 		}
+		s.arts.InvalidateDir(d)
 		if err := os.RemoveAll(d); err != nil {
 			s.cleanupErr.Add(1)
 		}
@@ -189,14 +193,14 @@ func (s *state) filterViaTempFolders(proc *obs.Span, stage StageID, pid ProcessI
 					return err
 				}
 				if err := s.retryOp(rc, "copy", func() error {
-					return stageCopy(fsys, filepath.Join(dirs[i], smformat.FilterParamsFile), s.path(smformat.FilterParamsFile), s.bytesIn)
+					return s.copyArtifact(fsys, filepath.Join(dirs[i], smformat.FilterParamsFile), s.path(smformat.FilterParamsFile), s.bytesIn)
 				}); err != nil {
 					return err
 				}
 				for _, comp := range seismic.Components {
 					name := smformat.V1ComponentFileName(rc.station, comp)
 					if err := s.retryOp(rc, "move", func() error {
-						return stageMove(fsys, filepath.Join(dirs[i], name), s.path(name), s.bytesIn)
+						return s.moveArtifact(fsys, filepath.Join(dirs[i], name), s.path(name), s.bytesIn)
 					}); err != nil {
 						return err
 					}
@@ -222,7 +226,7 @@ func (s *state) filterViaTempFolders(proc *obs.Span, stage StageID, pid ProcessI
 			}
 			fsys := s.fsAt(tag, rc.station)
 			err := s.retryOp(rc, "copy", func() error {
-				return stageCopy(fsys, filepath.Join(dirs[i], exeImageName), exe, s.bytesIn)
+				return s.copyArtifact(fsys, filepath.Join(dirs[i], exeImageName), exe, s.bytesIn)
 			})
 			if err := s.degraded(rc, err); err != nil {
 				return err
@@ -257,12 +261,12 @@ func (s *state) filterViaTempFolders(proc *obs.Span, stage StageID, pid ProcessI
 					if err := s.chaos.Exec(tag, st); err != nil {
 						return err
 					}
-					params, err := smformat.ReadFilterParamsFile(filepath.Join(dirs[i], smformat.FilterParamsFile))
+					params, err := s.readFilterParams(filepath.Join(dirs[i], smformat.FilterParamsFile))
 					if err != nil {
 						return err
 					}
 					for _, comp := range seismic.Components {
-						v1, err := smformat.ReadV1ComponentFile(filepath.Join(dirs[i], smformat.V1ComponentFileName(st, comp)))
+						v1, err := s.readV1Comp(filepath.Join(dirs[i], smformat.V1ComponentFileName(st, comp)))
 						if err != nil {
 							return err
 						}
@@ -271,7 +275,7 @@ func (s *state) filterViaTempFolders(proc *obs.Span, stage StageID, pid ProcessI
 						if err != nil {
 							return err
 						}
-						if err := smformat.WriteV2File(filepath.Join(dirs[i], smformat.V2FileName(st, comp)), v2); err != nil {
+						if err := s.writeV2(filepath.Join(dirs[i], smformat.V2FileName(st, comp)), v2); err != nil {
 							return err
 						}
 						frag.Peaks[key] = pk
@@ -288,13 +292,13 @@ func (s *state) filterViaTempFolders(proc *obs.Span, stage StageID, pid ProcessI
 				for _, comp := range seismic.Components {
 					v2name := smformat.V2FileName(st, comp)
 					if err := s.retryOp(rc, "move", func() error {
-						return stageMove(fsys, s.path(v2name), filepath.Join(dirs[i], v2name), s.bytesOut)
+						return s.moveArtifact(fsys, s.path(v2name), filepath.Join(dirs[i], v2name), s.bytesOut)
 					}); err != nil {
 						return err
 					}
 					v1name := smformat.V1ComponentFileName(st, comp)
 					if err := s.retryOp(rc, "move", func() error {
-						return stageMove(fsys, s.path(v1name), filepath.Join(dirs[i], v1name), s.bytesOut)
+						return s.moveArtifact(fsys, s.path(v1name), filepath.Join(dirs[i], v1name), s.bytesOut)
 					}); err != nil {
 						return err
 					}
@@ -378,7 +382,7 @@ func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
 				for _, comp := range seismic.Components {
 					name := smformat.V2FileName(rc.station, comp)
 					if err := s.retryOp(rc, "move", func() error {
-						return stageMove(fsys, filepath.Join(dirs[i], name), s.path(name), s.bytesIn)
+						return s.moveArtifact(fsys, filepath.Join(dirs[i], name), s.path(name), s.bytesIn)
 					}); err != nil {
 						return err
 					}
@@ -404,7 +408,7 @@ func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
 			}
 			fsys := s.fsAt(tag, rc.station)
 			err := s.retryOp(rc, "copy", func() error {
-				return stageCopy(fsys, filepath.Join(dirs[i], exeImageName), exe, s.bytesIn)
+				return s.copyArtifact(fsys, filepath.Join(dirs[i], exeImageName), exe, s.bytesIn)
 			})
 			if err := s.degraded(rc, err); err != nil {
 				return err
@@ -432,7 +436,7 @@ func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
 						return err
 					}
 					for _, comp := range seismic.Components {
-						v2, err := smformat.ReadV2File(filepath.Join(dirs[i], smformat.V2FileName(st, comp)))
+						v2, err := s.readV2(filepath.Join(dirs[i], smformat.V2FileName(st, comp)))
 						if err != nil {
 							return err
 						}
@@ -440,7 +444,7 @@ func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
 						if err != nil {
 							return err
 						}
-						if err := smformat.WriteFourierFile(filepath.Join(dirs[i], smformat.FourierFileName(v2.Station, v2.Component)), f); err != nil {
+						if err := s.writeFourier(filepath.Join(dirs[i], smformat.FourierFileName(v2.Station, v2.Component)), f); err != nil {
 							return err
 						}
 					}
@@ -452,14 +456,14 @@ func (s *state) fourierViaTempFolders(proc *obs.Span, workers int) (err error) {
 				for _, comp := range seismic.Components {
 					fname := smformat.FourierFileName(st, comp)
 					if err := s.retryOp(rc, "move", func() error {
-						return stageMove(fsys, s.path(fname), filepath.Join(dirs[i], fname), s.bytesOut)
+						return s.moveArtifact(fsys, s.path(fname), filepath.Join(dirs[i], fname), s.bytesOut)
 					}); err != nil {
 						return err
 					}
 					// Move the V2 input back: stages VIII, IX, and XI reuse it.
 					v2name := smformat.V2FileName(st, comp)
 					if err := s.retryOp(rc, "move", func() error {
-						return stageMove(fsys, s.path(v2name), filepath.Join(dirs[i], v2name), s.bytesOut)
+						return s.moveArtifact(fsys, s.path(v2name), filepath.Join(dirs[i], v2name), s.bytesOut)
 					}); err != nil {
 						return err
 					}

@@ -65,8 +65,15 @@ type writerTo interface{ Write(io.Writer) error }
 // writeFile writes one product file (create, write, close, with the first
 // error reported).  Paths ending in ".gz" are written gzip-compressed —
 // the storage mode of long-term strong-motion archives.
+//
+// The bytes land in a sibling temp file that is renamed into place, so the
+// destination only ever holds a complete file, and — load-bearing for the
+// artifact cache's hardlink staging — an overwrite binds the path to a fresh
+// inode instead of truncating one the destination may share with a staged
+// hardlink.
 func writeFile(path string, v writerTo) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("smformat: create %s: %w", path, err)
 	}
@@ -82,10 +89,16 @@ func writeFile(path string, v writerTo) error {
 	}
 	cerr := f.Close()
 	if werr != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("smformat: write %s: %w", path, werr)
 	}
 	if cerr != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("smformat: close %s: %w", path, cerr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("smformat: replace %s: %w", path, err)
 	}
 	return nil
 }

@@ -1,0 +1,103 @@
+package smformat
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Fuzz targets for the two formats with the most structural variety: the
+// multiplexed V1 record (multi-block payload) and the GEM export (two-column
+// payload with a packed header).  The property is canonical-form stability:
+// any input the parser accepts must re-encode, and the canonical bytes must
+// be a fixed point of decode∘encode.  Corrupt inputs must produce an error,
+// never a panic — the corpus seeds come from the corruption cases of
+// corrupt_test.go.
+
+func fuzzSeedV1() []byte {
+	v := sampleV1(rand.New(rand.NewSource(21)))
+	var buf bytes.Buffer
+	if err := v.Write(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func fuzzSeedGEM() []byte {
+	g := sampleGEM(rand.New(rand.NewSource(22)))
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzV1RoundTrip(f *testing.F) {
+	valid := fuzzSeedV1()
+	f.Add(valid)
+	f.Add([]byte(""))
+	f.Add([]byte("\n"))
+	f.Add([]byte("GARBAGE HEADER\nmore garbage\n"))
+	f.Add([]byte("STRONG-MOTION UNCORRECTED RECORD V99\n"))
+	f.Add([]byte("STRONG-MOTION UNCORRECTED RECORD V1\nSTATION: A\nDT: 0.01\nNPTS: 0\nUNITS: gal\n"))
+	f.Add([]byte("STRONG-MOTION UNCORRECTED RECORD V1\nSTATION: A\nDT: 0.01\nNPTS: xyz\nUNITS: gal\n"))
+	for _, tr := range truncations(valid) {
+		f.Add(tr)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := ParseV1(bytes.NewReader(data))
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		var b1 bytes.Buffer
+		if err := v.Write(&b1); err != nil {
+			t.Fatalf("accepted V1 failed to re-encode: %v", err)
+		}
+		v2, err := ParseV1(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical V1 form rejected: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := v2.Write(&b2); err != nil {
+			t.Fatalf("re-parsed V1 failed to encode: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("V1 round trip is not a fixed point:\n%q\nvs\n%q", b1.Bytes(), b2.Bytes())
+		}
+	})
+}
+
+func FuzzGEMRoundTrip(f *testing.F) {
+	valid := fuzzSeedGEM()
+	f.Add(valid)
+	f.Add([]byte(""))
+	f.Add([]byte("\n"))
+	f.Add([]byte("GARBAGE HEADER\nmore garbage\n"))
+	f.Add([]byte("GEM EXPORT SS01 l X A\nNROWS: 1\n0 1\n"))
+	f.Add([]byte("GEM EXPORT SS01 l 2 A\nNROWS: 3\n0 1\n"))
+	f.Add([]byte("GEM EXPORT SS01 l 2 A\nNROWS: 1\n0 1 2\n"))
+	for _, tr := range truncations(valid) {
+		f.Add(tr)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseGEM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if err := g.Write(&b1); err != nil {
+			t.Fatalf("accepted GEM failed to re-encode: %v", err)
+		}
+		g2, err := ParseGEM(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical GEM form rejected: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := g2.Write(&b2); err != nil {
+			t.Fatalf("re-parsed GEM failed to encode: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("GEM round trip is not a fixed point:\n%q\nvs\n%q", b1.Bytes(), b2.Bytes())
+		}
+	})
+}

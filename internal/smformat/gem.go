@@ -85,23 +85,27 @@ func (g GEM) Write(w io.Writer) error {
 	}
 	bw := bufio.NewWriter(w)
 	err := func() error {
-		if _, err := fmt.Fprintf(bw, "%s %s %s %c %c\n", gemMagic, g.Station, g.Component.Suffix(), g.Kind, g.Quantity); err != nil {
+		bp := linePool.Get().(*[]byte)
+		buf := (*bp)[:0]
+		defer func() { *bp = buf[:0]; linePool.Put(bp) }()
+		buf = append(buf, gemMagic...)
+		buf = append(buf, ' ')
+		buf = append(buf, g.Station...)
+		buf = append(buf, ' ')
+		buf = append(buf, g.Component.Suffix()...)
+		buf = append(buf, ' ', byte(g.Kind), ' ', byte(g.Quantity), '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 		if err := writeHeaderInt(bw, "NROWS", len(g.Values)); err != nil {
 			return err
 		}
 		for i := range g.Values {
-			if _, err := bw.WriteString(strconv.FormatFloat(g.Abscissa[i], 'e', 17, 64)); err != nil {
-				return err
-			}
-			if err := bw.WriteByte(' '); err != nil {
-				return err
-			}
-			if _, err := bw.WriteString(strconv.FormatFloat(g.Values[i], 'e', 17, 64)); err != nil {
-				return err
-			}
-			if err := bw.WriteByte('\n'); err != nil {
+			buf = strconv.AppendFloat(buf[:0], g.Abscissa[i], 'e', 17, 64)
+			buf = append(buf, ' ')
+			buf = strconv.AppendFloat(buf, g.Values[i], 'e', 17, 64)
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
 				return err
 			}
 		}

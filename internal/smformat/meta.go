@@ -80,11 +80,18 @@ func (p FilterParams) Write(w io.Writer) error {
 }
 
 func writeSpecLine(w *bufio.Writer, station, comp string, s dsp.BandPassSpec) error {
-	_, err := fmt.Fprintf(w, "%s %s %s %s %s %s\n", station, comp,
-		strconv.FormatFloat(s.FSL, 'e', 17, 64),
-		strconv.FormatFloat(s.FPL, 'e', 17, 64),
-		strconv.FormatFloat(s.FPH, 'e', 17, 64),
-		strconv.FormatFloat(s.FSH, 'e', 17, 64))
+	bp := linePool.Get().(*[]byte)
+	buf := append((*bp)[:0], station...)
+	buf = append(buf, ' ')
+	buf = append(buf, comp...)
+	for _, f := range [4]float64{s.FSL, s.FPL, s.FPH, s.FSH} {
+		buf = append(buf, ' ')
+		buf = strconv.AppendFloat(buf, f, 'e', 17, 64)
+	}
+	buf = append(buf, '\n')
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	linePool.Put(bp)
 	return err
 }
 
@@ -242,15 +249,20 @@ func (m MaxValues) Write(w io.Writer) error {
 		if err := writeHeaderInt(bw, "NSIGNALS", len(m.Peaks)); err != nil {
 			return err
 		}
+		bp := linePool.Get().(*[]byte)
+		buf := (*bp)[:0]
+		defer func() { *bp = buf[:0]; linePool.Put(bp) }()
 		for _, k := range sortedKeys(m.Peaks) {
 			p := m.Peaks[k]
-			if _, err := fmt.Fprintf(bw, "%s %s %s %s %s %s %s %s\n", k.Station, k.Component.Suffix(),
-				strconv.FormatFloat(p.PGA, 'e', 17, 64),
-				strconv.FormatFloat(p.TimePGA, 'e', 17, 64),
-				strconv.FormatFloat(p.PGV, 'e', 17, 64),
-				strconv.FormatFloat(p.TimePGV, 'e', 17, 64),
-				strconv.FormatFloat(p.PGD, 'e', 17, 64),
-				strconv.FormatFloat(p.TimePGD, 'e', 17, 64)); err != nil {
+			buf = append(buf[:0], k.Station...)
+			buf = append(buf, ' ')
+			buf = append(buf, k.Component.Suffix()...)
+			for _, f := range [6]float64{p.PGA, p.TimePGA, p.PGV, p.TimePGV, p.PGD, p.TimePGD} {
+				buf = append(buf, ' ')
+				buf = strconv.AppendFloat(buf, f, 'e', 17, 64)
+			}
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
 				return err
 			}
 		}

@@ -28,47 +28,65 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // valuesPerLine is the number of numeric samples written per payload line.
 const valuesPerLine = 4
 
+// linePool recycles the scratch buffers the hot writers format lines into,
+// so a steady-state write allocates nothing per value.
+var linePool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
 // writeValues writes a float64 block in fixed-width scientific notation,
-// valuesPerLine per row.
+// valuesPerLine per row.  Values are appended into pooled scratch instead of
+// formatted into per-value strings; the emitted bytes are unchanged.
 func writeValues(w *bufio.Writer, data []float64) error {
+	bp := linePool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	defer func() { *bp = buf[:0]; linePool.Put(bp) }()
 	for i, v := range data {
+		buf = buf[:0]
 		if i%valuesPerLine != 0 {
-			if err := w.WriteByte(' '); err != nil {
-				return err
-			}
+			buf = append(buf, ' ')
 		}
-		if _, err := w.WriteString(strconv.FormatFloat(v, 'e', 17, 64)); err != nil {
-			return err
-		}
+		buf = strconv.AppendFloat(buf, v, 'e', 17, 64)
 		if (i+1)%valuesPerLine == 0 || i == len(data)-1 {
-			if err := w.WriteByte('\n'); err != nil {
-				return err
-			}
+			buf = append(buf, '\n')
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
 // valueScanner incrementally parses whitespace-separated float64 payloads.
+// Tokens are sliced out of the current line by index — no per-line []string
+// from strings.Fields, no per-token copies — which matters on the payload
+// blocks, where a 56K-point record spans 14K lines.
 type valueScanner struct {
 	sc   *bufio.Scanner
 	line int
-	toks []string
-	pos  int
+	buf  string // current payload line
+	pos  int    // scan offset into buf
 }
 
 func newValueScanner(sc *bufio.Scanner, line int) *valueScanner {
 	return &valueScanner{sc: sc, line: line}
 }
 
+func isValueSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' }
+
 // next returns the next numeric token.
 func (v *valueScanner) next() (float64, error) {
-	for v.pos >= len(v.toks) {
+	for {
+		for v.pos < len(v.buf) && isValueSpace(v.buf[v.pos]) {
+			v.pos++
+		}
+		if v.pos < len(v.buf) {
+			break
+		}
 		if !v.sc.Scan() {
 			if err := v.sc.Err(); err != nil {
 				return 0, err
@@ -76,11 +94,14 @@ func (v *valueScanner) next() (float64, error) {
 			return 0, fmt.Errorf("line %d: unexpected end of file in value block", v.line)
 		}
 		v.line++
-		v.toks = strings.Fields(v.sc.Text())
+		v.buf = v.sc.Text()
 		v.pos = 0
 	}
-	tok := v.toks[v.pos]
-	v.pos++
+	start := v.pos
+	for v.pos < len(v.buf) && !isValueSpace(v.buf[v.pos]) {
+		v.pos++
+	}
+	tok := v.buf[start:v.pos]
 	x, err := strconv.ParseFloat(tok, 64)
 	if err != nil {
 		return 0, fmt.Errorf("line %d: bad numeric value %q: %v", v.line, tok, err)

@@ -78,6 +78,47 @@ func BenchmarkV1Write(b *testing.B) {
 	b.SetBytes(int64(buf.Len()))
 }
 
+// TestV2AllocContract56K pins the allocation behavior of the hot codec on a
+// long record (56K points, the upper end of the paper's event files):
+//
+//   - Write formats every value into pooled scratch, so its alloc count is a
+//     small constant — independent of record length.
+//   - Parse allocates one line string from the scanner plus the payload
+//     slices and headers; the index-based token splitting adds nothing per
+//     line (the old strings.Fields path added one []string per line).
+//
+// The bounds are contracts, not measurements: a regression that reintroduces
+// per-value or extra per-line allocation trips them immediately.
+func TestV2AllocContract56K(t *testing.T) {
+	const n = 56000
+	v := benchV2(n)
+	var buf bytes.Buffer
+	if err := v.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	lines := bytes.Count(data, []byte("\n"))
+
+	writeAllocs := testing.AllocsPerRun(5, func() {
+		buf.Reset()
+		if err := v.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if writeAllocs > 64 {
+		t.Errorf("V2.Write(56K points) = %.0f allocs/op, want a small constant (<= 64)", writeAllocs)
+	}
+
+	parseAllocs := testing.AllocsPerRun(5, func() {
+		if _, err := ParseV2(bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if max := float64(lines) + 64; parseAllocs > max {
+		t.Errorf("ParseV2(56K points) = %.0f allocs/op over %d lines, want <= %.0f (one per line plus a constant)", parseAllocs, lines, max)
+	}
+}
+
 func BenchmarkGEMWrite(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	n := 20000
