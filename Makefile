@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos cache-ablation bench ci
+.PHONY: all fmt vet build test race chaos cache-ablation fuzz-smoke bench ci
 
 all: build
 
@@ -25,9 +25,9 @@ test:
 
 # The parallel runtime and the pipeline drivers carry the concurrency and
 # the occupancy instrumentation; they must stay race-clean, and so must the
-# shared artifact store under them.
+# shared artifact store and the storage plane under them.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/pipeline/... ./internal/artifact/...
+	$(GO) test -race ./internal/parallel/... ./internal/pipeline/... ./internal/artifact/... ./internal/storage/...
 
 # Seeded chaos soak: the fault-injection suite (rate sweep, poisoned-record
 # batch, retry/quarantine engine) under the race detector, with the artifact
@@ -41,7 +41,13 @@ chaos:
 cache-ablation:
 	$(GO) test -count=1 -run 'ArtifactCache' ./internal/pipeline/...
 
+# Short fuzz smoke over the format round-trip fuzzers (the CI gate runs the
+# same two targets for ~5s each).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzV1RoundTrip' -fuzztime 5s ./internal/smformat/
+	$(GO) test -run '^$$' -fuzz 'FuzzGEMRoundTrip' -fuzztime 5s ./internal/smformat/
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: fmt vet build test race chaos cache-ablation
+ci: fmt vet build test fuzz-smoke race chaos cache-ablation

@@ -24,8 +24,12 @@ go test ./...
 echo "== bench smoke (every benchmark compiles and runs once) =="
 go test -bench . -benchtime=1x -run '^$' ./...
 
-echo "== race (parallel runtime + dataflow scheduler + pipeline drivers + artifact store) =="
-go test -race ./internal/parallel/... ./internal/dataflow/... ./internal/pipeline/... ./internal/artifact/...
+echo "== fuzz smoke (format round-trip fuzzers, ~5s each) =="
+go test -run '^$' -fuzz 'FuzzV1RoundTrip' -fuzztime 5s ./internal/smformat/
+go test -run '^$' -fuzz 'FuzzGEMRoundTrip' -fuzztime 5s ./internal/smformat/
+
+echo "== race (parallel runtime + dataflow scheduler + pipeline drivers + artifact store + storage plane) =="
+go test -race ./internal/parallel/... ./internal/dataflow/... ./internal/pipeline/... ./internal/artifact/... ./internal/storage/...
 
 echo "== chaos (seeded fault-injection soak, artifact cache enabled) =="
 go test -race -count=1 -run 'Chaos|Partial|Quarantine|RetryOp|StageMove' ./internal/pipeline/... ./internal/faults/...

@@ -7,7 +7,8 @@
 //	benchtables [-scale 0.16] [-workers 0] [-method duhamel|nj]
 //	            [-periods 8] [-repeat 1] [-variants seq-original,full]
 //	            [-table1] [-fig11] [-fig12] [-fig13] [-check]
-//	            [-no-artifact-cache] [-json BENCH_label.json]
+//	            [-no-artifact-cache] [-storage fs|mem]
+//	            [-json BENCH_label.json]
 //	            [-compare old.json [-threshold 0.1]] [new.json]
 //	            [-trace spans.jsonl] [-metrics metrics.txt] [-pprof cpu.out]
 //
@@ -21,7 +22,10 @@
 // baselines (see EXPERIMENTS.md "Machine-readable reports").
 // -no-artifact-cache disables the content-addressed artifact cache in every
 // measured run (the cached-vs-uncached ablation endpoint; outputs are
-// byte-identical either way).  -compare runs no benchmarks: it diffs two
+// byte-identical either way).  -storage selects the storage plane for every
+// measured run: fs (default) or mem, the disk-vs-memory ablation endpoints;
+// the report's host block records the backend and, on mem, the peak
+// in-memory residency.  -compare runs no benchmarks: it diffs two
 // committed reports — the old baseline named by the flag, the new one as
 // the positional argument — printing per-event, per-variant deltas and
 // exiting non-zero when any variant slowed down by more than -threshold
@@ -47,6 +51,7 @@ import (
 	"accelproc/internal/cliobs"
 	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
+	"accelproc/internal/storage"
 	"accelproc/internal/synth"
 )
 
@@ -122,6 +127,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		chaos     = fs.Float64("chaos", 0, "fault-injection rate in [0,1] for the temp-folder protocol: measure the degraded mode")
 		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
 		noCache   = fs.Bool("no-artifact-cache", false, "disable the content-addressed artifact cache in every measured run")
+		storageNm = fs.String("storage", "fs", "storage backend for every measured run: fs (plain filesystem) or mem (in-memory inter-stage files)")
 		compare   = fs.String("compare", "", "diff this baseline report against the report given as positional argument, then exit")
 		threshold = fs.Float64("threshold", 0.10, "relative slowdown treated as a regression by -compare (0.10 = 10%)")
 	)
@@ -146,6 +152,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	backend, err := storage.ParseBackend(*storageNm)
+	if err != nil {
+		return err
+	}
 	session, err := obsFlags.Start()
 	if err != nil {
 		return err
@@ -160,6 +170,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		ChaosRate:       *chaos,
 		ChaosSeed:       *chaosSeed,
 		NoArtifactCache: *noCache,
+		Storage:         backend,
 		Response: response.Config{
 			Method:  m,
 			Periods: response.LogPeriods(0.05, 10, *periods),
@@ -180,8 +191,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(stdout, "accelproc evaluation: scale=%g workers=%d method=%s periods=%d repeat=%d GOMAXPROCS=%d\n\n",
-		cfg.Scale, *workers, m, *periods, *repeat, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(stdout, "accelproc evaluation: scale=%g workers=%d method=%s periods=%d repeat=%d storage=%s GOMAXPROCS=%d\n\n",
+		cfg.Scale, *workers, m, *periods, *repeat, backend, runtime.GOMAXPROCS(0))
 
 	progress := func(s string) { fmt.Fprintln(stderr, "running "+s) }
 

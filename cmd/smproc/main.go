@@ -21,8 +21,11 @@
 // quarantined under <dir>/quarantine.  -no-artifact-cache disables the
 // content-addressed artifact cache for A/B runs (outputs are
 // byte-identical either way; see README "The artifact cache").
-// Interrupting the process (SIGINT/SIGTERM) cancels the run cleanly,
-// including scratch folders.
+// -storage selects the storage plane: fs (default, plain filesystem) or
+// mem (inter-stage files held in memory, final products materialized to
+// disk at the end of the run; outputs byte-identical — see README
+// "The storage plane").  Interrupting the process (SIGINT/SIGTERM)
+// cancels the run cleanly, including scratch folders.
 package main
 
 import (
@@ -41,6 +44,7 @@ import (
 	"accelproc/internal/obs"
 	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
+	"accelproc/internal/storage"
 )
 
 func main() {
@@ -83,6 +87,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector (same seed = same faults)")
 		maxAttempts  = fs.Int("retries", 0, "max attempts per staging operation before quarantining the record (0 = default 3)")
 		noCache      = fs.Bool("no-artifact-cache", false, "disable the content-addressed artifact cache (outputs are byte-identical either way)")
+		storageName  = fs.String("storage", "fs", "storage backend: fs (plain filesystem) or mem (in-memory inter-stage files, final products written to disk)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +104,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	backend, err := storage.ParseBackend(*storageName)
+	if err != nil {
+		return err
+	}
 	var renderer obs.Sink
 	if *verbose {
 		renderer = obs.NewProgressRenderer(stdout)
@@ -112,6 +121,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Workers:         *workers,
 		EventWorkers:    *eventWorkers,
 		NoArtifactCache: *noCache,
+		Storage:         backend,
 		Response: response.Config{
 			Method:  m,
 			Periods: response.LogPeriods(0.02, 20, *periods),

@@ -18,13 +18,18 @@
 // preserves the inode and therefore the generation.  A nil *Store is valid
 // everywhere and caches nothing, which is how the -no-artifact-cache
 // ablation runs.
+//
+// The generation function is pluggable (NewStoreWith), so the store works
+// against any storage backend: the default stats the real filesystem
+// (size + mtime), while the in-memory workspace supplies its own monotonic
+// write-sequence tokens — making the same store the fs backend's
+// accelerator and the mem backend's native coherence check.
 package artifact
 
 import (
 	"os"
 	"strings"
 	"sync"
-	"time"
 
 	"accelproc/internal/obs"
 )
@@ -33,8 +38,8 @@ import (
 // it was decoded from (or encoded to).
 type entry struct {
 	value any
+	gen   any
 	size  int64
-	mtime time.Time
 }
 
 // Store maps file paths to decoded artifact values.  All methods are safe
@@ -42,6 +47,7 @@ type entry struct {
 type Store struct {
 	mu      sync.RWMutex
 	entries map[string]entry
+	gen     func(path string) (gen any, size int64, ok bool)
 
 	// Nil-safe observability counters (see obs.Counter); zero-valued until
 	// SetCounters attaches real ones.
@@ -50,9 +56,37 @@ type Store struct {
 	saved  *obs.Counter
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store using the filesystem generation (stat
+// size + mtime).
 func NewStore() *Store {
-	return &Store{entries: make(map[string]entry)}
+	return NewStoreWith(nil)
+}
+
+// NewStoreWith returns an empty store whose content generations come from
+// gen; nil selects the filesystem default.  gen must return a comparable
+// token identifying the path's current content, its size in bytes, and
+// ok=false when the path does not currently hold a regular file.
+func NewStoreWith(gen func(path string) (any, int64, bool)) *Store {
+	if gen == nil {
+		gen = statGeneration
+	}
+	return &Store{entries: make(map[string]entry), gen: gen}
+}
+
+// statGen is the filesystem generation token: size + mtime as observed by
+// os.Stat.
+type statGen struct {
+	size      int64
+	mtimeNano int64
+}
+
+// statGeneration is the default generation function.
+func statGeneration(path string) (any, int64, bool) {
+	info, err := os.Stat(path)
+	if err != nil || info.IsDir() {
+		return nil, 0, false
+	}
+	return statGen{size: info.Size(), mtimeNano: info.ModTime().UnixNano()}, info.Size(), true
 }
 
 // SetCounters attaches the cache metrics: hits, misses, and the on-disk
@@ -64,21 +98,21 @@ func (s *Store) SetCounters(hits, misses, saved *obs.Counter) {
 	s.hits, s.misses, s.saved = hits, misses, saved
 }
 
-// Put records value as the decoded form of path's current on-disk content.
-// It must be called after the file has been successfully written (or read):
-// the file is stat'ed to capture its generation, and a failed stat drops
+// Put records value as the decoded form of path's current content.  It must
+// be called after the file has been successfully written (or read): the
+// generation function captures the content token, and a failed lookup drops
 // any existing entry instead of storing an unverifiable one.
 func (s *Store) Put(path string, value any) {
 	if s == nil {
 		return
 	}
-	info, err := os.Stat(path)
-	if err != nil {
+	g, size, ok := s.gen(path)
+	if !ok {
 		s.Invalidate(path)
 		return
 	}
 	s.mu.Lock()
-	s.entries[path] = entry{value: value, size: info.Size(), mtime: info.ModTime()}
+	s.entries[path] = entry{value: value, gen: g, size: size}
 	s.mu.Unlock()
 }
 
@@ -97,8 +131,8 @@ func (s *Store) Get(path string) (any, bool) {
 		s.misses.Add(1)
 		return nil, false
 	}
-	info, err := os.Stat(path)
-	if err != nil || info.Size() != e.size || !info.ModTime().Equal(e.mtime) {
+	g, _, live := s.gen(path)
+	if !live || g != e.gen {
 		s.Invalidate(path)
 		s.misses.Add(1)
 		return nil, false

@@ -9,6 +9,7 @@ import (
 
 	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
+	"accelproc/internal/storage"
 	"accelproc/internal/synth"
 )
 
@@ -35,6 +36,14 @@ type AblationResults struct {
 	// byte-identical; only redundant decode/copy work differs).
 	CachedTotal   time.Duration
 	UncachedTotal time.Duration
+
+	// Storage backend: full-parallel pipeline total with inter-stage files
+	// on the plain filesystem vs held in memory (outputs byte-identical;
+	// the mem run still pays for materializing the final products).
+	// MemPeakBytes is the mem run's peak residency.
+	DiskTotal    time.Duration
+	MemTotal     time.Duration
+	MemPeakBytes int64
 }
 
 // RunAblations executes the ablation suite on the given event spec.
@@ -47,77 +56,91 @@ func RunAblations(ctx context.Context, spec synth.EventSpec, cfg Config) (Ablati
 	}
 	out := AblationResults{Event: scaled, ThreadSweep: map[int]time.Duration{}}
 
-	runOnce := func(opts pipeline.Options) (pipeline.Timings, error) {
+	runOnce := func(opts pipeline.Options) (pipeline.Result, error) {
 		dir, err := os.MkdirTemp(cfg.WorkRoot, "accelproc-ablation-*")
 		if err != nil {
-			return pipeline.Timings{}, err
+			return pipeline.Result{}, err
 		}
 		defer os.RemoveAll(dir)
 		if err := pipeline.PrepareWorkDir(dir, ev); err != nil {
-			return pipeline.Timings{}, err
+			return pipeline.Result{}, err
 		}
-		res, err := pipeline.Run(ctx, dir, pipeline.FullParallel, opts)
-		if err != nil {
-			return pipeline.Timings{}, err
-		}
-		return res.Timings, nil
+		return pipeline.Run(ctx, dir, pipeline.FullParallel, opts)
 	}
 	baseOpts := pipeline.Options{
 		Workers:       cfg.Workers,
 		Response:      cfg.Response,
 		SimProcessors: resolveSimProcessors(cfg.SimProcessors),
 		Observer:      cfg.Observer,
+		Storage:       cfg.Storage,
 	}
 	stagedSum := func(t pipeline.Timings) time.Duration {
 		return t.Stage[pipeline.StageIV] + t.Stage[pipeline.StageV] + t.Stage[pipeline.StageVIII]
 	}
 
 	// 1. Temp-folder protocol vs direct loops.
-	tim, err := runOnce(baseOpts)
+	res, err := runOnce(baseOpts)
 	if err != nil {
 		return AblationResults{}, fmt.Errorf("bench: temp-folder ablation: %w", err)
 	}
-	out.TempFolderStages = stagedSum(tim)
-	out.DuhamelTotal = tim.Total // base config uses the legacy method
+	out.TempFolderStages = stagedSum(res.Timings)
+	out.DuhamelTotal = res.Timings.Total // base config uses the legacy method
 
 	direct := baseOpts
 	direct.NoTempFolders = true
-	if tim, err = runOnce(direct); err != nil {
+	if res, err = runOnce(direct); err != nil {
 		return AblationResults{}, fmt.Errorf("bench: direct-loop ablation: %w", err)
 	}
-	out.DirectLoopStages = stagedSum(tim)
+	out.DirectLoopStages = stagedSum(res.Timings)
 
 	// 2. Response-spectrum method.
 	nj := baseOpts
 	nj.Response = response.Config{Method: response.NigamJennings, Periods: cfg.Response.Periods}
-	if tim, err = runOnce(nj); err != nil {
+	if res, err = runOnce(nj); err != nil {
 		return AblationResults{}, fmt.Errorf("bench: method ablation: %w", err)
 	}
-	out.NigamJenningsTotal = tim.Total
+	out.NigamJenningsTotal = res.Timings.Total
 
 	// 3. Processor sweep on the simulated platform.
 	for _, procs := range []int{1, 2, 4, 8, 16} {
 		sw := baseOpts
 		sw.SimProcessors = procs
-		if tim, err = runOnce(sw); err != nil {
+		if res, err = runOnce(sw); err != nil {
 			return AblationResults{}, fmt.Errorf("bench: thread sweep %d: %w", procs, err)
 		}
-		out.ThreadSweep[procs] = tim.Total
+		out.ThreadSweep[procs] = res.Timings.Total
 	}
 
 	// 4. Artifact cache on vs off.
 	cached := baseOpts
 	cached.NoArtifactCache = false
-	if tim, err = runOnce(cached); err != nil {
+	if res, err = runOnce(cached); err != nil {
 		return AblationResults{}, fmt.Errorf("bench: cached ablation: %w", err)
 	}
-	out.CachedTotal = tim.Total
+	out.CachedTotal = res.Timings.Total
 	uncached := baseOpts
 	uncached.NoArtifactCache = true
-	if tim, err = runOnce(uncached); err != nil {
+	if res, err = runOnce(uncached); err != nil {
 		return AblationResults{}, fmt.Errorf("bench: uncached ablation: %w", err)
 	}
-	out.UncachedTotal = tim.Total
+	out.UncachedTotal = res.Timings.Total
+
+	// 5. Storage backend: plain filesystem vs in-memory workspace.  Both
+	// runs force the backend explicitly so the ablation is the same pair
+	// whatever cfg.Storage selected for the rest of the suite.
+	disk := baseOpts
+	disk.Storage = storage.BackendFS
+	if res, err = runOnce(disk); err != nil {
+		return AblationResults{}, fmt.Errorf("bench: disk-storage ablation: %w", err)
+	}
+	out.DiskTotal = res.Timings.Total
+	mem := baseOpts
+	mem.Storage = storage.BackendMem
+	if res, err = runOnce(mem); err != nil {
+		return AblationResults{}, fmt.Errorf("bench: mem-storage ablation: %w", err)
+	}
+	out.MemTotal = res.Timings.Total
+	out.MemPeakBytes = res.StorageBytesPeak
 	return out, nil
 }
 
@@ -139,6 +162,13 @@ func FormatAblations(a AblationResults) string {
 		fmt.Fprintf(&b, "artifact cache: %.2f s cached vs %.2f s uncached (%.1f%% saved)\n",
 			a.CachedTotal.Seconds(), a.UncachedTotal.Seconds(),
 			100*(1-a.CachedTotal.Seconds()/a.UncachedTotal.Seconds()))
+	}
+
+	if a.DiskTotal > 0 && a.MemTotal > 0 {
+		fmt.Fprintf(&b, "storage backend: %.2f s on disk vs %.2f s in memory (%.1f%% saved, peak residency %.1f MiB)\n",
+			a.DiskTotal.Seconds(), a.MemTotal.Seconds(),
+			100*(1-a.MemTotal.Seconds()/a.DiskTotal.Seconds()),
+			float64(a.MemPeakBytes)/(1<<20))
 	}
 
 	fmt.Fprintln(&b, "processor sweep (fully parallelized, simulated platform):")

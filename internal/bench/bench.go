@@ -21,6 +21,7 @@ import (
 	"accelproc/internal/obs"
 	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
+	"accelproc/internal/storage"
 	"accelproc/internal/synth"
 )
 
@@ -75,6 +76,11 @@ type Config struct {
 	// every pipeline run (the -no-artifact-cache ablation).  On-disk
 	// outputs are byte-identical either way; only decode/copy work changes.
 	NoArtifactCache bool
+	// Storage selects the pipeline's storage backend for every run: the
+	// zero value (or "fs") is the plain filesystem, "mem" keeps inter-stage
+	// file bytes in memory and materializes only the final event products.
+	// Outputs are byte-identical across backends; only I/O work differs.
+	Storage storage.Backend
 }
 
 // PaperProcessors is the core count of the paper's experimental platform
@@ -147,6 +153,9 @@ type EventResult struct {
 	// rather than from separate timers, so the published figures and the
 	// trace files describe the same measurement.
 	Traces map[pipeline.Variant][]obs.SpanRecord
+	// StorageBytesPeak is the largest in-memory residency any run of this
+	// event reached; always 0 on the fs backend.
+	StorageBytesPeak int64
 }
 
 // Speedup is the paper's headline metric: sequential-original time over
@@ -214,6 +223,7 @@ func RunEvent(ctx context.Context, spec synth.EventSpec, cfg Config) (EventResul
 		SimProcessors:   resolveSimProcessors(cfg.SimProcessors),
 		Observer:        o,
 		NoArtifactCache: cfg.NoArtifactCache,
+		Storage:         cfg.Storage,
 	}
 	if cfg.ChaosRate > 0 {
 		opts.Chaos = &faults.Config{Seed: cfg.ChaosSeed, Rate: cfg.ChaosRate}
@@ -247,6 +257,9 @@ func RunEvent(ctx context.Context, spec synth.EventSpec, cfg Config) (EventResul
 				res.Times[v] = run.Timings.Total
 				res.Timings[v] = run.Timings
 				res.Traces[v] = trace
+			}
+			if run.StorageBytesPeak > res.StorageBytesPeak {
+				res.StorageBytesPeak = run.StorageBytesPeak
 			}
 		}
 	}
@@ -371,6 +384,9 @@ func (c Config) Validate() error {
 	}
 	if cc.ChaosRate < 0 || cc.ChaosRate > 1 {
 		return fmt.Errorf("bench: chaos rate %g out of range [0,1]", cc.ChaosRate)
+	}
+	if _, err := storage.ParseBackend(string(cc.Storage)); err != nil {
+		return fmt.Errorf("bench: %w", err)
 	}
 	for _, spec := range cc.Events {
 		if err := spec.Validate(); err != nil {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"accelproc/internal/pipeline"
+	"accelproc/internal/storage"
 )
 
 // This file renders experiment results as a machine-readable JSON report,
@@ -23,6 +24,11 @@ type HostInfo struct {
 	GoVersion  string `json:"go_version"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Storage is the backend the runs used ("fs" or "mem"); on "mem",
+	// StorageBytesResidentPeak is the largest in-memory residency any
+	// measured run reached, in bytes.
+	Storage                  string `json:"storage"`
+	StorageBytesResidentPeak int64  `json:"storage_bytes_resident_peak,omitempty"`
 }
 
 // VariantReport is one variant's measurement on one event.
@@ -80,15 +86,24 @@ func ratio(times map[pipeline.Variant]time.Duration, num, den pipeline.Variant) 
 // configuration; checks may be nil when -check did not run.
 func NewReport(label string, cfg Config, results []EventResult, checks []string) Report {
 	cfg = cfg.withDefaults()
+	backend, _ := storage.ParseBackend(string(cfg.Storage))
+	var peak int64
+	for _, r := range results {
+		if r.StorageBytesPeak > peak {
+			peak = r.StorageBytesPeak
+		}
+	}
 	rep := Report{
 		Label:     label,
 		CreatedAt: time.Now().UTC(),
 		Host: HostInfo{
-			GOOS:       runtime.GOOS,
-			GOARCH:     runtime.GOARCH,
-			GoVersion:  runtime.Version(),
-			NumCPU:     runtime.NumCPU(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GOOS:                     runtime.GOOS,
+			GOARCH:                   runtime.GOARCH,
+			GoVersion:                runtime.Version(),
+			NumCPU:                   runtime.NumCPU(),
+			GOMAXPROCS:               runtime.GOMAXPROCS(0),
+			Storage:                  string(backend),
+			StorageBytesResidentPeak: peak,
 		},
 		Scale:         cfg.Scale,
 		Workers:       cfg.Workers,

@@ -6,33 +6,20 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"accelproc/internal/storage"
 )
 
-// FS is the file-operation surface the pipeline's staging protocol runs on.
-// The production implementation is OS; chaos runs interpose a fault-deciding
-// wrapper obtained from Chaos.At.
-type FS interface {
-	MkdirAll(path string, perm os.FileMode) error
-	Rename(oldpath, newpath string) error
-	Remove(path string) error
-	RemoveAll(path string) error
-	Stat(path string) (fs.FileInfo, error)
-	ReadFile(path string) ([]byte, error)
-	WriteFile(path string, data []byte, perm os.FileMode) error
-}
+// FS is the file-operation surface the pipeline's staging protocol runs on —
+// an alias for the storage plane's Workspace, so any backend (fs, mem) can
+// sit under the chaos decorator.  The production implementation is
+// storage.OS; chaos runs interpose a fault-deciding wrapper obtained from
+// Chaos.At.
+type FS = storage.Workspace
 
-// OS is the passthrough FS backed by the real filesystem.
-type OS struct{}
-
-func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
-func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
-func (OS) Remove(path string) error                     { return os.Remove(path) }
-func (OS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
-func (OS) Stat(path string) (fs.FileInfo, error)        { return os.Stat(path) }
-func (OS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
-func (OS) WriteFile(path string, data []byte, perm os.FileMode) error {
-	return os.WriteFile(path, data, perm)
-}
+// OS is the passthrough FS backed by the real filesystem (an alias for the
+// storage plane's disk backend).
+type OS = storage.OS
 
 // truncatePoint is how many bytes of a payload a KindTruncate fault lets
 // through before failing: enough that the destination file exists and looks
@@ -54,7 +41,7 @@ type Chaos struct {
 // selects time.Sleep.
 func NewChaos(inj *Injector, base FS, sleep func(time.Duration) error) *Chaos {
 	if base == nil {
-		base = OS{}
+		base = storage.Disk()
 	}
 	if sleep == nil {
 		sleep = func(d time.Duration) error { time.Sleep(d); return nil }
@@ -80,10 +67,11 @@ func (c *Chaos) Injected() uint64 {
 }
 
 // At returns an FS whose operations are attributed to (stage, record).
-// Event-scoped work passes "" for both.  A nil *Chaos returns the plain OS.
+// Event-scoped work passes "" for both.  A nil *Chaos returns the plain
+// disk workspace.
 func (c *Chaos) At(stage, record string) FS {
 	if c == nil {
-		return OS{}
+		return storage.Disk()
 	}
 	return chaosFS{c: c, stage: stage, record: record}
 }
@@ -129,6 +117,12 @@ func (e *injectedError) Unwrap() error { return e.err }
 // performed), so op-granularity retries stay idempotent; KindTruncate is
 // the one exception — WriteFile delivers a prefix and then fails, modeling
 // a partial write that a retry must overwrite.
+//
+// Only the seven staging operations are fault sites.  The Workspace
+// extensions (Open, List, Generation, Materialize, ResidentBytes) pass
+// through untouched, and Link always refuses so chaos runs take the real
+// read+write copy path the injector can see — keeping the set of decisions
+// per seed identical to the pre-storage-plane protocol.
 type chaosFS struct {
 	c             *Chaos
 	stage, record string
@@ -206,6 +200,21 @@ func (f chaosFS) WriteFile(path string, data []byte, perm os.FileMode) error {
 	return f.c.base.WriteFile(path, data, perm)
 }
 
+// Link always refuses under chaos: the copy fallback issues a read+write
+// pair the injector can fault, whereas a hardlink would be an invisible
+// zero-copy shortcut that changed the decision sequence per seed.
+func (f chaosFS) Link(oldpath, newpath string) error { return storage.ErrLinkUnsupported }
+
+func (f chaosFS) Open(path string) (io.ReadCloser, error) { return f.c.base.Open(path) }
+
+func (f chaosFS) List(dir string) ([]fs.DirEntry, error) { return f.c.base.List(dir) }
+
+func (f chaosFS) Generation(path string) (any, int64, bool) { return f.c.base.Generation(path) }
+
+func (f chaosFS) Materialize(dir string) error { return f.c.base.Materialize(dir) }
+
+func (f chaosFS) ResidentBytes() (current, peak int64) { return f.c.base.ResidentBytes() }
+
 // CopyFile copies src to dst through fsys, so chaos runs can fault either
 // side of the copy.  It exists here because io.Copy-style streaming through
 // an interposed FS reduces to read-then-write for the pipeline's small
@@ -218,9 +227,5 @@ func CopyFile(fsys FS, dst, src string) error {
 	return fsys.WriteFile(dst, data, 0o644)
 }
 
-// Interface satisfaction checks.
-var (
-	_ FS        = OS{}
-	_ FS        = chaosFS{}
-	_ io.Writer = (io.Writer)(nil)
-)
+// Interface satisfaction check.
+var _ FS = chaosFS{}

@@ -2,7 +2,7 @@ package pipeline
 
 import (
 	"errors"
-	"os"
+	"io/fs"
 
 	"accelproc/internal/artifact"
 	"accelproc/internal/dsp"
@@ -43,7 +43,7 @@ func (s *state) readV1(path string) (smformat.V1, error) {
 	if v, ok := artifact.Cached[smformat.V1](s.arts, path); ok {
 		return v, nil
 	}
-	v, err := smformat.ReadV1File(path)
+	v, err := smformat.ReadV1FileFS(s.ws, path)
 	if err != nil {
 		return v, err
 	}
@@ -55,7 +55,7 @@ func (s *state) readV1Comp(path string) (smformat.V1Component, error) {
 	if v, ok := artifact.Cached[smformat.V1Component](s.arts, path); ok {
 		return v, nil
 	}
-	v, err := smformat.ReadV1ComponentFile(path)
+	v, err := smformat.ReadV1ComponentFileFS(s.ws, path)
 	if err != nil {
 		return v, err
 	}
@@ -64,7 +64,7 @@ func (s *state) readV1Comp(path string) (smformat.V1Component, error) {
 }
 
 func (s *state) writeV1Comp(path string, v smformat.V1Component) error {
-	if err := smformat.WriteV1ComponentFile(path, v); err != nil {
+	if err := smformat.WriteV1ComponentFileFS(s.ws, path, v); err != nil {
 		s.arts.Invalidate(path)
 		return err
 	}
@@ -76,7 +76,7 @@ func (s *state) readV2(path string) (smformat.V2, error) {
 	if v, ok := artifact.Cached[smformat.V2](s.arts, path); ok {
 		return v, nil
 	}
-	v, err := smformat.ReadV2File(path)
+	v, err := smformat.ReadV2FileFS(s.ws, path)
 	if err != nil {
 		return v, err
 	}
@@ -85,7 +85,7 @@ func (s *state) readV2(path string) (smformat.V2, error) {
 }
 
 func (s *state) writeV2(path string, v smformat.V2) error {
-	if err := smformat.WriteV2File(path, v); err != nil {
+	if err := smformat.WriteV2FileFS(s.ws, path, v); err != nil {
 		s.arts.Invalidate(path)
 		return err
 	}
@@ -97,7 +97,7 @@ func (s *state) readFourier(path string) (smformat.Fourier, error) {
 	if v, ok := artifact.Cached[smformat.Fourier](s.arts, path); ok {
 		return v, nil
 	}
-	v, err := smformat.ReadFourierFile(path)
+	v, err := smformat.ReadFourierFileFS(s.ws, path)
 	if err != nil {
 		return v, err
 	}
@@ -106,7 +106,7 @@ func (s *state) readFourier(path string) (smformat.Fourier, error) {
 }
 
 func (s *state) writeFourier(path string, f smformat.Fourier) error {
-	if err := smformat.WriteFourierFile(path, f); err != nil {
+	if err := smformat.WriteFourierFileFS(s.ws, path, f); err != nil {
 		s.arts.Invalidate(path)
 		return err
 	}
@@ -118,7 +118,7 @@ func (s *state) readResponse(path string) (smformat.Response, error) {
 	if v, ok := artifact.Cached[smformat.Response](s.arts, path); ok {
 		return v, nil
 	}
-	v, err := smformat.ReadResponseFile(path)
+	v, err := smformat.ReadResponseFileFS(s.ws, path)
 	if err != nil {
 		return v, err
 	}
@@ -127,7 +127,7 @@ func (s *state) readResponse(path string) (smformat.Response, error) {
 }
 
 func (s *state) writeResponse(path string, r smformat.Response) error {
-	if err := smformat.WriteResponseFile(path, r); err != nil {
+	if err := smformat.WriteResponseFileFS(s.ws, path, r); err != nil {
 		s.arts.Invalidate(path)
 		return err
 	}
@@ -150,7 +150,7 @@ func (s *state) readFilterParams(path string) (smformat.FilterParams, error) {
 	if v, ok := artifact.Cached[smformat.FilterParams](s.arts, path); ok {
 		return copyParams(v), nil
 	}
-	v, err := smformat.ReadFilterParamsFile(path)
+	v, err := smformat.ReadFilterParamsFileFS(s.ws, path)
 	if err != nil {
 		return v, err
 	}
@@ -159,7 +159,7 @@ func (s *state) readFilterParams(path string) (smformat.FilterParams, error) {
 }
 
 func (s *state) writeFilterParams(path string, p smformat.FilterParams) error {
-	if err := smformat.WriteFilterParamsFile(path, p); err != nil {
+	if err := smformat.WriteFilterParamsFileFS(s.ws, path, p); err != nil {
 		s.arts.Invalidate(path)
 		return err
 	}
@@ -181,37 +181,36 @@ func (s *state) moveArtifact(fsys faults.FS, dst, src string, c *obs.Counter) er
 	return nil
 }
 
-// copyArtifact stages src to dst.  On the plain filesystem it first
-// attempts a hardlink — the staged file is identical content by
-// construction, the link is charged to links_total instead of the staging
-// byte counters (no bytes actually cross the boundary), and the cache entry
-// is cloned since both names now share the inode.  Under chaos the fault
-// injector must see the read+write pair, so the existing stageCopy runs
-// with its accounting unchanged; it is also the fallback when linking
-// fails (filesystem without hardlinks, dst left over from a retry).
+// copyArtifact stages src to dst.  It first asks the workspace for a
+// hardlink — the staged file is identical content by construction, the link
+// is charged to links_total instead of the staging byte counters (no bytes
+// actually cross the boundary), and the cache entry is cloned since both
+// names now share the content generation.  Any backend that cannot link
+// reports an error and the real copy runs: the chaos decorator always
+// refuses (the fault injector must see the read+write pair), and a
+// cross-device or no-hardlink filesystem (EXDEV/ENOTSUP) degrades to the
+// copy instead of failing the stage.  An existing destination — dst left
+// over from a retry — is relinked over once, then likewise falls back.
 //
 // Linked sources are never mutated in place afterwards: the executable
-// image is written once per run, and the metadata writers replace files
-// atomically (write-temp + rename), so a later overwrite of src detaches
-// from the linked inode instead of writing through it.
+// image is written once per run, and every backend's WriteFile replaces
+// files atomically, so a later overwrite of src detaches from the linked
+// content instead of writing through it.
 func (s *state) copyArtifact(fsys faults.FS, dst, src string, c *obs.Counter) error {
-	if _, plain := fsys.(faults.OS); plain {
-		if err := os.Link(src, dst); err == nil {
+	err := fsys.Link(src, dst)
+	if err == nil {
+		s.links.Add(1)
+		s.arts.Clone(src, dst)
+		return nil
+	}
+	if errors.Is(err, fs.ErrExist) {
+		// A previous attempt already staged it; relink over the leftover.
+		if fsys.Remove(dst) == nil && fsys.Link(src, dst) == nil {
 			s.links.Add(1)
 			s.arts.Clone(src, dst)
 			return nil
-		} else if errors.Is(err, os.ErrExist) {
-			// A previous attempt already staged it; relink over the leftover.
-			if os.Remove(dst) == nil && os.Link(src, dst) == nil {
-				s.links.Add(1)
-				s.arts.Clone(src, dst)
-				return nil
-			}
 		}
 	}
 	s.arts.Invalidate(dst)
-	if err := stageCopy(fsys, dst, src, c); err != nil {
-		return err
-	}
-	return nil
+	return stageCopy(fsys, dst, src, c)
 }

@@ -14,6 +14,7 @@ import (
 
 	"accelproc/internal/faults"
 	"accelproc/internal/obs"
+	"accelproc/internal/storage"
 	"accelproc/internal/synth"
 )
 
@@ -49,7 +50,7 @@ func chaosProductHashes(t *testing.T, dir string) map[string]string {
 			continue
 		}
 		if strings.HasSuffix(name, ".v1") {
-			first, err := firstLine(filepath.Join(dir, name))
+			first, err := firstLine(storage.Disk(), filepath.Join(dir, name))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -95,120 +96,134 @@ func assertOnlyQuarantineDirs(t *testing.T, dir string) {
 }
 
 // TestChaosSoak is the acceptance soak: sweep fault rates 0-20% with a fixed
-// seed, assert the pipeline never deadlocks (test completion), never leaks
-// scratch dirs outside quarantine/, reports retry/quarantine counts through
-// the obs metrics, and produces byte-identical outputs to the fault-free
-// run for every surviving record.
+// seed on both storage backends, assert the pipeline never deadlocks (test
+// completion), never leaks scratch dirs outside quarantine/, reports
+// retry/quarantine counts through the obs metrics, and produces
+// byte-identical outputs to the fault-free run for every surviving record.
 func TestChaosSoak(t *testing.T) {
 	ev := testEvent(t)
 	cleanDir, _ := runVariant(t, ev, FullParallel, testOptions())
 	cleanHashes := productHashes(t, cleanDir)
 
-	for _, rate := range []float64{0, 0.05, 0.20} {
-		rate := rate
-		t.Run(fmt.Sprintf("rate=%v", rate), func(t *testing.T) {
-			opts := chaosOptions(rate, 1234)
-			dir := filepath.Join(t.TempDir(), "chaos")
-			if err := PrepareWorkDir(dir, ev); err != nil {
-				t.Fatal(err)
-			}
-			res, err := Run(context.Background(), dir, FullParallel, opts)
-			if err != nil {
-				t.Fatalf("chaos run at rate %v failed outright: %v", rate, err)
-			}
-			assertOnlyQuarantineDirs(t, dir)
+	for _, backend := range []storage.Backend{storage.BackendFS, storage.BackendMem} {
+		for _, rate := range []float64{0, 0.05, 0.20} {
+			backend, rate := backend, rate
+			t.Run(fmt.Sprintf("%s/rate=%v", backend, rate), func(t *testing.T) {
+				opts := chaosOptions(rate, 1234)
+				opts.Storage = backend
+				dir := filepath.Join(t.TempDir(), "chaos")
+				if err := PrepareWorkDir(dir, ev); err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(context.Background(), dir, FullParallel, opts)
+				if err != nil {
+					t.Fatalf("chaos run at rate %v failed outright: %v", rate, err)
+				}
+				assertOnlyQuarantineDirs(t, dir)
 
-			quarantined := make(map[string]bool)
-			for _, q := range res.Quarantined {
-				quarantined[q.Station] = true
-				if q.Scratch != "" {
-					if _, err := os.Stat(q.Scratch); err != nil {
-						t.Errorf("quarantined scratch %s not preserved: %v", q.Scratch, err)
+				quarantined := make(map[string]bool)
+				for _, q := range res.Quarantined {
+					quarantined[q.Station] = true
+					if q.Scratch != "" {
+						if _, err := os.Stat(q.Scratch); err != nil {
+							t.Errorf("quarantined scratch %s not preserved: %v", q.Scratch, err)
+						}
 					}
 				}
-			}
-			if len(res.Stations)+len(quarantined) != 3 {
-				t.Errorf("stations %v + quarantined %v do not cover the event", res.Stations, res.Quarantined)
-			}
+				if len(res.Stations)+len(quarantined) != 3 {
+					t.Errorf("stations %v + quarantined %v do not cover the event", res.Stations, res.Quarantined)
+				}
 
-			// Surviving records' products are byte-identical to the clean run.
-			got := chaosProductHashes(t, dir)
-			for name, h := range cleanHashes {
-				if strings.HasSuffix(name, ".meta") {
-					continue
-				}
-				st := name[:4] // stations are SS01..SS03
-				if quarantined[st] {
-					continue
-				}
-				if got[name] != h {
-					t.Errorf("survivor product %s differs from fault-free run", name)
-				}
-			}
-
-			// Metrics agree with the result.
-			o := opts.Observer
-			if v := int64(o.Counter("faults_injected").Value()); v != res.FaultsInjected {
-				t.Errorf("faults_injected metric %d != result %d", v, res.FaultsInjected)
-			}
-			if v := int64(o.Counter("retries").Value()); v != res.Retries {
-				t.Errorf("retries metric %d != result %d", v, res.Retries)
-			}
-			if v := int(o.Counter("records_quarantined").Value()); v != len(res.Quarantined) {
-				t.Errorf("records_quarantined metric %d != %d", v, len(res.Quarantined))
-			}
-
-			if rate == 0 {
-				if res.FaultsInjected != 0 || res.Retries != 0 || len(res.Quarantined) != 0 {
-					t.Errorf("rate 0 run reported chaos: %d faults, %d retries, %d quarantined",
-						res.FaultsInjected, res.Retries, len(res.Quarantined))
-				}
-				// chaosProductHashes skips all metadata; compare like for like.
-				cleanN := 0
-				for name := range cleanHashes {
-					if !strings.HasSuffix(name, ".meta") {
-						cleanN++
+				// Surviving records' products are byte-identical to the clean run.
+				got := chaosProductHashes(t, dir)
+				for name, h := range cleanHashes {
+					if strings.HasSuffix(name, ".meta") {
+						continue
+					}
+					st := name[:4] // stations are SS01..SS03
+					if quarantined[st] {
+						continue
+					}
+					if got[name] != h {
+						t.Errorf("survivor product %s differs from fault-free run", name)
 					}
 				}
-				if len(got) != cleanN {
-					t.Errorf("rate 0 produced %d products, clean run %d", len(got), cleanN)
+
+				// Metrics agree with the result.
+				o := opts.Observer
+				if v := int64(o.Counter("faults_injected").Value()); v != res.FaultsInjected {
+					t.Errorf("faults_injected metric %d != result %d", v, res.FaultsInjected)
 				}
-			}
-		})
+				if v := int64(o.Counter("retries").Value()); v != res.Retries {
+					t.Errorf("retries metric %d != result %d", v, res.Retries)
+				}
+				if v := int(o.Counter("records_quarantined").Value()); v != len(res.Quarantined) {
+					t.Errorf("records_quarantined metric %d != %d", v, len(res.Quarantined))
+				}
+
+				if rate == 0 {
+					if res.FaultsInjected != 0 || res.Retries != 0 || len(res.Quarantined) != 0 {
+						t.Errorf("rate 0 run reported chaos: %d faults, %d retries, %d quarantined",
+							res.FaultsInjected, res.Retries, len(res.Quarantined))
+					}
+					// chaosProductHashes skips all metadata; compare like for like.
+					cleanN := 0
+					for name := range cleanHashes {
+						if !strings.HasSuffix(name, ".meta") {
+							cleanN++
+						}
+					}
+					if len(got) != cleanN {
+						t.Errorf("rate 0 produced %d products, clean run %d", len(got), cleanN)
+					}
+				}
+			})
+		}
 	}
 }
 
 // TestChaosDeterministicBySeed asserts two runs with the same seed replay
-// the same faults, retries, and quarantine set.
+// the same faults, retries, and quarantine set — on both storage backends,
+// and identically across them (the injector's decisions are a pure function
+// of the operation sites, which the backends share).
 func TestChaosDeterministicBySeed(t *testing.T) {
 	ev := testEvent(t)
-	run := func() Result {
+	run := func(backend storage.Backend) Result {
 		dir := filepath.Join(t.TempDir(), "chaos")
 		if err := PrepareWorkDir(dir, ev); err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(context.Background(), dir, FullParallel, chaosOptions(0.10, 99))
+		opts := chaosOptions(0.10, 99)
+		opts.Storage = backend
+		res, err := Run(context.Background(), dir, FullParallel, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	a, b := run(), run()
-	if a.FaultsInjected != b.FaultsInjected || a.Retries != b.Retries {
-		t.Errorf("same seed diverged: faults %d vs %d, retries %d vs %d",
-			a.FaultsInjected, b.FaultsInjected, a.Retries, b.Retries)
-	}
-	if fmt.Sprint(a.Stations) != fmt.Sprint(b.Stations) {
-		t.Errorf("same seed diverged in survivors: %v vs %v", a.Stations, b.Stations)
-	}
-	if len(a.Quarantined) != len(b.Quarantined) {
-		t.Fatalf("same seed diverged in quarantine: %v vs %v", a.Quarantined, b.Quarantined)
-	}
-	for i := range a.Quarantined {
-		if a.Quarantined[i].Station != b.Quarantined[i].Station {
-			t.Errorf("quarantine %d: %s vs %s", i, a.Quarantined[i].Station, b.Quarantined[i].Station)
+	check := func(label string, a, b Result) {
+		t.Helper()
+		if a.FaultsInjected != b.FaultsInjected || a.Retries != b.Retries {
+			t.Errorf("%s diverged: faults %d vs %d, retries %d vs %d",
+				label, a.FaultsInjected, b.FaultsInjected, a.Retries, b.Retries)
+		}
+		if fmt.Sprint(a.Stations) != fmt.Sprint(b.Stations) {
+			t.Errorf("%s diverged in survivors: %v vs %v", label, a.Stations, b.Stations)
+		}
+		if len(a.Quarantined) != len(b.Quarantined) {
+			t.Fatalf("%s diverged in quarantine: %v vs %v", label, a.Quarantined, b.Quarantined)
+		}
+		for i := range a.Quarantined {
+			if a.Quarantined[i].Station != b.Quarantined[i].Station {
+				t.Errorf("%s quarantine %d: %s vs %s", label, i, a.Quarantined[i].Station, b.Quarantined[i].Station)
+			}
 		}
 	}
+	a, b := run(storage.BackendFS), run(storage.BackendFS)
+	check("same seed (fs)", a, b)
+	m, n := run(storage.BackendMem), run(storage.BackendMem)
+	check("same seed (mem)", m, n)
+	check("fs vs mem", a, m)
 }
 
 // TestPartialBatchPoisonedRecord is the satellite scenario: N events, one
@@ -244,62 +259,68 @@ func TestPartialBatchPoisonedRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	dirs := mkDirs(t)
-	opts := batchOptions(2)
-	opts.Observer = obs.New()
-	opts.Retry = RetryPolicy{BaseDelay: 50 * time.Microsecond, MaxDelay: time.Millisecond}
-	opts.Chaos = &faults.Config{Seed: 7, Rules: []faults.Rule{
-		{Record: "SS03", Stage: "cor", Op: "exec", Kind: faults.KindPermanent},
-	}}
-	results, err := RunBatch(context.Background(), dirs, FullParallel, opts)
-	if err != nil {
-		t.Fatalf("degraded batch failed outright: %v", err)
-	}
-	rep := BatchReport(results)
-	if rep.Failed != 0 || rep.Succeeded != 3 {
-		t.Fatalf("report events: %+v", rep)
-	}
-	if !rep.Degraded() {
-		t.Error("report does not show degradation")
-	}
-	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Station != "SS03" {
-		t.Fatalf("quarantined = %+v, want exactly SS03", rep.Quarantined)
-	}
-	q := rep.Quarantined[0]
-	if q.Dir != dirs[1] || q.Stage != StageVIII || q.Process != PCorrectedFilter {
-		t.Errorf("outcome misattributed: %+v", q)
-	}
-	if rep.Err == nil {
-		t.Fatal("report with quarantined record has nil Err")
-	}
-	if !errors.Is(rep.Err, &StageError{Record: "SS03"}) {
-		t.Errorf("report Err does not match the poisoned record: %v", rep.Err)
-	}
+	for _, backend := range []storage.Backend{storage.BackendFS, storage.BackendMem} {
+		backend := backend
+		t.Run(string(backend), func(t *testing.T) {
+			dirs := mkDirs(t)
+			opts := batchOptions(2)
+			opts.Storage = backend
+			opts.Observer = obs.New()
+			opts.Retry = RetryPolicy{BaseDelay: 50 * time.Microsecond, MaxDelay: time.Millisecond}
+			opts.Chaos = &faults.Config{Seed: 7, Rules: []faults.Rule{
+				{Record: "SS03", Stage: "cor", Op: "exec", Kind: faults.KindPermanent},
+			}}
+			results, err := RunBatch(context.Background(), dirs, FullParallel, opts)
+			if err != nil {
+				t.Fatalf("degraded batch failed outright: %v", err)
+			}
+			rep := BatchReport(results)
+			if rep.Failed != 0 || rep.Succeeded != 3 {
+				t.Fatalf("report events: %+v", rep)
+			}
+			if !rep.Degraded() {
+				t.Error("report does not show degradation")
+			}
+			if len(rep.Quarantined) != 1 || rep.Quarantined[0].Station != "SS03" {
+				t.Fatalf("quarantined = %+v, want exactly SS03", rep.Quarantined)
+			}
+			q := rep.Quarantined[0]
+			if q.Dir != dirs[1] || q.Stage != StageVIII || q.Process != PCorrectedFilter {
+				t.Errorf("outcome misattributed: %+v", q)
+			}
+			if rep.Err == nil {
+				t.Fatal("report with quarantined record has nil Err")
+			}
+			if !errors.Is(rep.Err, &StageError{Record: "SS03"}) {
+				t.Errorf("report Err does not match the poisoned record: %v", rep.Err)
+			}
 
-	// Clean events and the poisoned event's surviving records match the
-	// no-chaos batch byte for byte.
-	for i := range dirs {
-		want := productHashes(t, ref[i])
-		var got map[string]string
-		if i == 1 {
-			got = chaosProductHashes(t, dirs[i])
-		} else {
-			got = productHashes(t, dirs[i])
-		}
-		for name, h := range want {
-			if strings.HasSuffix(name, ".meta") {
-				continue
+			// Clean events and the poisoned event's surviving records match the
+			// no-chaos batch byte for byte.
+			for i := range dirs {
+				want := productHashes(t, ref[i])
+				var got map[string]string
+				if i == 1 {
+					got = chaosProductHashes(t, dirs[i])
+				} else {
+					got = productHashes(t, dirs[i])
+				}
+				for name, h := range want {
+					if strings.HasSuffix(name, ".meta") {
+						continue
+					}
+					if i == 1 && strings.HasPrefix(name, "SS03") {
+						continue // the quarantined record
+					}
+					if got[name] != h {
+						t.Errorf("event %d product %s differs from no-chaos batch", i, name)
+					}
+				}
 			}
-			if i == 1 && strings.HasPrefix(name, "SS03") {
-				continue // the quarantined record
+			if v := int(opts.Observer.Counter("records_quarantined").Value()); v != 1 {
+				t.Errorf("records_quarantined = %d, want 1", v)
 			}
-			if got[name] != h {
-				t.Errorf("event %d product %s differs from no-chaos batch", i, name)
-			}
-		}
-	}
-	if v := int(opts.Observer.Counter("records_quarantined").Value()); v != 1 {
-		t.Errorf("records_quarantined = %d, want 1", v)
+		})
 	}
 }
 

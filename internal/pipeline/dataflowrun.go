@@ -3,7 +3,6 @@ package pipeline
 import (
 	"bufio"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -17,6 +16,7 @@ import (
 	"accelproc/internal/parallel"
 	"accelproc/internal/seismic"
 	"accelproc/internal/smformat"
+	"accelproc/internal/storage"
 )
 
 // This file implements the Pipelined variant: instead of the 11-stage
@@ -508,7 +508,7 @@ func (s *state) writeMergedMaxValues(frags []smformat.MaxValues) error {
 			merged.Peaks[k] = v
 		}
 	}
-	return smformat.WriteMaxValuesFile(s.path(smformat.MaxValuesFile), merged)
+	return smformat.WriteMaxValuesFileFS(s.ws, s.path(smformat.MaxValuesFile), merged)
 }
 
 // filterRecordDirect is the NoTempFolders body of one record of processes
@@ -762,15 +762,15 @@ func (s *state) fourierRecordViaTempFolder(idx int, st, exe string) (err error) 
 func (s *state) recordWeights(stations []string) []float64 {
 	w := make([]float64, len(stations))
 	for i, st := range stations {
-		w[i] = float64(nptsOf(s.path(smformat.V1FileName(st))))
+		w[i] = float64(nptsOf(s.ws, s.path(smformat.V1FileName(st))))
 	}
 	return w
 }
 
 // nptsOf scans the V1 header (NPTS is on the fourth line) for the sample
 // count, returning 1 when it cannot be determined.
-func nptsOf(path string) int {
-	f, err := os.Open(path)
+func nptsOf(ws storage.Workspace, path string) int {
+	f, err := ws.Open(path)
 	if err != nil {
 		return 1
 	}

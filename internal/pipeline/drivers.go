@@ -53,6 +53,14 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 	default:
 		return Result{}, fmt.Errorf("pipeline: unknown variant %d", int(variant))
 	}
+	if err == nil {
+		// Flush the storage backend's in-memory state (a no-op on the fs
+		// backend) so the work directory holds the complete, byte-identical
+		// event products.  Charged inside the total: materialization is part
+		// of what the mem backend costs, and the disk-vs-memory ablation
+		// must not credit it for deferring the writes.
+		err = s.ws.Materialize(s.dir)
+	}
 	// On the simulated platform s.virt carries the (negative) difference
 	// between serial execution and the simulated parallel makespans.
 	total := (s.now() - start) + s.virt
@@ -69,16 +77,22 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 	// One corrected component record per (station, component) pair; only
 	// surviving stations count — quarantined ones are reported separately.
 	s.records.Add(float64(3 * len(stations)))
+	resident, peak := s.ws.ResidentBytes()
+	if o := opts.Observer; o != nil {
+		o.Gauge("storage_bytes_resident").Set(float64(resident))
+		o.Gauge("storage_bytes_resident_peak").Set(float64(peak))
+	}
 	quarantined := s.quarantinedOutcomes()
 	s.runSpan.EndCharged(total, obs.Int("stations", int64(len(stations))),
 		obs.Int("quarantined", int64(len(quarantined))))
 	return Result{
-		Variant:        variant,
-		Stations:       stations,
-		Timings:        s.tim,
-		Quarantined:    quarantined,
-		Retries:        s.nRetries.Load(),
-		FaultsInjected: int64(s.chaos.Injected()),
+		Variant:          variant,
+		Stations:         stations,
+		Timings:          s.tim,
+		Quarantined:      quarantined,
+		Retries:          s.nRetries.Load(),
+		FaultsInjected:   int64(s.chaos.Injected()),
+		StorageBytesPeak: peak,
 	}, nil
 }
 

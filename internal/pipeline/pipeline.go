@@ -28,6 +28,7 @@ import (
 	"accelproc/internal/obs"
 	"accelproc/internal/response"
 	"accelproc/internal/simsched"
+	"accelproc/internal/storage"
 )
 
 // Variant selects which of the paper's four implementations to run.
@@ -330,6 +331,15 @@ type Options struct {
 	// binaries), quantifying what the staging protocol costs.
 	NoTempFolders bool
 
+	// Storage selects the workspace backend the inter-stage file protocol
+	// runs on (see internal/storage): BackendFS (the default, also selected
+	// by the zero value) keeps every intermediate product on the real
+	// filesystem, byte-identical to the legacy chain; BackendMem holds
+	// intermediate file bytes in memory over a real directory tree and
+	// materializes final event outputs (and quarantined scratch) to disk on
+	// demand.  Outputs are byte-identical across backends.
+	Storage storage.Backend
+
 	// NoArtifactCache is the ablation of the write-through artifact cache
 	// (see internal/artifact): every process re-reads and re-parses its
 	// file inputs from disk and staging always copies bytes instead of
@@ -417,4 +427,7 @@ type Result struct {
 	// FaultsInjected counts the faults the chaos layer injected (0 when
 	// Options.Chaos is nil).
 	FaultsInjected int64
+	// StorageBytesPeak is the peak bytes the storage backend held resident
+	// in memory during the run (0 on the fs backend).
+	StorageBytesPeak int64
 }

@@ -15,6 +15,7 @@ import (
 	"accelproc/internal/response"
 	"accelproc/internal/seismic"
 	"accelproc/internal/smformat"
+	"accelproc/internal/storage"
 	"accelproc/internal/synth"
 )
 
@@ -74,7 +75,7 @@ func productHashes(t *testing.T, dir string) map[string]string {
 			continue
 		}
 		if strings.HasSuffix(name, ".v1") {
-			first, err := firstLine(filepath.Join(dir, name))
+			first, err := firstLine(storage.Disk(), filepath.Join(dir, name))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -8,6 +8,7 @@ import (
 
 	"accelproc/internal/seismic"
 	"accelproc/internal/smformat"
+	"accelproc/internal/storage"
 )
 
 // PrepareWorkDir writes the multiplexed <station>.v1 input files of an
@@ -50,7 +51,7 @@ func CleanOutputs(dir string) error {
 			continue
 		}
 		if strings.HasSuffix(name, ".v1") {
-			first, err := firstLine(filepath.Join(dir, name))
+			first, err := firstLine(storage.Disk(), filepath.Join(dir, name))
 			if err != nil {
 				return err
 			}
@@ -92,7 +93,7 @@ func Inventory(dir string) (OutputInventory, error) {
 		name := e.Name()
 		switch {
 		case strings.HasSuffix(name, ".v1"):
-			first, err := firstLine(filepath.Join(dir, name))
+			first, err := firstLine(storage.Disk(), filepath.Join(dir, name))
 			if err != nil {
 				return OutputInventory{}, err
 			}

@@ -2,8 +2,8 @@ package pipeline
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -14,6 +14,7 @@ import (
 	"accelproc/internal/response"
 	"accelproc/internal/seismic"
 	"accelproc/internal/smformat"
+	"accelproc/internal/storage"
 )
 
 // This file implements the 20 processes of the chain.  Each process is a
@@ -29,13 +30,13 @@ func (s *state) procInitFlags() error {
 	for i := 0; i < 10; i++ {
 		flags.Files = append(flags.Files, fmt.Sprintf("flag%02d=0", i))
 	}
-	return smformat.WriteFileListFile(s.path(smformat.FlagsFile), flags)
+	return smformat.WriteFileListFileFS(s.ws, s.path(smformat.FlagsFile), flags)
 }
 
 // procGatherInputs is process #1: scan the work directory for multiplexed
 // V1 input files and write the v1list metadata.
 func (s *state) procGatherInputs() error {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.ws.List(s.dir)
 	if err != nil {
 		return err
 	}
@@ -47,7 +48,7 @@ func (s *state) procGatherInputs() error {
 		// Multiplexed station files only: per-component files (which also
 		// end in .v1 on a rerun of a used work directory) are recognized
 		// and skipped by their magic line.
-		first, err := firstLine(s.path(e.Name()))
+		first, err := firstLine(s.ws, s.path(e.Name()))
 		if err != nil {
 			return err
 		}
@@ -59,7 +60,7 @@ func (s *state) procGatherInputs() error {
 		return fmt.Errorf("no V1 input files in %s", s.dir)
 	}
 	sort.Strings(files)
-	return smformat.WriteFileListFile(s.path(smformat.V1ListFile), smformat.FileList{Name: "v1list", Files: files})
+	return smformat.WriteFileListFileFS(s.ws, s.path(smformat.V1ListFile), smformat.FileList{Name: "v1list", Files: files})
 }
 
 // procInitFilterParams is process #2: write the default filter corners.
@@ -178,7 +179,7 @@ func (s *state) applyFilters(workers int) error {
 	for i, key := range keys {
 		max.Peaks[key] = peaks[i]
 	}
-	return smformat.WriteMaxValuesFile(s.path(smformat.MaxValuesFile), max)
+	return smformat.WriteMaxValuesFileFS(s.ws, s.path(smformat.MaxValuesFile), max)
 }
 
 // procInitMetadata is process #5 (and #14): derive the acc-graph, fourier,
@@ -193,15 +194,15 @@ func (s *state) procInitMetadata() error {
 		v2names = append(v2names, smformat.V2FileName(key.Station, key.Component))
 		rnames = append(rnames, smformat.ResponseFileName(key.Station, key.Component))
 	}
-	if err := smformat.WriteFileListFile(s.path(smformat.AccGraphFile),
+	if err := smformat.WriteFileListFileFS(s.ws, s.path(smformat.AccGraphFile),
 		smformat.FileList{Name: "acc-graph", Files: v2names}); err != nil {
 		return err
 	}
-	if err := smformat.WriteFileListFile(s.path(smformat.FourierMetaFile),
+	if err := smformat.WriteFileListFileFS(s.ws, s.path(smformat.FourierMetaFile),
 		smformat.FileList{Name: "fourier", Files: v2names}); err != nil {
 		return err
 	}
-	return smformat.WriteFileListFile(s.path(smformat.ResponseMetaFile),
+	return smformat.WriteFileListFileFS(s.ws, s.path(smformat.ResponseMetaFile),
 		smformat.FileList{Name: "response", Files: rnames})
 }
 
@@ -232,7 +233,7 @@ func (s *state) procPlotUncorrected() error {
 				Series: []plotps.Series{{Label: "acc", X: t, Y: v1.Accel}},
 			})
 		}
-		if err := writePlotFile(s.path(smformat.AccelPlotFileName(st)), "Uncorrected "+st, panels); err != nil {
+		if err := s.writePlotFile(s.path(smformat.AccelPlotFileName(st)), "Uncorrected "+st, panels); err != nil {
 			return err
 		}
 	}
@@ -241,7 +242,7 @@ func (s *state) procPlotUncorrected() error {
 
 // procFourier is process #7: Fourier spectra of every corrected component.
 func (s *state) procFourier(workers int) error {
-	list, err := smformat.ReadFileListFile(s.path(smformat.FourierMetaFile))
+	list, err := smformat.ReadFileListFileFS(s.ws, s.path(smformat.FourierMetaFile))
 	if err != nil {
 		return err
 	}
@@ -276,7 +277,7 @@ func (s *state) procInitFourierGraph() error {
 	for _, key := range signals(stations) {
 		names = append(names, smformat.FourierFileName(key.Station, key.Component))
 	}
-	return smformat.WriteFileListFile(s.path(smformat.FourierGraphFile),
+	return smformat.WriteFileListFileFS(s.ws, s.path(smformat.FourierGraphFile),
 		smformat.FileList{Name: "fourier-graph", Files: names})
 }
 
@@ -335,7 +336,7 @@ func (s *state) plotFourierStation(st string) error {
 			Markers: markers,
 		})
 	}
-	return writePlotFile(s.path(smformat.FourierPlotFileName(st)), "Fourier spectra "+st, panels)
+	return s.writePlotFile(s.path(smformat.FourierPlotFileName(st)), "Fourier spectra "+st, panels)
 }
 
 // procPickCorners is process #10: pick FPL/FSL per signal from the velocity
@@ -388,7 +389,7 @@ func (s *state) pickSignalSpec(st string, comp seismic.Component) (dsp.BandPassS
 // procResponseSpectrum is process #16, the dominant stage IX workload:
 // compute the elastic response spectra of all 3N corrected components.
 func (s *state) procResponseSpectrum(workers int) error {
-	list, err := smformat.ReadFileListFile(s.path(smformat.FourierMetaFile))
+	list, err := smformat.ReadFileListFileFS(s.ws, s.path(smformat.FourierMetaFile))
 	if err != nil {
 		return err
 	}
@@ -424,7 +425,7 @@ func (s *state) procInitResponseGraph() error {
 	for _, key := range signals(stations) {
 		names = append(names, smformat.ResponseFileName(key.Station, key.Component))
 	}
-	return smformat.WriteFileListFile(s.path(smformat.ResponseGraphFile),
+	return smformat.WriteFileListFileFS(s.ws, s.path(smformat.ResponseGraphFile),
 		smformat.FileList{Name: "response-graph", Files: names})
 }
 
@@ -464,7 +465,7 @@ func (s *state) plotAccelStation(st string) error {
 			Series: []plotps.Series{{Label: "acc", X: t, Y: v2.Accel}},
 		})
 	}
-	return writePlotFile(s.path(smformat.AccelPlotFileName(st)), "Accelerogram "+st, panels)
+	return s.writePlotFile(s.path(smformat.AccelPlotFileName(st)), "Accelerogram "+st, panels)
 }
 
 // procPlotResponse is process #18: the response-spectra page <s>r.ps, one
@@ -503,7 +504,7 @@ func (s *state) plotResponseStation(st string) error {
 			},
 		})
 	}
-	return writePlotFile(s.path(smformat.ResponsePlotFileName(st)), "Response spectra "+st, panels)
+	return s.writePlotFile(s.path(smformat.ResponsePlotFileName(st)), "Response spectra "+st, panels)
 }
 
 // procGenerateGEM is process #19: split every V2 and R file into three GEM
@@ -553,7 +554,7 @@ func (s *state) gemJob(key smformat.SignalKey, isR bool) error {
 		}
 	}
 	for _, g := range gems {
-		if err := smformat.WriteGEMFile(s.path(g.FileName()), g); err != nil {
+		if err := smformat.WriteGEMFileFS(s.ws, s.path(g.FileName()), g); err != nil {
 			return err
 		}
 	}
@@ -561,9 +562,9 @@ func (s *state) gemJob(key smformat.SignalKey, isR bool) error {
 }
 
 // firstLine returns the first line of a file (without the newline), or ""
-// for an empty file.
-func firstLine(path string) (string, error) {
-	f, err := os.Open(path)
+// for an empty file, streaming through the workspace.
+func firstLine(ws storage.Workspace, path string) (string, error) {
+	f, err := ws.Open(path)
 	if err != nil {
 		return "", err
 	}
@@ -576,16 +577,12 @@ func firstLine(path string) (string, error) {
 	return sc.Text(), nil
 }
 
-// writePlotFile writes one multi-panel page to path.
-func writePlotFile(path, title string, panels []plotps.Plot) error {
-	file, err := os.Create(path)
-	if err != nil {
+// writePlotFile renders one multi-panel page and writes it to path through
+// the workspace.
+func (s *state) writePlotFile(path, title string, panels []plotps.Plot) error {
+	var buf bytes.Buffer
+	if err := plotps.WritePage(&buf, title, panels); err != nil {
 		return err
 	}
-	werr := plotps.WritePage(file, title, panels)
-	cerr := file.Close()
-	if werr != nil {
-		return werr
-	}
-	return cerr
+	return s.ws.WriteFile(path, buf.Bytes(), 0o644)
 }

@@ -200,6 +200,10 @@ func (s *state) quarantine(rc recordSite, serr *StageError) {
 		if _, err := os.Stat(rc.scratch); err == nil {
 			qdir := s.path(QuarantineDir)
 			if err := os.MkdirAll(qdir, 0o755); err == nil {
+				// Flush any in-memory contents of the scratch folder to real
+				// disk first: quarantine preserves physical evidence for the
+				// operator, whatever the storage backend.
+				s.ws.Materialize(rc.scratch)
 				dest := filepath.Join(qdir, filepath.Base(rc.scratch))
 				if err := os.Rename(rc.scratch, dest); err == nil {
 					preserved = dest
@@ -208,7 +212,7 @@ func (s *state) quarantine(rc recordSite, serr *StageError) {
 			if preserved == "" {
 				// Could not preserve the scratch folder; remove it rather
 				// than leak it into the work directory.
-				os.RemoveAll(rc.scratch)
+				s.ws.RemoveAll(rc.scratch)
 			}
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"accelproc/internal/seismic"
 	"accelproc/internal/simsched"
 	"accelproc/internal/smformat"
+	"accelproc/internal/storage"
 )
 
 // state carries the per-run context shared by the process implementations:
@@ -34,10 +35,12 @@ type state struct {
 	opts Options
 	tim  Timings
 
-	// Robustness machinery.  fs is the filesystem every event-scoped
-	// staging operation goes through (fault-injected in chaos runs, the
-	// plain OS otherwise); chaos scopes record-level fault decisions;
-	// retry is the resolved policy.
+	// Storage and robustness machinery.  ws is the run's storage backend
+	// (the undecorated workspace selected by Options.Storage); fs is the
+	// surface every event-scoped staging operation goes through — ws wrapped
+	// by the chaos decorator in chaos runs, ws itself otherwise; chaos
+	// scopes record-level fault decisions; retry is the resolved policy.
+	ws    storage.Workspace
 	fs    faults.FS
 	chaos *faults.Chaos
 	retry RetryPolicy
@@ -182,12 +185,18 @@ func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 	s := &state{ctx: ctx, fail: fail, dir: dir, opts: opts.withDefaults()}
 	s.retry = s.opts.Retry.withDefaults()
 	s.quarantinedSet = make(map[string]bool)
-	if c := s.opts.Chaos; c != nil {
-		s.chaos = faults.NewChaos(faults.NewInjector(*c), faults.OS{}, s.sleep)
+	ws, err := storage.New(s.opts.Storage)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
 	}
-	s.fs = s.chaos.At("", "")
+	s.ws = ws
+	s.fs = ws
+	if c := s.opts.Chaos; c != nil {
+		s.chaos = faults.NewChaos(faults.NewInjector(*c), ws, s.sleep)
+		s.fs = s.chaos.At("", "")
+	}
 	if !s.opts.NoArtifactCache {
-		s.arts = artifact.NewStore()
+		s.arts = artifact.NewStoreWith(ws.Generation)
 	}
 	if o := s.opts.Observer; o != nil {
 		s.wmon = obs.NewWorkerMonitor(o, "pipeline")
@@ -205,10 +214,15 @@ func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 	return s, nil
 }
 
-// fsAt returns the filesystem for record-scoped staging operations of the
-// given stage tag and station: fault-injected under chaos, the plain OS
-// otherwise.
-func (s *state) fsAt(tag, station string) faults.FS { return s.chaos.At(tag, station) }
+// fsAt returns the storage surface for record-scoped staging operations of
+// the given stage tag and station: the workspace wrapped with record-scoped
+// fault injection under chaos, the bare workspace otherwise.
+func (s *state) fsAt(tag, station string) faults.FS {
+	if s.chaos == nil {
+		return s.ws
+	}
+	return s.chaos.At(tag, station)
+}
 
 // path resolves a file name inside the work directory.
 func (s *state) path(name string) string { return filepath.Join(s.dir, name) }
@@ -291,7 +305,7 @@ func (s *state) timedTask(parent *obs.Span, name string, body func() error) erro
 // returns the station codes in sorted order, excluding records condemned to
 // quarantine — downstream processes see only the survivors.
 func (s *state) stations() ([]string, error) {
-	list, err := smformat.ReadFileListFile(s.path(smformat.V1ListFile))
+	list, err := smformat.ReadFileListFileFS(s.ws, s.path(smformat.V1ListFile))
 	if err != nil {
 		return nil, err
 	}

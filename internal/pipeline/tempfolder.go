@@ -3,7 +3,6 @@ package pipeline
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"syscall"
 
@@ -130,7 +129,7 @@ func (s *state) removeScratch(fsys faults.FS, dir string) {
 	s.arts.InvalidateDir(dir)
 	if err := fsys.RemoveAll(dir); err != nil {
 		s.cleanupErr.Add(1)
-		os.RemoveAll(dir)
+		s.ws.RemoveAll(dir)
 	}
 }
 
@@ -143,11 +142,11 @@ func (s *state) removeScratchDirs(dirs []string) {
 		return
 	}
 	for _, d := range dirs {
-		if _, err := os.Stat(d); err != nil {
+		if _, err := s.ws.Stat(d); err != nil {
 			continue // already removed, or moved to quarantine
 		}
 		s.arts.InvalidateDir(d)
-		if err := os.RemoveAll(d); err != nil {
+		if err := s.ws.RemoveAll(d); err != nil {
 			s.cleanupErr.Add(1)
 		}
 	}
@@ -321,7 +320,7 @@ func (s *state) filterViaTempFolders(proc *obs.Span, stage StageID, pid ProcessI
 			merged.Peaks[k] = v
 		}
 	}
-	if err := smformat.WriteMaxValuesFile(s.path(smformat.MaxValuesFile), merged); err != nil {
+	if err := smformat.WriteMaxValuesFileFS(s.ws, s.path(smformat.MaxValuesFile), merged); err != nil {
 		return err
 	}
 

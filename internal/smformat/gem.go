@@ -144,8 +144,14 @@ func ParseGEM(r io.Reader) (GEM, error) {
 	if nrows <= 0 {
 		return GEM{}, fmt.Errorf("smformat: GEM %s: NROWS %d must be positive", g.Station, nrows)
 	}
-	g.Abscissa = make([]float64, nrows)
-	g.Values = make([]float64, nrows)
+	// Cap the pre-allocation: a hostile NROWS header must not reserve
+	// gigabytes before a single data row has been read.
+	capHint := nrows
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	g.Abscissa = make([]float64, 0, capHint)
+	g.Values = make([]float64, 0, capHint)
 	line := h.line
 	for i := 0; i < nrows; i++ {
 		if !sc.Scan() {
@@ -159,12 +165,16 @@ func ParseGEM(r io.Reader) (GEM, error) {
 		if len(cols) != 2 {
 			return GEM{}, fmt.Errorf("smformat: GEM %s line %d: %d columns, want 2", g.Station, line, len(cols))
 		}
-		if g.Abscissa[i], err = strconv.ParseFloat(cols[0], 64); err != nil {
+		a, err := strconv.ParseFloat(cols[0], 64)
+		if err != nil {
 			return GEM{}, fmt.Errorf("smformat: GEM %s line %d: %v", g.Station, line, err)
 		}
-		if g.Values[i], err = strconv.ParseFloat(cols[1], 64); err != nil {
+		v, err := strconv.ParseFloat(cols[1], 64)
+		if err != nil {
 			return GEM{}, fmt.Errorf("smformat: GEM %s line %d: %v", g.Station, line, err)
 		}
+		g.Abscissa = append(g.Abscissa, a)
+		g.Values = append(g.Values, v)
 	}
 	if err := g.Validate(); err != nil {
 		return GEM{}, err

@@ -109,15 +109,21 @@ func (v *valueScanner) next() (float64, error) {
 	return x, nil
 }
 
-// readBlock reads exactly n values.
+// readBlock reads exactly n values.  The pre-allocation is capped so a
+// hostile count header cannot reserve gigabytes before any value has been
+// read.
 func (v *valueScanner) readBlock(n int) ([]float64, error) {
-	out := make([]float64, n)
-	for i := range out {
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	out := make([]float64, 0, capHint)
+	for i := 0; i < n; i++ {
 		x, err := v.next()
 		if err != nil {
 			return nil, err
 		}
-		out[i] = x
+		out = append(out, x)
 	}
 	return out, nil
 }

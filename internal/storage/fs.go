@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// OS is the filesystem-backed Workspace: every operation is the
+// corresponding os call.  It is stateless; the zero value is ready to use.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(path string) error                     { return os.Remove(path) }
+func (OS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (OS) Stat(path string) (fs.FileInfo, error)        { return os.Stat(path) }
+func (OS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+
+// WriteFile lands the bytes in a sibling temp file that is renamed into
+// place, so the destination only ever holds a complete file and an
+// overwrite binds the path to a fresh inode — never truncating an inode the
+// destination may share with a staged hardlink.
+func (OS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, perm); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func (OS) Link(oldpath, newpath string) error      { return os.Link(oldpath, newpath) }
+func (OS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+func (OS) List(dir string) ([]fs.DirEntry, error)  { return os.ReadDir(dir) }
+
+// diskGen is the filesystem content generation: size + mtime as observed by
+// stat, the same coherence token the artifact cache has always used.
+type diskGen struct {
+	size      int64
+	mtimeNano int64
+}
+
+// diskGeneration stats path and returns its generation token; shared with
+// the mem backend's fallback for files that still live on real disk.
+func diskGeneration(path string) (any, int64, bool) {
+	info, err := os.Stat(path)
+	if err != nil || info.IsDir() {
+		return nil, 0, false
+	}
+	return diskGen{size: info.Size(), mtimeNano: info.ModTime().UnixNano()}, info.Size(), true
+}
+
+func (OS) Generation(path string) (any, int64, bool) { return diskGeneration(path) }
+
+// Materialize is a no-op: everything already lives on disk.
+func (OS) Materialize(dir string) error { return nil }
+
+// ResidentBytes is zero: the disk backend holds nothing in memory.
+func (OS) ResidentBytes() (current, peak int64) { return 0, 0 }
+
+var _ Workspace = OS{}
