@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos cache-ablation fuzz-smoke bench ci
+.PHONY: all fmt vet build test race chaos cache-ablation cache-persist fuzz-smoke bench ci
 
 all: build
 
@@ -41,6 +41,12 @@ chaos:
 cache-ablation:
 	$(GO) test -count=1 -run 'ArtifactCache' ./internal/pipeline/...
 
+# Persistent action-cache suite: warm restarts must skip unchanged records
+# with byte-identical outputs on both storage backends, and a corrupted
+# cache entry (truncated blob) must degrade to recomputation, never error.
+cache-persist:
+	$(GO) test -count=1 -run 'WarmRestart|PersistentCache|ActionCache' ./internal/pipeline/... ./internal/artifact/...
+
 # Short fuzz smoke over the format round-trip fuzzers (the CI gate runs the
 # same two targets for ~5s each).
 fuzz-smoke:
@@ -50,4 +56,4 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: fmt vet build test fuzz-smoke race chaos cache-ablation
+ci: fmt vet build test fuzz-smoke race chaos cache-ablation cache-persist

@@ -37,4 +37,7 @@ go test -race -count=1 -run 'Chaos|Partial|Quarantine|RetryOp|StageMove' ./inter
 echo "== cache ablation smoke (cached vs uncached outputs byte-identical, hits observed) =="
 go test -count=1 -run 'ArtifactCache' ./internal/pipeline/...
 
+echo "== cache persistence (warm restarts skip unchanged records; corrupted entries degrade to misses) =="
+go test -count=1 -run 'WarmRestart|PersistentCache|ActionCache' ./internal/pipeline/... ./internal/artifact/...
+
 echo "CI gate passed."

@@ -7,7 +7,7 @@
 //	benchtables [-scale 0.16] [-workers 0] [-method duhamel|nj]
 //	            [-periods 8] [-repeat 1] [-variants seq-original,full]
 //	            [-table1] [-fig11] [-fig12] [-fig13] [-check]
-//	            [-no-artifact-cache] [-storage fs|mem]
+//	            [-cache off|mem|disk[:dir]] [-storage fs|mem]
 //	            [-json BENCH_label.json]
 //	            [-compare old.json [-threshold 0.1]] [new.json]
 //	            [-trace spans.jsonl] [-metrics metrics.txt] [-pprof cpu.out]
@@ -20,9 +20,12 @@
 // per-stage timings, derived speedups, host info, and any -check results —
 // to the given file; the repo commits such reports as BENCH_<label>.json
 // baselines (see EXPERIMENTS.md "Machine-readable reports").
-// -no-artifact-cache disables the content-addressed artifact cache in every
-// measured run (the cached-vs-uncached ablation endpoint; outputs are
-// byte-identical either way).  -storage selects the storage plane for every
+// -cache selects the caching layers of every measured run: off, mem (the
+// default in-process memo), or disk[:dir] (the persistent action cache —
+// the cold-vs-warm ablation endpoint; see -ablations).  -no-artifact-cache
+// is the deprecated spelling of -cache=off (the cached-vs-uncached ablation
+// endpoint; outputs are byte-identical in every mode).  -storage selects the
+// storage plane for every
 // measured run: fs (default) or mem, the disk-vs-memory ablation endpoints;
 // the report's host block records the backend and, on mem, the peak
 // in-memory residency.  -compare runs no benchmarks: it diffs two
@@ -126,7 +129,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		smoke     = fs.Bool("smoke", false, "self-test mode: two tiny synthetic events instead of the paper's six")
 		chaos     = fs.Float64("chaos", 0, "fault-injection rate in [0,1] for the temp-folder protocol: measure the degraded mode")
 		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
-		noCache   = fs.Bool("no-artifact-cache", false, "disable the content-addressed artifact cache in every measured run")
+		noCache   = fs.Bool("no-artifact-cache", false, "deprecated alias of -cache=off")
+		cacheFlag = fs.String("cache", "", "cache layers for every measured run: off, mem (default), or disk[:dir]")
 		storageNm = fs.String("storage", "fs", "storage backend for every measured run: fs (plain filesystem) or mem (in-memory inter-stage files)")
 		compare   = fs.String("compare", "", "diff this baseline report against the report given as positional argument, then exit")
 		threshold = fs.Float64("threshold", 0.10, "relative slowdown treated as a regression by -compare (0.10 = 10%)")
@@ -156,6 +160,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cacheCfg, err := pipeline.ParseCacheFlag(*cacheFlag)
+	if err != nil {
+		return err
+	}
 	session, err := obsFlags.Start()
 	if err != nil {
 		return err
@@ -169,6 +177,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Observer:        session.Observer,
 		ChaosRate:       *chaos,
 		ChaosSeed:       *chaosSeed,
+		Cache:           cacheCfg,
 		NoArtifactCache: *noCache,
 		Storage:         backend,
 		Response: response.Config{

@@ -18,9 +18,12 @@
 // and CPU profile (see README "Observability").  -chaos injects seeded
 // faults into the temp-folder protocol (-chaos-seed makes runs
 // reproducible); failing records are retried per -retries and then
-// quarantined under <dir>/quarantine.  -no-artifact-cache disables the
-// content-addressed artifact cache for A/B runs (outputs are
-// byte-identical either way; see README "The artifact cache").
+// quarantined under <dir>/quarantine.  -cache selects the caching layers:
+// off (none), mem (the default in-process memo), or disk[:dir] (memo plus
+// the persistent content-addressed action cache under <dir>/.smcache or
+// the given directory, so a warm re-run redoes only changed records;
+// outputs are byte-identical in every mode — see README "The artifact
+// cache").  -no-artifact-cache is the deprecated spelling of -cache=off.
 // -storage selects the storage plane: fs (default, plain filesystem) or
 // mem (inter-stage files held in memory, final products materialized to
 // disk at the end of the run; outputs byte-identical — see README
@@ -86,7 +89,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		chaos        = fs.Float64("chaos", 0, "fault-injection rate in [0,1] for the temp-folder protocol (0 = off); failing records are retried, then quarantined")
 		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector (same seed = same faults)")
 		maxAttempts  = fs.Int("retries", 0, "max attempts per staging operation before quarantining the record (0 = default 3)")
-		noCache      = fs.Bool("no-artifact-cache", false, "disable the content-addressed artifact cache (outputs are byte-identical either way)")
+		noCache      = fs.Bool("no-artifact-cache", false, "deprecated alias of -cache=off")
+		cacheFlag    = fs.String("cache", "", "cache layers: off, mem (default), or disk[:dir] (persistent action cache; dir defaults to <workdir>/.smcache)")
+		cacheVerify  = fs.Bool("cache-verify", false, "re-hash every restored action-cache blob against its recorded checksum")
+		cacheMax     = fs.Int64("cache-max-bytes", 0, "action-cache size bound in bytes (0 = 256 MiB default, negative = unbounded)")
 		storageName  = fs.String("storage", "fs", "storage backend: fs (plain filesystem) or mem (in-memory inter-stage files, final products written to disk)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -117,9 +123,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	defer session.Close()
+	cacheCfg, err := pipeline.ParseCacheFlag(*cacheFlag)
+	if err != nil {
+		return err
+	}
+	cacheCfg.VerifyOnHit = *cacheVerify
+	cacheCfg.MaxBytes = *cacheMax
 	opts := pipeline.Options{
 		Workers:         *workers,
 		EventWorkers:    *eventWorkers,
+		Cache:           cacheCfg,
 		NoArtifactCache: *noCache,
 		Storage:         backend,
 		Response: response.Config{
@@ -191,6 +204,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	fmt.Fprintf(stdout, "processed %d stations with %s in %.2f s\n",
 		len(res.Stations), res.Variant, res.Timings.Total.Seconds())
+	if cacheCfg.Mode == pipeline.CachePersistent {
+		fmt.Fprintf(stdout, "action cache: %d hits, %d misses, %d evictions, %d bytes resident\n",
+			res.Cache.ActionHits, res.Cache.ActionMisses, res.Cache.ActionEvictions, res.Cache.ActionBytes)
+	}
 	if opts.Chaos != nil || len(res.Quarantined) > 0 {
 		fmt.Fprintf(stdout, "chaos: %d faults injected, %d retries, %d records quarantined\n",
 			res.FaultsInjected, res.Retries, len(res.Quarantined))

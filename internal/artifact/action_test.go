@@ -1,0 +1,391 @@
+package artifact
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"accelproc/internal/obs"
+	"accelproc/internal/storage"
+)
+
+// cacheBackends runs a subtest against both Workspace implementations the
+// action cache persists through.
+func cacheBackends(t *testing.T, fn func(t *testing.T, fsys CacheFS, root string)) {
+	t.Helper()
+	t.Run("fs", func(t *testing.T) {
+		fn(t, storage.OS{}, filepath.Join(t.TempDir(), ".smcache"))
+	})
+	t.Run("mem", func(t *testing.T) {
+		fn(t, storage.NewMem(), filepath.Join(t.TempDir(), ".smcache"))
+	})
+}
+
+func testID(s string) ActionID {
+	h := NewHasher("test/v1")
+	h.String(s)
+	return h.Sum()
+}
+
+// restoreAll collects a Restore's outputs into a map.
+func restoreAll(t *testing.T, c *ActionCache, id ActionID) (map[string]string, bool) {
+	t.Helper()
+	got := map[string]string{}
+	ok, err := c.Restore(id, func(name string, data []byte) error {
+		got[name] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	return got, ok
+}
+
+func TestActionCacheRoundTrip(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		c, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := testID("round-trip")
+		if _, ok := restoreAll(t, c, id); ok {
+			t.Fatal("hit on empty cache")
+		}
+		outs := []Blob{
+			{Name: "a.v2", Data: []byte("component a")},
+			{Name: "@side", Data: []byte("side channel")},
+		}
+		if err := c.Put(id, outs); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := restoreAll(t, c, id)
+		if !ok {
+			t.Fatal("miss after Put")
+		}
+		if got["a.v2"] != "component a" || got["@side"] != "side channel" {
+			t.Fatalf("restored %v", got)
+		}
+		hits, misses, evicts := c.Counts()
+		if hits != 1 || misses != 1 || evicts != 0 {
+			t.Fatalf("counts = %d/%d/%d, want 1/1/0", hits, misses, evicts)
+		}
+	})
+}
+
+func TestActionCachePersistsAcrossOpens(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		c, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := testID("across-opens")
+		if err := c.Put(id, []Blob{{Name: "x", Data: []byte("payload")}}); err != nil {
+			t.Fatal(err)
+		}
+		// A second cache over the same root — a process restart — must index
+		// the persisted entry.
+		c2, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2.Len() != 1 {
+			t.Fatalf("reopened Len = %d, want 1", c2.Len())
+		}
+		if got, ok := restoreAll(t, c2, id); !ok || got["x"] != "payload" {
+			t.Fatalf("reopened restore: ok=%v got=%v", ok, got)
+		}
+	})
+}
+
+func TestActionCacheTruncatedBlobIsMiss(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		c, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := testID("truncated")
+		if err := c.Put(id, []Blob{{Name: "x", Data: []byte("full payload")}}); err != nil {
+			t.Fatal(err)
+		}
+		// Truncate the blob behind the cache's back: damage, not an error.
+		blobs, err := fsys.List(filepath.Join(root, "blobs"))
+		if err != nil || len(blobs) != 1 {
+			t.Fatalf("blobs: %v %v", blobs, err)
+		}
+		p := filepath.Join(root, "blobs", blobs[0].Name())
+		if err := fsys.WriteFile(p, []byte("full"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := restoreAll(t, c, id); ok {
+			t.Fatal("truncated blob restored as a hit")
+		}
+		if c.Len() != 0 {
+			t.Fatalf("damaged entry not dropped, Len = %d", c.Len())
+		}
+		// The id is re-cacheable afterwards.
+		if err := c.Put(id, []Blob{{Name: "x", Data: []byte("full payload")}}); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := restoreAll(t, c, id); !ok || got["x"] != "full payload" {
+			t.Fatalf("re-put restore: ok=%v got=%v", ok, got)
+		}
+	})
+}
+
+func TestActionCacheVerifyCatchesSameSizeCorruption(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		corrupt := func(c *ActionCache, id ActionID) {
+			t.Helper()
+			if err := c.Put(id, []Blob{{Name: "x", Data: []byte("aaaaaaaa")}}); err != nil {
+				t.Fatal(err)
+			}
+			blobs, err := fsys.List(filepath.Join(root, "blobs"))
+			if err != nil || len(blobs) != 1 {
+				t.Fatalf("blobs: %v %v", blobs, err)
+			}
+			p := filepath.Join(root, "blobs", blobs[0].Name())
+			if err := fsys.WriteFile(p, []byte("bbbbbbbb"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Without verify the size check passes and the corrupt bytes flow
+		// through — the documented tradeoff.
+		c, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corrupt(c, testID("same-size"))
+		if got, ok := restoreAll(t, c, testID("same-size")); !ok || got["x"] != "bbbbbbbb" {
+			t.Fatalf("unverified restore: ok=%v got=%v", ok, got)
+		}
+		// With verify the checksum mismatch is a miss that drops the entry.
+		root2 := filepath.Join(t.TempDir(), ".smcache")
+		cv, err := NewActionCache(fsys, root2, 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root = root2
+		corrupt(cv, testID("same-size"))
+		if _, ok := restoreAll(t, cv, testID("same-size")); ok {
+			t.Fatal("verify restored same-size corruption")
+		}
+		if cv.Len() != 0 {
+			t.Fatalf("corrupt entry not dropped, Len = %d", cv.Len())
+		}
+	})
+}
+
+func TestActionCacheLRUEviction(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		// Each entry holds one 8-byte blob; a 20-byte bound fits two.
+		c, err := NewActionCache(fsys, root, 20, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := obs.New()
+		evCtr := o.Counter("evictions")
+		c.SetCounters(o.Counter("h"), o.Counter("m"), evCtr, o.Gauge("b"))
+		for i := 0; i < 3; i++ {
+			id := testID(fmt.Sprintf("entry-%d", i))
+			data := []byte(fmt.Sprintf("payload%d", i))
+			if err := c.Put(id, []Blob{{Name: "x", Data: data}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.Len() != 2 || c.Bytes() != 16 {
+			t.Fatalf("after 3 puts: Len=%d Bytes=%d, want 2/16", c.Len(), c.Bytes())
+		}
+		if _, ok := restoreAll(t, c, testID("entry-0")); ok {
+			t.Fatal("least-recently-used entry survived eviction")
+		}
+		if _, ok := restoreAll(t, c, testID("entry-2")); !ok {
+			t.Fatal("most recent entry evicted")
+		}
+		if _, _, ev := c.Counts(); ev != 1 {
+			t.Fatalf("evictions = %d, want 1", ev)
+		}
+		if got := evCtr.Value(); got != 1 {
+			t.Fatalf("eviction counter = %v, want 1", got)
+		}
+	})
+}
+
+func TestActionCacheRestoreFreshensLRU(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		c, err := NewActionCache(fsys, root, 20, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			id := testID(fmt.Sprintf("entry-%d", i))
+			if err := c.Put(id, []Blob{{Name: "x", Data: []byte(fmt.Sprintf("payload%d", i))}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Touch entry-0 so entry-1 becomes the eviction victim.
+		if _, ok := restoreAll(t, c, testID("entry-0")); !ok {
+			t.Fatal("entry-0 missing")
+		}
+		if err := c.Put(testID("entry-2"), []Blob{{Name: "x", Data: []byte("payload2")}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := restoreAll(t, c, testID("entry-0")); !ok {
+			t.Fatal("freshened entry evicted")
+		}
+		if _, ok := restoreAll(t, c, testID("entry-1")); ok {
+			t.Fatal("stale entry survived")
+		}
+	})
+}
+
+func TestActionCacheCorruptManifestDroppedOnLoad(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		c, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good := testID("good")
+		if err := c.Put(good, []Blob{{Name: "x", Data: []byte("keep me")}}); err != nil {
+			t.Fatal(err)
+		}
+		// A garbage manifest under a well-formed name, plus a stray file.
+		bad := testID("bad")
+		if err := fsys.WriteFile(filepath.Join(root, "actions", bad.String()), []byte("not a manifest"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.WriteFile(filepath.Join(root, "actions", "stray.tmp"), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2.Len() != 1 {
+			t.Fatalf("reopened Len = %d, want 1", c2.Len())
+		}
+		if got, ok := restoreAll(t, c2, good); !ok || got["x"] != "keep me" {
+			t.Fatalf("good entry: ok=%v got=%v", ok, got)
+		}
+		if entries, err := fsys.List(filepath.Join(root, "actions")); err != nil || len(entries) != 1 {
+			t.Fatalf("corrupt manifests not removed: %v %v", entries, err)
+		}
+	})
+}
+
+func TestActionCacheOrphanBlobSweptOnLoad(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		c, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(testID("live"), []Blob{{Name: "x", Data: []byte("live blob")}}); err != nil {
+			t.Fatal(err)
+		}
+		// An orphan blob, as left by a crash between blob and manifest writes.
+		orphan := testID("orphan")
+		if err := fsys.WriteFile(filepath.Join(root, "blobs", orphan.String()), []byte("dead"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2.Bytes() != int64(len("live blob")) {
+			t.Fatalf("Bytes = %d, want %d", c2.Bytes(), len("live blob"))
+		}
+		if blobs, err := fsys.List(filepath.Join(root, "blobs")); err != nil || len(blobs) != 1 {
+			t.Fatalf("orphan blob not swept: %v %v", blobs, err)
+		}
+	})
+}
+
+func TestActionCacheSharedBlobRefcount(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		// Two bounded entries sharing one blob: bytes are charged once, and
+		// evicting one entry must not strand or delete the shared content.
+		c, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared := []byte("shared content")
+		if err := c.Put(testID("one"), []Blob{{Name: "x", Data: shared}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(testID("two"), []Blob{{Name: "y", Data: shared}}); err != nil {
+			t.Fatal(err)
+		}
+		if c.Bytes() != int64(len(shared)) {
+			t.Fatalf("shared blob double-charged: Bytes = %d, want %d", c.Bytes(), len(shared))
+		}
+		c.dropEntry(testID("one"))
+		if got, ok := restoreAll(t, c, testID("two")); !ok || got["y"] != string(shared) {
+			t.Fatalf("surviving entry lost shared blob: ok=%v got=%v", ok, got)
+		}
+		c.dropEntry(testID("two"))
+		if c.Bytes() != 0 {
+			t.Fatalf("Bytes = %d after dropping all entries", c.Bytes())
+		}
+	})
+}
+
+func TestActionCacheNilSafe(t *testing.T) {
+	var c *ActionCache
+	if ok, err := c.Restore(testID("x"), nil); ok || err != nil {
+		t.Fatal("nil cache restored")
+	}
+	if err := c.Put(testID("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	c.SetCounters(nil, nil, nil, nil)
+	if h, m, e := c.Counts(); h != 0 || m != 0 || e != 0 {
+		t.Fatal("nil cache has counts")
+	}
+	if c.Bytes() != 0 || c.Len() != 0 {
+		t.Fatal("nil cache has contents")
+	}
+}
+
+func TestActionCacheConcurrent(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		c, err := NewActionCache(fsys, root, 1<<10, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					id := testID(fmt.Sprintf("c-%d", (w+i)%16))
+					if i%2 == 0 {
+						_ = c.Put(id, []Blob{{Name: "x", Data: []byte(fmt.Sprintf("data-%d", i))}})
+					} else {
+						_, _ = c.Restore(id, func(string, []byte) error { return nil })
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+}
+
+func TestHasherFieldBoundaries(t *testing.T) {
+	a := NewHasher("s")
+	a.String("ab")
+	a.String("c")
+	b := NewHasher("s")
+	b.String("a")
+	b.String("bc")
+	if a.Sum() == b.Sum() {
+		t.Fatal("field concatenation aliased two keys")
+	}
+	s1 := NewHasher("scheme-1")
+	s2 := NewHasher("scheme-2")
+	s1.String("x")
+	s2.String("x")
+	if s1.Sum() == s2.Sum() {
+		t.Fatal("scheme not folded into the digest")
+	}
+}

@@ -1,35 +1,41 @@
-// Package artifact implements a concurrency-safe, content-addressed,
-// write-through store of decoded pipeline artifacts.
+// Package artifact implements the pipeline's two caching layers.
 //
-// The processing chain exchanges every intermediate product through text
-// files: a producer formats []float64 payloads with 17-digit precision and
-// the consumer tokenizes and ParseFloats them right back.  The store layers
+// The memo layer (Store, this file) is a concurrency-safe, write-through
+// store of decoded pipeline artifacts, alive for one process.  The
+// processing chain exchanges every intermediate product through text files:
+// a producer formats []float64 payloads with 17-digit precision and the
+// consumer tokenizes and ParseFloats them right back.  The store layers
 // memoization over that protocol without changing it: writers keep emitting
 // byte-identical files, but the decoded in-memory value is retained, keyed
-// by path and by the file's content generation (size + mtime as observed
-// right after the write).  A reader that finds a live entry skips the
-// tokenize+parse entirely; any path whose on-disk generation no longer
+// by path and by the file's content generation (size + content hash as
+// observed right after the write).  A reader that finds a live entry skips
+// the tokenize+parse entirely; any path whose on-disk generation no longer
 // matches — an external mutation, a fault-injected partial write, a retry
 // overwrite — falls back to disk.
 //
 // Entries follow artifacts across rename boundaries (the temp-folder
 // staging protocol moves files between the work directory and per-record
 // scratch folders) and across hardlinks (Clone), because a rename or link
-// preserves the inode and therefore the generation.  A nil *Store is valid
-// everywhere and caches nothing, which is how the -no-artifact-cache
-// ablation runs.
+// preserves the content and therefore the generation.  A nil *Store is
+// valid everywhere and caches nothing, which is how the cache-off ablation
+// runs.
 //
-// The generation function is pluggable (NewStoreWith), so the store works
-// against any storage backend: the default stats the real filesystem
-// (size + mtime), while the in-memory workspace supplies its own monotonic
+// The generation function is pluggable (NewMemo), so the store works
+// against any storage backend: the default reads and hashes the real
+// filesystem, while the in-memory workspace supplies its own monotonic
 // write-sequence tokens — making the same store the fs backend's
 // accelerator and the mem backend's native coherence check.
+//
+// The action-cache layer (ActionCache, action.go) persists whole stage
+// executions content-addressed across process restarts; see that file.
 package artifact
 
 import (
+	"crypto/sha256"
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"accelproc/internal/obs"
 )
@@ -49,6 +55,10 @@ type Store struct {
 	entries map[string]entry
 	gen     func(path string) (gen any, size int64, ok bool)
 
+	// Lifetime hit/miss totals, always tracked (Counts), independent of the
+	// optional observer counters below.
+	nHits, nMisses atomic.Int64
+
 	// Nil-safe observability counters (see obs.Counter); zero-valued until
 	// SetCounters attaches real ones.
 	hits   *obs.Counter
@@ -56,37 +66,47 @@ type Store struct {
 	saved  *obs.Counter
 }
 
-// NewStore returns an empty store using the filesystem generation (stat
-// size + mtime).
-func NewStore() *Store {
-	return NewStoreWith(nil)
-}
-
-// NewStoreWith returns an empty store whose content generations come from
-// gen; nil selects the filesystem default.  gen must return a comparable
-// token identifying the path's current content, its size in bytes, and
-// ok=false when the path does not currently hold a regular file.
-func NewStoreWith(gen func(path string) (any, int64, bool)) *Store {
+// NewMemo returns an empty memo-layer store whose content generations come
+// from gen; nil selects the filesystem default.  gen must return a
+// comparable token identifying the path's current content, its size in
+// bytes, and ok=false when the path does not currently hold a regular file.
+func NewMemo(gen func(path string) (any, int64, bool)) *Store {
 	if gen == nil {
 		gen = statGeneration
 	}
 	return &Store{entries: make(map[string]entry), gen: gen}
 }
 
-// statGen is the filesystem generation token: size + mtime as observed by
-// os.Stat.
+// NewStore returns an empty store using the filesystem generation.
+//
+// Deprecated: use NewMemo(nil); kept for the pre-CacheConfig API.
+func NewStore() *Store {
+	return NewMemo(nil)
+}
+
+// NewStoreWith returns an empty store using the given generation function.
+//
+// Deprecated: use NewMemo; kept for the pre-CacheConfig API.
+func NewStoreWith(gen func(path string) (any, int64, bool)) *Store {
+	return NewMemo(gen)
+}
+
+// statGen is the filesystem generation token: size plus content hash.  The
+// hash — not mtime — carries the coherence: filesystem mtime granularity can
+// alias two same-size rewrites landing within one clock tick, which a
+// size+mtime token would serve stale.
 type statGen struct {
-	size      int64
-	mtimeNano int64
+	size int64
+	sum  [sha256.Size]byte
 }
 
 // statGeneration is the default generation function.
 func statGeneration(path string) (any, int64, bool) {
-	info, err := os.Stat(path)
-	if err != nil || info.IsDir() {
+	data, err := os.ReadFile(path)
+	if err != nil {
 		return nil, 0, false
 	}
-	return statGen{size: info.Size(), mtimeNano: info.ModTime().UnixNano()}, info.Size(), true
+	return statGen{size: int64(len(data)), sum: sha256.Sum256(data)}, int64(len(data)), true
 }
 
 // SetCounters attaches the cache metrics: hits, misses, and the on-disk
@@ -128,18 +148,29 @@ func (s *Store) Get(path string) (any, bool) {
 	e, ok := s.entries[path]
 	s.mu.RUnlock()
 	if !ok {
+		s.nMisses.Add(1)
 		s.misses.Add(1)
 		return nil, false
 	}
 	g, _, live := s.gen(path)
 	if !live || g != e.gen {
 		s.Invalidate(path)
+		s.nMisses.Add(1)
 		s.misses.Add(1)
 		return nil, false
 	}
+	s.nHits.Add(1)
 	s.hits.Add(1)
 	s.saved.Add(float64(e.size))
 	return e.value, true
+}
+
+// Counts reports the lifetime hit and miss totals.
+func (s *Store) Counts() (hits, misses int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.nHits.Load(), s.nMisses.Load()
 }
 
 // Cached is the typed read path: the entry for path, if live and of type T.

@@ -81,6 +81,33 @@ func TestSameSizeMutationInvalidatesViaMtime(t *testing.T) {
 	}
 }
 
+// The regression the content-hash generation exists for: two same-size
+// writes landing within one filesystem timestamp tick used to alias under
+// the {size, mtime} key and serve the stale decode.  With the content hash
+// folded into the generation the mtime is irrelevant — even a forced
+// identical timestamp must miss.
+func TestSameSizeSameMtimeMutationInvalidates(t *testing.T) {
+	s := NewStore()
+	dir := t.TempDir()
+	p := writeTemp(t, dir, "a.v2", "12345678")
+	info, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(p, "decoded")
+	if err := os.WriteFile(p, []byte("87654321"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Pin the rewritten file to the original timestamp: the worst case a
+	// sub-tick double write can produce.
+	if err := os.Chtimes(p, info.ModTime(), info.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(p); ok {
+		t.Fatal("stale entry served after same-size same-mtime mutation")
+	}
+}
+
 func TestRemovedFileInvalidates(t *testing.T) {
 	s := NewStore()
 	p := writeTemp(t, t.TempDir(), "a.v2", "x")

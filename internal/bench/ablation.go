@@ -44,6 +44,15 @@ type AblationResults struct {
 	DiskTotal    time.Duration
 	MemTotal     time.Duration
 	MemPeakBytes int64
+
+	// Persistent action cache, cold vs warm: Pipelined total on a pristine
+	// work directory populating <dir>/.smcache, then again after
+	// CleanOutputs against the surviving cache — a restart in which every
+	// per-record node digest hits.  WarmHits is the warm run's action-cache
+	// hit count (outputs byte-identical; only recomputation is skipped).
+	ColdTotal time.Duration
+	WarmTotal time.Duration
+	WarmHits  int64
 }
 
 // RunAblations executes the ablation suite on the given event spec.
@@ -72,6 +81,7 @@ func RunAblations(ctx context.Context, spec synth.EventSpec, cfg Config) (Ablati
 		Response:      cfg.Response,
 		SimProcessors: resolveSimProcessors(cfg.SimProcessors),
 		Observer:      cfg.Observer,
+		Cache:         cfg.Cache,
 		Storage:       cfg.Storage,
 	}
 	stagedSum := func(t pipeline.Timings) time.Duration {
@@ -141,6 +151,35 @@ func RunAblations(ctx context.Context, spec synth.EventSpec, cfg Config) (Ablati
 	}
 	out.MemTotal = res.Timings.Total
 	out.MemPeakBytes = res.StorageBytesPeak
+
+	// 6. Persistent action cache, cold vs warm.  Unlike the other rows this
+	// one reuses a single work directory: the cold Pipelined run populates
+	// <dir>/.smcache, CleanOutputs removes every product but keeps the cache
+	// (and the .v1 inputs), and the warm run — a fresh pipeline state, i.e.
+	// a process restart — restores every per-record node from digests
+	// instead of recomputing it.
+	persist := baseOpts
+	persist.Cache = pipeline.CacheConfig{Mode: pipeline.CachePersistent}
+	dir, err := os.MkdirTemp(cfg.WorkRoot, "accelproc-ablation-*")
+	if err != nil {
+		return AblationResults{}, err
+	}
+	defer os.RemoveAll(dir)
+	if err := pipeline.PrepareWorkDir(dir, ev); err != nil {
+		return AblationResults{}, err
+	}
+	if res, err = pipeline.Run(ctx, dir, pipeline.Pipelined, persist); err != nil {
+		return AblationResults{}, fmt.Errorf("bench: cold-cache ablation: %w", err)
+	}
+	out.ColdTotal = res.Timings.Total
+	if err := pipeline.CleanOutputs(dir); err != nil {
+		return AblationResults{}, err
+	}
+	if res, err = pipeline.Run(ctx, dir, pipeline.Pipelined, persist); err != nil {
+		return AblationResults{}, fmt.Errorf("bench: warm-cache ablation: %w", err)
+	}
+	out.WarmTotal = res.Timings.Total
+	out.WarmHits = res.Cache.ActionHits
 	return out, nil
 }
 
@@ -169,6 +208,12 @@ func FormatAblations(a AblationResults) string {
 			a.DiskTotal.Seconds(), a.MemTotal.Seconds(),
 			100*(1-a.MemTotal.Seconds()/a.DiskTotal.Seconds()),
 			float64(a.MemPeakBytes)/(1<<20))
+	}
+
+	if a.ColdTotal > 0 && a.WarmTotal > 0 {
+		fmt.Fprintf(&b, "persistent action cache: %.2f s cold vs %.2f s warm restart (%.1f%% saved, %d action hits)\n",
+			a.ColdTotal.Seconds(), a.WarmTotal.Seconds(),
+			100*(1-a.WarmTotal.Seconds()/a.ColdTotal.Seconds()), a.WarmHits)
 	}
 
 	fmt.Fprintln(&b, "processor sweep (fully parallelized, simulated platform):")

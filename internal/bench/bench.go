@@ -72,9 +72,15 @@ type Config struct {
 	// ChaosSeed drives the injector; the same seed reproduces the same
 	// fault sequence run over run.
 	ChaosSeed int64
-	// NoArtifactCache disables the content-addressed artifact cache in
-	// every pipeline run (the -no-artifact-cache ablation).  On-disk
-	// outputs are byte-identical either way; only decode/copy work changes.
+	// Cache selects the caching layers of every pipeline run (the -cache
+	// flag).  The zero value keeps the in-process memo; CacheOff is the
+	// cached-vs-uncached ablation endpoint; CachePersistent adds the
+	// content-addressed action cache (the cold-vs-warm ablation endpoint).
+	// On-disk outputs are byte-identical in every mode; only decode/copy
+	// work changes.
+	Cache pipeline.CacheConfig
+	// NoArtifactCache is the deprecated spelling of Cache.Mode == CacheOff,
+	// honored only while Cache is the zero value.
 	NoArtifactCache bool
 	// Storage selects the pipeline's storage backend for every run: the
 	// zero value (or "fs") is the plain filesystem, "mem" keeps inter-stage
@@ -156,6 +162,10 @@ type EventResult struct {
 	// StorageBytesPeak is the largest in-memory residency any run of this
 	// event reached; always 0 on the fs backend.
 	StorageBytesPeak int64
+	// Cache sums the cache counters of every measured run of this event
+	// (all repetitions and variants), the report's evidence of which
+	// caching layers were actually exercised.
+	Cache pipeline.CacheStats
 }
 
 // Speedup is the paper's headline metric: sequential-original time over
@@ -222,6 +232,7 @@ func RunEvent(ctx context.Context, spec synth.EventSpec, cfg Config) (EventResul
 		Response:        cfg.Response,
 		SimProcessors:   resolveSimProcessors(cfg.SimProcessors),
 		Observer:        o,
+		Cache:           cfg.Cache,
 		NoArtifactCache: cfg.NoArtifactCache,
 		Storage:         cfg.Storage,
 	}
@@ -261,6 +272,7 @@ func RunEvent(ctx context.Context, spec synth.EventSpec, cfg Config) (EventResul
 			if run.StorageBytesPeak > res.StorageBytesPeak {
 				res.StorageBytesPeak = run.StorageBytesPeak
 			}
+			res.Cache.Accumulate(run.Cache)
 		}
 	}
 	return res, nil

@@ -57,6 +57,17 @@ type EventReport struct {
 	PointsPerSecond float64 `json:"fullpar_points_per_second,omitempty"`
 }
 
+// CacheReport records the caching mode the measured runs used and their
+// summed cache counters (all events, repetitions, and variants).
+type CacheReport struct {
+	Mode            string `json:"mode"`
+	MemoHits        int64  `json:"memo_hits,omitempty"`
+	MemoMisses      int64  `json:"memo_misses,omitempty"`
+	ActionHits      int64  `json:"action_hits,omitempty"`
+	ActionMisses    int64  `json:"action_misses,omitempty"`
+	ActionEvictions int64  `json:"action_evictions,omitempty"`
+}
+
 // Report is the machine-readable form of a benchtables run.
 type Report struct {
 	Label         string        `json:"label"`
@@ -68,6 +79,7 @@ type Report struct {
 	Repeat        int           `json:"repeat"`
 	Method        string        `json:"method"`
 	Periods       int           `json:"periods"`
+	Cache         CacheReport   `json:"cache"`
 	Events        []EventReport `json:"events"`
 	Checks        []string      `json:"checks,omitempty"`
 }
@@ -88,10 +100,16 @@ func NewReport(label string, cfg Config, results []EventResult, checks []string)
 	cfg = cfg.withDefaults()
 	backend, _ := storage.ParseBackend(string(cfg.Storage))
 	var peak int64
+	var cs pipeline.CacheStats
 	for _, r := range results {
 		if r.StorageBytesPeak > peak {
 			peak = r.StorageBytesPeak
 		}
+		cs.Accumulate(r.Cache)
+	}
+	mode := cfg.Cache.Mode
+	if cfg.NoArtifactCache && cfg.Cache == (pipeline.CacheConfig{}) {
+		mode = pipeline.CacheOff // the deprecated spelling
 	}
 	rep := Report{
 		Label:     label,
@@ -111,7 +129,15 @@ func NewReport(label string, cfg Config, results []EventResult, checks []string)
 		Repeat:        cfg.Repeat,
 		Method:        cfg.Response.Method.String(),
 		Periods:       len(cfg.Response.Periods),
-		Checks:        checks,
+		Cache: CacheReport{
+			Mode:            mode.String(),
+			MemoHits:        cs.MemoHits,
+			MemoMisses:      cs.MemoMisses,
+			ActionHits:      cs.ActionHits,
+			ActionMisses:    cs.ActionMisses,
+			ActionEvictions: cs.ActionEvictions,
+		},
+		Checks: checks,
 	}
 	for _, r := range results {
 		er := EventReport{

@@ -36,8 +36,10 @@ import (
 // the store.
 //
 // All handles degrade to the plain smformat calls when the store is nil
-// (Options.NoArtifactCache), because every *artifact.Store method is
-// nil-safe.
+// (Options.Cache mode off), because every *artifact.Store method is
+// nil-safe.  The persistent action-cache layer above this one — whole stage
+// outputs keyed by content digests, surviving restarts — lives in
+// actioncache.go.
 
 func (s *state) readV1(path string) (smformat.V1, error) {
 	if v, ok := artifact.Cached[smformat.V1](s.arts, path); ok {

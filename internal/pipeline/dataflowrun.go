@@ -322,8 +322,20 @@ func (b *dfBuild) add(pid ProcessID, station string, inner func() error, deps []
 		if station != "" {
 			attrs = append(attrs, obs.String("record", station))
 		}
-		sp := s.runSpan.Child("node:"+label, obs.KindTask, attrs...)
 		start := s.now()
+		// Action-cache skip rule: a per-record node whose digest of (process,
+		// inputs, params) is cached restores its recorded outputs instead of
+		// executing (see actioncache.go).
+		aid, cacheable := b.nodeAction(pid, station)
+		if cacheable && b.restoreNode(aid, pid, b.stationIndex(station), station) {
+			d := s.now() - start
+			b.durs[id] = d
+			sp := s.runSpan.Child("node:"+label, obs.KindTask,
+				append(attrs, obs.String("action_cache", "hit"))...)
+			sp.EndCharged(d)
+			return nil
+		}
+		sp := s.runSpan.Child("node:"+label, obs.KindTask, attrs...)
 		err := inner()
 		d := s.now() - start
 		b.durs[id] = d
@@ -333,6 +345,15 @@ func (b *dfBuild) add(pid ProcessID, station string, inner func() error, deps []
 				s.fail(err)
 			}
 			return fmt.Errorf("pipeline: process #%d (%s): %w", pid, name, err)
+		}
+		if station != "" {
+			s.recNodesExec.Add(1)
+			// Re-check quarantine: graceful degradation may have condemned the
+			// record *during* the body, in which case its outputs are partial
+			// or gone and must not be recorded as this digest's results.
+			if cacheable && !s.isQuarantined(station) {
+				b.storeNode(aid, pid, b.stationIndex(station), station)
+			}
 		}
 		sp.EndCharged(d)
 		return nil

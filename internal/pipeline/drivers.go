@@ -85,6 +85,10 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 	quarantined := s.quarantinedOutcomes()
 	s.runSpan.EndCharged(total, obs.Int("stations", int64(len(stations))),
 		obs.Int("quarantined", int64(len(quarantined))))
+	var cs CacheStats
+	cs.MemoHits, cs.MemoMisses = s.arts.Counts()
+	cs.ActionHits, cs.ActionMisses, cs.ActionEvictions = s.acache.Counts()
+	cs.ActionBytes = s.acache.Bytes()
 	return Result{
 		Variant:          variant,
 		Stations:         stations,
@@ -93,6 +97,7 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 		Retries:          s.nRetries.Load(),
 		FaultsInjected:   int64(s.chaos.Injected()),
 		StorageBytesPeak: peak,
+		Cache:            cs,
 	}, nil
 }
 

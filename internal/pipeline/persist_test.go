@@ -1,0 +1,276 @@
+package pipeline
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"accelproc/internal/obs"
+	"accelproc/internal/smformat"
+	"accelproc/internal/storage"
+	"accelproc/internal/synth"
+)
+
+// The warm-restart suite: the tentpole invariant of the persistent action
+// cache.  A re-run of an already-processed event against the surviving
+// <dir>/.smcache must restore every per-(record,process) node instead of
+// recomputing it, and flipping one station's input must re-execute exactly
+// that record's subgraph — with outputs byte-identical to a cold run in
+// every case.
+
+// perRecordNodes is the number of per-(record,process) dataflow nodes each
+// station contributes: processes #3, #4, #7, #9, #10, #13, #15, #16, #18,
+// and #19.
+const perRecordNodes = 10
+
+// persistEvent generates the 8-station warm-restart event (the paper-shaped
+// record count the acceptance criterion names).
+func persistEvent(t *testing.T, seed int64) synth.EventSpec {
+	t.Helper()
+	return synth.EventSpec{
+		Name: "persist", Files: 8, TotalPoints: 9600, Magnitude: 5.2, Seed: seed,
+	}
+}
+
+// preparePersistDir writes the event's inputs into a fresh work directory,
+// optionally overwriting one station's input with the same station from a
+// differently-seeded event (the "one changed record" scenario).
+func preparePersistDir(t *testing.T, dir string, flipStation string) {
+	t.Helper()
+	ev, err := synth.Event(persistEvent(t, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PrepareWorkDir(dir, ev); err != nil {
+		t.Fatal(err)
+	}
+	if flipStation == "" {
+		return
+	}
+	flipped, err := synth.Event(persistEvent(t, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := t.TempDir()
+	if err := PrepareWorkDir(alt, flipped); err != nil {
+		t.Fatal(err)
+	}
+	name := smformat.V1FileName(flipStation)
+	data, err := os.ReadFile(filepath.Join(alt, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// persistOptions returns fresh options for one pipelined run with the
+// persistent cache on the given backend; every run gets its own observer so
+// counters never bleed across runs.
+func persistOptions(backend storage.Backend) Options {
+	opts := testOptions()
+	opts.Cache = CacheConfig{Mode: CachePersistent}
+	opts.Storage = backend
+	opts.Observer = obs.New()
+	return opts
+}
+
+func recordNodesExecuted(opts Options) int64 {
+	return int64(opts.Observer.Counter("dataflow_record_nodes_executed_total").Value())
+}
+
+func assertSameProducts(t *testing.T, got, ref map[string]string, when string) {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Errorf("%s: product count %d, want %d", when, len(got), len(ref))
+	}
+	for name, h := range ref {
+		if got[name] != h {
+			t.Errorf("%s: product %s differs from the cold run", when, name)
+		}
+	}
+}
+
+func TestWarmRestartSkipsUnchangedRecords(t *testing.T) {
+	for _, backend := range []storage.Backend{storage.BackendFS, storage.BackendMem} {
+		backend := backend
+		t.Run(string(backend), func(t *testing.T) {
+			ctx := context.Background()
+			const stations = 8
+			dir := filepath.Join(t.TempDir(), "work")
+			preparePersistDir(t, dir, "")
+
+			// Cold run: every per-record node executes and populates the cache.
+			cold := persistOptions(backend)
+			res, err := Run(ctx, dir, Pipelined, cold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := recordNodesExecuted(cold); got != stations*perRecordNodes {
+				t.Fatalf("cold run executed %d record nodes, want %d", got, stations*perRecordNodes)
+			}
+			if res.Cache.ActionHits != 0 || res.Cache.ActionMisses != stations*perRecordNodes {
+				t.Fatalf("cold run cache stats %+v, want 0 hits / %d misses", res.Cache, stations*perRecordNodes)
+			}
+			coldRef := productHashes(t, dir)
+
+			// Fully-warm restart: a fresh pipeline state over the surviving
+			// .smcache restores everything.
+			if err := CleanOutputs(dir); err != nil {
+				t.Fatal(err)
+			}
+			warm := persistOptions(backend)
+			res, err = Run(ctx, dir, Pipelined, warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := recordNodesExecuted(warm); got != 0 {
+				t.Errorf("fully-warm run executed %d record nodes, want 0", got)
+			}
+			if res.Cache.ActionHits != stations*perRecordNodes || res.Cache.ActionMisses != 0 {
+				t.Errorf("fully-warm cache stats %+v, want %d hits / 0 misses", res.Cache, stations*perRecordNodes)
+			}
+			if hv := warm.Observer.Counter("action_cache_hits_total").Value(); int64(hv) != res.Cache.ActionHits {
+				t.Errorf("action_cache_hits_total = %v, Result says %d", hv, res.Cache.ActionHits)
+			}
+			assertSameProducts(t, productHashes(t, dir), coldRef, "fully warm")
+
+			// Flip one station's input: only that record's subgraph re-executes.
+			preparePersistDir(t, dir, "SS03")
+			if err := CleanOutputs(dir); err != nil {
+				t.Fatal(err)
+			}
+			flip := persistOptions(backend)
+			res, err = Run(ctx, dir, Pipelined, flip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := recordNodesExecuted(flip); got != perRecordNodes {
+				t.Errorf("flipped run executed %d record nodes, want %d (only SS03's subgraph)", got, perRecordNodes)
+			}
+			if want := int64((stations - 1) * perRecordNodes); res.Cache.ActionHits != want {
+				t.Errorf("flipped run action hits = %d, want %d", res.Cache.ActionHits, want)
+			}
+
+			// The flipped warm outputs must be byte-identical to a cold run
+			// over the same (flipped) inputs.
+			refDir := filepath.Join(t.TempDir(), "ref")
+			preparePersistDir(t, refDir, "SS03")
+			refOpts := persistOptions(backend)
+			if _, err := Run(ctx, refDir, Pipelined, refOpts); err != nil {
+				t.Fatal(err)
+			}
+			assertSameProducts(t, productHashes(t, dir), productHashes(t, refDir), "flipped warm")
+		})
+	}
+}
+
+// TestWarmRestartCorruptedEntryRecomputes damages the persisted cache and
+// asserts the warm run degrades to recomputation — a miss, never an error —
+// with outputs still byte-identical.
+func TestWarmRestartCorruptedEntryRecomputes(t *testing.T) {
+	ctx := context.Background()
+	dir := filepath.Join(t.TempDir(), "work")
+	preparePersistDir(t, dir, "")
+	cold := persistOptions(storage.BackendFS)
+	if _, err := Run(ctx, dir, Pipelined, cold); err != nil {
+		t.Fatal(err)
+	}
+	coldRef := productHashes(t, dir)
+
+	// Truncate one cached blob behind the cache's back.
+	blobsDir := filepath.Join(dir, CacheDirName, "blobs")
+	entries, err := os.ReadDir(blobsDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cached blobs: %v %v", entries, err)
+	}
+	victim := filepath.Join(blobsDir, entries[len(entries)/2].Name())
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := CleanOutputs(dir); err != nil {
+		t.Fatal(err)
+	}
+	warm := persistOptions(storage.BackendFS)
+	res, err := Run(ctx, dir, Pipelined, warm)
+	if err != nil {
+		t.Fatalf("warm run over a damaged cache failed: %v", err)
+	}
+	if res.Cache.ActionMisses == 0 {
+		t.Error("truncated blob did not register as a miss")
+	}
+	if got := recordNodesExecuted(warm); got == 0 {
+		t.Error("damaged entry was not recomputed")
+	}
+	assertSameProducts(t, productHashes(t, dir), coldRef, "damaged warm")
+}
+
+// TestPersistentCacheMatchesMemoOnlyOutputs pins the API redesign's ground
+// rule: the cache mode changes work, never bytes.
+func TestPersistentCacheMatchesMemoOnlyOutputs(t *testing.T) {
+	ev := testEvent(t)
+	ref, _ := runVariant(t, ev, Pipelined, testOptions())
+	persist := testOptions()
+	persist.Cache = CacheConfig{Mode: CachePersistent}
+	dir, _ := runVariant(t, ev, Pipelined, persist)
+	assertSameProducts(t, productHashes(t, dir), productHashes(t, ref), "persistent vs memo")
+}
+
+func TestParseCacheFlag(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CacheConfig
+		bad  bool
+	}{
+		{in: "", want: CacheConfig{Mode: CacheMemory}},
+		{in: "mem", want: CacheConfig{Mode: CacheMemory}},
+		{in: "memory", want: CacheConfig{Mode: CacheMemory}},
+		{in: "off", want: CacheConfig{Mode: CacheOff}},
+		{in: "none", want: CacheConfig{Mode: CacheOff}},
+		{in: "disk", want: CacheConfig{Mode: CachePersistent}},
+		{in: "persistent", want: CacheConfig{Mode: CachePersistent}},
+		{in: "disk:/var/cache/sm", want: CacheConfig{Mode: CachePersistent, Dir: "/var/cache/sm"}},
+		{in: "DISK", want: CacheConfig{Mode: CachePersistent}},
+		{in: "floppy", bad: true},
+		{in: "mem:/tmp/x", bad: true},
+	}
+	for _, c := range cases {
+		got, err := ParseCacheFlag(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseCacheFlag(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCacheFlag(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseCacheFlag(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNoArtifactCacheShim pins the deprecated bool's behavior: it maps to
+// CacheOff only while the typed config is untouched.
+func TestNoArtifactCacheShim(t *testing.T) {
+	o := Options{NoArtifactCache: true}.withDefaults()
+	if o.Cache.Mode != CacheOff {
+		t.Errorf("NoArtifactCache alone: mode = %v, want off", o.Cache.Mode)
+	}
+	o = Options{NoArtifactCache: true, Cache: CacheConfig{Mode: CachePersistent}}.withDefaults()
+	if o.Cache.Mode != CachePersistent {
+		t.Errorf("typed config must win over the deprecated bool, got %v", o.Cache.Mode)
+	}
+	if o := (Options{}).withDefaults(); o.Cache.Mode != CacheMemory {
+		t.Errorf("zero options: mode = %v, want memory", o.Cache.Mode)
+	}
+}

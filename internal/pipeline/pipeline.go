@@ -340,12 +340,18 @@ type Options struct {
 	// demand.  Outputs are byte-identical across backends.
 	Storage storage.Backend
 
-	// NoArtifactCache is the ablation of the write-through artifact cache
-	// (see internal/artifact): every process re-reads and re-parses its
-	// file inputs from disk and staging always copies bytes instead of
-	// hardlinking, quantifying what the file-based inter-process protocol
-	// costs.  On-disk outputs are byte-identical either way; only the
-	// redundant decode/copy work changes.
+	// Cache configures the artifact caching layers (see CacheConfig): off,
+	// memory (the zero value — the in-process memo layer, today's
+	// behavior), or persistent (memo plus the content-addressed action
+	// cache that survives restarts).  On-disk outputs are byte-identical in
+	// every mode; only redundant decode/copy/recompute work changes.
+	Cache CacheConfig
+
+	// NoArtifactCache disables both cache layers.
+	//
+	// Deprecated: set Cache.Mode = CacheOff.  The bool is kept as a shim
+	// for the pre-CacheConfig API and the -no-artifact-cache flag; it is
+	// honored only when Cache is the zero value.
 	NoArtifactCache bool
 
 	// SimProcessors switches the parallel variants to the simulated
@@ -394,6 +400,10 @@ func (o Options) withDefaults() Options {
 	if o.MetaWorkers == 0 {
 		o.MetaWorkers = 4
 	}
+	if o.NoArtifactCache && o.Cache == (CacheConfig{}) {
+		// Deprecated-shim mapping: the old bool spelled "no caching at all".
+		o.Cache.Mode = CacheOff
+	}
 	if o.TaperFraction == 0 {
 		o.TaperFraction = 0.05
 	}
@@ -430,4 +440,7 @@ type Result struct {
 	// StorageBytesPeak is the peak bytes the storage backend held resident
 	// in memory during the run (0 on the fs backend).
 	StorageBytesPeak int64
+	// Cache reports both cache layers' hit/miss/eviction activity and the
+	// action cache's resident bytes.
+	Cache CacheStats
 }

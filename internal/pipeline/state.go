@@ -45,12 +45,17 @@ type state struct {
 	chaos *faults.Chaos
 	retry RetryPolicy
 
-	// arts is the run's write-through artifact store (see internal/artifact
+	// arts is the run's write-through artifact memo (see internal/artifact
 	// and cache.go): decoded V1/V2/F/R payloads keyed by path and content
 	// generation, so consumers skip re-parsing what a producer just
-	// formatted.  Nil when Options.NoArtifactCache disables the cache —
-	// every store method is nil-safe, so no call site checks.
+	// formatted.  Nil when Options.Cache disables caching — every store
+	// method is nil-safe, so no call site checks.
 	arts *artifact.Store
+	// acache is the persistent content-addressed action cache (CacheMode
+	// CachePersistent only; see actioncache.go for the pipeline's digest
+	// scheme).  Nil otherwise, and nil under chaos: fault injection must
+	// exercise the real staging protocol, not cached restores of it.
+	acache *artifact.ActionCache
 
 	// Quarantine record: stations condemned by the retry engine, excluded
 	// from every subsequent stations() listing so the event continues with
@@ -80,6 +85,10 @@ type state struct {
 	faultsCtr  *obs.Counter
 	cleanupErr *obs.Counter
 	links      *obs.Counter
+	// recNodesExec counts per-(record,process) dataflow nodes that actually
+	// ran their bodies (as opposed to restoring from the action cache) —
+	// the warm-restart tests' "only the flipped record re-executed" signal.
+	recNodesExec *obs.Counter
 }
 
 // simulated reports whether parallel constructs run on the simulated
@@ -195,8 +204,18 @@ func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 		s.chaos = faults.NewChaos(faults.NewInjector(*c), ws, s.sleep)
 		s.fs = s.chaos.At("", "")
 	}
-	if !s.opts.NoArtifactCache {
-		s.arts = artifact.NewStoreWith(ws.Generation)
+	if cc := s.opts.Cache; cc.Mode != CacheOff {
+		s.arts = artifact.NewMemo(ws.Generation)
+		if cc.Mode == CachePersistent && s.chaos == nil {
+			root := cc.Dir
+			if root == "" {
+				root = filepath.Join(dir, CacheDirName)
+			}
+			s.acache, err = artifact.NewActionCache(ws, root, cc.maxBytes(), cc.VerifyOnHit)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: %w", err)
+			}
+		}
 	}
 	if o := s.opts.Observer; o != nil {
 		s.wmon = obs.NewWorkerMonitor(o, "pipeline")
@@ -210,6 +229,11 @@ func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 		s.links = o.Counter("links_total")
 		s.arts.SetCounters(o.Counter("cache_hits_total"),
 			o.Counter("cache_misses_total"), o.Counter("cache_bytes_saved_total"))
+		s.acache.SetCounters(o.Counter("action_cache_hits_total"),
+			o.Counter("action_cache_misses_total"),
+			o.Counter("action_cache_evictions_total"),
+			o.Gauge("action_cache_bytes"))
+		s.recNodesExec = o.Counter("dataflow_record_nodes_executed_total")
 	}
 	return s, nil
 }

@@ -1,9 +1,11 @@
 package storage
 
 import (
+	"crypto/sha256"
 	"io"
 	"io/fs"
 	"os"
+	"sync"
 )
 
 // OS is the filesystem-backed Workspace: every operation is the
@@ -11,11 +13,27 @@ import (
 type OS struct{}
 
 func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
-func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
-func (OS) Remove(path string) error                     { return os.Remove(path) }
-func (OS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
-func (OS) Stat(path string) (fs.FileInfo, error)        { return os.Stat(path) }
-func (OS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+
+// Rename carries the source's memoized content hash to the destination: the
+// bytes are unchanged, only the stat fingerprint (ctime) moved.
+func (OS) Rename(oldpath, newpath string) error {
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	if e, ok := hashMemo.LoadAndDelete(oldpath); ok {
+		seedHashMemo(newpath, e.(hashMemoEntry).sum)
+	}
+	return nil
+}
+
+func (OS) Remove(path string) error {
+	hashMemo.Delete(path)
+	return os.Remove(path)
+}
+
+func (OS) RemoveAll(path string) error           { return os.RemoveAll(path) }
+func (OS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+func (OS) ReadFile(path string) ([]byte, error)  { return os.ReadFile(path) }
 
 // WriteFile lands the bytes in a sibling temp file that is renamed into
 // place, so the destination only ever holds a complete file and an
@@ -30,28 +48,103 @@ func (OS) WriteFile(path string, data []byte, perm os.FileMode) error {
 		os.Remove(tmp)
 		return err
 	}
+	// The data is in hand: hash it now and seed the memo, so the first
+	// generation probe of this product pays a stat instead of a re-read.
+	seedHashMemo(path, sha256.Sum256(data))
 	return nil
 }
 
-func (OS) Link(oldpath, newpath string) error      { return os.Link(oldpath, newpath) }
+// Link seeds the destination's memo from the source's — a hardlink shares
+// the inode, so the content hash is identical — and re-seeds the source,
+// whose fingerprint link(2) just invalidated by bumping the inode's ctime.
+func (OS) Link(oldpath, newpath string) error {
+	if err := os.Link(oldpath, newpath); err != nil {
+		return err
+	}
+	if e, ok := hashMemo.Load(oldpath); ok {
+		sum := e.(hashMemoEntry).sum
+		seedHashMemo(oldpath, sum)
+		seedHashMemo(newpath, sum)
+	}
+	return nil
+}
 func (OS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
 func (OS) List(dir string) ([]fs.DirEntry, error)  { return os.ReadDir(dir) }
 
-// diskGen is the filesystem content generation: size + mtime as observed by
-// stat, the same coherence token the artifact cache has always used.
+// diskGen is the filesystem content generation: size plus content hash.
+// Hashing (rather than stat size + mtime) closes the mtime-granularity
+// window where two same-size rewrites within one clock tick would alias to
+// the same token and serve a stale decode.
 type diskGen struct {
-	size      int64
-	mtimeNano int64
+	size int64
+	sum  [sha256.Size]byte
 }
 
-// diskGeneration stats path and returns its generation token; shared with
-// the mem backend's fallback for files that still live on real disk.
+// statIdentity is the full stat fingerprint of one file version, the
+// revalidation key of the hash memo below: size, mtime, and — on unix —
+// inode number and ctime.  An in-place rewrite cannot leave ctime
+// untouched (even Chtimes bumps it), and this backend's own WriteFile
+// always binds a fresh inode, so a matching identity means the content
+// hash on record is still the file's.
+type statIdentity struct {
+	size      int64
+	mtimeNano int64
+	ino       uint64
+	ctimeNano int64
+}
+
+// hashMemo caches path -> (statIdentity, content hash) so unchanged files
+// pay one os.Stat per generation probe instead of a full read + SHA-256.
+// Entries are tiny (~100 B) and replaced in place on change; the map only
+// grows with the number of distinct paths probed by this process.
+var hashMemo sync.Map
+
+type hashMemoEntry struct {
+	ident statIdentity
+	sum   [sha256.Size]byte
+}
+
+// seedHashMemo records a known content hash for path under its current stat
+// fingerprint.  Callers pass a sum they know matches the bytes on disk (they
+// just wrote, linked, or renamed them); the pipeline's file protocol writes
+// each product path at most once per run, so no concurrent rewrite can slip
+// different bytes under the fingerprint between that operation and the stat.
+func seedHashMemo(path string, sum [sha256.Size]byte) {
+	info, err := os.Stat(path)
+	if err != nil || !info.Mode().IsRegular() {
+		return
+	}
+	ident := statIdentity{size: info.Size(), mtimeNano: info.ModTime().UnixNano()}
+	ident.ino, ident.ctimeNano = statExtra(info)
+	hashMemo.Store(path, hashMemoEntry{ident: ident, sum: sum})
+}
+
+// diskGeneration returns path's generation token, hashing its content only
+// when the stat fingerprint changed since the last probe; shared with the
+// mem backend's fallback for files that still live on real disk.  Stat'ing
+// a directory succeeds but is not a regular file, so directories report
+// ok=false.
 func diskGeneration(path string) (any, int64, bool) {
 	info, err := os.Stat(path)
-	if err != nil || info.IsDir() {
+	if err != nil || !info.Mode().IsRegular() {
 		return nil, 0, false
 	}
-	return diskGen{size: info.Size(), mtimeNano: info.ModTime().UnixNano()}, info.Size(), true
+	ident := statIdentity{size: info.Size(), mtimeNano: info.ModTime().UnixNano()}
+	ident.ino, ident.ctimeNano = statExtra(info)
+	if e, ok := hashMemo.Load(path); ok {
+		if he := e.(hashMemoEntry); he.ident == ident {
+			return diskGen{size: ident.size, sum: he.sum}, ident.size, true
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false
+	}
+	sum := sha256.Sum256(data)
+	// Memoize under the pre-read fingerprint: a write racing the read makes
+	// the next probe's fingerprint differ and re-hash, never serve this sum.
+	hashMemo.Store(path, hashMemoEntry{ident: ident, sum: sum})
+	return diskGen{size: int64(len(data)), sum: sum}, int64(len(data)), true
 }
 
 func (OS) Generation(path string) (any, int64, bool) { return diskGeneration(path) }

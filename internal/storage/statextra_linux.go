@@ -1,0 +1,19 @@
+//go:build linux
+
+package storage
+
+import (
+	"io/fs"
+	"syscall"
+)
+
+// statExtra extracts the inode number and ctime (status-change time) from a
+// stat result: the fingerprint fields an in-place rewrite cannot forge —
+// user code can pin mtime with Chtimes, but every write and chtimes call
+// bumps ctime, and only the kernel sets it.
+func statExtra(info fs.FileInfo) (ino uint64, ctimeNano int64) {
+	if st, ok := info.Sys().(*syscall.Stat_t); ok {
+		return st.Ino, st.Ctim.Nano()
+	}
+	return 0, 0
+}

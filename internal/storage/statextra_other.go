@@ -1,0 +1,12 @@
+//go:build !linux
+
+package storage
+
+import "io/fs"
+
+// statExtra has no portable inode/ctime source off linux; the hash memo
+// then revalidates on (size, mtime) alone, which still re-hashes on every
+// normal rewrite (this backend's WriteFile is temp + rename, advancing
+// mtime) and degrades no worse than the historical (size, mtime) key for
+// adversarial in-place same-tick rewrites.
+func statExtra(info fs.FileInfo) (ino uint64, ctimeNano int64) { return 0, 0 }

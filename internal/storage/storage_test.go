@@ -339,6 +339,44 @@ func TestMemRemoveAllPurgesSubtree(t *testing.T) {
 	}
 }
 
+// TestOSGenerationDetectsSameSizeSameMtimeRewrite is the mtime-aliasing
+// regression test: an in-place rewrite of identical size with the mtime
+// pinned back to the original (the worst case of two writes inside one
+// filesystem timestamp tick) must still change the generation, because the
+// token carries the content hash and the hash memo revalidates on ctime.
+func TestOSGenerationDetectsSameSizeSameMtimeRewrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gen.v2")
+	if err := os.WriteFile(path, []byte("12345678"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, size, ok := (OS{}).Generation(path)
+	if !ok || size != 8 {
+		t.Fatalf("Generation = %v, %d, %v", g1, size, ok)
+	}
+	// Probe twice: the second must come from the hash memo and agree.
+	if g1b, _, _ := (OS{}).Generation(path); g1 != g1b {
+		t.Fatal("memoized generation differs from the fresh one")
+	}
+	if err := os.WriteFile(path, []byte("87654321"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, info.ModTime(), info.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, _ := (OS{}).Generation(path)
+	if g1 == g2 {
+		t.Error("generation unchanged across same-size same-mtime rewrite")
+	}
+	if _, _, ok := (OS{}).Generation(dir); ok {
+		t.Error("Generation of a directory reported ok")
+	}
+}
+
 func TestMemGenerationChangesOnWrite(t *testing.T) {
 	dir := t.TempDir()
 	m := NewMem()
