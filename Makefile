@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos cache-ablation cache-persist fuzz-smoke bench ci
+.PHONY: all fmt vet build test race chaos cache-ablation cache-persist crash-resume fuzz-smoke bench ci
 
 all: build
 
@@ -47,13 +47,23 @@ cache-ablation:
 cache-persist:
 	$(GO) test -count=1 -run 'WarmRestart|PersistentCache|ActionCache' ./internal/pipeline/... ./internal/artifact/...
 
-# Short fuzz smoke over the format round-trip fuzzers (the CI gate runs the
-# same two targets for ~5s each).
+# Crash-safety suite: the kill -9 crash matrix (subprocess SIGKILLs itself
+# at each durability point, resume must restore byte-identical outputs
+# re-executing only unfinished subgraphs), journal replay/parse, and the
+# .smcache integrity scrubber.
+crash-resume:
+	$(GO) test -count=1 -run 'CrashResume|CrashKills|CrashUnarmed|Resume|Journal|Scrub' ./internal/pipeline/... ./internal/faults/... ./internal/artifact/...
+
+# Short fuzz smoke over the format round-trip fuzzers plus the crash-recovery
+# state parsers (run journal, action-cache manifest); the CI gate runs the
+# same targets for ~5s each.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzV1RoundTrip' -fuzztime 5s ./internal/smformat/
 	$(GO) test -run '^$$' -fuzz 'FuzzGEMRoundTrip' -fuzztime 5s ./internal/smformat/
+	$(GO) test -run '^$$' -fuzz 'FuzzJournalParse' -fuzztime 5s ./internal/pipeline/
+	$(GO) test -run '^$$' -fuzz 'FuzzActionManifest' -fuzztime 5s ./internal/artifact/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: fmt vet build test fuzz-smoke race chaos cache-ablation cache-persist
+ci: fmt vet build test fuzz-smoke race chaos cache-ablation cache-persist crash-resume

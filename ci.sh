@@ -24,9 +24,11 @@ go test ./...
 echo "== bench smoke (every benchmark compiles and runs once) =="
 go test -bench . -benchtime=1x -run '^$' ./...
 
-echo "== fuzz smoke (format round-trip fuzzers, ~5s each) =="
+echo "== fuzz smoke (format + recovery-state parsers, ~5s each) =="
 go test -run '^$' -fuzz 'FuzzV1RoundTrip' -fuzztime 5s ./internal/smformat/
 go test -run '^$' -fuzz 'FuzzGEMRoundTrip' -fuzztime 5s ./internal/smformat/
+go test -run '^$' -fuzz 'FuzzJournalParse' -fuzztime 5s ./internal/pipeline/
+go test -run '^$' -fuzz 'FuzzActionManifest' -fuzztime 5s ./internal/artifact/
 
 echo "== race (parallel runtime + dataflow scheduler + pipeline drivers + artifact store + storage plane) =="
 go test -race ./internal/parallel/... ./internal/dataflow/... ./internal/pipeline/... ./internal/artifact/... ./internal/storage/...
@@ -39,5 +41,8 @@ go test -count=1 -run 'ArtifactCache' ./internal/pipeline/...
 
 echo "== cache persistence (warm restarts skip unchanged records; corrupted entries degrade to misses) =="
 go test -count=1 -run 'WarmRestart|PersistentCache|ActionCache' ./internal/pipeline/... ./internal/artifact/...
+
+echo "== crash/resume (kill -9 matrix, journal replay, cache scrub) =="
+go test -count=1 -run 'CrashResume|CrashKills|CrashUnarmed|Resume|Journal|Scrub' ./internal/pipeline/... ./internal/faults/... ./internal/artifact/...
 
 echo "CI gate passed."

@@ -36,10 +36,16 @@
 // tree — the Figure 11 rows are derived from the same spans — and
 // -metrics/-pprof write the metrics exposition and a CPU profile (see
 // README "Observability").
+//
+// Exit codes: 0 when every measured run was fully healthy, 1 on a fatal
+// error (including failed -check assertions or -compare regressions), and
+// 3 when the evaluation completed but some measured run quarantined
+// records (only possible under -chaos).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,13 +64,31 @@ import (
 	"accelproc/internal/synth"
 )
 
+// errQuarantined marks an evaluation that completed but lost records to
+// quarantine in some measured run; main maps it to exit code 3.
+var errQuarantined = errors.New("completed with quarantined records")
+
+// exitCode maps a run error to the documented process exit code.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errQuarantined):
+		return 3
+	default:
+		return 1
+	}
+}
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
-		os.Exit(1)
 	}
+	os.Exit(exitCode(err))
 }
 
 // parseVariants splits a comma-separated -variants value.
@@ -269,5 +293,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if checksFailed {
 		return errChecksFailed
 	}
-	return session.Close()
+	if err := session.Close(); err != nil {
+		return err
+	}
+	var quarantined int64
+	for _, r := range results {
+		quarantined += r.Quarantined
+	}
+	if quarantined > 0 {
+		fmt.Fprintf(stdout, "quarantined records across measured runs: %d\n", quarantined)
+		return errQuarantined
+	}
+	return nil
 }

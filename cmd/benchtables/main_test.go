@@ -55,6 +55,38 @@ func TestRunSmokeCheckReportsOutcome(t *testing.T) {
 	}
 }
 
+func TestExitCodeMapping(t *testing.T) {
+	if got := exitCode(nil); got != 0 {
+		t.Errorf("exitCode(nil) = %d, want 0", got)
+	}
+	if got := exitCode(errQuarantined); got != 3 {
+		t.Errorf("exitCode(errQuarantined) = %d, want 3", got)
+	}
+	if got := exitCode(errChecksFailed); got != 1 {
+		t.Errorf("exitCode(errChecksFailed) = %d, want 1", got)
+	}
+	if got := exitCode(errors.New("boom")); got != 1 {
+		t.Errorf("exitCode(fatal) = %d, want 1", got)
+	}
+}
+
+// TestRunSmokeChaosQuarantineExitCode runs the smoke evaluation under heavy
+// chaos: records get quarantined, the evaluation still completes, and the
+// run reports the exit-code-3 sentinel with the loss total printed.
+func TestRunSmokeChaosQuarantineExitCode(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-smoke", "-table1", "-periods", "6", "-variants", "full",
+		"-chaos", "0.8", "-chaos-seed", "5",
+	}, &out, &errBuf)
+	if !errors.Is(err, errQuarantined) {
+		t.Fatalf("err = %v, want errQuarantined:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "quarantined records across measured runs:") {
+		t.Errorf("output missing the quarantine total:\n%s", out.String())
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if err := run(context.Background(), []string{"-method", "bogus"}, &out, &errBuf); err == nil {

@@ -29,18 +29,33 @@
 // disk at the end of the run; outputs byte-identical — see README
 // "The storage plane").  Interrupting the process (SIGINT/SIGTERM)
 // cancels the run cleanly, including scratch folders.
+//
+// Crash safety: journaled runs (-journal, on by default) append a
+// write-ahead record to <dir>/.smrun after every durability point, and
+// -resume replays a surviving journal after kill -9 so only unfinished
+// work re-executes (see README "Crash-safe runs").  -cache-fsck scrubs a
+// persistent action cache instead of processing: manifests are verified
+// against blob digests, damaged entries and orphan blobs deleted, and a
+// machine-readable JSON summary printed.
+//
+// Exit codes: 0 on a fully healthy run, 1 on a fatal error, and 3 when
+// the run completed but quarantined at least one record.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
+	"accelproc/internal/artifact"
 	"accelproc/internal/cliobs"
 	"accelproc/internal/dsp"
 	"accelproc/internal/faults"
@@ -50,13 +65,32 @@ import (
 	"accelproc/internal/storage"
 )
 
+// errQuarantined marks a run that completed end to end but gave up on at
+// least one record; main maps it to exit code 3 so schedulers can tell
+// "done with losses" from "failed" (exit 1) without parsing output.
+var errQuarantined = errors.New("completed with quarantined records")
+
+// exitCode maps a run error to the documented process exit code.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errQuarantined):
+		return 3
+	default:
+		return 1
+	}
+}
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "smproc:", err)
-		os.Exit(1)
 	}
+	os.Exit(exitCode(err))
 }
 
 func parseInstrument(s string) (*dsp.Instrument, error) {
@@ -94,6 +128,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cacheVerify  = fs.Bool("cache-verify", false, "re-hash every restored action-cache blob against its recorded checksum")
 		cacheMax     = fs.Int64("cache-max-bytes", 0, "action-cache size bound in bytes (0 = 256 MiB default, negative = unbounded)")
 		storageName  = fs.String("storage", "fs", "storage backend: fs (plain filesystem) or mem (in-memory inter-stage files, final products written to disk)")
+		journal      = fs.Bool("journal", true, "write a crash-recovery run journal under <dir>/.smrun")
+		resume       = fs.Bool("resume", false, "replay a surviving run journal: skip finished work, restore quarantine verdicts, sweep stale scratch (implies -journal)")
+		cacheFsck    = fs.Bool("cache-fsck", false, "scrub the persistent action cache instead of processing: verify digests, drop damaged entries, collect orphan blobs, print a JSON summary")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,6 +166,32 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	cacheCfg.VerifyOnHit = *cacheVerify
 	cacheCfg.MaxBytes = *cacheMax
+
+	if *cacheFsck {
+		if *batch != "" {
+			return fmt.Errorf("-cache-fsck works on one cache: use -dir or -cache disk:dir")
+		}
+		root := cacheCfg.Dir
+		if root == "" {
+			root = filepath.Join(*dir, pipeline.CacheDirName)
+		}
+		rep, err := artifact.Scrub(storage.Disk(), root)
+		if err != nil {
+			return err
+		}
+		out := struct {
+			Root string `json:"root"`
+			artifact.ScrubReport
+			Clean bool `json:"clean"`
+		}{Root: root, ScrubReport: rep, Clean: rep.Clean()}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+		return session.Close()
+	}
+
 	opts := pipeline.Options{
 		Workers:         *workers,
 		EventWorkers:    *eventWorkers,
@@ -140,6 +203,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			Periods: response.LogPeriods(0.02, 20, *periods),
 		},
 		Observer: session.Observer,
+		Journal:  *journal,
+		Resume:   *resume,
 	}
 	if *instr != "" {
 		in, err := parseInstrument(*instr)
@@ -179,7 +244,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "batch: %d events, %d distinct stations\n",
 			len(results), len(pipeline.BatchStations(results)))
-		if rep := pipeline.BatchReport(results); opts.Chaos != nil || len(rep.Quarantined) > 0 {
+		rep := pipeline.BatchReport(results)
+		if opts.Chaos != nil || len(rep.Quarantined) > 0 {
 			fmt.Fprintf(stdout, "report: %s\n", rep)
 			for _, q := range rep.Quarantined {
 				fmt.Fprintf(stdout, "  quarantined %s/%s at stage %s after %d attempts: %v\n",
@@ -189,7 +255,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return session.Close()
+		if err := session.Close(); err != nil {
+			return err
+		}
+		if rep.Degraded() {
+			return errQuarantined
+		}
+		return nil
 	}
 
 	if *clean {
@@ -204,6 +276,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	fmt.Fprintf(stdout, "processed %d stations with %s in %.2f s\n",
 		len(res.Stations), res.Variant, res.Timings.Total.Seconds())
+	if res.Resume.Resumed {
+		fmt.Fprintf(stdout, "resumed: %d journaled nodes skipped, %d quarantine verdicts replayed, %d stale scratch entries swept\n",
+			res.Resume.NodesSkipped, res.Resume.QuarantinesReplayed, res.Resume.ScratchSwept)
+	} else if res.Resume.ScratchSwept > 0 {
+		fmt.Fprintf(stdout, "startup sweep: removed %d stale scratch entries\n", res.Resume.ScratchSwept)
+	}
 	if cacheCfg.Mode == pipeline.CachePersistent {
 		fmt.Fprintf(stdout, "action cache: %d hits, %d misses, %d evictions, %d bytes resident\n",
 			res.Cache.ActionHits, res.Cache.ActionMisses, res.Cache.ActionEvictions, res.Cache.ActionBytes)
@@ -231,5 +309,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "\nproducts: %d V2, %d Fourier, %d response, %d GEM, %d plots\n",
 		inv.V2, inv.Fourier, inv.Response, inv.GEM, inv.Plots)
-	return session.Close()
+	if err := session.Close(); err != nil {
+		return err
+	}
+	if len(res.Quarantined) > 0 {
+		return errQuarantined
+	}
+	return nil
 }

@@ -3,7 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -209,7 +213,9 @@ func TestRunWithChaosFlags(t *testing.T) {
 	err := run(context.Background(), []string{
 		"-dir", dir, "-variant", "full", "-periods", "8", "-chaos", "0.05", "-chaos-seed", "3",
 	}, &out)
-	if err != nil {
+	// A chaotic run may quarantine records; that is the documented
+	// exit-code-3 outcome, not a failure.
+	if err != nil && !errors.Is(err, errQuarantined) {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "chaos:") {
@@ -220,6 +226,122 @@ func TestRunWithChaosFlags(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-dir", dir, "-chaos", "-0.1"}, &out); err == nil {
 		t.Error("negative -chaos accepted")
+	}
+}
+
+func TestExitCodeMapping(t *testing.T) {
+	if got := exitCode(nil); got != 0 {
+		t.Errorf("exitCode(nil) = %d, want 0", got)
+	}
+	if got := exitCode(errQuarantined); got != 3 {
+		t.Errorf("exitCode(errQuarantined) = %d, want 3", got)
+	}
+	if got := exitCode(fmt.Errorf("run: %w", errQuarantined)); got != 3 {
+		t.Errorf("exitCode(wrapped errQuarantined) = %d, want 3", got)
+	}
+	if got := exitCode(errors.New("boom")); got != 1 {
+		t.Errorf("exitCode(fatal) = %d, want 1", got)
+	}
+}
+
+// TestRunQuarantinedExitCode drives the chaos rate high enough that records
+// are quarantined: the run must complete (not fail), report the losses, and
+// return the sentinel main maps to exit code 3.
+func TestRunQuarantinedExitCode(t *testing.T) {
+	dir := makeWorkDir(t, 13)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-dir", dir, "-variant", "full", "-periods", "8",
+		"-chaos", "0.8", "-chaos-seed", "5", "-retries", "2",
+	}, &out)
+	if !errors.Is(err, errQuarantined) {
+		t.Fatalf("err = %v, want errQuarantined:\n%s", err, out.String())
+	}
+	if exitCode(err) != 3 {
+		t.Errorf("exit code = %d, want 3", exitCode(err))
+	}
+	if !strings.Contains(out.String(), "records quarantined") {
+		t.Errorf("output missing the quarantine report:\n%s", out.String())
+	}
+}
+
+// TestRunResumeFlow drives -resume end to end through the CLI: a journaled
+// run whose finish record is erased (the state a kill -9 after the last
+// node leaves) resumes with every dataflow node skipped.
+func TestRunResumeFlow(t *testing.T) {
+	dir := makeWorkDir(t, 14)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{
+		"-dir", dir, "-variant", "pipelined", "-periods", "8",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, pipeline.RunJournalDir, "journal")
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatalf("journaled run left no journal: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	trimmed := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	if err := os.WriteFile(jpath, []byte(trimmed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run(context.Background(), []string{
+		"-dir", dir, "-variant", "pipelined", "-periods", "8", "-resume",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "resumed: 20 journaled nodes skipped") {
+		t.Errorf("output missing the resume summary:\n%s", out.String())
+	}
+}
+
+// TestRunCacheFsck seeds a persistent cache, plants an orphan blob, and
+// asserts -cache-fsck reports and removes it — and that a second scrub of
+// the repaired cache comes back clean.
+func TestRunCacheFsck(t *testing.T) {
+	dir := makeWorkDir(t, 15)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{
+		"-dir", dir, "-variant", "pipelined", "-periods", "8", "-cache", "disk",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	orphan := []byte("orphaned blob bytes")
+	sum := sha256.Sum256(orphan)
+	blobPath := filepath.Join(dir, pipeline.CacheDirName, "blobs", hex.EncodeToString(sum[:]))
+	if err := os.WriteFile(blobPath, orphan, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	scrub := func() map[string]any {
+		t.Helper()
+		out.Reset()
+		if err := run(context.Background(), []string{"-dir", dir, "-cache-fsck"}, &out); err != nil {
+			t.Fatalf("cache-fsck: %v\n%s", err, out.String())
+		}
+		var rep map[string]any
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("cache-fsck output is not JSON: %v\n%s", err, out.String())
+		}
+		return rep
+	}
+
+	rep := scrub()
+	if rep["orphan_blobs"] != float64(1) || rep["clean"] != false {
+		t.Errorf("first scrub = %v, want 1 orphan and clean=false", rep)
+	}
+	if _, err := os.Stat(blobPath); !os.IsNotExist(err) {
+		t.Errorf("orphan blob survived the scrub (err=%v)", err)
+	}
+	if rep := scrub(); rep["clean"] != true {
+		t.Errorf("second scrub = %v, want clean=true", rep)
+	}
+
+	if err := run(context.Background(), []string{"-batch", dir, "-cache-fsck"}, &out); err == nil {
+		t.Error("-cache-fsck with -batch accepted")
 	}
 }
 

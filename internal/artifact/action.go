@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"accelproc/internal/faults"
 	"accelproc/internal/obs"
 )
 
@@ -164,6 +165,7 @@ type ActionCache struct {
 	bytes   int64
 
 	nHits, nMisses, nEvicts int64
+	nSwept                  int64 // orphan blobs removed by load's bounded sweep
 
 	// Nil-safe observability handles, attached via SetCounters.
 	hits, misses, evicts *obs.Counter
@@ -254,7 +256,9 @@ func (c *ActionCache) load() error {
 			c.refBlob(out.sum, out.size)
 		}
 	}
-	// Remove blobs no surviving manifest references.
+	// Remove blobs no surviving manifest references.  The sweep is bounded
+	// per open so a massively damaged cache cannot stall startup; whatever
+	// remains is picked up by the next open or by an explicit Scrub.
 	if blobNames, err := c.fsys.List(c.blobsDir()); err == nil {
 		for _, de := range blobNames {
 			if de.IsDir() {
@@ -266,12 +270,30 @@ func (c *ActionCache) load() error {
 					continue
 				}
 			}
-			_ = c.fsys.Remove(filepath.Join(c.blobsDir(), de.Name()))
+			if c.nSwept >= autoSweepLimit {
+				break
+			}
+			if c.fsys.Remove(filepath.Join(c.blobsDir(), de.Name())) == nil {
+				c.nSwept++
+			}
 		}
 	}
 	c.evictLocked()
 	c.bytesGauge.Set(float64(c.bytes))
 	return nil
+}
+
+// autoSweepLimit bounds how many orphan blobs one load may delete.
+const autoSweepLimit = 512
+
+// SweptOrphans reports how many orphan blobs the opening sweep removed.
+func (c *ActionCache) SweptOrphans() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nSwept
 }
 
 // refBlob adds one manifest reference to a blob, charging its bytes on the
@@ -438,12 +460,18 @@ func (c *ActionCache) Put(id ActionID, outs []Blob) error {
 			written[sum] = true
 		}
 	}
+	// The crash points bracket the cache's durability boundary: dying before
+	// the manifest write leaves only orphan blobs (swept at next open), dying
+	// after leaves a complete, restorable entry.  Both are exercised by the
+	// crash matrix in internal/pipeline.
+	faults.Crash(faults.CrashManifestPut)
 	if err := c.fsys.WriteFile(c.manifestPath(id), formatManifest(e.outs), 0o644); err != nil {
 		for w := range written {
 			_ = c.fsys.Remove(c.blobPath(w))
 		}
 		return err
 	}
+	faults.Crash(faults.CrashManifestPutDone)
 	for _, out := range e.outs {
 		c.refBlob(out.sum, out.size)
 	}

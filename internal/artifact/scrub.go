@@ -1,0 +1,157 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"path/filepath"
+)
+
+// This file is the cache integrity scrubber behind `smproc -cache-fsck`: a
+// full offline pass over an action-cache root that verifies everything the
+// regular open path only spot-checks.  The opening load trusts manifests
+// that parse and bounds its orphan sweep; Scrub reads every blob, checks it
+// against its content-addressed name, cross-checks every manifest against
+// the verified blob set, and deletes whatever fails.  Like every other
+// cache path, repair means deletion: a damaged entry degrades to a future
+// recomputation, never to an error or a wrong restore.
+
+// ScrubReport summarizes one integrity pass.  The counters are disjoint:
+// each scanned file is classified at most once.
+type ScrubReport struct {
+	ActionsScanned     int   `json:"actions_scanned"`
+	BlobsScanned       int   `json:"blobs_scanned"`
+	ActionsKept        int   `json:"actions_kept"`
+	TruncatedManifests int   `json:"truncated_manifests"` // unparseable (cut-off write, bad magic, malformed line)
+	MissingBlobs       int   `json:"missing_blobs"`       // manifests naming blobs that are absent or failed verification
+	BadDigests         int   `json:"bad_digests"`         // blobs whose bytes do not hash to their name
+	StrayFiles         int   `json:"stray_files"`         // non-hex names under actions/ or blobs/
+	OrphanBlobs        int   `json:"orphan_blobs"`        // verified blobs no surviving manifest references
+	BytesReclaimed     int64 `json:"bytes_reclaimed"`
+}
+
+// Clean reports whether the pass found nothing to repair.
+func (r ScrubReport) Clean() bool {
+	return r.TruncatedManifests == 0 && r.MissingBlobs == 0 &&
+		r.BadDigests == 0 && r.StrayFiles == 0 && r.OrphanBlobs == 0
+}
+
+// Scrub walks the action cache at root and repairs it in place: blobs are
+// re-hashed against their content-addressed names, manifests are parsed and
+// cross-checked against the verified blob set, and every failure — plus any
+// blob left unreferenced once failing manifests are gone — is deleted.  The
+// returned report is machine-readable (JSON tags) for the -cache-fsck CLI.
+// Only an unlistable root is an error; per-file damage is repair work, and
+// per-file delete races (another process repairing concurrently) are
+// ignored.  A scrubbed root always reopens via NewActionCache with zero
+// further sweeping to do.
+func Scrub(fsys CacheFS, root string) (ScrubReport, error) {
+	var r ScrubReport
+	actionsDir := filepath.Join(root, "actions")
+	blobsDir := filepath.Join(root, "blobs")
+	actionEntries, err := fsys.List(actionsDir)
+	if err != nil {
+		return r, fmt.Errorf("artifact: scrub %s: %w", root, err)
+	}
+	blobEntries, err := fsys.List(blobsDir)
+	if err != nil {
+		return r, fmt.Errorf("artifact: scrub %s: %w", root, err)
+	}
+
+	// Pass 1: verify every blob's bytes against its content-addressed name.
+	// A blob that does not hash to its own name is useless to any manifest,
+	// so it goes first and the manifests referencing it fail pass 2.
+	blobSize := make(map[[sha256.Size]byte]int64, len(blobEntries))
+	for _, de := range blobEntries {
+		if de.IsDir() {
+			continue
+		}
+		r.BlobsScanned++
+		path := filepath.Join(blobsDir, de.Name())
+		sum, ok := parseActionID(de.Name())
+		if !ok {
+			r.StrayFiles++
+			scrubRemove(fsys, path, &r)
+			continue
+		}
+		data, err := fsys.ReadFile(path)
+		if err != nil || sha256.Sum256(data) != [sha256.Size]byte(sum) {
+			r.BadDigests++
+			scrubRemove(fsys, path, &r)
+			continue
+		}
+		blobSize[[sha256.Size]byte(sum)] = int64(len(data))
+	}
+
+	// Pass 2: parse every manifest and require all of its blobs verified.
+	type keptEntry struct {
+		outs []manifestOut
+	}
+	var kept []keptEntry
+	for _, de := range actionEntries {
+		if de.IsDir() {
+			continue
+		}
+		r.ActionsScanned++
+		path := filepath.Join(actionsDir, de.Name())
+		if _, ok := parseActionID(de.Name()); !ok {
+			r.StrayFiles++
+			scrubRemove(fsys, path, &r)
+			continue
+		}
+		data, err := fsys.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		outs, ok := parseManifest(data)
+		if !ok {
+			r.TruncatedManifests++
+			scrubRemove(fsys, path, &r)
+			continue
+		}
+		sound := true
+		for _, out := range outs {
+			if size, have := blobSize[out.sum]; !have || size != out.size {
+				sound = false
+				break
+			}
+		}
+		if !sound {
+			r.MissingBlobs++
+			scrubRemove(fsys, path, &r)
+			continue
+		}
+		kept = append(kept, keptEntry{outs: outs})
+	}
+	r.ActionsKept = len(kept)
+
+	// Pass 3: delete verified blobs no surviving manifest references.
+	live := make(map[[sha256.Size]byte]bool, len(blobSize))
+	for _, k := range kept {
+		for _, out := range k.outs {
+			live[out.sum] = true
+		}
+	}
+	for sum, size := range blobSize {
+		if live[sum] {
+			continue
+		}
+		r.OrphanBlobs++
+		if fsys.Remove(filepath.Join(blobsDir, hex.EncodeToString(sum[:]))) == nil {
+			r.BytesReclaimed += size
+		}
+	}
+	return r, nil
+}
+
+// scrubRemove deletes path, crediting its size to the reclaimed total when
+// the delete lands.
+func scrubRemove(fsys CacheFS, path string, r *ScrubReport) {
+	var size int64
+	if info, err := fsys.Stat(path); err == nil {
+		size = info.Size()
+	}
+	if fsys.Remove(path) == nil {
+		r.BytesReclaimed += size
+	}
+}

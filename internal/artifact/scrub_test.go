@@ -1,0 +1,239 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"path/filepath"
+	"testing"
+
+	"accelproc/internal/storage"
+)
+
+// seedCache opens a cache at root, stores two actions (one sharing a blob
+// with the other), and returns the root ready for corruption.
+func seedCache(t *testing.T, fsys CacheFS, root string) {
+	t.Helper()
+	c, err := NewActionCache(fsys, root, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testID("scrub-a"), []Blob{
+		{Name: "a.v2", Data: []byte("component a")},
+		{Name: "shared.f", Data: []byte("fourier shared")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testID("scrub-b"), []Blob{
+		{Name: "b.v2", Data: []byte("component b")},
+		{Name: "shared.f", Data: []byte("fourier shared")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubCleanCacheFindsNothing(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		seedCache(t, fsys, root)
+		rep, err := Scrub(fsys, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("clean cache scrubbed dirty: %+v", rep)
+		}
+		if rep.ActionsScanned != 2 || rep.ActionsKept != 2 || rep.BlobsScanned != 3 {
+			t.Fatalf("scan counts wrong: %+v", rep)
+		}
+		if rep.BytesReclaimed != 0 {
+			t.Fatalf("clean scrub reclaimed %d bytes", rep.BytesReclaimed)
+		}
+	})
+}
+
+func TestScrubRepairsSeededDamage(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		seedCache(t, fsys, root)
+		actions, blobs := filepath.Join(root, "actions"), filepath.Join(root, "blobs")
+
+		// Orphan blob: content-addressed but referenced by no manifest.
+		orphan := []byte("orphaned output")
+		osum := sha256.Sum256(orphan)
+		if err := fsys.WriteFile(filepath.Join(blobs, hex.EncodeToString(osum[:])), orphan, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Truncated manifest: a crash mid-write cut the entry list short.
+		full, err := fsys.ReadFile(filepath.Join(actions, testID("scrub-a").String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.WriteFile(filepath.Join(actions, testID("scrub-a").String()), full[:len(full)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Bad digest: flip bytes inside a referenced blob.
+		bsum := sha256.Sum256([]byte("component b"))
+		if err := fsys.WriteFile(filepath.Join(blobs, hex.EncodeToString(bsum[:])), []byte("bit rotted!"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Stray temp file in the actions dir.
+		if err := fsys.WriteFile(filepath.Join(actions, "leftover.tmp"), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		rep, err := Scrub(fsys, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Clean() {
+			t.Fatal("seeded damage reported clean")
+		}
+		// scrub-a's manifest is truncated; scrub-b's blob is rotted, so its
+		// manifest goes too, leaving zero actions and (after orphan GC) zero
+		// blobs: "a.v2"'s and "shared.f"'s blobs lose their last reference.
+		if rep.TruncatedManifests != 1 || rep.BadDigests != 1 || rep.MissingBlobs != 1 || rep.StrayFiles != 1 {
+			t.Fatalf("damage counts wrong: %+v", rep)
+		}
+		if rep.ActionsKept != 0 || rep.OrphanBlobs != 3 {
+			t.Fatalf("kept/orphan counts wrong: %+v", rep)
+		}
+		if rep.BytesReclaimed == 0 {
+			t.Fatalf("no bytes reclaimed: %+v", rep)
+		}
+
+		// The scrubbed root is fully repaired: a second pass finds nothing,
+		// and the cache reopens with nothing left to sweep.
+		rep2, err := Scrub(fsys, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep2.Clean() {
+			t.Fatalf("second scrub still dirty: %+v", rep2)
+		}
+		c, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() != 0 || c.SweptOrphans() != 0 {
+			t.Fatalf("reopen after scrub: len=%d swept=%d", c.Len(), c.SweptOrphans())
+		}
+	})
+}
+
+func TestScrubKeepsSoundEntriesRestorable(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		seedCache(t, fsys, root)
+		// Corrupt only scrub-b's private blob; scrub-a must survive intact.
+		bsum := sha256.Sum256([]byte("component b"))
+		if err := fsys.WriteFile(filepath.Join(root, "blobs", hex.EncodeToString(bsum[:])), []byte("bit rotted!"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Scrub(fsys, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ActionsKept != 1 || rep.BadDigests != 1 || rep.MissingBlobs != 1 {
+			t.Fatalf("partial damage handled wrong: %+v", rep)
+		}
+		// The shared blob stays: scrub-a still references it.
+		if rep.OrphanBlobs != 0 {
+			t.Fatalf("shared blob GC'd while referenced: %+v", rep)
+		}
+		c, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := restoreAll(t, c, testID("scrub-a"))
+		if !ok || got["a.v2"] != "component a" || got["shared.f"] != "fourier shared" {
+			t.Fatalf("surviving entry unrestorable: ok=%v got=%v", ok, got)
+		}
+		if _, ok := restoreAll(t, c, testID("scrub-b")); ok {
+			t.Fatal("damaged entry still restorable after scrub")
+		}
+	})
+}
+
+func TestLoadSweepCountsOrphans(t *testing.T) {
+	cacheBackends(t, func(t *testing.T, fsys CacheFS, root string) {
+		seedCache(t, fsys, root)
+		for i := 0; i < 3; i++ {
+			data := []byte{byte(i), 'o', 'r', 'p', 'h', 'a', 'n'}
+			sum := sha256.Sum256(data)
+			if err := fsys.WriteFile(filepath.Join(root, "blobs", hex.EncodeToString(sum[:])), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := NewActionCache(fsys, root, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.SweptOrphans() != 3 {
+			t.Fatalf("SweptOrphans = %d, want 3", c.SweptOrphans())
+		}
+		rep, err := Scrub(fsys, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("post-sweep scrub dirty: %+v", rep)
+		}
+	})
+}
+
+func TestLoadSweepIsBounded(t *testing.T) {
+	fsys := storage.OS{}
+	root := filepath.Join(t.TempDir(), ".smcache")
+	if _, err := NewActionCache(fsys, root, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	extra := 5
+	for i := 0; i < autoSweepLimit+extra; i++ {
+		data := []byte{byte(i), byte(i >> 8), 'x'}
+		sum := sha256.Sum256(data)
+		if err := fsys.WriteFile(filepath.Join(root, "blobs", hex.EncodeToString(sum[:])), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := NewActionCache(fsys, root, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SweptOrphans() != autoSweepLimit {
+		t.Fatalf("first open swept %d, want the %d bound", c.SweptOrphans(), autoSweepLimit)
+	}
+	c2, err := NewActionCache(fsys, root, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.SweptOrphans() != int64(extra) {
+		t.Fatalf("second open swept %d, want the remaining %d", c2.SweptOrphans(), extra)
+	}
+}
+
+// FuzzActionManifest feeds hostile bytes to the manifest parser: any input
+// must either parse to a self-consistent output list or be rejected — never
+// panic, never return a malformed entry the restore path would trip over.
+func FuzzActionManifest(f *testing.F) {
+	f.Add([]byte(actionManifestMagic + "\nNOUTPUTS: 0\n"))
+	f.Add(formatManifest([]manifestOut{
+		{name: "a.v2", size: 11, sum: sha256.Sum256([]byte("component a"))},
+	}))
+	f.Add([]byte(actionManifestMagic + "\nNOUTPUTS: 2\n1 ff a\n"))
+	f.Add([]byte("SMCACHE ACTION v9\nNOUTPUTS: 0\n"))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(actionManifestMagic + "\nNOUTPUTS: -1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		outs, ok := parseManifest(data)
+		if !ok {
+			return
+		}
+		for _, out := range outs {
+			if out.name == "" || out.size < 0 {
+				t.Fatalf("accepted malformed output %+v", out)
+			}
+		}
+		// A parsed manifest must round-trip: format and reparse agree.
+		outs2, ok2 := parseManifest(formatManifest(outs))
+		if !ok2 || len(outs2) != len(outs) {
+			t.Fatalf("round trip lost outputs: %d -> %d (ok=%v)", len(outs), len(outs2), ok2)
+		}
+	})
+}

@@ -166,6 +166,10 @@ type EventResult struct {
 	// (all repetitions and variants), the report's evidence of which
 	// caching layers were actually exercised.
 	Cache pipeline.CacheStats
+	// Quarantined sums the records the retry engine gave up on across every
+	// measured run of this event; non-zero only under chaos injection.  The
+	// CLI maps a non-zero total to exit code 3 (completed with losses).
+	Quarantined int64
 }
 
 // Speedup is the paper's headline metric: sequential-original time over
@@ -273,6 +277,7 @@ func RunEvent(ctx context.Context, spec synth.EventSpec, cfg Config) (EventResul
 				res.StorageBytesPeak = run.StorageBytesPeak
 			}
 			res.Cache.Accumulate(run.Cache)
+			res.Quarantined += int64(len(run.Quarantined))
 		}
 	}
 	return res, nil

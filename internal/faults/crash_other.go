@@ -1,0 +1,10 @@
+//go:build !unix
+
+package faults
+
+import "os"
+
+// killSelf approximates SIGKILL on platforms without self-signaling: exit
+// immediately with the conventional killed status, skipping all deferred
+// functions and flushes.
+func killSelf() { os.Exit(137) }

@@ -1,0 +1,57 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"syscall"
+	"testing"
+)
+
+// crashChildEnv gates the sacrificial subprocess of TestCrashKillsAtArmedPoint.
+const crashChildEnv = "ACCELPROC_CRASH_TEST_CHILD"
+
+// TestCrashUnarmedIsNoOp pins the production contract: without CrashEnv in
+// the environment, Crash never kills, whatever point it is given.
+func TestCrashUnarmedIsNoOp(t *testing.T) {
+	if os.Getenv(CrashEnv) != "" {
+		t.Skip("CrashEnv set in the outer environment")
+	}
+	for _, p := range CrashPoints {
+		Crash(p) // surviving this loop is the assertion
+	}
+	Crash("no-such-point")
+}
+
+// TestCrashKillsAtArmedPoint re-execs the test binary with CrashEnv armed at
+// the second hit of one point: the child must survive the first hit, die by
+// SIGKILL on the second, and never reach the code after it.
+func TestCrashKillsAtArmedPoint(t *testing.T) {
+	if os.Getenv(crashChildEnv) == "1" {
+		Crash(CrashStageMove)  // hit 1: survives
+		Crash(CrashStageMoved) // different point: ignored
+		Crash(CrashStageMove)  // hit 2: SIGKILL, no deferred funcs, no flushes
+		t.Log("SURVIVED-PAST-CRASH-POINT")
+		return
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashKillsAtArmedPoint$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		crashChildEnv+"=1",
+		CrashEnv+"="+CrashStageMove+":2",
+	)
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("child was not killed (err=%v):\n%s", err, out)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	killed := (ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL) || ee.ExitCode() == 137
+	if !killed {
+		t.Fatalf("child exited %v, want SIGKILL:\n%s", err, out)
+	}
+	if bytes.Contains(out, []byte("SURVIVED-PAST-CRASH-POINT")) {
+		t.Fatalf("child ran past the armed crash point:\n%s", out)
+	}
+}

@@ -200,6 +200,14 @@ func (f chaosFS) WriteFile(path string, data []byte, perm os.FileMode) error {
 	return f.c.base.WriteFile(path, data, perm)
 }
 
+// Append passes through untouched, like the other Workspace extensions:
+// the run journal is recovery machinery, not part of the staged protocol,
+// and faulting it would perturb the per-seed decision sequences the chaos
+// suite pins.  Chaos runs journal; only the seven staging ops are faulted.
+func (f chaosFS) Append(path string, data []byte, perm os.FileMode) error {
+	return f.c.base.Append(path, data, perm)
+}
+
 // Link always refuses under chaos: the copy fallback issues a read+write
 // pair the injector can fault, whereas a hardlink would be an invisible
 // zero-copy shortcut that changed the decision sequence per seed.

@@ -219,6 +219,77 @@ func (b *dfBuild) restoreNode(id artifact.ActionID, pid ProcessID, i int, st str
 	return err == nil && restored
 }
 
+// restoreResumedSide feeds a journaled node's side-channel payload back
+// into the build's fragment state, exactly as restoreNode does for a cached
+// one: the max-values fragment into fragsDef/fragsCor, the picked corners
+// into picks.  Nodes without a side channel restore vacuously.  False means
+// the payload did not parse and the node must execute instead.
+func (b *dfBuild) restoreResumedSide(n journalNode, i int) bool {
+	switch n.pid {
+	case PDefaultFilter, PCorrectedFilter:
+		mv, err := smformat.ParseMaxValues(bytes.NewReader(n.side))
+		if err != nil {
+			return false
+		}
+		if n.pid == PDefaultFilter {
+			b.fragsDef[i] = mv
+		} else {
+			b.fragsCor[i] = mv
+		}
+	case PPickCorners:
+		var specs [3]dsp.BandPassSpec
+		if err := json.Unmarshal(n.side, &specs); err != nil {
+			return false
+		}
+		b.picks[i] = specs
+		b.picked[i] = true
+	}
+	return true
+}
+
+// encodeSide serializes one node's side-channel payload for its journal
+// record, mirroring storeNode's blob encoding (max-values text format,
+// picked corners as JSON).  ok=false means the payload is not ready —
+// journaling the node would hand resume an incomplete claim.
+func (b *dfBuild) encodeSide(pid ProcessID, i int) ([]byte, bool) {
+	switch pid {
+	case PDefaultFilter, PCorrectedFilter:
+		frag := b.fragsDef[i]
+		if pid == PCorrectedFilter {
+			frag = b.fragsCor[i]
+		}
+		var buf bytes.Buffer
+		if err := frag.Write(&buf); err != nil {
+			return nil, false
+		}
+		return buf.Bytes(), true
+	case PPickCorners:
+		if !b.picked[i] {
+			return nil, false
+		}
+		data, err := json.Marshal(b.picks[i])
+		if err != nil {
+			return nil, false
+		}
+		return data, true
+	}
+	return nil, true
+}
+
+// journalNodeDone appends one node-done record to the run journal (a no-op
+// when journaling is off), carrying the side-channel payload the node's
+// join consumes.
+func (b *dfBuild) journalNodeDone(pid ProcessID, st string, i int) {
+	if b.s.journal == nil {
+		return
+	}
+	side, ok := b.encodeSide(pid, i)
+	if !ok {
+		return
+	}
+	b.s.journal.nodeDone(pid, st, side)
+}
+
 // storeNode records one successfully executed per-record node's outputs
 // under its action digest.  Best-effort in every direction: an unreadable
 // output or a failed Put just forfeits a future hit.

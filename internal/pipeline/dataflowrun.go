@@ -323,6 +323,23 @@ func (b *dfBuild) add(pid ProcessID, station string, inner func() error, deps []
 			attrs = append(attrs, obs.String("record", station))
 		}
 		start := s.now()
+		// Resume skip rule: a node the replayed journal validated as done
+		// (outputs present, side-channel payload journaled) restores its
+		// side-channel state and skips — checked before the action cache,
+		// because the journal already proved the outputs are in place.
+		if station != "" && s.resumeDone != nil {
+			if n, ok := s.resumeDone[nodeKey{pid: pid, st: station}]; ok &&
+				b.restoreResumedSide(n, b.stationIndex(station)) {
+				d := s.now() - start
+				b.durs[id] = d
+				s.nodesSkipped.Add(1)
+				s.nodesSkippedCtr.Add(1)
+				sp := s.runSpan.Child("node:"+label, obs.KindTask,
+					append(attrs, obs.String("resume", "skip"))...)
+				sp.EndCharged(d)
+				return nil
+			}
+		}
 		// Action-cache skip rule: a per-record node whose digest of (process,
 		// inputs, params) is cached restores its recorded outputs instead of
 		// executing (see actioncache.go).
@@ -330,6 +347,7 @@ func (b *dfBuild) add(pid ProcessID, station string, inner func() error, deps []
 		if cacheable && b.restoreNode(aid, pid, b.stationIndex(station), station) {
 			d := s.now() - start
 			b.durs[id] = d
+			b.journalNodeDone(pid, station, b.stationIndex(station))
 			sp := s.runSpan.Child("node:"+label, obs.KindTask,
 				append(attrs, obs.String("action_cache", "hit"))...)
 			sp.EndCharged(d)
@@ -351,8 +369,13 @@ func (b *dfBuild) add(pid ProcessID, station string, inner func() error, deps []
 			// Re-check quarantine: graceful degradation may have condemned the
 			// record *during* the body, in which case its outputs are partial
 			// or gone and must not be recorded as this digest's results.
-			if cacheable && !s.isQuarantined(station) {
-				b.storeNode(aid, pid, b.stationIndex(station), station)
+			if !s.isQuarantined(station) {
+				if cacheable {
+					b.storeNode(aid, pid, b.stationIndex(station), station)
+				}
+				// Journal the node *after* its outputs landed: the record is
+				// the durability acknowledgment the resume validation trusts.
+				b.journalNodeDone(pid, station, b.stationIndex(station))
 			}
 		}
 		sp.EndCharged(d)

@@ -38,6 +38,10 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 		s.runSpan = opts.Observer.Root("run:"+variant.String(), obs.KindRun,
 			obs.String("variant", variant.String()), obs.String("dir", dir))
 	}
+	// Open (and under -resume, replay) the write-ahead journal before the
+	// clock starts: replay and the stale-scratch sweep are recovery work,
+	// not pipeline work.
+	s.initJournal(variant)
 	start := s.now()
 	switch variant {
 	case SeqOriginal:
@@ -60,6 +64,11 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 		// of what the mem backend costs, and the disk-vs-memory ablation
 		// must not credit it for deferring the writes.
 		err = s.ws.Materialize(s.dir)
+	}
+	if err == nil {
+		// The run is durably complete: mark the journal finished so a later
+		// -resume knows there is nothing to replay.
+		s.journal.finish()
 	}
 	// On the simulated platform s.virt carries the (negative) difference
 	// between serial execution and the simulated parallel makespans.
@@ -98,6 +107,7 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 		FaultsInjected:   int64(s.chaos.Injected()),
 		StorageBytesPeak: peak,
 		Cache:            cs,
+		Resume:           s.resumeSnapshot(),
 	}, nil
 }
 

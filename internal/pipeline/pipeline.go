@@ -354,6 +354,21 @@ type Options struct {
 	// honored only when Cache is the zero value.
 	NoArtifactCache bool
 
+	// Journal maintains a write-ahead run journal under <dir>/.smrun: one
+	// fsync'd record per durability point (run start, each completed
+	// per-record dataflow node, each quarantine verdict, run finish), so a
+	// run killed mid-event can be resumed.  Journaled runs also sweep
+	// age-stale scratch dirs and temp files left by crashed runs at startup.
+	// Best-effort: a journal that cannot be written never fails the run.
+	Journal bool
+	// Resume replays a surviving journal before running: quarantine
+	// verdicts are restored, journaled nodes whose outputs still validate
+	// are handed to the dataflow scheduler as already complete (so only
+	// unfinished subgraphs re-execute), and all leftover scratch is swept.
+	// Implies Journal.  A journal from a different variant or parameter set
+	// is ignored and the run starts fresh.
+	Resume bool
+
 	// SimProcessors switches the parallel variants to the simulated
 	// platform: every parallel construct executes its real work serially,
 	// measures genuine per-task costs, and charges the wall time a
@@ -400,6 +415,9 @@ func (o Options) withDefaults() Options {
 	if o.MetaWorkers == 0 {
 		o.MetaWorkers = 4
 	}
+	if o.Resume {
+		o.Journal = true
+	}
 	if o.NoArtifactCache && o.Cache == (CacheConfig{}) {
 		// Deprecated-shim mapping: the old bool spelled "no caching at all".
 		o.Cache.Mode = CacheOff
@@ -443,4 +461,8 @@ type Result struct {
 	// Cache reports both cache layers' hit/miss/eviction activity and the
 	// action cache's resident bytes.
 	Cache CacheStats
+	// Resume reports the write-ahead journal's contribution: whether a
+	// prior journal was adopted, how many nodes it replayed, and how much
+	// stale scratch the startup sweep removed.  Zero when journaling is off.
+	Resume ResumeStats
 }

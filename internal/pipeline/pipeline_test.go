@@ -67,8 +67,8 @@ func productHashes(t *testing.T, dir string) map[string]string {
 	out := make(map[string]string)
 	for _, e := range entries {
 		if e.IsDir() {
-			if e.Name() == CacheDirName {
-				continue // the persistent action cache, not a product
+			if e.Name() == CacheDirName || e.Name() == RunJournalDir {
+				continue // cache / run-journal state, not a product
 			}
 			t.Errorf("leftover scratch directory %s", e.Name())
 			continue

@@ -43,7 +43,7 @@ func CleanOutputs(dir string) error {
 		if e.IsDir() {
 			// Scratch folders from an aborted temp-folder run, and the
 			// quarantine of a degraded one.
-			if strings.HasPrefix(name, "tmp_") || name == QuarantineDir {
+			if strings.HasPrefix(name, "tmp_") || name == QuarantineDir || name == RunJournalDir {
 				if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
 					return err
 				}

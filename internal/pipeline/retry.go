@@ -222,7 +222,7 @@ func (s *state) quarantine(rc recordSite, serr *StageError) {
 		return
 	}
 	s.quarantinedSet[rc.station] = true
-	s.outcomes = append(s.outcomes, RecordOutcome{
+	outcome := RecordOutcome{
 		Dir:      s.dir,
 		Station:  rc.station,
 		Stage:    rc.stage,
@@ -230,8 +230,12 @@ func (s *state) quarantine(rc recordSite, serr *StageError) {
 		Attempts: serr.Attempts,
 		Scratch:  preserved,
 		Err:      serr,
-	})
+	}
+	s.outcomes = append(s.outcomes, outcome)
 	s.quarCount.Add(1)
+	// Journal the verdict: a resumed run inherits it instead of re-burning
+	// the retry budget on a record already known bad.
+	s.journal.quarantined(outcome)
 }
 
 // isQuarantined reports whether the station has been condemned this run.

@@ -57,6 +57,15 @@ type state struct {
 	// exercise the real staging protocol, not cached restores of it.
 	acache *artifact.ActionCache
 
+	// Write-ahead run journal (see journal.go).  journal is nil when
+	// Options.Journal is off or the journal could not be opened; resumeDone
+	// holds the replayed nodes the scheduler may skip — written once,
+	// single-threaded, in initJournal, then read-only during execution.
+	journal      *runJournal
+	resumeDone   map[nodeKey]journalNode
+	resumeStats  ResumeStats
+	nodesSkipped atomic.Int64
+
 	// Quarantine record: stations condemned by the retry engine, excluded
 	// from every subsequent stations() listing so the event continues with
 	// the survivors.
@@ -89,6 +98,12 @@ type state struct {
 	// ran their bodies (as opposed to restoring from the action cache) —
 	// the warm-restart tests' "only the flipped record re-executed" signal.
 	recNodesExec *obs.Counter
+	// journalReplays / nodesSkippedCtr / sweptCtr mirror ResumeStats as
+	// metrics, so the crash-matrix tests can assert resume behavior through
+	// the observer like everything else.
+	journalReplays  *obs.Counter
+	nodesSkippedCtr *obs.Counter
+	sweptCtr        *obs.Counter
 }
 
 // simulated reports whether parallel constructs run on the simulated
@@ -234,6 +249,10 @@ func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 			o.Counter("action_cache_evictions_total"),
 			o.Gauge("action_cache_bytes"))
 		s.recNodesExec = o.Counter("dataflow_record_nodes_executed_total")
+		s.journalReplays = o.Counter("journal_replays")
+		s.nodesSkippedCtr = o.Counter("nodes_skipped_resume")
+		s.sweptCtr = o.Counter("stale_scratch_swept")
+		o.Counter("scrub_orphans_removed").Add(float64(s.acache.SweptOrphans()))
 	}
 	return s, nil
 }

@@ -94,6 +94,10 @@ func stageCopy(fsys faults.FS, dst, src string, c *obs.Counter) error {
 // with EXDEV — scratch folders on a different filesystem than the work
 // directory, e.g. a tmpfs — falls back to copy + remove.
 func stageMove(fsys faults.FS, dst, src string, c *obs.Counter) error {
+	// Crash points bracketing the stage-move boundary: dying before the
+	// rename leaves the file on the source side, dying after leaves it on
+	// the destination side — the resume validation must absorb both.
+	faults.Crash(faults.CrashStageMove)
 	size := int64(-1)
 	if info, err := fsys.Stat(src); err == nil {
 		size = info.Size()
@@ -117,6 +121,7 @@ func stageMove(fsys faults.FS, dst, src string, c *obs.Counter) error {
 	if size >= 0 {
 		c.Add(float64(size))
 	}
+	faults.Crash(faults.CrashStageMoved)
 	return nil
 }
 

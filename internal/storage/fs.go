@@ -54,6 +54,27 @@ func (OS) WriteFile(path string, data []byte, perm os.FileMode) error {
 	return nil
 }
 
+// Append opens path in append mode, writes data, and fsyncs before closing:
+// the journal's guarantee that an acknowledged record survives kill -9.
+// Append-mode files are not artifacts, so their hash memo entry (if any) is
+// simply dropped.
+func (OS) Append(path string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, perm)
+	if err != nil {
+		return err
+	}
+	hashMemo.Delete(path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // Link seeds the destination's memo from the source's — a hardlink shares
 // the inode, so the content hash is identical — and re-seeds the source,
 // whose fingerprint link(2) just invalidated by bumping the inode's ctime.

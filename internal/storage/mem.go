@@ -75,6 +75,34 @@ func (m *Mem) WriteFile(path string, data []byte, perm os.FileMode) error {
 	return nil
 }
 
+// Append extends path's in-memory bytes, hoisting a disk-backed file into
+// memory first so the appended content shadows (and on Materialize,
+// overwrites) the real file.  Memory is the durability domain of this
+// backend, so no fsync analogue applies.
+func (m *Mem) Append(path string, data []byte, perm os.FileMode) error {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		var init []byte
+		if !m.tombs[path] {
+			if disk, err := os.ReadFile(path); err == nil {
+				init = append([]byte(nil), disk...)
+			}
+		}
+		f = &memFile{data: init, mode: perm}
+		m.files[path] = f
+		delete(m.tombs, path)
+		m.charge(int64(len(init)))
+	}
+	m.seq++
+	f.data = append(f.data, data...)
+	f.seq = m.seq
+	m.charge(int64(len(data)))
+	return nil
+}
+
 func (m *Mem) ReadFile(path string) ([]byte, error) {
 	path = filepath.Clean(path)
 	m.mu.Lock()

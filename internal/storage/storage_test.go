@@ -399,3 +399,103 @@ func TestMemGenerationChangesOnWrite(t *testing.T) {
 		t.Error("Generation of missing path reported ok")
 	}
 }
+
+func TestAppendBothBackends(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ws   func() Workspace
+	}{
+		{"os", func() Workspace { return OS{} }},
+		{"mem", func() Workspace { return NewMem() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ws := tc.ws()
+			dir := t.TempDir()
+			path := filepath.Join(dir, "journal")
+			if err := ws.Append(path, []byte("one\n"), 0o644); err != nil {
+				t.Fatalf("Append (create): %v", err)
+			}
+			if err := ws.Append(path, []byte("two\n"), 0o644); err != nil {
+				t.Fatalf("Append (extend): %v", err)
+			}
+			got, err := ws.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "one\ntwo\n" {
+				t.Errorf("content = %q; want %q", got, "one\ntwo\n")
+			}
+			if err := ws.Materialize(dir); err != nil {
+				t.Fatal(err)
+			}
+			disk, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(disk) != "one\ntwo\n" {
+				t.Errorf("materialized content = %q; want %q", disk, "one\ntwo\n")
+			}
+		})
+	}
+}
+
+func TestMemAppendHoistsDiskFile(t *testing.T) {
+	m := NewMem()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal")
+	if err := os.WriteFile(path, []byte("disk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(path, []byte("mem\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "disk\nmem\n" {
+		t.Errorf("content = %q; want %q", got, "disk\nmem\n")
+	}
+	// Hoisting must shadow the real file until Materialize overwrites it.
+	disk, _ := os.ReadFile(path)
+	if string(disk) != "disk\n" {
+		t.Errorf("pre-materialize disk = %q; want untouched %q", disk, "disk\n")
+	}
+	if err := m.Materialize(dir); err != nil {
+		t.Fatal(err)
+	}
+	disk, _ = os.ReadFile(path)
+	if string(disk) != "disk\nmem\n" {
+		t.Errorf("post-materialize disk = %q; want %q", disk, "disk\nmem\n")
+	}
+}
+
+func TestMemAppendAfterRemoveStartsEmpty(t *testing.T) {
+	m := NewMem()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal")
+	if err := os.WriteFile(path, []byte("stale\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	// The tombstoned disk bytes must not resurface through Append.
+	if err := m.Append(path, []byte("fresh\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fresh\n" {
+		t.Errorf("content = %q; want %q", got, "fresh\n")
+	}
+	if err := m.Materialize(dir); err != nil {
+		t.Fatal(err)
+	}
+	disk, _ := os.ReadFile(path)
+	if string(disk) != "fresh\n" {
+		t.Errorf("materialized = %q; want %q", disk, "fresh\n")
+	}
+}

@@ -44,6 +44,13 @@ type Workspace interface {
 	ReadFile(path string) ([]byte, error)
 	WriteFile(path string, data []byte, perm os.FileMode) error
 
+	// Append appends data to path, creating the file if absent.  On
+	// disk-backed workspaces the write is fsync'd before returning: Append
+	// is the durability primitive of the write-ahead run journal, and a
+	// record it reports as written must survive the process dying
+	// immediately afterwards.
+	Append(path string, data []byte, perm os.FileMode) error
+
 	// Link makes newpath a second name for oldpath's current content, the
 	// zero-copy stage-in fast path.  Backends that cannot link (or decorators
 	// that must keep the copy visible to a fault injector) return
