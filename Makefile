@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos cache-ablation cache-persist crash-resume fuzz-smoke bench ci
+.PHONY: all fmt vet build test race chaos cache-ablation cache-persist crash-resume fleet-bench fuzz-smoke bench ci
 
 all: build
 
@@ -23,11 +23,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel runtime and the pipeline drivers carry the concurrency and
-# the occupancy instrumentation; they must stay race-clean, and so must the
-# shared artifact store and the storage plane under them.
+# The parallel runtime, the dataflow scheduler, the fleet scheduler, and
+# the pipeline drivers carry the concurrency and the occupancy
+# instrumentation; they must stay race-clean, and so must the shared
+# artifact store and the storage plane under them.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/pipeline/... ./internal/artifact/... ./internal/storage/...
+	$(GO) test -race ./internal/parallel/... ./internal/dataflow/... ./internal/fleet/... ./internal/pipeline/... ./internal/artifact/... ./internal/storage/...
 
 # Seeded chaos soak: the fault-injection suite (rate sweep, poisoned-record
 # batch, retry/quarantine engine) under the race detector, with the artifact
@@ -63,7 +64,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzJournalParse' -fuzztime 5s ./internal/pipeline/
 	$(GO) test -run '^$$' -fuzz 'FuzzActionManifest' -fuzztime 5s ./internal/artifact/
 
+# Fleet saturation smoke: the multi-event scheduler benchmark on a tiny
+# queue, with the acceptance criteria evaluated (throughput gain, p99
+# latency bound, no policy slower than sequential).
+fleet-bench:
+	$(GO) run ./cmd/benchtables -fleet -smoke -check
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: fmt vet build test fuzz-smoke race chaos cache-ablation cache-persist crash-resume
+ci: fmt vet build test fuzz-smoke race chaos cache-ablation cache-persist crash-resume fleet-bench

@@ -7,6 +7,7 @@
 //	benchtables [-scale 0.16] [-workers 0] [-method duhamel|nj]
 //	            [-periods 8] [-repeat 1] [-variants seq-original,full]
 //	            [-table1] [-fig11] [-fig12] [-fig13] [-check]
+//	            [-fleet] [-fleet-events 8] [-fleet-policy p] [-admit 0]
 //	            [-cache off|mem|disk[:dir]] [-storage fs|mem]
 //	            [-json BENCH_label.json]
 //	            [-compare old.json [-threshold 0.1]] [new.json]
@@ -20,6 +21,16 @@
 // per-stage timings, derived speedups, host info, and any -check results —
 // to the given file; the repo commits such reports as BENCH_<label>.json
 // baselines (see EXPERIMENTS.md "Machine-readable reports").
+// -fleet runs the multi-event saturation benchmark instead of (or alongside)
+// the paper tables: a queue of -fleet-events identical-shape events is
+// offered to one shared worker pool under each fleet scheduling policy
+// (or just -fleet-policy), reporting per-event latency quantiles and
+// aggregate throughput against a sequential-RunBatch baseline; -admit caps
+// concurrently-open events (0 = policy default).  With -check, the fleet
+// acceptance criteria are evaluated; with -json, the report gains a "fleet"
+// block plus a synthetic fleet event whose variants are the per-policy queue
+// makespans, so -compare gates fleet baselines like any other.
+// -fleet is excluded from the no-flag default selection.
 // -cache selects the caching layers of every measured run: off, mem (the
 // default in-process memo), or disk[:dir] (the persistent action cache —
 // the cold-vs-warm ablation endpoint; see -ablations).  -no-artifact-cache
@@ -58,6 +69,7 @@ import (
 
 	"accelproc/internal/bench"
 	"accelproc/internal/cliobs"
+	"accelproc/internal/fleet"
 	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
 	"accelproc/internal/storage"
@@ -149,6 +161,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fig12     = fs.Bool("fig12", false, "produce Figure 12 (per-event bars)")
 		fig13     = fs.Bool("fig13", false, "produce Figure 13 (speedup/throughput vs size)")
 		check     = fs.Bool("check", false, "evaluate reproduction-shape assertions")
+		fleetSel  = fs.Bool("fleet", false, "run the multi-event saturation benchmark (fleet scheduler)")
+		fleetEvs  = fs.Int("fleet-events", 8, "queue length for the fleet benchmark")
+		fleetPol  = fs.String("fleet-policy", "", "measure only this fleet policy (default: latency, balanced, and throughput)")
+		admit     = fs.Int("admit", 0, "fleet admission cap: max concurrently-open events (0 = policy default)")
 		ablations = fs.Bool("ablations", false, "run the design-choice ablations on the mid-size event")
 		smoke     = fs.Bool("smoke", false, "self-test mode: two tiny synthetic events instead of the paper's six")
 		chaos     = fs.Float64("chaos", 0, "fault-injection rate in [0,1] for the temp-folder protocol: measure the degraded mode")
@@ -170,7 +186,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return runCompare(stdout, *compare, fs.Arg(0), *threshold)
 	}
 
-	all := !*table1 && !*fig11 && !*fig12 && !*fig13 && !*check && !*ablations
+	all := !*table1 && !*fig11 && !*fig12 && !*fig13 && !*check && !*ablations && !*fleetSel
+	// -check applies to whatever ran: the classic tables (always, unless the
+	// run is fleet-only) and the fleet benchmark when -fleet is set.
+	classic := *table1 || *fig11 || *fig12 || *fig13 || *ablations
+	shapeCheck := *check && (!*fleetSel || classic)
 
 	m, err := response.ParseMethod(*method)
 	if err != nil {
@@ -230,7 +250,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	progress := func(s string) { fmt.Fprintln(stderr, "running "+s) }
 
 	var results []bench.EventResult
-	if all || *table1 || *fig12 || *fig13 || *check || *jsonPath != "" {
+	if all || *table1 || *fig12 || *fig13 || shapeCheck || (*jsonPath != "" && (all || classic)) {
 		var err error
 		results, err = bench.RunTable1(ctx, cfg, progress)
 		if err != nil {
@@ -238,7 +258,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	var f11 bench.Fig11Result
-	if all || *fig11 || *check {
+	if all || *fig11 || shapeCheck {
 		progress(fmt.Sprintf("figure 11 on %s", fig11Spec.Name))
 		var err error
 		f11, err = bench.RunFig11(ctx, fig11Spec, cfg)
@@ -267,9 +287,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout, bench.FormatAblations(abl))
 	}
+
+	var fleetRes *bench.FleetResult
+	if *fleetSel {
+		fcfg := bench.FleetConfig{
+			Queue:    *fleetEvs,
+			Scale:    cfg.Scale,
+			Workers:  cfg.Workers,
+			Admit:    *admit,
+			Repeat:   cfg.Repeat,
+			Response: cfg.Response,
+			Storage:  cfg.Storage,
+			Observer: cfg.Observer,
+		}
+		if *fleetPol != "" {
+			p, err := fleet.ParsePolicy(*fleetPol)
+			if err != nil {
+				return err
+			}
+			fcfg.Policies = []fleet.Policy{p}
+		}
+		if *smoke {
+			fcfg.Queue = 3
+			fcfg.Scale = 1.0
+			fcfg.Spec = synth.EventSpec{Name: "fleet-smoke", Files: 2, TotalPoints: 1200, Magnitude: 4.6, Seed: 3}
+		}
+		if err := fcfg.Validate(); err != nil {
+			return err
+		}
+		progress(fmt.Sprintf("fleet saturation: %d-event queue", fcfg.Queue))
+		fr, err := bench.RunFleetBench(ctx, fcfg, progress)
+		if err != nil {
+			return err
+		}
+		fleetRes = &fr
+		fmt.Fprintln(stdout, bench.FormatFleet(fr))
+	}
+
 	var checkLines []string
 	checksFailed := false
-	if all || *check {
+	if all || shapeCheck {
 		checkLines = bench.ShapeChecks(results, f11)
 		fmt.Fprintln(stdout, "REPRODUCTION SHAPE CHECKS")
 		for _, line := range checkLines {
@@ -279,12 +336,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
+	// The fleet criteria compare the policies against each other, so they
+	// are only meaningful when the full default policy set was measured.
+	if *fleetSel && *check && *fleetPol == "" {
+		fleetLines := bench.FleetChecks(*fleetRes)
+		fmt.Fprintln(stdout, "FLEET SCHEDULER CHECKS")
+		for _, line := range fleetLines {
+			fmt.Fprintln(stdout, line)
+			if strings.HasPrefix(line, "[FAIL]") {
+				checksFailed = true
+			}
+		}
+		checkLines = append(checkLines, fleetLines...)
+	}
 	// The JSON report is written even when checks fail: a failing baseline
 	// is evidence worth keeping.
 	if *jsonPath != "" {
 		label := strings.TrimSuffix(filepath.Base(*jsonPath), filepath.Ext(*jsonPath))
 		label = strings.TrimPrefix(label, "BENCH_")
 		rep := bench.NewReport(label, cfg, results, checkLines)
+		if fleetRes != nil {
+			rep.AttachFleet(*fleetRes)
+		}
 		if err := rep.WriteFile(*jsonPath); err != nil {
 			return err
 		}

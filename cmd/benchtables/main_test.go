@@ -189,3 +189,63 @@ func TestRunSmokeJSONReport(t *testing.T) {
 		t.Errorf("host info incomplete: %+v", rep.Host)
 	}
 }
+
+func TestRunSmokeFleet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fleet-smoke.json")
+	var out, errBuf bytes.Buffer
+	err := run(context.Background(), []string{"-smoke", "-fleet", "-check", "-json", path}, &out, &errBuf)
+	// The fleet criteria are ratio-based and robust at smoke scale, but a
+	// noisy host may still trip them; either way the sections must render.
+	if err != nil && !errors.Is(err, errChecksFailed) {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FLEET SATURATION", "FLEET SCHEDULER CHECKS", "fleet-smoke"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "TABLE I") {
+		t.Error("fleet-only run produced the paper tables")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Fleet == nil || rep.Fleet.Events != 3 || len(rep.Fleet.Policies) != 3 {
+		t.Fatalf("fleet block = %+v", rep.Fleet)
+	}
+	if rep.Fleet.SingleEventSeconds <= 0 || rep.Fleet.Sequential.MakespanSeconds <= 0 {
+		t.Errorf("fleet baselines missing: %+v", rep.Fleet)
+	}
+	var fleetEv *bench.EventReport
+	for i := range rep.Events {
+		if rep.Events[i].Event == "fleet-3ev" {
+			fleetEv = &rep.Events[i]
+		}
+	}
+	if fleetEv == nil {
+		t.Fatalf("no fleet event row for -compare: %+v", rep.Events)
+	}
+	for _, v := range []string{"batch-sequential", "fleet-latency", "fleet-balanced", "fleet-throughput"} {
+		if vr, ok := fleetEv.Variants[v]; !ok || vr.Seconds <= 0 {
+			t.Errorf("fleet event variant %s missing or zero", v)
+		}
+	}
+}
+
+func TestRunFleetSinglePolicy(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-smoke", "-fleet", "-fleet-policy", "throughput"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "throughput") || strings.Contains(out.String(), "FLEET SCHEDULER CHECKS") {
+		t.Errorf("single-policy output wrong:\n%s", out.String())
+	}
+	if err := run(context.Background(), []string{"-smoke", "-fleet", "-fleet-policy", "bogus"}, &out, &errBuf); err == nil {
+		t.Error("bogus -fleet-policy accepted")
+	}
+}

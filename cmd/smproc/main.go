@@ -7,13 +7,20 @@
 //	smproc -dir work/ [-variant full] [-workers 0] [-method nj]
 //	       [-periods 91] [-clean] [-trace run.jsonl] [-metrics metrics.txt]
 //	smproc -batch "ev1,ev2,ev3" [-variant full] [-event-workers 0]
+//	smproc -batch "ev1,ev2,ev3" -fleet [-fleet-policy balanced] [-admit 0]
 //
 // A directory must contain multiplexed <station>.v1 files (generate
 // synthetic ones with the synthgen command).  -variant selects
 // seq-original, seq-optimized, partial, full, or pipelined (the
 // barrier-free record-level dataflow schedule).  -clean removes all
 // pipeline products first so the run starts from a pristine directory.
-// -batch processes several event directories concurrently.  -trace,
+// -batch processes several event directories concurrently.  -fleet switches
+// batch mode to the fleet scheduler (pipeline.RunFleet): every event runs
+// the pipelined variant and their record-level task graphs share one worker
+// pool, with -fleet-policy choosing the dispatch order (latency = oldest
+// event first, throughput = global packing, balanced = the default
+// compromise) and -admit capping concurrently-open events (0 = the policy
+// default); per-event queue wait and latency are reported.  -trace,
 // -metrics, and -pprof capture the run's span tree, metrics exposition,
 // and CPU profile (see README "Observability").  -chaos injects seeded
 // faults into the temp-folder protocol (-chaos-seed makes runs
@@ -59,6 +66,7 @@ import (
 	"accelproc/internal/cliobs"
 	"accelproc/internal/dsp"
 	"accelproc/internal/faults"
+	"accelproc/internal/fleet"
 	"accelproc/internal/obs"
 	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
@@ -115,6 +123,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		variant      = fs.String("variant", "full", "implementation: seq-original, seq-optimized, partial, full, or pipelined")
 		workers      = fs.Int("workers", 0, "worker budget for parallel stages (0 = all processors)")
 		eventWorkers = fs.Int("event-workers", 0, "concurrent events in batch mode (0 = all processors)")
+		fleetMode    = fs.Bool("fleet", false, "schedule the batch on one shared worker pool (pipelined variant, see -fleet-policy)")
+		fleetPolicy  = fs.String("fleet-policy", "", "fleet dispatch policy: latency, balanced (default), or throughput")
+		admit        = fs.Int("admit", 0, "max concurrently-open events in fleet mode (0 = policy default)")
 		method       = fs.String("method", "nj", "response-spectrum method: duhamel (legacy) or nj (fast)")
 		periods      = fs.Int("periods", 91, "response-spectrum period count")
 		clean        = fs.Bool("clean", false, "remove previous pipeline products before running")
@@ -137,6 +148,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if (*dir == "") == (*batch == "") {
 		return fmt.Errorf("exactly one of -dir or -batch is required")
+	}
+	if *fleetMode && *batch == "" {
+		return fmt.Errorf("-fleet requires -batch")
+	}
+	policy, err := fleet.ParsePolicy(*fleetPolicy)
+	if err != nil {
+		return err
 	}
 
 	v, err := pipeline.ParseVariant(*variant)
@@ -233,17 +251,35 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				}
 			}
 		}
-		results, err := pipeline.RunBatch(ctx, dirs, v, opts)
+		var results []pipeline.BatchResult
+		var err error
+		if *fleetMode {
+			results, err = pipeline.RunFleet(ctx, dirs, pipeline.FleetOptions{
+				Options: opts, Policy: policy, Admit: *admit,
+			})
+		} else {
+			results, err = pipeline.RunBatch(ctx, dirs, v, opts)
+		}
 		for _, r := range results {
 			if r.Err != nil {
 				fmt.Fprintf(stdout, "%-30s FAILED: %v\n", r.Dir, r.Err)
 				continue
 			}
+			if *fleetMode {
+				fmt.Fprintf(stdout, "%-30s %3d stations in %.2f s (queued %.2f s)\n",
+					r.Dir, len(r.Result.Stations), r.Latency.Seconds(), r.Wait.Seconds())
+				continue
+			}
 			fmt.Fprintf(stdout, "%-30s %3d stations in %.2f s\n",
 				r.Dir, len(r.Result.Stations), r.Result.Timings.Total.Seconds())
 		}
-		fmt.Fprintf(stdout, "batch: %d events, %d distinct stations\n",
-			len(results), len(pipeline.BatchStations(results)))
+		if *fleetMode {
+			fmt.Fprintf(stdout, "fleet: %d events on one shared pool, policy %s, %d distinct stations\n",
+				len(results), policy, len(pipeline.BatchStations(results)))
+		} else {
+			fmt.Fprintf(stdout, "batch: %d events, %d distinct stations\n",
+				len(results), len(pipeline.BatchStations(results)))
+		}
 		rep := pipeline.BatchReport(results)
 		if opts.Chaos != nil || len(rep.Quarantined) > 0 {
 			fmt.Fprintf(stdout, "report: %s\n", rep)

@@ -358,3 +358,38 @@ func TestRunBatchChaosReport(t *testing.T) {
 		t.Errorf("output missing the batch report:\n%s", out.String())
 	}
 }
+
+func TestRunFleetMode(t *testing.T) {
+	d1 := makeWorkDir(t, 7)
+	d2 := makeWorkDir(t, 8)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-batch", d1 + "," + d2, "-fleet", "-fleet-policy", "latency", "-periods", "8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fleet: 2 events", "policy latency", "queued"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	for _, d := range []string{d1, d2} {
+		inv, err := pipeline.Inventory(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv.V2 != 6 {
+			t.Errorf("dir %s inventory %+v, want 6 V2 products", d, inv)
+		}
+	}
+}
+
+func TestRunFleetFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	if err := run(ctx, []string{"-dir", "x", "-fleet"}, &out); err == nil {
+		t.Error("-fleet without -batch accepted")
+	}
+	if err := run(ctx, []string{"-batch", "a,b", "-fleet", "-fleet-policy", "bogus"}, &out); err == nil {
+		t.Error("bogus -fleet-policy accepted")
+	}
+}

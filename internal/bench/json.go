@@ -81,7 +81,76 @@ type Report struct {
 	Periods       int           `json:"periods"`
 	Cache         CacheReport   `json:"cache"`
 	Events        []EventReport `json:"events"`
-	Checks        []string      `json:"checks,omitempty"`
+	// Fleet holds the multi-event saturation experiment, when it ran.
+	Fleet  *FleetReport `json:"fleet,omitempty"`
+	Checks []string     `json:"checks,omitempty"`
+}
+
+// FleetPolicyReport is one scheduling discipline of the saturation
+// experiment in machine-readable form.
+type FleetPolicyReport struct {
+	Policy          string  `json:"policy"`
+	Admit           int     `json:"admit"`
+	MakespanSeconds float64 `json:"makespan_seconds"`
+	P50Seconds      float64 `json:"p50_seconds"`
+	P99Seconds      float64 `json:"p99_seconds"`
+	PointsPerSecond float64 `json:"points_per_second"`
+}
+
+// FleetReport is the machine-readable multi-event saturation experiment
+// (see RunFleetBench).
+type FleetReport struct {
+	Events             int                 `json:"events"`
+	Files              int                 `json:"files"`
+	Points             int                 `json:"points"`
+	Workers            int                 `json:"workers"`
+	Simulated          bool                `json:"simulated"`
+	SingleEventSeconds float64             `json:"single_event_seconds"`
+	Sequential         FleetPolicyReport   `json:"sequential"`
+	Policies           []FleetPolicyReport `json:"policies"`
+}
+
+func fleetPolicyReport(p FleetPolicyResult) FleetPolicyReport {
+	return FleetPolicyReport{
+		Policy:          p.Policy,
+		Admit:           p.Admit,
+		MakespanSeconds: p.Makespan.Seconds(),
+		P50Seconds:      p.P50.Seconds(),
+		P99Seconds:      p.P99.Seconds(),
+		PointsPerSecond: p.PointsPerSecond,
+	}
+}
+
+// AttachFleet adds a saturation run to the report: the structured Fleet
+// block, plus one synthetic event row whose variants are the per-discipline
+// queue makespans ("batch-sequential", "fleet-<policy>"), so the existing
+// -compare gate diffs fleet baselines with no special casing.
+func (r *Report) AttachFleet(fr FleetResult) {
+	rep := &FleetReport{
+		Events:             fr.Queue,
+		Files:              fr.Files,
+		Points:             fr.Points,
+		Workers:            fr.Workers,
+		Simulated:          fr.Simulated,
+		SingleEventSeconds: fr.SingleEvent.Seconds(),
+		Sequential:         fleetPolicyReport(fr.Sequential),
+	}
+	for _, p := range fr.Policies {
+		rep.Policies = append(rep.Policies, fleetPolicyReport(p))
+	}
+	r.Fleet = rep
+	er := EventReport{
+		Event:  fmt.Sprintf("fleet-%dev", fr.Queue),
+		Files:  fr.Files,
+		Points: fr.Points,
+		Variants: map[string]VariantReport{
+			"batch-sequential": {Seconds: fr.Sequential.Makespan.Seconds()},
+		},
+	}
+	for _, p := range fr.Policies {
+		er.Variants["fleet-"+p.Policy] = VariantReport{Seconds: p.Makespan.Seconds()}
+	}
+	r.Events = append(r.Events, er)
 }
 
 // ratio returns num/den in seconds, or 0 when either endpoint is missing.

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -85,7 +86,11 @@ func (g *Graph) Add(spec Spec, deps ...NodeID) NodeID {
 			panic(fmt.Sprintf("dataflow: node %q depends on %d, not yet in graph (next id %d)", spec.Label, d, id))
 		}
 	}
-	if spec.Weight < 0 {
+	if spec.Weight < 0 || math.IsNaN(spec.Weight) {
+		// Negative and NaN weights would poison the priority sweep and, worse,
+		// make readyHeap comparisons non-transitive (NaN != NaN), so the
+		// dispatch order would depend on heap internals.  Clamp to zero: ties
+		// then resolve on the stable NodeID order.
 		spec.Weight = 0
 	}
 	n := &node{id: id, spec: spec, deps: append([]NodeID(nil), deps...)}
@@ -196,72 +201,24 @@ func (g *Graph) Execute(workers int, mon Monitor) ([]NodeStat, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	g.prioritize()
+	tr := NewTracker(g)
 	w := workers
 	if w <= 0 || w > n {
 		w = n
 	}
 
 	var (
-		mu       sync.Mutex
-		cond     = sync.NewCond(&mu)
-		ready    readyHeap
-		indeg    = make([]int, n)
-		failed   = make([]bool, n) // node failed or was skipped
-		done     = 0               // nodes finished, failed, or skipped
-		firstErr error
-		firstID  NodeID = -1
+		mu    sync.Mutex
+		cond  = sync.NewCond(&mu)
+		ready readyHeap
 	)
 	stats := make([]NodeStat, n)
 	start := time.Now()
 	for _, nd := range g.nodes {
-		indeg[nd.id] = len(nd.deps)
 		stats[nd.id] = NodeStat{ID: nd.id, Label: nd.spec.Label, Worker: -1}
-		if len(nd.deps) == 0 {
-			heap.Push(&ready, nd)
-		}
 	}
-
-	record := func(id NodeID, err error) {
-		if err == nil {
-			return
-		}
-		if better(err, id, firstErr, firstID) {
-			firstErr, firstID = err, id
-		}
-	}
-
-	// complete marks nd finished (err == nil) or failed, releasing its
-	// children; a failed node's children are skipped recursively, counting
-	// toward done so the pool drains.  Caller holds mu.
-	var complete func(nd *node, err error, now time.Duration)
-	complete = func(nd *node, err error, now time.Duration) {
-		done++
-		if err != nil {
-			failed[nd.id] = true
-			record(nd.id, err)
-		}
-		for _, c := range nd.children {
-			child := g.nodes[c]
-			indeg[c]--
-			if failed[nd.id] && !failed[c] {
-				failed[c] = true
-				stats[c].Skipped = true
-			}
-			if indeg[c] == 0 {
-				if failed[c] {
-					// Skipped: resolve immediately, cascading to its own
-					// children without ever dispatching it.
-					stats[c].Ready = now
-					stats[c].Start = now
-					stats[c].End = now
-					complete(child, nil, now)
-				} else {
-					stats[c].Ready = now
-					heap.Push(&ready, child)
-				}
-			}
-		}
+	for _, id := range tr.InitialReady() {
+		heap.Push(&ready, g.nodes[id])
 	}
 
 	var wg sync.WaitGroup
@@ -275,7 +232,7 @@ func (g *Graph) Execute(workers int, mon Monitor) ([]NodeStat, error) {
 			joined := time.Now()
 			mu.Lock()
 			for {
-				for len(ready) == 0 && done < n {
+				for len(ready) == 0 && !tr.Done() {
 					cond.Wait()
 				}
 				if len(ready) == 0 {
@@ -298,7 +255,19 @@ func (g *Graph) Execute(workers int, mon Monitor) ([]NodeStat, error) {
 				mu.Lock()
 				end := time.Since(start)
 				stats[nd.id].End = end
-				complete(nd, err, end)
+				rd, sk := tr.Complete(nd.id, err)
+				for _, s := range sk {
+					// Skipped: resolved without dispatch, cascading already
+					// handled inside the tracker.
+					stats[s].Ready = end
+					stats[s].Start = end
+					stats[s].End = end
+					stats[s].Skipped = true
+				}
+				for _, r := range rd {
+					stats[r].Ready = end
+					heap.Push(&ready, g.nodes[r])
+				}
 				cond.Broadcast()
 			}
 			mu.Unlock()
@@ -312,7 +281,7 @@ func (g *Graph) Execute(workers int, mon Monitor) ([]NodeStat, error) {
 		}()
 	}
 	wg.Wait()
-	return stats, firstErr
+	return stats, tr.Err()
 }
 
 // better reports whether (err, id) should displace (cur, curID) as the

@@ -1,0 +1,113 @@
+package dataflow
+
+// Tracker is the incremental ready-state machine behind Execute, exported so
+// external schedulers — internal/fleet merges many events' graphs into one
+// shared pool — can drive a Graph without owning the worker loop.  The
+// Tracker answers one question after every node completion: which nodes
+// became runnable, and which were resolved as skipped because an ancestor
+// failed.  It carries the same error-selection contract as Execute (real
+// errors displace cancellations, smallest NodeID wins).
+//
+// A Tracker is not safe for concurrent use; callers serialize Complete under
+// their own scheduler lock.  The underlying Graph must not be mutated after
+// NewTracker.
+type Tracker struct {
+	g      *Graph
+	indeg  []int
+	failed []bool // node failed or was transitively skipped
+	done   int
+	err    error
+	errID  NodeID
+}
+
+// NewTracker prepares g for incremental execution: priorities are computed
+// and per-node indegrees captured.
+func NewTracker(g *Graph) *Tracker {
+	g.prioritize()
+	t := &Tracker{
+		g:      g,
+		indeg:  make([]int, len(g.nodes)),
+		failed: make([]bool, len(g.nodes)),
+		errID:  -1,
+	}
+	for _, nd := range g.nodes {
+		t.indeg[nd.id] = len(nd.deps)
+	}
+	return t
+}
+
+// Len returns the number of nodes in the underlying graph.
+func (t *Tracker) Len() int { return len(t.g.nodes) }
+
+// InitialReady returns the nodes runnable before any completion — those with
+// no dependencies — in ascending NodeID order.
+func (t *Tracker) InitialReady() []NodeID {
+	var ready []NodeID
+	for _, nd := range t.g.nodes {
+		if len(nd.deps) == 0 {
+			ready = append(ready, nd.id)
+		}
+	}
+	return ready
+}
+
+// Complete records that node id finished with err (nil = success) and
+// returns the nodes that became runnable plus the nodes resolved as skipped
+// — dependents of a failure whose last dependency just resolved.  Skipped
+// nodes count as done without ever being returned as ready; the caller must
+// not dispatch them.  The skip cascade is transitive, so one Complete call
+// can skip an arbitrarily deep chain.
+func (t *Tracker) Complete(id NodeID, err error) (ready, skipped []NodeID) {
+	ready, skipped = t.complete(id, err, nil, nil)
+	return ready, skipped
+}
+
+func (t *Tracker) complete(id NodeID, err error, ready, skipped []NodeID) ([]NodeID, []NodeID) {
+	t.done++
+	if err != nil {
+		t.failed[id] = true
+		if better(err, id, t.err, t.errID) {
+			t.err, t.errID = err, id
+		}
+	}
+	for _, c := range t.g.nodes[id].children {
+		t.indeg[c]--
+		if t.failed[id] && !t.failed[c] {
+			t.failed[c] = true
+		}
+		if t.indeg[c] == 0 {
+			if t.failed[c] {
+				skipped = append(skipped, c)
+				ready, skipped = t.complete(c, nil, ready, skipped)
+			} else {
+				ready = append(ready, c)
+			}
+		}
+	}
+	return ready, skipped
+}
+
+// Done reports whether every node has finished, failed, or been skipped.
+func (t *Tracker) Done() bool { return t.done == len(t.g.nodes) }
+
+// Err returns the tracked failure: the error of the smallest failed NodeID,
+// with real errors displacing cancellations.  Nil while no node has failed.
+func (t *Tracker) Err() error { return t.err }
+
+// Priority returns id's critical-path priority (weight plus heaviest
+// dependent chain), valid after NewTracker.
+func (t *Tracker) Priority(id NodeID) float64 { return t.g.nodes[id].pri }
+
+// Weight returns id's caller-supplied cost estimate.
+func (t *Tracker) Weight(id NodeID) float64 { return t.g.nodes[id].spec.Weight }
+
+// Alpha returns id's contention coefficient for the simulated platform.
+func (t *Tracker) Alpha(id NodeID) float64 { return t.g.nodes[id].spec.Alpha }
+
+// Label returns id's label.
+func (t *Tracker) Label(id NodeID) string { return t.g.nodes[id].spec.Label }
+
+// Run executes id's body.  Safe to call without the caller's scheduler lock;
+// the body itself must tolerate running on any goroutine (same contract as
+// Spec.Run).
+func (t *Tracker) Run(id NodeID) error { return t.g.nodes[id].spec.Run() }

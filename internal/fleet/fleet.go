@@ -1,0 +1,389 @@
+// Package fleet packs many events' record-level dataflow graphs onto one
+// shared bounded worker pool.
+//
+// pipeline.RunBatch gives each event its own dataflow pool, so worker slots
+// fragment: an event in its serial tail (a join node, one slow station)
+// holds W workers while its siblings queue.  The fleet scheduler instead
+// merges every admitted event's task graph into a single ready set and lets
+// one pool of W workers drain them all, with two levers:
+//
+//   - Admission control caps the number of concurrently-open events, bounding
+//     scratch footprint and keeping per-event latency from degrading into
+//     round-robin thrash over the whole queue.
+//   - A policy knob picks the dispatch order among ready tasks.  Latency
+//     dedicates the pool to the oldest admitted events, critical-path-first —
+//     the interval-mapping endpoint that minimizes p99 event latency.
+//     Throughput packs the global ready queue critical-path-first regardless
+//     of owner, keeping every worker saturated — the records/sec endpoint.
+//     Balanced (the default) protects the single oldest open event's critical
+//     path and back-fills the remaining slots globally.
+//
+// Events flow through three phases on pool workers: Build (the event's
+// stage-I prologue, producing its dataflow graph), node execution (the
+// merged ready set), and Finish (materialization and result assembly).  The
+// admission slot is held for the whole span, so "open events" bounds real
+// work, not just graph residency.  Nodes that hit the action cache complete
+// in microseconds, freeing their worker immediately — a warm event drains
+// at cache speed without holding slots.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"accelproc/internal/dataflow"
+	"accelproc/internal/obs"
+	"accelproc/internal/parallel"
+)
+
+// Policy selects the dispatch order among ready tasks of admitted events.
+type Policy int
+
+const (
+	// Balanced protects the oldest open event's critical path and back-fills
+	// idle workers with the best global candidates.  The default.
+	Balanced Policy = iota
+	// Latency orders ready tasks oldest-event-first, critical-path-first
+	// within an event, minimizing per-event (p99) latency.
+	Latency
+	// Throughput orders the merged ready queue critical-path-first across
+	// all events, maximizing aggregate records/sec.
+	Throughput
+)
+
+// ParsePolicy maps a CLI spelling to a Policy; the empty string selects
+// Balanced.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "balanced":
+		return Balanced, nil
+	case "latency":
+		return Latency, nil
+	case "throughput":
+		return Throughput, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown policy %q (want latency, throughput, or balanced)", s)
+}
+
+func (p Policy) String() string {
+	switch p {
+	case Latency:
+		return "latency"
+	case Throughput:
+		return "throughput"
+	default:
+		return "balanced"
+	}
+}
+
+// DefaultAdmit returns the admission cap used when Options.Admit <= 0.
+// Latency admits one event at a time — the strict endpoint, since an event's
+// latency clock starts at admission and any co-admitted sibling steals
+// critical-path workers.  Throughput opens as many events as the pool is
+// wide, so the merged ready set can always saturate it.  Balanced opens two:
+// one protected, one back-filling.
+func (p Policy) DefaultAdmit(workers int) int {
+	switch p {
+	case Latency:
+		return 1
+	case Throughput:
+		if workers < 2 {
+			return 2
+		}
+		return workers
+	default:
+		return 2
+	}
+}
+
+// Event is one job for the scheduler.  Build and Finish run on pool workers;
+// node bodies come from the graph Build returns.
+type Event struct {
+	// Name labels the event in results.
+	Name string
+	// Build performs the event's pre-graph work (the pipeline's stage-I
+	// prologue) and returns its dataflow graph.  A Build error fails the
+	// event; its graph never runs.
+	Build func() (*dataflow.Graph, error)
+	// Finish completes the event after its graph drains (or Build fails),
+	// receiving the first error per dataflow error-selection semantics and
+	// returning the event's final error.  Nil Finish passes err through.
+	Finish func(err error) error
+}
+
+// Result reports one event's passage through the scheduler.  Admitted and
+// Done are offsets from the Run call; every event is considered enqueued at
+// offset zero.
+type Result struct {
+	Name     string
+	Err      error
+	Admitted time.Duration
+	Done     time.Duration
+}
+
+// Wait returns how long the event sat in the arrival queue before admission.
+func (r Result) Wait() time.Duration { return r.Admitted }
+
+// Latency returns the admission-to-done latency — the clock the latency
+// policy minimizes.
+func (r Result) Latency() time.Duration { return r.Done - r.Admitted }
+
+// Options configures a fleet run.
+type Options struct {
+	// Workers bounds the shared pool; <= 0 selects one worker per processor.
+	Workers int
+	// Admit caps concurrently-open events; <= 0 selects the policy default
+	// (see Policy.DefaultAdmit).
+	Admit int
+	// Policy selects the dispatch order; the zero value is Balanced.
+	Policy Policy
+	// Observer receives fleet_* scheduler gauges and worker occupancy; nil
+	// disables instrumentation.
+	Observer *obs.Observer
+}
+
+// item is one dispatchable unit in the shared ready set: either an event's
+// Build or one graph node.  pri/weight are snapshot at enqueue time (they
+// are immutable per node); builds carry infinite priority so an admitted
+// event's prologue never starves behind node work.
+type item struct {
+	evIdx  int
+	node   dataflow.NodeID
+	build  bool
+	pri    float64
+	weight float64
+	enq    time.Duration
+}
+
+// less reports whether a dispatches strictly before b under policy.  oldest
+// is the smallest event index present in the ready set (only consulted by
+// Balanced).  The order is total — every tie resolves on (event, node) — so
+// single-worker schedules are reproducible.
+func less(policy Policy, oldest int, a, b item) bool {
+	switch policy {
+	case Latency:
+		if a.evIdx != b.evIdx {
+			return a.evIdx < b.evIdx
+		}
+	case Balanced:
+		ao, bo := a.evIdx == oldest, b.evIdx == oldest
+		if ao != bo {
+			return ao
+		}
+	}
+	if a.pri != b.pri {
+		return a.pri > b.pri
+	}
+	if a.weight != b.weight {
+		return a.weight > b.weight
+	}
+	if a.evIdx != b.evIdx {
+		return a.evIdx < b.evIdx
+	}
+	return a.node < b.node
+}
+
+// popBest removes and returns the best ready item under policy.  Linear
+// scan: the ready set is bounded by open events times their widest antichain
+// (tens to a few hundred items), and a scan keeps the policy comparator free
+// to consult set-wide state (the oldest open event) without re-heapifying.
+func popBest(ready *[]item, policy Policy) item {
+	rs := *ready
+	oldest := -1
+	if policy == Balanced {
+		for _, it := range rs {
+			if oldest == -1 || it.evIdx < oldest {
+				oldest = it.evIdx
+			}
+		}
+	}
+	best := 0
+	for i := 1; i < len(rs); i++ {
+		if less(policy, oldest, rs[i], rs[best]) {
+			best = i
+		}
+	}
+	it := rs[best]
+	rs[best] = rs[len(rs)-1]
+	*ready = rs[:len(rs)-1]
+	return it
+}
+
+// eventRun is the scheduler's per-event state.
+type eventRun struct {
+	idx  int
+	spec Event
+	tr   *dataflow.Tracker
+}
+
+// run is the shared-pool scheduler state; mu guards everything below it.
+type run struct {
+	policy Policy
+	admit  int
+	mon    *obs.SchedulerMonitor
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	events     []*eventRun
+	res        []Result
+	ready      []item
+	next       int // next un-admitted event (admission is FIFO)
+	open       int // events admitted and not yet finished
+	doneEvents int
+	start      time.Time
+}
+
+// Run executes every event on one shared pool of opts.Workers workers and
+// returns per-event results in input order.  Admission is FIFO; dispatch
+// order follows opts.Policy.  Run never fails as a whole — per-event errors
+// land in the corresponding Result, and the caller decides whether any is
+// fatal.  Cancellation is the events' own concern: a canceled context makes
+// Build and node bodies return quickly, so the fleet drains rather than
+// aborts, and every Result is still populated.
+func Run(events []Event, opts Options) []Result {
+	res := make([]Result, len(events))
+	for i := range events {
+		res[i].Name = events[i].Name
+	}
+	if len(events) == 0 {
+		return res
+	}
+	w := parallel.Workers(opts.Workers)
+	admit := opts.Admit
+	if admit <= 0 {
+		admit = opts.Policy.DefaultAdmit(w)
+	}
+	if admit > len(events) {
+		admit = len(events)
+	}
+	r := &run{
+		policy: opts.Policy,
+		admit:  admit,
+		mon:    obs.NewSchedulerMonitor(opts.Observer, "fleet"),
+		events: make([]*eventRun, len(events)),
+		res:    res,
+		start:  time.Now(),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for i := range events {
+		r.events[i] = &eventRun{idx: i, spec: events[i]}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for t := 0; t < w; t++ {
+		go func(worker int) {
+			defer wg.Done()
+			r.worker(worker)
+		}(t)
+	}
+	wg.Wait()
+	return res
+}
+
+// admitReady admits arrivals while open slots remain.  Caller holds mu.
+func (r *run) admitReady() {
+	for r.next < len(r.events) && r.open < r.admit {
+		ev := r.events[r.next]
+		r.next++
+		r.open++
+		r.res[ev.idx].Admitted = time.Since(r.start)
+		r.ready = append(r.ready, item{evIdx: ev.idx, build: true, pri: math.Inf(1), enq: r.res[ev.idx].Admitted})
+		r.mon.Admitted()
+	}
+	r.mon.Admission(r.open, len(r.events)-r.next)
+}
+
+// push enqueues one runnable node of ev.  Caller holds mu.
+func (r *run) push(ev *eventRun, id dataflow.NodeID) {
+	r.ready = append(r.ready, item{
+		evIdx:  ev.idx,
+		node:   id,
+		pri:    ev.tr.Priority(id),
+		weight: ev.tr.Weight(id),
+		enq:    time.Since(r.start),
+	})
+}
+
+// worker is the pool loop: admit, pick the policy-best ready item, run it
+// unlocked, fold the completion back in, and finish events whose graphs
+// drained.
+func (r *run) worker(id int) {
+	var busy time.Duration
+	tasks := 0
+	joined := time.Now()
+	r.mu.Lock()
+	for {
+		r.admitReady()
+		if len(r.ready) == 0 {
+			if r.doneEvents == len(r.events) {
+				break
+			}
+			r.cond.Wait()
+			continue
+		}
+		it := popBest(&r.ready, r.policy)
+		ev := r.events[it.evIdx]
+		r.mon.QueueDepth(len(r.ready))
+		r.mon.Workers().TaskWait(time.Since(r.start) - it.enq)
+		r.mu.Unlock()
+
+		t0 := time.Now()
+		var finished *eventRun
+		var finishErr error
+		if it.build {
+			g, err := ev.spec.Build()
+			r.mu.Lock()
+			if err != nil {
+				finished, finishErr = ev, err
+			} else {
+				ev.tr = dataflow.NewTracker(g)
+				if ev.tr.Done() { // empty graph: nothing to dispatch
+					finished, finishErr = ev, nil
+				} else {
+					for _, nid := range ev.tr.InitialReady() {
+						r.push(ev, nid)
+					}
+				}
+			}
+		} else {
+			err := ev.tr.Run(it.node)
+			r.mu.Lock()
+			rd, _ := ev.tr.Complete(it.node, err)
+			for _, nid := range rd {
+				r.push(ev, nid)
+			}
+			if ev.tr.Done() {
+				finished, finishErr = ev, ev.tr.Err()
+			}
+		}
+		if finished != nil {
+			// Finish (materialization, journal close) runs unlocked on this
+			// worker; the admission slot is released only after it returns,
+			// so the open-events cap bounds the whole span of real work.
+			r.mu.Unlock()
+			if f := finished.spec.Finish; f != nil {
+				finishErr = f(finishErr)
+			}
+			r.mu.Lock()
+			d := time.Since(r.start)
+			r.res[finished.idx].Done = d
+			r.res[finished.idx].Err = finishErr
+			r.open--
+			r.doneEvents++
+			r.mon.Completed(d - r.res[finished.idx].Admitted)
+			r.admitReady()
+		}
+		busy += time.Since(t0)
+		tasks++
+		r.mon.QueueDepth(len(r.ready))
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+	idle := time.Since(joined) - busy
+	if idle < 0 {
+		idle = 0
+	}
+	r.mon.Workers().WorkerSpan(id, busy, idle, tasks)
+}

@@ -1,0 +1,312 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accelproc/internal/dataflow"
+	"accelproc/internal/obs"
+)
+
+// chainEvent returns an Event whose graph is a chain of n nodes; every node
+// appends "<name>:<i>" to order under mu.
+func chainEvent(name string, n int, weight float64, mu *sync.Mutex, order *[]string) Event {
+	return Event{
+		Name: name,
+		Build: func() (*dataflow.Graph, error) {
+			mu.Lock()
+			*order = append(*order, name+":build")
+			mu.Unlock()
+			g := dataflow.New()
+			var prev []dataflow.NodeID
+			for i := 0; i < n; i++ {
+				i := i
+				id := g.Add(dataflow.Spec{
+					Label:  fmt.Sprintf("%s:%d", name, i),
+					Weight: weight,
+					Run: func() error {
+						mu.Lock()
+						*order = append(*order, fmt.Sprintf("%s:%d", name, i))
+						mu.Unlock()
+						return nil
+					},
+				}, prev...)
+				prev = []dataflow.NodeID{id}
+			}
+			return g, nil
+		},
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{{"", Balanced}, {"balanced", Balanced}, {"latency", Latency}, {"throughput", Throughput}} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if tc.in != "" && got.String() != tc.in {
+			t.Errorf("Policy(%v).String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy(bogus) did not fail")
+	}
+}
+
+func TestRunExecutesEveryEvent(t *testing.T) {
+	for _, policy := range []Policy{Balanced, Latency, Throughput} {
+		t.Run(policy.String(), func(t *testing.T) {
+			var mu sync.Mutex
+			var order []string
+			var finished atomic.Int32
+			events := make([]Event, 5)
+			for i := range events {
+				ev := chainEvent(fmt.Sprintf("ev%d", i), 3, 1, &mu, &order)
+				ev.Finish = func(err error) error {
+					finished.Add(1)
+					return err
+				}
+				events[i] = ev
+			}
+			res := Run(events, Options{Workers: 3, Policy: policy})
+			if len(res) != 5 {
+				t.Fatalf("results = %d, want 5", len(res))
+			}
+			for i, r := range res {
+				if r.Err != nil {
+					t.Errorf("event %d: %v", i, r.Err)
+				}
+				if r.Name != fmt.Sprintf("ev%d", i) {
+					t.Errorf("event %d name = %q", i, r.Name)
+				}
+				if r.Done < r.Admitted {
+					t.Errorf("event %d Done %v < Admitted %v", i, r.Done, r.Admitted)
+				}
+			}
+			if finished.Load() != 5 {
+				t.Errorf("Finish ran %d times, want 5", finished.Load())
+			}
+			mu.Lock()
+			n := len(order)
+			mu.Unlock()
+			if n != 5*4 { // build + 3 nodes per event
+				t.Errorf("executed %d units, want 20", n)
+			}
+		})
+	}
+}
+
+// TestRunPolicyScheduleSingleWorker pins the full dispatch order at one
+// worker for each policy, twice, so the scheduler's total order is both the
+// documented one and reproducible.
+func TestRunPolicyScheduleSingleWorker(t *testing.T) {
+	build := func(policy Policy) []string {
+		var mu sync.Mutex
+		var order []string
+		events := []Event{
+			chainEvent("a", 2, 1, &mu, &order), // light
+			chainEvent("b", 2, 5, &mu, &order), // heavy: higher critical path
+		}
+		Run(events, Options{Workers: 1, Admit: 2, Policy: policy})
+		return order
+	}
+	want := map[Policy][]string{
+		// Oldest event first, to completion, before the next build runs.
+		Latency: {"a:build", "a:0", "a:1", "b:build", "b:0", "b:1"},
+		// Builds drain first (infinite priority), then the merged ready set
+		// critical-path-first: b's chain outweighs a's.
+		Throughput: {"a:build", "b:build", "b:0", "b:1", "a:0", "a:1"},
+		// The oldest open event is protected even against heavier siblings.
+		Balanced: {"a:build", "a:0", "a:1", "b:build", "b:0", "b:1"},
+	}
+	for policy, w := range want {
+		first := build(policy)
+		if !reflect.DeepEqual(first, w) {
+			t.Errorf("%v schedule = %v, want %v", policy, first, w)
+		}
+		if again := build(policy); !reflect.DeepEqual(again, first) {
+			t.Errorf("%v schedule not reproducible: %v then %v", policy, first, again)
+		}
+	}
+}
+
+func TestRunAdmissionCap(t *testing.T) {
+	var open, maxOpen atomic.Int32
+	events := make([]Event, 6)
+	for i := range events {
+		name := fmt.Sprintf("ev%d", i)
+		events[i] = Event{
+			Name: name,
+			Build: func() (*dataflow.Graph, error) {
+				if o := open.Add(1); o > maxOpen.Load() {
+					maxOpen.Store(o)
+				}
+				g := dataflow.New()
+				g.Add(dataflow.Spec{Label: name, Weight: 1, Run: func() error {
+					time.Sleep(time.Millisecond)
+					return nil
+				}})
+				return g, nil
+			},
+			Finish: func(err error) error {
+				open.Add(-1)
+				return err
+			},
+		}
+	}
+	Run(events, Options{Workers: 4, Admit: 2, Policy: Throughput})
+	if m := maxOpen.Load(); m > 2 {
+		t.Fatalf("max concurrently-open events = %d, want <= 2", m)
+	}
+}
+
+func TestRunBuildFailureIsPerEvent(t *testing.T) {
+	boom := errors.New("prologue failed")
+	var mu sync.Mutex
+	var order []string
+	events := []Event{
+		{Name: "bad", Build: func() (*dataflow.Graph, error) { return nil, boom }},
+		chainEvent("good", 2, 1, &mu, &order),
+	}
+	res := Run(events, Options{Workers: 2})
+	if !errors.Is(res[0].Err, boom) {
+		t.Errorf("bad event Err = %v, want boom", res[0].Err)
+	}
+	if res[1].Err != nil {
+		t.Errorf("good event Err = %v, want nil", res[1].Err)
+	}
+}
+
+func TestRunNodeFailureReachesFinish(t *testing.T) {
+	boom := errors.New("node failed")
+	var got error
+	ev := Event{
+		Name: "ev",
+		Build: func() (*dataflow.Graph, error) {
+			g := dataflow.New()
+			a := g.Add(dataflow.Spec{Label: "a", Weight: 1, Run: func() error { return boom }})
+			g.Add(dataflow.Spec{Label: "b", Weight: 1, Run: func() error {
+				t.Error("dependent of failed node ran")
+				return nil
+			}}, a)
+			return g, nil
+		},
+		Finish: func(err error) error {
+			got = err
+			return fmt.Errorf("wrapped: %w", err)
+		},
+	}
+	res := Run([]Event{ev}, Options{Workers: 2})
+	if !errors.Is(got, boom) {
+		t.Errorf("Finish received %v, want boom", got)
+	}
+	if res[0].Err == nil || !errors.Is(res[0].Err, boom) || !strings.Contains(res[0].Err.Error(), "wrapped") {
+		t.Errorf("Result.Err = %v, want wrapped boom", res[0].Err)
+	}
+}
+
+func TestRunEmptyGraphEvent(t *testing.T) {
+	res := Run([]Event{{
+		Name:  "empty",
+		Build: func() (*dataflow.Graph, error) { return dataflow.New(), nil },
+	}}, Options{Workers: 2})
+	if res[0].Err != nil {
+		t.Fatalf("empty-graph event Err = %v", res[0].Err)
+	}
+}
+
+func TestRunRegistersSchedulerMetrics(t *testing.T) {
+	o := obs.New()
+	var mu sync.Mutex
+	var order []string
+	Run([]Event{chainEvent("ev", 3, 1, &mu, &order)}, Options{Workers: 2, Observer: o})
+	var sb strings.Builder
+	o.WritePrometheus(&sb)
+	text := sb.String()
+	for _, m := range []string{"fleet_events_admitted_total 1", "fleet_events_completed_total 1", "fleet_worker_tasks_total"} {
+		if !strings.Contains(text, m) {
+			t.Errorf("metrics missing %q", m)
+		}
+	}
+}
+
+// simChainEvents builds n identical SimEvents, each a fan-out of width
+// parallel nodes costing dur, with a build prologue.
+func simChainEvents(n, width int, dur, build time.Duration) []SimEvent {
+	events := make([]SimEvent, n)
+	for i := range events {
+		g := dataflow.New()
+		durs := make([]time.Duration, width)
+		for j := 0; j < width; j++ {
+			g.Add(dataflow.Spec{Label: fmt.Sprintf("n%d", j), Weight: 1, Run: func() error { return nil }})
+			durs[j] = dur
+		}
+		events[i] = SimEvent{Name: fmt.Sprintf("ev%d", i), Graph: g, Durs: durs, Build: build}
+	}
+	return events
+}
+
+func simMakespan(res []SimResult) time.Duration {
+	var m time.Duration
+	for _, r := range res {
+		if r.Done > m {
+			m = r.Done
+		}
+	}
+	return m
+}
+
+// TestSimulateSingleEventMatchesSimMakespan ties the fleet simulator to the
+// established single-graph model: with one event and no build cost, the
+// fleet virtual makespan equals Graph.SimMakespan.
+func TestSimulateSingleEventMatchesSimMakespan(t *testing.T) {
+	g := dataflow.New()
+	durs := []time.Duration{8 * time.Millisecond, 6 * time.Millisecond, 4 * time.Millisecond, 2 * time.Millisecond}
+	for i, d := range durs {
+		g.Add(dataflow.Spec{Label: fmt.Sprintf("n%d", i), Weight: d.Seconds(), Run: func() error { return nil }})
+	}
+	want := g.SimMakespan(durs, 2)
+	res := Simulate([]SimEvent{{Name: "ev", Graph: g, Durs: durs}}, 2, 1, Throughput)
+	if got := res[0].Done; got != want {
+		t.Fatalf("fleet sim makespan %v != SimMakespan %v", got, want)
+	}
+}
+
+// TestSimulatePolicyTradeoff pins the bi-criteria behavior the policies
+// exist for: throughput packs the pool and finishes the queue sooner, while
+// latency keeps every event's admission-to-done latency at the single-event
+// optimum.
+func TestSimulatePolicyTradeoff(t *testing.T) {
+	const workers = 4
+	events := simChainEvents(8, workers, 10*time.Millisecond, time.Millisecond)
+	single := simMakespan(Simulate(events[:1], workers, 1, Latency))
+
+	lat := Simulate(events, workers, 0, Latency)
+	thr := Simulate(events, workers, 0, Throughput)
+	bal := Simulate(events, workers, 0, Balanced)
+
+	if m := simMakespan(thr); m >= simMakespan(lat) {
+		t.Errorf("throughput makespan %v not below latency makespan %v", m, simMakespan(lat))
+	}
+	for i, r := range lat {
+		if r.Latency() != single {
+			t.Errorf("latency policy event %d latency %v != single-event makespan %v", i, r.Latency(), single)
+		}
+	}
+	if m := simMakespan(bal); m > simMakespan(lat) {
+		t.Errorf("balanced makespan %v exceeds latency makespan %v", m, simMakespan(lat))
+	}
+	// Deterministic replay.
+	if again := Simulate(events, workers, 0, Throughput); !reflect.DeepEqual(again, thr) {
+		t.Error("Simulate not deterministic")
+	}
+}

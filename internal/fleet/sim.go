@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"accelproc/internal/dataflow"
+)
+
+// SimEvent is one event on the simulated platform: its graph, the serially
+// measured per-node costs, and the measured cost of its Build prologue.
+type SimEvent struct {
+	Name  string
+	Graph *dataflow.Graph
+	// Durs holds each node's serially measured duration, indexed by NodeID.
+	Durs []time.Duration
+	// Build is the cost of the event's admission-time prologue (stage I and
+	// graph construction), modeled as a single task on one worker.
+	Build time.Duration
+}
+
+// SimResult mirrors Result on the virtual clock.
+type SimResult struct {
+	Name     string
+	Admitted time.Duration
+	Done     time.Duration
+}
+
+// Wait returns the virtual arrival-queue wait (all events arrive at zero).
+func (r SimResult) Wait() time.Duration { return r.Admitted }
+
+// Latency returns the virtual admission-to-done latency.
+func (r SimResult) Latency() time.Duration { return r.Done - r.Admitted }
+
+// pendItem is one in-flight task in the simulator, keyed by finish time with
+// (event, node) tie-breaks so simultaneous completions resolve
+// deterministically.
+type pendItem struct {
+	fin time.Duration
+	it  item
+}
+
+type pendHeap []pendItem
+
+func (h pendHeap) Len() int { return len(h) }
+func (h pendHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.fin != b.fin {
+		return a.fin < b.fin
+	}
+	if a.it.evIdx != b.it.evIdx {
+		return a.it.evIdx < b.it.evIdx
+	}
+	return a.it.node < b.it.node
+}
+func (h pendHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pendHeap) Push(x any)   { *h = append(*h, x.(pendItem)) }
+func (h *pendHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulate runs the fleet schedule on a virtual clock: the same admission,
+// policy ordering, and completion cascade as Run, but with task costs taken
+// from measured durations instead of executing bodies.  Node i of an event
+// costs Durs[i] scaled by the contention slowdown 1 + alpha_i*(workers-1),
+// the model shared with Graph.SimMakespan, so single-event fleet makespans
+// agree with the Pipelined variant's simulated platform.
+//
+// The schedule is deterministic: dispatch uses the policy's total order and
+// simultaneous completions resolve by (event, node).  Failures are out of
+// scope — the simulated platform measures the healthy path.
+func Simulate(events []SimEvent, workers, admit int, policy Policy) []SimResult {
+	res := make([]SimResult, len(events))
+	for i := range events {
+		res[i].Name = events[i].Name
+	}
+	if len(events) == 0 {
+		return res
+	}
+	w := workers
+	if w < 1 {
+		w = 1
+	}
+	if admit <= 0 {
+		admit = policy.DefaultAdmit(w)
+	}
+	if admit > len(events) {
+		admit = len(events)
+	}
+
+	trs := make([]*dataflow.Tracker, len(events))
+	var (
+		now   time.Duration
+		free  = w
+		ready []item
+		pend  pendHeap
+		next  int
+		open  int
+	)
+	admitFn := func() {
+		for next < len(events) && open < admit {
+			res[next].Admitted = now
+			ready = append(ready, item{evIdx: next, build: true, pri: math.Inf(1)})
+			next++
+			open++
+		}
+	}
+	cost := func(it item) time.Duration {
+		if it.build {
+			return events[it.evIdx].Build
+		}
+		d := events[it.evIdx].Durs[it.node]
+		if w > 1 {
+			d = time.Duration(float64(d) * (1 + trs[it.evIdx].Alpha(it.node)*float64(w-1)))
+		}
+		return d
+	}
+	pushReady := func(evIdx int, ids []dataflow.NodeID) {
+		for _, id := range ids {
+			ready = append(ready, item{
+				evIdx:  evIdx,
+				node:   id,
+				pri:    trs[evIdx].Priority(id),
+				weight: trs[evIdx].Weight(id),
+			})
+		}
+	}
+	for {
+		admitFn()
+		for free > 0 && len(ready) > 0 {
+			it := popBest(&ready, policy)
+			heap.Push(&pend, pendItem{fin: now + cost(it), it: it})
+			free--
+		}
+		if pend.Len() == 0 {
+			break
+		}
+		p := heap.Pop(&pend).(pendItem)
+		now = p.fin
+		free++
+		it := p.it
+		finished := false
+		if it.build {
+			trs[it.evIdx] = dataflow.NewTracker(events[it.evIdx].Graph)
+			if trs[it.evIdx].Done() {
+				finished = true
+			} else {
+				pushReady(it.evIdx, trs[it.evIdx].InitialReady())
+			}
+		} else {
+			rd, _ := trs[it.evIdx].Complete(it.node, nil)
+			pushReady(it.evIdx, rd)
+			finished = trs[it.evIdx].Done()
+		}
+		if finished {
+			res[it.evIdx].Done = now
+			open--
+		}
+	}
+	return res
+}

@@ -28,3 +28,35 @@ func betterError(err error, idx int, cur error, curIdx int) bool {
 	}
 	return idx < curIdx
 }
+
+// FirstCause accumulates a deterministic construct-level error across
+// indexed completions, using the same selection rule as the parallel loops:
+// a real error always displaces a cancellation error, and within the same
+// class the smallest index wins.  The zero value is ready to use; it is not
+// safe for concurrent Offer calls — serialize under the caller's lock.
+//
+// Exported so higher-level fan-outs (pipeline.RunBatch, internal/fleet) can
+// report "the first real cause" rather than whichever cancellation happened
+// to land first.
+type FirstCause struct {
+	err error
+	idx int
+}
+
+// Offer records the completion of index idx; nil errors are ignored.
+func (f *FirstCause) Offer(idx int, err error) {
+	if err == nil {
+		return
+	}
+	if betterError(err, idx, f.err, f.idx) {
+		f.err, f.idx = err, idx
+	}
+}
+
+// Err returns the selected error, or nil if every offered completion
+// succeeded.
+func (f *FirstCause) Err() error { return f.err }
+
+// Index returns the index whose error was selected (meaningful only when
+// Err is non-nil).
+func (f *FirstCause) Index() int { return f.idx }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"accelproc/internal/obs"
 	"accelproc/internal/parallel"
@@ -16,6 +17,12 @@ type BatchResult struct {
 	Dir    string
 	Result Result
 	Err    error
+	// Wait and Latency are fleet-mode scheduling times (see RunFleet): how
+	// long the event sat in the arrival queue before admission, and its
+	// admission-to-done latency.  Both are zero under RunBatch, which has no
+	// admission control.
+	Wait    time.Duration
+	Latency time.Duration
 }
 
 // RunBatch processes several event work directories with the same variant,
@@ -25,11 +32,14 @@ type BatchResult struct {
 // one level of outer parallelism above the per-event pipeline.
 //
 // Every directory is attempted; per-directory failures are reported in the
-// corresponding BatchResult rather than aborting the batch, and the first
-// error (in directory order) is also returned for convenience.  Results
-// are ordered like dirs.  Cancelling ctx aborts the in-flight event runs
-// (which clean up their scratch folders) and marks the remaining
-// directories with the context's cause.
+// corresponding BatchResult rather than aborting the batch, and one error is
+// also returned for convenience: the first *real* cause in directory order,
+// with cancellation errors displaced by genuine failures (the parallel
+// package's selection rule).  Results are ordered like dirs and every entry
+// is populated even on a canceled batch.  Cancelling ctx drains rather than
+// aborts: in-flight event runs fail fast internally (cleaning up their
+// scratch folders) and the remaining directories still run, each returning
+// the context's cause immediately.
 //
 // When opts.Observer is set, the batch reports one "batch" root span with a
 // per-event run span tree nested under it.
@@ -77,14 +87,22 @@ func RunBatch(ctx context.Context, dirs []string, variant Variant, opts Options)
 		return nil
 	})
 	batchSpan.End()
-	var firstErr error
-	for _, r := range results {
-		if r.Err != nil {
-			firstErr = fmt.Errorf("pipeline: batch directory %s: %w", r.Dir, r.Err)
-			break
-		}
+	return results, batchFirstError(results)
+}
+
+// batchFirstError selects the batch-level convenience error from per-event
+// outcomes: a real failure displaces the cancellations it (or the caller)
+// triggered, and within a class the earliest directory wins, so a canceled
+// batch deterministically reports its cause.
+func batchFirstError(results []BatchResult) error {
+	var first parallel.FirstCause
+	for i, r := range results {
+		first.Offer(i, r.Err)
 	}
-	return results, firstErr
+	if err := first.Err(); err != nil {
+		return fmt.Errorf("pipeline: batch directory %s: %w", results[first.Index()].Dir, err)
+	}
+	return nil
 }
 
 // Report aggregates the outcomes of a batch run: how many events succeeded

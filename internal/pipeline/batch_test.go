@@ -2,10 +2,12 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"accelproc/internal/synth"
 )
@@ -118,6 +120,159 @@ func TestRunBatchReportsPerDirectoryFailures(t *testing.T) {
 	if results[1].Err == nil {
 		t.Error("corrupt directory did not fail")
 	}
+}
+
+// TestBatchFirstErrorPrefersRealCause pins the batch-level error selection:
+// a real failure displaces the cancellations around it regardless of
+// directory order, and cancellation-only batches report the earliest one.
+func TestBatchFirstErrorPrefersRealCause(t *testing.T) {
+	real := errors.New("disk on fire")
+	results := []BatchResult{
+		{Dir: "a", Err: context.Canceled},
+		{Dir: "b", Err: real},
+		{Dir: "c", Err: context.Canceled},
+	}
+	err := batchFirstError(results)
+	if !errors.Is(err, real) || errors.Is(err, context.Canceled) {
+		t.Fatalf("batchFirstError = %v, want the real cause from b", err)
+	}
+	if !strings.Contains(err.Error(), "directory b") {
+		t.Errorf("error %v does not name directory b", err)
+	}
+	onlyCancel := []BatchResult{
+		{Dir: "x", Err: context.Canceled},
+		{Dir: "y", Err: context.Canceled},
+	}
+	if err := batchFirstError(onlyCancel); !strings.Contains(err.Error(), "directory x") {
+		t.Errorf("cancellation-only batch reported %v, want directory x", err)
+	}
+	if err := batchFirstError([]BatchResult{{Dir: "ok"}}); err != nil {
+		t.Errorf("healthy batch reported %v", err)
+	}
+}
+
+// TestRunBatchCanceledCtxDrainsWithPartialResults is the satellite
+// regression: cancelling the batch context mid-run must still yield one
+// populated BatchResult per directory — failed entries carrying the
+// cancellation cause, finished entries their real outcome — and the batch
+// error must reflect the cause deterministically.
+func TestRunBatchCanceledCtxDrainsWithPartialResults(t *testing.T) {
+	dirs := prepareBatchDirs(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the batch starts: every event drains immediately
+	results, err := RunBatch(ctx, dirs, FullParallel, batchOptions(2))
+	if err == nil {
+		t.Fatal("canceled batch reported no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("batch error %v does not wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), dirs[0]) {
+		t.Errorf("batch error %v does not name the earliest directory", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	for i, r := range results {
+		if r.Dir != dirs[i] {
+			t.Errorf("result %d dir = %q, want %q", i, r.Dir, dirs[i])
+		}
+		if r.Err == nil {
+			t.Errorf("event %d reported success under canceled ctx", i)
+		} else if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("event %d error %v is not the cancellation cause", i, r.Err)
+		}
+	}
+	rep := BatchReport(results)
+	if rep.Failed != 4 || rep.Succeeded != 0 {
+		t.Errorf("report %+v, want 4 failed", rep)
+	}
+}
+
+// TestRunBatchMidRunCancellation cancels while events are in flight: the
+// batch must drain (no wedge, no panic), keep every result entry populated,
+// and attribute each failure to the cancellation cause.
+func TestRunBatchMidRunCancellation(t *testing.T) {
+	dirs := prepareBatchDirs(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		close(done)
+	}()
+	results, _ := RunBatch(ctx, dirs, FullParallel, batchOptions(1))
+	<-done
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	for i, r := range results {
+		if r.Dir != dirs[i] {
+			t.Errorf("result %d dir = %q, want %q", i, r.Dir, dirs[i])
+		}
+		if r.Err != nil && !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("event %d failed with %v, not the cancellation cause", i, r.Err)
+		}
+		if r.Err == nil && len(r.Result.Stations) == 0 {
+			t.Errorf("event %d succeeded without stations", i)
+		}
+	}
+}
+
+// TestBatchReportEdgeCases covers the aggregate report's corners: the empty
+// batch, an all-quarantined (fully degraded) batch, and duplicate station
+// names across events.
+func TestBatchReportEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		rep := BatchReport(nil)
+		if rep.Events != 0 || rep.Succeeded != 0 || rep.Failed != 0 || rep.Err != nil {
+			t.Errorf("empty report = %+v", rep)
+		}
+		if rep.Degraded() {
+			t.Error("empty batch reads as degraded")
+		}
+		if st := BatchStations(nil); len(st) != 0 {
+			t.Errorf("stations of empty batch = %v", st)
+		}
+	})
+	t.Run("all-quarantined", func(t *testing.T) {
+		mk := func(dir, station string) BatchResult {
+			return BatchResult{Dir: dir, Result: Result{
+				Quarantined: []RecordOutcome{{
+					Dir: dir, Station: station, Stage: StageVIII, Process: PCorrectedFilter,
+					Err: &StageError{Stage: StageVIII, Process: PCorrectedFilter, Record: station, Err: errors.New("poisoned")},
+				}},
+			}}
+		}
+		results := []BatchResult{mk("ev0", "SS01"), mk("ev1", "SS02")}
+		rep := BatchReport(results)
+		if rep.Succeeded != 2 || rep.Failed != 0 {
+			t.Errorf("report %+v: every event degraded, none failed", rep)
+		}
+		if !rep.Degraded() || len(rep.Quarantined) != 2 {
+			t.Errorf("report %+v does not show full degradation", rep)
+		}
+		if !errors.Is(rep.Err, &StageError{Record: "SS01"}) || !errors.Is(rep.Err, &StageError{Record: "SS02"}) {
+			t.Errorf("report Err %v does not join both quarantined records", rep.Err)
+		}
+	})
+	t.Run("duplicate-stations", func(t *testing.T) {
+		results := []BatchResult{
+			{Dir: "ev0", Result: Result{Stations: []string{"SS02", "SS01"}}},
+			{Dir: "ev1", Result: Result{Stations: []string{"SS01", "SS03"}}},
+			{Dir: "ev2", Err: errors.New("failed"), Result: Result{Stations: []string{"SS09"}}},
+		}
+		got := BatchStations(results)
+		want := []string{"SS01", "SS02", "SS03"}
+		if len(got) != len(want) {
+			t.Fatalf("stations = %v, want %v (dedup, sorted, failed events excluded)", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("stations = %v, want %v", got, want)
+			}
+		}
+	})
 }
 
 func TestRunBatchRejectsEmptyAndDuplicates(t *testing.T) {

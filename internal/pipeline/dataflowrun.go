@@ -86,16 +86,32 @@ type dfBuild struct {
 // runPipelined executes the dataflow variant: stage I as in the staged
 // schedule, then everything else as one barrier-free task graph.
 func (s *state) runPipelined() error {
+	b, err := s.preparePipelined()
+	if err != nil {
+		return err
+	}
+	if s.simulated() {
+		return s.executeDataflowSim(b)
+	}
+	return s.executeDataflow(b)
+}
+
+// preparePipelined performs the Pipelined variant's pre-graph prologue —
+// stage I, station discovery, the shared filter-executable image — and
+// compiles the record-level task graph.  Split from runPipelined so the
+// fleet scheduler can run it as an event's admission-time Build phase on a
+// shared pool worker.
+func (s *state) preparePipelined() (*dfBuild, error) {
 	err := s.taskStage(StageI, s.opts.MetaWorkers, []taskSpec{
 		{PInitFlags, s.procInitFlags},
 		{PGatherInputs, s.procGatherInputs},
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	stations, err := s.stations()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	exe := ""
 	if !s.opts.NoTempFolders {
@@ -103,14 +119,10 @@ func (s *state) runPipelined() error {
 		// lazily inside the first temp-folder stage, but concurrent dataflow
 		// nodes must not race to create it.
 		if exe, err = s.ensureExeImage(); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	b := s.buildDataflow(stations, exe)
-	if s.simulated() {
-		return s.executeDataflowSim(b)
-	}
-	return s.executeDataflow(b)
+	return s.buildDataflow(stations, exe), nil
 }
 
 // executeDataflow runs the graph on real goroutines with the run's worker

@@ -57,6 +57,14 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 	default:
 		return Result{}, fmt.Errorf("pipeline: unknown variant %d", int(variant))
 	}
+	return s.finishRun(variant, start, err)
+}
+
+// finishRun completes a run after its variant body returned: materialize the
+// workspace, close the journal, fold the virtual clock into the total, and
+// assemble the Result.  Shared by Run and the fleet scheduler, whose
+// per-event Finish phase ends here on a pool worker.
+func (s *state) finishRun(variant Variant, start time.Duration, err error) (Result, error) {
 	if err == nil {
 		// Flush the storage backend's in-memory state (a no-op on the fs
 		// backend) so the work directory holds the complete, byte-identical
@@ -87,7 +95,7 @@ func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result
 	// surviving stations count — quarantined ones are reported separately.
 	s.records.Add(float64(3 * len(stations)))
 	resident, peak := s.ws.ResidentBytes()
-	if o := opts.Observer; o != nil {
+	if o := s.opts.Observer; o != nil {
 		o.Gauge("storage_bytes_resident").Set(float64(resident))
 		o.Gauge("storage_bytes_resident_peak").Set(float64(peak))
 	}
