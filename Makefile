@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos cache-ablation cache-persist crash-resume fleet-bench fuzz-smoke bench ci
+.PHONY: all fmt vet build test race chaos cache-ablation cache-persist crash-resume fleet-bench stream-bench fuzz-smoke bench ci
 
 all: build
 
@@ -26,9 +26,10 @@ test:
 # The parallel runtime, the dataflow scheduler, the fleet scheduler, and
 # the pipeline drivers carry the concurrency and the occupancy
 # instrumentation; they must stay race-clean, and so must the shared
-# artifact store and the storage plane under them.
+# artifact store, the storage plane, and the streaming chunk plane under
+# them.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/dataflow/... ./internal/fleet/... ./internal/pipeline/... ./internal/artifact/... ./internal/storage/...
+	$(GO) test -race ./internal/parallel/... ./internal/dataflow/... ./internal/fleet/... ./internal/pipeline/... ./internal/artifact/... ./internal/storage/... ./internal/stream/...
 
 # Seeded chaos soak: the fault-injection suite (rate sweep, poisoned-record
 # batch, retry/quarantine engine) under the race detector, with the artifact
@@ -70,7 +71,13 @@ fuzz-smoke:
 fleet-bench:
 	$(GO) run ./cmd/benchtables -fleet -smoke -check
 
+# Streaming-plane memory-ablation smoke: materialized vs streaming Pipelined
+# runs on the mem backend, with the acceptance criteria evaluated (flat
+# StorageBytesPeak within the chunk budget, byte-identical outputs).
+stream-bench:
+	$(GO) run ./cmd/benchtables -streambench -smoke -check
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: fmt vet build test fuzz-smoke race chaos cache-ablation cache-persist crash-resume fleet-bench
+ci: fmt vet build test fuzz-smoke race chaos cache-ablation cache-persist crash-resume fleet-bench stream-bench

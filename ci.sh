@@ -30,8 +30,8 @@ go test -run '^$' -fuzz 'FuzzGEMRoundTrip' -fuzztime 5s ./internal/smformat/
 go test -run '^$' -fuzz 'FuzzJournalParse' -fuzztime 5s ./internal/pipeline/
 go test -run '^$' -fuzz 'FuzzActionManifest' -fuzztime 5s ./internal/artifact/
 
-echo "== race (parallel runtime + dataflow scheduler + fleet scheduler + pipeline drivers + artifact store + storage plane) =="
-go test -race ./internal/parallel/... ./internal/dataflow/... ./internal/fleet/... ./internal/pipeline/... ./internal/artifact/... ./internal/storage/...
+echo "== race (parallel runtime + dataflow scheduler + fleet scheduler + pipeline drivers + artifact store + storage plane + streaming chunk plane) =="
+go test -race ./internal/parallel/... ./internal/dataflow/... ./internal/fleet/... ./internal/pipeline/... ./internal/artifact/... ./internal/storage/... ./internal/stream/...
 
 echo "== chaos (seeded fault-injection soak, artifact cache enabled) =="
 go test -race -count=1 -run 'Chaos|Partial|Quarantine|RetryOp|StageMove' ./internal/pipeline/... ./internal/faults/...
@@ -47,5 +47,8 @@ go test -count=1 -run 'CrashResume|CrashKills|CrashUnarmed|Resume|Journal|Scrub'
 
 echo "== fleet saturation smoke (shared-pool scheduler criteria on a tiny queue) =="
 go run ./cmd/benchtables -fleet -smoke -check
+
+echo "== streaming memory-ablation smoke (flat StorageBytesPeak, byte-identical outputs) =="
+go run ./cmd/benchtables -streambench -smoke -check
 
 echo "CI gate passed."

@@ -8,7 +8,8 @@
 //	            [-periods 8] [-repeat 1] [-variants seq-original,full]
 //	            [-table1] [-fig11] [-fig12] [-fig13] [-check]
 //	            [-fleet] [-fleet-events 8] [-fleet-policy p] [-admit 0]
-//	            [-cache off|mem|disk[:dir]] [-storage fs|mem]
+//	            [-cache off|mem|disk[:dir]] [-storage fs|mem] [-stream]
+//	            [-streambench [-stream-npts 35000,250000,1000000]]
 //	            [-json BENCH_label.json]
 //	            [-compare old.json [-threshold 0.1]] [new.json]
 //	            [-trace spans.jsonl] [-metrics metrics.txt] [-pprof cpu.out]
@@ -31,6 +32,15 @@
 // block plus a synthetic fleet event whose variants are the per-policy queue
 // makespans, so -compare gates fleet baselines like any other.
 // -fleet is excluded from the no-flag default selection.
+// -stream runs every measured pipelined variant with the streaming execution
+// plane (Options.Streaming; other variants are unaffected).  -streambench
+// runs the streaming-plane memory ablation instead: for each per-record
+// length in -stream-npts, a materialized and a streaming pipelined run on
+// the mem backend, reporting peak residency and output identity; with
+// -check, the flat-StorageBytesPeak acceptance criteria are evaluated, and
+// with -json the report gains a "stream" block plus synthetic per-NPTS
+// event rows so -compare gates streaming baselines like any other.
+// -streambench is excluded from the no-flag default selection.
 // -cache selects the caching layers of every measured run: off, mem (the
 // default in-process memo), or disk[:dir] (the persistent action cache —
 // the cold-vs-warm ablation endpoint; see -ablations).  -no-artifact-cache
@@ -119,6 +129,19 @@ func parseVariants(s string) ([]pipeline.Variant, error) {
 	return out, nil
 }
 
+// parseInts splits a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad value %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // errChecksFailed marks a completed run whose shape checks did not pass.
 var errChecksFailed = fmt.Errorf("reproduction shape checks failed")
 
@@ -149,31 +172,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	var obsFlags cliobs.Flags
 	obsFlags.Register(fs)
 	var (
-		scale     = fs.Float64("scale", bench.ReferenceScale, "workload scale factor (1.0 = paper data sizes; default is the calibrated reference scale)")
-		workers   = fs.Int("workers", 0, "worker budget for parallel variants (0 = all processors)")
-		method    = fs.String("method", "duhamel", "stage IX method: duhamel (legacy O(D^2)) or nj (Nigam-Jennings O(D))")
-		periods   = fs.Int("periods", bench.ShapePeriods, "response-spectrum period count")
-		repeat    = fs.Int("repeat", 1, "repetitions per measurement (fastest kept)")
-		variants  = fs.String("variants", "", "comma-separated variants to measure (default: all five)")
-		jsonPath  = fs.String("json", "", "write a machine-readable report of the Table I run to this file")
-		table1    = fs.Bool("table1", false, "produce Table I")
-		fig11     = fs.Bool("fig11", false, "produce Figure 11 (per-stage, largest event)")
-		fig12     = fs.Bool("fig12", false, "produce Figure 12 (per-event bars)")
-		fig13     = fs.Bool("fig13", false, "produce Figure 13 (speedup/throughput vs size)")
-		check     = fs.Bool("check", false, "evaluate reproduction-shape assertions")
-		fleetSel  = fs.Bool("fleet", false, "run the multi-event saturation benchmark (fleet scheduler)")
-		fleetEvs  = fs.Int("fleet-events", 8, "queue length for the fleet benchmark")
-		fleetPol  = fs.String("fleet-policy", "", "measure only this fleet policy (default: latency, balanced, and throughput)")
-		admit     = fs.Int("admit", 0, "fleet admission cap: max concurrently-open events (0 = policy default)")
-		ablations = fs.Bool("ablations", false, "run the design-choice ablations on the mid-size event")
-		smoke     = fs.Bool("smoke", false, "self-test mode: two tiny synthetic events instead of the paper's six")
-		chaos     = fs.Float64("chaos", 0, "fault-injection rate in [0,1] for the temp-folder protocol: measure the degraded mode")
-		chaosSeed = fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
-		noCache   = fs.Bool("no-artifact-cache", false, "deprecated alias of -cache=off")
-		cacheFlag = fs.String("cache", "", "cache layers for every measured run: off, mem (default), or disk[:dir]")
-		storageNm = fs.String("storage", "fs", "storage backend for every measured run: fs (plain filesystem) or mem (in-memory inter-stage files)")
-		compare   = fs.String("compare", "", "diff this baseline report against the report given as positional argument, then exit")
-		threshold = fs.Float64("threshold", 0.10, "relative slowdown treated as a regression by -compare (0.10 = 10%)")
+		scale      = fs.Float64("scale", bench.ReferenceScale, "workload scale factor (1.0 = paper data sizes; default is the calibrated reference scale)")
+		workers    = fs.Int("workers", 0, "worker budget for parallel variants (0 = all processors)")
+		method     = fs.String("method", "duhamel", "stage IX method: duhamel (legacy O(D^2)) or nj (Nigam-Jennings O(D))")
+		periods    = fs.Int("periods", bench.ShapePeriods, "response-spectrum period count")
+		repeat     = fs.Int("repeat", 1, "repetitions per measurement (fastest kept)")
+		variants   = fs.String("variants", "", "comma-separated variants to measure (default: all five)")
+		jsonPath   = fs.String("json", "", "write a machine-readable report of the Table I run to this file")
+		table1     = fs.Bool("table1", false, "produce Table I")
+		fig11      = fs.Bool("fig11", false, "produce Figure 11 (per-stage, largest event)")
+		fig12      = fs.Bool("fig12", false, "produce Figure 12 (per-event bars)")
+		fig13      = fs.Bool("fig13", false, "produce Figure 13 (speedup/throughput vs size)")
+		check      = fs.Bool("check", false, "evaluate reproduction-shape assertions")
+		fleetSel   = fs.Bool("fleet", false, "run the multi-event saturation benchmark (fleet scheduler)")
+		fleetEvs   = fs.Int("fleet-events", 8, "queue length for the fleet benchmark")
+		fleetPol   = fs.String("fleet-policy", "", "measure only this fleet policy (default: latency, balanced, and throughput)")
+		admit      = fs.Int("admit", 0, "fleet admission cap: max concurrently-open events (0 = policy default)")
+		ablations  = fs.Bool("ablations", false, "run the design-choice ablations on the mid-size event")
+		smoke      = fs.Bool("smoke", false, "self-test mode: two tiny synthetic events instead of the paper's six")
+		chaos      = fs.Float64("chaos", 0, "fault-injection rate in [0,1] for the temp-folder protocol: measure the degraded mode")
+		chaosSeed  = fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
+		noCache    = fs.Bool("no-artifact-cache", false, "deprecated alias of -cache=off")
+		cacheFlag  = fs.String("cache", "", "cache layers for every measured run: off, mem (default), or disk[:dir]")
+		storageNm  = fs.String("storage", "fs", "storage backend for every measured run: fs (plain filesystem) or mem (in-memory inter-stage files)")
+		streaming  = fs.Bool("stream", false, "run measured pipelined variants with the streaming execution plane")
+		streamSel  = fs.Bool("streambench", false, "run the streaming-plane memory ablation (NPTS sweep on the mem backend)")
+		streamNPTS = fs.String("stream-npts", "", "comma-separated per-record NPTS sweep for -streambench (default 35000,250000,1000000)")
+		compare    = fs.String("compare", "", "diff this baseline report against the report given as positional argument, then exit")
+		threshold  = fs.Float64("threshold", 0.10, "relative slowdown treated as a regression by -compare (0.10 = 10%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -186,11 +212,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return runCompare(stdout, *compare, fs.Arg(0), *threshold)
 	}
 
-	all := !*table1 && !*fig11 && !*fig12 && !*fig13 && !*check && !*ablations && !*fleetSel
+	all := !*table1 && !*fig11 && !*fig12 && !*fig13 && !*check && !*ablations && !*fleetSel && !*streamSel
 	// -check applies to whatever ran: the classic tables (always, unless the
-	// run is fleet-only) and the fleet benchmark when -fleet is set.
+	// run is fleet- or streambench-only) and the fleet/stream benchmarks
+	// when their flags are set.
 	classic := *table1 || *fig11 || *fig12 || *fig13 || *ablations
-	shapeCheck := *check && (!*fleetSel || classic)
+	shapeCheck := *check && ((!*fleetSel && !*streamSel) || classic)
 
 	m, err := response.ParseMethod(*method)
 	if err != nil {
@@ -224,6 +251,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Cache:           cacheCfg,
 		NoArtifactCache: *noCache,
 		Storage:         backend,
+		Streaming:       *streaming,
 		Response: response.Config{
 			Method:  m,
 			Periods: response.LogPeriods(0.05, 10, *periods),
@@ -324,6 +352,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, bench.FormatFleet(fr))
 	}
 
+	var streamRes *bench.StreamResults
+	if *streamSel {
+		scfg := bench.StreamConfig{
+			Workers:  cfg.Workers,
+			Observer: cfg.Observer,
+		}
+		if *streamNPTS != "" {
+			npts, err := parseInts(*streamNPTS)
+			if err != nil {
+				return fmt.Errorf("-stream-npts: %w", err)
+			}
+			scfg.NPTS = npts
+		}
+		if *smoke && scfg.NPTS == nil {
+			scfg.NPTS = []int{4000, 16000}
+		}
+		if err := scfg.Validate(); err != nil {
+			return err
+		}
+		progress("stream ablation: NPTS sweep on the mem backend")
+		sr, err := bench.RunStreamBench(ctx, scfg, progress)
+		if err != nil {
+			return err
+		}
+		streamRes = &sr
+		fmt.Fprintln(stdout, bench.FormatStreamBench(sr))
+	}
+
 	var checkLines []string
 	checksFailed := false
 	if all || shapeCheck {
@@ -349,6 +405,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		checkLines = append(checkLines, fleetLines...)
 	}
+	if *streamSel && *check {
+		streamLines := bench.StreamChecks(*streamRes)
+		fmt.Fprintln(stdout, "STREAMING PLANE CHECKS")
+		for _, line := range streamLines {
+			fmt.Fprintln(stdout, line)
+			if strings.HasPrefix(line, "[FAIL]") {
+				checksFailed = true
+			}
+		}
+		checkLines = append(checkLines, streamLines...)
+	}
 	// The JSON report is written even when checks fail: a failing baseline
 	// is evidence worth keeping.
 	if *jsonPath != "" {
@@ -357,6 +424,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		rep := bench.NewReport(label, cfg, results, checkLines)
 		if fleetRes != nil {
 			rep.AttachFleet(*fleetRes)
+		}
+		if streamRes != nil {
+			rep.AttachStream(*streamRes)
 		}
 		if err := rep.WriteFile(*jsonPath); err != nil {
 			return err

@@ -34,8 +34,13 @@
 // -storage selects the storage plane: fs (default, plain filesystem) or
 // mem (inter-stage files held in memory, final products materialized to
 // disk at the end of the run; outputs byte-identical — see README
-// "The storage plane").  Interrupting the process (SIGINT/SIGTERM)
-// cancels the run cleanly, including scratch folders.
+// "The storage plane").  -stream enables the streaming execution plane
+// (pipelined variant only): records flow through the hot stages a
+// fixed-size chunk at a time and every product is written incrementally,
+// so peak memory stays flat no matter how long the records are; outputs
+// remain byte-identical (see README "Streaming mode").  Interrupting the
+// process (SIGINT/SIGTERM) cancels the run cleanly, including scratch
+// folders.
 //
 // Crash safety: journaled runs (-journal, on by default) append a
 // write-ahead record to <dir>/.smrun after every durability point, and
@@ -139,6 +144,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cacheVerify  = fs.Bool("cache-verify", false, "re-hash every restored action-cache blob against its recorded checksum")
 		cacheMax     = fs.Int64("cache-max-bytes", 0, "action-cache size bound in bytes (0 = 256 MiB default, negative = unbounded)")
 		storageName  = fs.String("storage", "fs", "storage backend: fs (plain filesystem) or mem (in-memory inter-stage files, final products written to disk)")
+		streaming    = fs.Bool("stream", false, "streaming execution plane: process records chunk-at-a-time with bounded memory (pipelined variant only)")
 		journal      = fs.Bool("journal", true, "write a crash-recovery run journal under <dir>/.smrun")
 		resume       = fs.Bool("resume", false, "replay a surviving run journal: skip finished work, restore quarantine verdicts, sweep stale scratch (implies -journal)")
 		cacheFsck    = fs.Bool("cache-fsck", false, "scrub the persistent action cache instead of processing: verify digests, drop damaged entries, collect orphan blobs, print a JSON summary")
@@ -220,9 +226,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			Method:  m,
 			Periods: response.LogPeriods(0.02, 20, *periods),
 		},
-		Observer: session.Observer,
-		Journal:  *journal,
-		Resume:   *resume,
+		Observer:  session.Observer,
+		Journal:   *journal,
+		Resume:    *resume,
+		Streaming: *streaming,
 	}
 	if *instr != "" {
 		in, err := parseInstrument(*instr)

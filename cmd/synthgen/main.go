@@ -5,7 +5,9 @@
 //
 //	synthgen -out work/ -preset Jul-31-2019     # one of the paper's events
 //	synthgen -out work/ -files 8 -points 120000 -magnitude 5.6 -seed 42
-//	synthgen -list                              # show the paper presets
+//	synthgen -out work/ -files 2 -npts 250000   # exact per-record length
+//	synthgen -out work/ -preset megaevent       # million-point records
+//	synthgen -list                              # show the presets
 package main
 
 import (
@@ -32,6 +34,7 @@ func run(args []string, stdout io.Writer) error {
 		preset    = fs.String("preset", "", "paper event preset name (see -list)")
 		files     = fs.Int("files", 5, "number of station records")
 		points    = fs.Int("points", 100000, "total data points across all records")
+		npts      = fs.Int("npts", 0, "exact per-record sample count (> 0 overrides -points)")
 		magnitude = fs.Float64("magnitude", 5.5, "scenario magnitude")
 		seed      = fs.Int64("seed", 1, "generator seed")
 		scale     = fs.Float64("scale", 1.0, "scale factor applied to the data-point count")
@@ -47,6 +50,10 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "  %-12s %2d files, %7d data points, M%.1f\n",
 				spec.Name, spec.Files, spec.TotalPoints, spec.Magnitude)
 		}
+		mega := synth.MegaEvent()
+		fmt.Fprintln(stdout, "stress scenarios:")
+		fmt.Fprintf(stdout, "  %-12s %2d files, %7d points each, M%.1f\n",
+			mega.Name, mega.Files, mega.NPTS, mega.Magnitude)
 		return nil
 	}
 	if *out == "" {
@@ -56,7 +63,7 @@ func run(args []string, stdout io.Writer) error {
 	var spec synth.EventSpec
 	if *preset != "" {
 		found := false
-		for _, s := range synth.PaperEvents() {
+		for _, s := range append(synth.PaperEvents(), synth.MegaEvent()) {
 			if s.Name == *preset {
 				spec, found = s, true
 				break
@@ -65,6 +72,9 @@ func run(args []string, stdout io.Writer) error {
 		if !found {
 			return fmt.Errorf("unknown preset %q (use -list)", *preset)
 		}
+		if *npts > 0 {
+			spec.NPTS = *npts
+		}
 	} else {
 		spec = synth.EventSpec{
 			Name:        "custom",
@@ -72,6 +82,7 @@ func run(args []string, stdout io.Writer) error {
 			TotalPoints: *points,
 			Magnitude:   *magnitude,
 			Seed:        *seed,
+			NPTS:        *npts,
 		}
 	}
 	spec = spec.Scale(*scale)

@@ -71,3 +71,39 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bogus flag accepted")
 	}
 }
+
+func TestRunGeneratesExactNPTS(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "work")
+	var out bytes.Buffer
+	err := run([]string{"-out", dir, "-files", "2", "-npts", "1000", "-magnitude", "5", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 2 V1 files (2000 total data points)") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunListsMegaEvent(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "megaevent") {
+		t.Errorf("list output missing megaevent scenario: %q", out.String())
+	}
+}
+
+func TestRunGeneratesMegaEventScaled(t *testing.T) {
+	// The full million-point scenario is a benchmark workload; generating it
+	// at 1% still exercises the preset + NPTS plumbing end to end.
+	dir := filepath.Join(t.TempDir(), "work")
+	var out bytes.Buffer
+	err := run([]string{"-out", dir, "-preset", "megaevent", "-scale", "0.01"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 3 V1 files (30000 total data points)") {
+		t.Errorf("output = %q", out.String())
+	}
+}

@@ -53,6 +53,15 @@ type AblationResults struct {
 	ColdTotal time.Duration
 	WarmTotal time.Duration
 	WarmHits  int64
+
+	// Streaming execution plane vs materialized: Pipelined totals and peak
+	// residency on the mem backend with and without Options.Streaming
+	// (outputs byte-identical; only peak residency and byte movement
+	// differ — the full NPTS sweep lives in RunStreamBench).
+	MaterializedTotal time.Duration
+	MaterializedPeak  int64
+	StreamingTotal    time.Duration
+	StreamingPeak     int64
 }
 
 // RunAblations executes the ablation suite on the given event spec.
@@ -180,6 +189,35 @@ func RunAblations(ctx context.Context, spec synth.EventSpec, cfg Config) (Ablati
 	}
 	out.WarmTotal = res.Timings.Total
 	out.WarmHits = res.Cache.ActionHits
+
+	// 7. Streaming execution plane vs materialized, Pipelined on the mem
+	// backend (the backend where peak residency is observable).
+	runPipelined := func(opts pipeline.Options) (pipeline.Result, error) {
+		dir, err := os.MkdirTemp(cfg.WorkRoot, "accelproc-ablation-*")
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		defer os.RemoveAll(dir)
+		if err := pipeline.PrepareWorkDir(dir, ev); err != nil {
+			return pipeline.Result{}, err
+		}
+		return pipeline.Run(ctx, dir, pipeline.Pipelined, opts)
+	}
+	matl := baseOpts
+	matl.Storage = storage.BackendMem
+	if res, err = runPipelined(matl); err != nil {
+		return AblationResults{}, fmt.Errorf("bench: materialized ablation: %w", err)
+	}
+	out.MaterializedTotal = res.Timings.Total
+	out.MaterializedPeak = res.StorageBytesPeak
+	strm := matl
+	strm.Streaming = true
+	strm.Cache = pipeline.CacheConfig{} // streaming bypasses the action cache either way
+	if res, err = runPipelined(strm); err != nil {
+		return AblationResults{}, fmt.Errorf("bench: streaming ablation: %w", err)
+	}
+	out.StreamingTotal = res.Timings.Total
+	out.StreamingPeak = res.StorageBytesPeak
 	return out, nil
 }
 
@@ -214,6 +252,12 @@ func FormatAblations(a AblationResults) string {
 		fmt.Fprintf(&b, "persistent action cache: %.2f s cold vs %.2f s warm restart (%.1f%% saved, %d action hits)\n",
 			a.ColdTotal.Seconds(), a.WarmTotal.Seconds(),
 			100*(1-a.WarmTotal.Seconds()/a.ColdTotal.Seconds()), a.WarmHits)
+	}
+
+	if a.MaterializedTotal > 0 && a.StreamingTotal > 0 {
+		fmt.Fprintf(&b, "streaming plane (pipelined, mem backend): %.2f s materialized (peak %.1f MiB) vs %.2f s streaming (peak %.1f KiB)\n",
+			a.MaterializedTotal.Seconds(), float64(a.MaterializedPeak)/(1<<20),
+			a.StreamingTotal.Seconds(), float64(a.StreamingPeak)/1024)
 	}
 
 	fmt.Fprintln(&b, "processor sweep (fully parallelized, simulated platform):")

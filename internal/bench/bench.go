@@ -87,6 +87,11 @@ type Config struct {
 	// file bytes in memory and materializes only the final event products.
 	// Outputs are byte-identical across backends; only I/O work differs.
 	Storage storage.Backend
+	// Streaming enables the streaming execution plane for measured runs of
+	// the Pipelined variant (the only variant that supports it; the others
+	// run materialized as always).  Outputs are byte-identical; only how
+	// bytes move between the hot stages changes.
+	Streaming bool
 }
 
 // PaperProcessors is the core count of the paper's experimental platform
@@ -249,6 +254,8 @@ func RunEvent(ctx context.Context, spec synth.EventSpec, cfg Config) (EventResul
 	// the fastest repetition per variant is kept.
 	for rep := 0; rep < cfg.Repeat; rep++ {
 		for _, v := range cfg.Variants {
+			// Streaming applies only to the dataflow variant.
+			opts.Streaming = cfg.Streaming && v == pipeline.Pipelined
 			// Start every measurement from a clean heap so GC pressure
 			// accumulated by earlier variants cannot bias later ones.
 			runtime.GC()

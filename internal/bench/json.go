@@ -70,20 +70,25 @@ type CacheReport struct {
 
 // Report is the machine-readable form of a benchtables run.
 type Report struct {
-	Label         string        `json:"label"`
-	CreatedAt     time.Time     `json:"created_at"`
-	Host          HostInfo      `json:"host"`
-	Scale         float64       `json:"scale"`
-	Workers       int           `json:"workers"`
-	SimProcessors int           `json:"sim_processors"` // 0 = real goroutine parallelism
-	Repeat        int           `json:"repeat"`
-	Method        string        `json:"method"`
-	Periods       int           `json:"periods"`
-	Cache         CacheReport   `json:"cache"`
-	Events        []EventReport `json:"events"`
+	Label         string      `json:"label"`
+	CreatedAt     time.Time   `json:"created_at"`
+	Host          HostInfo    `json:"host"`
+	Scale         float64     `json:"scale"`
+	Workers       int         `json:"workers"`
+	SimProcessors int         `json:"sim_processors"` // 0 = real goroutine parallelism
+	Repeat        int         `json:"repeat"`
+	Method        string      `json:"method"`
+	Periods       int         `json:"periods"`
+	Cache         CacheReport `json:"cache"`
+	// Streaming records whether measured Pipelined runs used the streaming
+	// execution plane.
+	Streaming bool          `json:"streaming,omitempty"`
+	Events    []EventReport `json:"events"`
 	// Fleet holds the multi-event saturation experiment, when it ran.
-	Fleet  *FleetReport `json:"fleet,omitempty"`
-	Checks []string     `json:"checks,omitempty"`
+	Fleet *FleetReport `json:"fleet,omitempty"`
+	// Stream holds the streaming-plane memory ablation, when it ran.
+	Stream *StreamReport `json:"stream,omitempty"`
+	Checks []string      `json:"checks,omitempty"`
 }
 
 // FleetPolicyReport is one scheduling discipline of the saturation
@@ -153,6 +158,55 @@ func (r *Report) AttachFleet(fr FleetResult) {
 	r.Events = append(r.Events, er)
 }
 
+// StreamRowReport is one NPTS point of the streaming memory ablation in
+// machine-readable form.
+type StreamRowReport struct {
+	NPTS                int     `json:"npts"`
+	Points              int     `json:"points"`
+	MaterializedSeconds float64 `json:"materialized_seconds"`
+	MaterializedPeak    int64   `json:"materialized_peak_bytes"`
+	StreamingSeconds    float64 `json:"streaming_seconds"`
+	StreamingPeak       int64   `json:"streaming_peak_bytes"`
+	Identical           bool    `json:"identical"`
+}
+
+// StreamReport is the machine-readable streaming memory ablation (see
+// RunStreamBench).
+type StreamReport struct {
+	Files       int               `json:"files"`
+	BudgetBytes int64             `json:"budget_bytes"`
+	Rows        []StreamRowReport `json:"rows"`
+}
+
+// AttachStream adds a streaming memory-ablation run to the report: the
+// structured Stream block, plus one synthetic event row per NPTS whose
+// variants are the materialized and streaming totals, so the existing
+// -compare gate diffs streaming baselines with no special casing.
+func (r *Report) AttachStream(sr StreamResults) {
+	rep := &StreamReport{Files: sr.Files, BudgetBytes: sr.Budget}
+	for _, row := range sr.Rows {
+		rep.Rows = append(rep.Rows, StreamRowReport{
+			NPTS:                row.NPTS,
+			Points:              row.Points,
+			MaterializedSeconds: row.MaterializedTotal.Seconds(),
+			MaterializedPeak:    row.MaterializedPeak,
+			StreamingSeconds:    row.StreamingTotal.Seconds(),
+			StreamingPeak:       row.StreamingPeak,
+			Identical:           row.Identical,
+		})
+		r.Events = append(r.Events, EventReport{
+			Event:  fmt.Sprintf("stream-%d", row.NPTS),
+			Files:  sr.Files,
+			Points: row.Points,
+			Variants: map[string]VariantReport{
+				"materialized": {Seconds: row.MaterializedTotal.Seconds()},
+				"streaming":    {Seconds: row.StreamingTotal.Seconds()},
+			},
+		})
+	}
+	r.Stream = rep
+}
+
 // ratio returns num/den in seconds, or 0 when either endpoint is missing.
 func ratio(times map[pipeline.Variant]time.Duration, num, den pipeline.Variant) float64 {
 	n, okN := times[num]
@@ -198,6 +252,7 @@ func NewReport(label string, cfg Config, results []EventResult, checks []string)
 		Repeat:        cfg.Repeat,
 		Method:        cfg.Response.Method.String(),
 		Periods:       len(cfg.Response.Periods),
+		Streaming:     cfg.Streaming,
 		Cache: CacheReport{
 			Mode:            mode.String(),
 			MemoHits:        cs.MemoHits,

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"accelproc/internal/obs"
+	"accelproc/internal/pipeline"
+	"accelproc/internal/response"
+	"accelproc/internal/smformat"
+	"accelproc/internal/storage"
+	"accelproc/internal/stream"
+	"accelproc/internal/synth"
+)
+
+// This file is the streaming-plane memory ablation: the experiment behind
+// the plane's acceptance criterion.  On the mem backend, the materialized
+// Pipelined run keeps whole inter-stage products resident, so its peak
+// residency scales with record length; the streaming run moves every
+// NPTS-scaled byte through pooled chunks and write-through incremental
+// writers, so its peak must stay flat — within StreamBudgetBound — as NPTS
+// grows from the paper's largest records toward million-point traces, with
+// byte-identical outputs at every size.
+
+// StreamBudgetBound is the acceptance bound on a streaming run's peak
+// resident storage: twice the default chunk budget, independent of NPTS.
+var StreamBudgetBound = int64(2 * stream.BudgetBytes(stream.DefaultChunkLen, stream.DefaultWindow))
+
+// DefaultStreamNPTS is the default per-record length sweep: the paper's
+// largest raw file, an intermediate size, and a million-point record.
+var DefaultStreamNPTS = []int{35000, 250000, 1000000}
+
+// StreamConfig parameterizes the streaming memory ablation.
+type StreamConfig struct {
+	// NPTS is the per-record sample-count sweep; nil selects
+	// DefaultStreamNPTS.
+	NPTS []int
+	// Files is the record count of each generated event; 0 selects 2.
+	Files int
+	// Workers is the dataflow worker budget (0 = all processors).
+	Workers int
+	// Periods is the Nigam-Jennings period-grid size; 0 selects 16.  The
+	// ablation always uses the O(D) method: the legacy O(D^2) Duhamel
+	// kernel would dominate the runtime at million-point sizes while
+	// telling us nothing about memory.
+	Periods int
+	// WorkRoot is where work directories are created; empty = OS temp.
+	WorkRoot string
+	// Observer, when non-nil, receives every run's spans and metrics.
+	Observer *obs.Observer
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.NPTS == nil {
+		c.NPTS = DefaultStreamNPTS
+	}
+	if c.Files == 0 {
+		c.Files = 2
+	}
+	if c.Periods == 0 {
+		c.Periods = 16
+	}
+	if c.WorkRoot == "" {
+		c.WorkRoot = os.TempDir()
+	}
+	return c
+}
+
+// Validate checks the sweep before a long run.
+func (c StreamConfig) Validate() error {
+	cc := c.withDefaults()
+	for _, n := range cc.NPTS {
+		if n < 16 {
+			return fmt.Errorf("bench: stream ablation NPTS %d below the simulator minimum of 16", n)
+		}
+	}
+	if cc.Files <= 0 {
+		return fmt.Errorf("bench: stream ablation needs a positive file count, got %d", cc.Files)
+	}
+	return workRootCheck(cc.WorkRoot)
+}
+
+// StreamRow is one NPTS point of the sweep: the materialized and streaming
+// Pipelined runs on the same event, both on the mem backend.
+type StreamRow struct {
+	NPTS              int
+	Points            int // total data points of the event (NPTS x Files)
+	MaterializedTotal time.Duration
+	MaterializedPeak  int64
+	StreamingTotal    time.Duration
+	StreamingPeak     int64
+	// Identical reports whether the two runs' products hashed identically.
+	Identical bool
+}
+
+// StreamResults is the whole sweep.
+type StreamResults struct {
+	Files  int
+	Budget int64 // StreamBudgetBound at the time of the run
+	Rows   []StreamRow
+}
+
+// hashProducts maps every file in the work directory (minus the flags file
+// and the simulated filter executable) to its content hash.  Inputs hash
+// identically across the compared runs, so including them is harmless.
+func hashProducts(dir string) (map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || e.Name() == "_filter.exe" || e.Name() == smformat.FlagsFile || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[e.Name()] = fmt.Sprintf("%x", sha256.Sum256(data))
+	}
+	return out, nil
+}
+
+func sameHashes(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// RunStreamBench executes the memory ablation: for each NPTS in the sweep,
+// one materialized and one streaming Pipelined run on the mem backend,
+// recording totals, peak residency, and output identity.
+func RunStreamBench(ctx context.Context, cfg StreamConfig, progress func(string)) (StreamResults, error) {
+	cfg = cfg.withDefaults()
+	out := StreamResults{Files: cfg.Files, Budget: StreamBudgetBound}
+	opts := pipeline.Options{
+		Workers:  cfg.Workers,
+		Observer: cfg.Observer,
+		Storage:  storage.BackendMem,
+		Response: response.Config{
+			Method:  response.NigamJennings,
+			Periods: response.LogPeriods(0.05, 5, cfg.Periods),
+		},
+	}
+	for i, npts := range cfg.NPTS {
+		spec := synth.EventSpec{
+			Name:      fmt.Sprintf("stream-%d", npts),
+			Files:     cfg.Files,
+			NPTS:      npts,
+			Magnitude: 5.5,
+			Seed:      int64(1000 + i),
+		}
+		ev, err := synth.Event(spec)
+		if err != nil {
+			return StreamResults{}, err
+		}
+		row := StreamRow{NPTS: npts, Points: ev.TotalDataPoints()}
+		var hashes [2]map[string]string
+		for j, streaming := range []bool{false, true} {
+			mode := "materialized"
+			if streaming {
+				mode = "streaming"
+			}
+			if progress != nil {
+				progress(fmt.Sprintf("stream ablation: NPTS=%d %s", npts, mode))
+			}
+			dir, err := os.MkdirTemp(cfg.WorkRoot, "accelproc-stream-*")
+			if err != nil {
+				return StreamResults{}, err
+			}
+			if err := pipeline.PrepareWorkDir(dir, ev); err != nil {
+				os.RemoveAll(dir)
+				return StreamResults{}, err
+			}
+			o := opts
+			o.Streaming = streaming
+			res, err := pipeline.Run(ctx, dir, pipeline.Pipelined, o)
+			if err != nil {
+				os.RemoveAll(dir)
+				return StreamResults{}, fmt.Errorf("bench: stream ablation NPTS=%d %s: %w", npts, mode, err)
+			}
+			hashes[j], err = hashProducts(dir)
+			os.RemoveAll(dir)
+			if err != nil {
+				return StreamResults{}, err
+			}
+			if streaming {
+				row.StreamingTotal = res.Timings.Total
+				row.StreamingPeak = res.StorageBytesPeak
+			} else {
+				row.MaterializedTotal = res.Timings.Total
+				row.MaterializedPeak = res.StorageBytesPeak
+			}
+		}
+		row.Identical = sameHashes(hashes[0], hashes[1])
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// FormatStreamBench renders the sweep as a report section.
+func FormatStreamBench(r StreamResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "STREAMING MEMORY ABLATION (%d records per event, mem backend, chunk budget %d KiB)\n",
+		r.Files, StreamBudgetBound/1024)
+	fmt.Fprintf(&b, "%10s %12s | %12s %14s | %12s %14s | %s\n",
+		"NPTS", "points", "matl time", "matl peak", "strm time", "strm peak", "identical")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %12d | %10.2f s %11.2f MiB | %10.2f s %11.1f KiB | %v\n",
+			row.NPTS, row.Points,
+			row.MaterializedTotal.Seconds(), float64(row.MaterializedPeak)/(1<<20),
+			row.StreamingTotal.Seconds(), float64(row.StreamingPeak)/1024,
+			row.Identical)
+	}
+	return b.String()
+}
+
+// StreamChecks evaluates the plane's acceptance criteria over the sweep:
+// streaming peak residency flat (within StreamBudgetBound) at every NPTS,
+// outputs byte-identical at every NPTS, and — on the largest row, once the
+// workload outgrows the bound — a materialized peak that actually exceeds
+// what streaming holds resident, the contrast the plane exists to create.
+func StreamChecks(r StreamResults) []string {
+	mark := func(ok bool, format string, args ...any) string {
+		tag := "[ OK ]"
+		if !ok {
+			tag = "[FAIL]"
+		}
+		return tag + " " + fmt.Sprintf(format, args...)
+	}
+	var lines []string
+	for _, row := range r.Rows {
+		lines = append(lines,
+			mark(row.StreamingPeak <= r.Budget,
+				"NPTS=%d: streaming peak residency %d B within the %d B chunk budget", row.NPTS, row.StreamingPeak, r.Budget),
+			mark(row.Identical,
+				"NPTS=%d: streaming and materialized products byte-identical", row.NPTS))
+	}
+	if n := len(r.Rows); n > 0 {
+		last := r.Rows[n-1]
+		if last.MaterializedPeak > r.Budget {
+			lines = append(lines, mark(last.MaterializedPeak > last.StreamingPeak,
+				"NPTS=%d: materialized peak %d B exceeds streaming peak %d B", last.NPTS, last.MaterializedPeak, last.StreamingPeak))
+		}
+		if n > 1 {
+			first := r.Rows[0]
+			growth := float64(last.NPTS) / float64(first.NPTS)
+			lines = append(lines, mark(last.StreamingPeak <= r.Budget && first.StreamingPeak <= r.Budget,
+				"streaming peak flat across a %.0fx NPTS growth (%d B -> %d B)", growth, first.StreamingPeak, last.StreamingPeak))
+		}
+	}
+	return lines
+}

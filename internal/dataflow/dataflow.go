@@ -58,10 +58,15 @@ type node struct {
 	id   NodeID
 	spec Spec
 	deps []NodeID
+	// sdeps are stream dependencies: producers whose dispatch (not
+	// completion) makes this node runnable, because the pair communicate
+	// through an order-aware chunk stream instead of a materialized artifact.
+	sdeps []NodeID
 	// children and indegree describe the forward edges; pri is the
 	// critical-path priority computed at execution time.
-	children []NodeID
-	pri      float64
+	children  []NodeID
+	schildren []NodeID
+	pri       float64
 }
 
 // Graph is a DAG of tasks under construction.  It is not safe for
@@ -98,6 +103,35 @@ func (g *Graph) Add(spec Spec, deps ...NodeID) NodeID {
 	return id
 }
 
+// AddStream appends a node like Add, with an extra set of stream
+// dependencies: producers this node consumes through an order-aware chunk
+// stream.  A stream edge is released when its producer is *dispatched* —
+// popped by a worker — rather than when it completes, so the pair run
+// concurrently with the stream's chunk budget as backpressure.  External
+// schedulers that never report dispatch (the fleet pool, which drives the
+// Tracker by Complete alone) degrade gracefully: Complete releases any
+// still-held stream edges, restoring strictly ordered execution.
+//
+// Stream dependencies obey the same acyclicity-by-construction rule as
+// ordinary dependencies and contribute to the producer's critical-path
+// priority exactly like artifact edges.
+func (g *Graph) AddStream(spec Spec, streamDeps []NodeID, deps ...NodeID) NodeID {
+	id := g.Add(spec, deps...)
+	for _, d := range streamDeps {
+		if d < 0 || d >= id {
+			panic(fmt.Sprintf("dataflow: node %q stream-depends on %d, not yet in graph (next id %d)", spec.Label, int(d), int(id)))
+		}
+	}
+	g.nodes[id].sdeps = append([]NodeID(nil), streamDeps...)
+	return id
+}
+
+// StreamDeps returns the stream-dependency IDs of id (for tests and
+// introspection).
+func (g *Graph) StreamDeps(id NodeID) []NodeID {
+	return append([]NodeID(nil), g.nodes[id].sdeps...)
+}
+
 // Deps returns the dependency IDs of id (for tests and introspection).
 func (g *Graph) Deps(id NodeID) []NodeID {
 	return append([]NodeID(nil), g.nodes[id].deps...)
@@ -112,16 +146,25 @@ func (g *Graph) Label(id NodeID) string { return g.nodes[id].spec.Label }
 func (g *Graph) prioritize() {
 	for i := range g.nodes {
 		g.nodes[i].children = g.nodes[i].children[:0]
+		g.nodes[i].schildren = g.nodes[i].schildren[:0]
 	}
 	for _, n := range g.nodes {
 		for _, d := range n.deps {
 			g.nodes[d].children = append(g.nodes[d].children, n.id)
+		}
+		for _, d := range n.sdeps {
+			g.nodes[d].schildren = append(g.nodes[d].schildren, n.id)
 		}
 	}
 	for i := len(g.nodes) - 1; i >= 0; i-- {
 		n := g.nodes[i]
 		best := 0.0
 		for _, c := range n.children {
+			if p := g.nodes[c].pri; p > best {
+				best = p
+			}
+		}
+		for _, c := range n.schildren {
 			if p := g.nodes[c].pri; p > best {
 				best = p
 			}
@@ -244,6 +287,22 @@ func (g *Graph) Execute(workers int, mon Monitor) ([]NodeStat, error) {
 				stats[nd.id].Worker = worker
 				if wm, ok := mon.(WaitMonitor); ok && mon != nil {
 					wm.TaskWait(now - stats[nd.id].Ready)
+				}
+				// Dispatch releases the node's outgoing stream edges: its
+				// stream consumers become runnable now and overlap with it,
+				// reading chunks as the producer emits them.
+				if rd, sk := tr.Dispatched(nd.id); len(rd) > 0 || len(sk) > 0 {
+					for _, s := range sk {
+						stats[s].Ready = now
+						stats[s].Start = now
+						stats[s].End = now
+						stats[s].Skipped = true
+					}
+					for _, r := range rd {
+						stats[r].Ready = now
+						heap.Push(&ready, g.nodes[r])
+					}
+					cond.Broadcast()
 				}
 				mu.Unlock()
 

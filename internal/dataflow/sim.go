@@ -19,7 +19,10 @@ func (g *Graph) Order() []NodeID {
 	indeg := make([]int, n)
 	var ready readyHeap
 	for _, nd := range g.nodes {
-		indeg[nd.id] = len(nd.deps)
+		// Stream edges are treated as ordered here: the serial platform runs
+		// one body at a time, so a consumer must follow its producer — its
+		// stream is fully buffered (spilled) by then and drains immediately.
+		indeg[nd.id] = len(nd.deps) + len(nd.sdeps)
 		if indeg[nd.id] == 0 {
 			heap.Push(&ready, nd)
 		}
@@ -29,6 +32,12 @@ func (g *Graph) Order() []NodeID {
 		nd := heap.Pop(&ready).(*node)
 		order = append(order, nd.id)
 		for _, c := range nd.children {
+			indeg[c]--
+			if indeg[c] == 0 {
+				heap.Push(&ready, g.nodes[c])
+			}
+		}
+		for _, c := range nd.schildren {
 			indeg[c]--
 			if indeg[c] == 0 {
 				heap.Push(&ready, g.nodes[c])
@@ -75,7 +84,7 @@ func (g *Graph) SimMakespan(durs []time.Duration, workers int) time.Duration {
 	readyAt := make([]time.Duration, n)
 	var ready readyHeap
 	for _, nd := range g.nodes {
-		indeg[nd.id] = len(nd.deps)
+		indeg[nd.id] = len(nd.deps) + len(nd.sdeps)
 		if indeg[nd.id] == 0 {
 			heap.Push(&ready, nd)
 		}
@@ -100,6 +109,19 @@ func (g *Graph) SimMakespan(durs []time.Duration, workers int) time.Duration {
 			makespan = finish
 		}
 		for _, c := range nd.children {
+			indeg[c]--
+			if readyAt[c] < finish {
+				readyAt[c] = finish
+			}
+			if indeg[c] == 0 {
+				heap.Push(&ready, g.nodes[c])
+			}
+		}
+		// Stream consumers could in principle overlap the producer from its
+		// start, but the serially measured consumer cost assumes its inputs
+		// were already buffered; charging the producer's finish keeps the
+		// simulated makespan an upper bound rather than an optimistic guess.
+		for _, c := range nd.schildren {
 			indeg[c]--
 			if readyAt[c] < finish {
 				readyAt[c] = finish

@@ -12,12 +12,13 @@ package dataflow
 // their own scheduler lock.  The underlying Graph must not be mutated after
 // NewTracker.
 type Tracker struct {
-	g      *Graph
-	indeg  []int
-	failed []bool // node failed or was transitively skipped
-	done   int
-	err    error
-	errID  NodeID
+	g        *Graph
+	indeg    []int
+	failed   []bool // node failed or was transitively skipped
+	released []bool // node's outgoing stream edges already released
+	done     int
+	err      error
+	errID    NodeID
 }
 
 // NewTracker prepares g for incremental execution: priorities are computed
@@ -25,13 +26,14 @@ type Tracker struct {
 func NewTracker(g *Graph) *Tracker {
 	g.prioritize()
 	t := &Tracker{
-		g:      g,
-		indeg:  make([]int, len(g.nodes)),
-		failed: make([]bool, len(g.nodes)),
-		errID:  -1,
+		g:        g,
+		indeg:    make([]int, len(g.nodes)),
+		failed:   make([]bool, len(g.nodes)),
+		released: make([]bool, len(g.nodes)),
+		errID:    -1,
 	}
 	for _, nd := range g.nodes {
-		t.indeg[nd.id] = len(nd.deps)
+		t.indeg[nd.id] = len(nd.deps) + len(nd.sdeps)
 	}
 	return t
 }
@@ -44,11 +46,39 @@ func (t *Tracker) Len() int { return len(t.g.nodes) }
 func (t *Tracker) InitialReady() []NodeID {
 	var ready []NodeID
 	for _, nd := range t.g.nodes {
-		if len(nd.deps) == 0 {
+		if len(nd.deps) == 0 && len(nd.sdeps) == 0 {
 			ready = append(ready, nd.id)
 		}
 	}
 	return ready
+}
+
+// Dispatched records that a worker started running node id, releasing its
+// outgoing stream edges: stream consumers whose last pending dependency was
+// the producer's dispatch become runnable now and overlap with it.  Callers
+// that never report dispatch (the fleet pool) simply skip this; Complete
+// releases any still-held stream edges, degrading to ordered execution.
+//
+// A released consumer may still resolve as skipped when another of its
+// ancestors already failed; such nodes are returned in skipped with the
+// usual transitive cascade and must not be dispatched.
+func (t *Tracker) Dispatched(id NodeID) (ready, skipped []NodeID) {
+	if t.released[id] {
+		return nil, nil
+	}
+	t.released[id] = true
+	for _, c := range t.g.nodes[id].schildren {
+		t.indeg[c]--
+		if t.indeg[c] == 0 {
+			if t.failed[c] {
+				skipped = append(skipped, c)
+				ready, skipped = t.complete(c, nil, ready, skipped)
+			} else {
+				ready = append(ready, c)
+			}
+		}
+	}
+	return ready, skipped
 }
 
 // Complete records that node id finished with err (nil = success) and
@@ -81,6 +111,29 @@ func (t *Tracker) complete(id NodeID, err error, ready, skipped []NodeID) ([]Nod
 				ready, skipped = t.complete(c, nil, ready, skipped)
 			} else {
 				ready = append(ready, c)
+			}
+		}
+	}
+	if !t.released[id] {
+		// The node never dispatched (it was skipped, or an external scheduler
+		// drives completions only): release its stream edges here, with the
+		// same failure propagation as artifact edges — a consumer whose
+		// producer never ran has no stream to read.  Edges already released
+		// at dispatch skip this; their consumers observe a producer failure
+		// through the stream itself.
+		t.released[id] = true
+		for _, c := range t.g.nodes[id].schildren {
+			t.indeg[c]--
+			if t.failed[id] && !t.failed[c] {
+				t.failed[c] = true
+			}
+			if t.indeg[c] == 0 {
+				if t.failed[c] {
+					skipped = append(skipped, c)
+					ready, skipped = t.complete(c, nil, ready, skipped)
+				} else {
+					ready = append(ready, c)
+				}
 			}
 		}
 	}

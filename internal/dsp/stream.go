@@ -1,0 +1,244 @@
+package dsp
+
+import "math"
+
+// This file holds the incremental (chunk-at-a-time) counterparts of the
+// whole-record kernels used by the streaming execution plane.  Every helper
+// here is bit-identical to its batch twin: the same operations in the same
+// order on the same float64 values, so a streamed run produces byte-identical
+// output files.  Each helper documents the batch function it mirrors; tests
+// in stream_test.go pin the equivalence sample by sample.
+
+// MeanAccum accumulates the running sum needed to reproduce Demean's mean
+// over a signal delivered in chunks.  Additions happen in sample order, so
+// the final mean is bit-identical to Demean's.
+type MeanAccum struct {
+	n   int
+	sum float64
+}
+
+// Observe adds one sample.
+func (a *MeanAccum) Observe(v float64) {
+	a.sum += v
+	a.n++
+}
+
+// ObserveSlice adds a run of samples in order.
+func (a *MeanAccum) ObserveSlice(vs []float64) {
+	for _, v := range vs {
+		a.sum += v
+	}
+	a.n += len(vs)
+}
+
+// Mean returns the mean exactly as Demean computes it; zero for no samples.
+func (a *MeanAccum) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// TrendAccum accumulates the two sums of Detrend's closed-form linear
+// regression over a signal delivered in chunks.  Each accumulator is summed
+// in sample order, matching Detrend's single loop bit for bit.
+type TrendAccum struct {
+	n           int
+	sumY, sumTY float64
+}
+
+// Observe adds one sample (the index is tracked internally).
+func (a *TrendAccum) Observe(v float64) {
+	a.sumY += v
+	a.sumTY += float64(a.n) * v
+	a.n++
+}
+
+// Line returns the least-squares intercept and slope exactly as Detrend
+// computes them, including the n==1 degenerate case (the sample itself is
+// the intercept, slope zero).
+func (a *TrendAccum) Line() (intercept, slope float64) {
+	if a.n == 0 {
+		return 0, 0
+	}
+	if a.n == 1 {
+		return a.sumY, 0
+	}
+	fn := float64(a.n)
+	sumT := fn * (fn - 1) / 2
+	sumT2 := (fn - 1) * fn * (2*fn - 1) / 6
+	den := fn*sumT2 - sumT*sumT
+	slope = (fn*a.sumTY - sumT*a.sumY) / den
+	intercept = (a.sumY - slope*sumT) / fn
+	return intercept, slope
+}
+
+// Taper evaluates CosineTaper's split cosine-bell as a per-position factor,
+// so a streamed pass can apply the identical taper without holding the whole
+// signal.  Factor reports whether position p is inside a ramp and, if so,
+// the exact weight CosineTaper would multiply by; outside the ramps the
+// sample must be left untouched (not multiplied by 1.0), matching the batch
+// kernel exactly.
+type Taper struct {
+	n, m int
+}
+
+// NewTaper captures the taper geometry for an n-sample signal and the given
+// end fraction, with the same clamping rules as CosineTaper.
+func NewTaper(n int, fraction float64) Taper {
+	if n == 0 || fraction <= 0 {
+		return Taper{n: n}
+	}
+	if fraction > 0.5 {
+		fraction = 0.5
+	}
+	m := int(fraction * float64(n))
+	if m < 1 {
+		return Taper{n: n}
+	}
+	return Taper{n: n, m: m}
+}
+
+// Factor returns the ramp weight at position p and whether one applies.
+func (t Taper) Factor(p int) (float64, bool) {
+	if t.m == 0 {
+		return 0, false
+	}
+	if p < t.m {
+		return 0.5 * (1 - math.Cos(math.Pi*float64(p)/float64(t.m))), true
+	}
+	if p >= t.n-t.m {
+		i := t.n - 1 - p
+		return 0.5 * (1 - math.Cos(math.Pi*float64(i)/float64(t.m))), true
+	}
+	return 0, false
+}
+
+// StreamingFIR applies a FIRFilter to a signal of known length delivered in
+// chunks, emitting the delay-compensated output in order.  The inner
+// convolution loop is a verbatim copy of FIRFilter.Apply's — same clamps,
+// same accumulation order — reading history from a ring of the last
+// len(Taps) inputs, so every output sample is bit-identical to the batch
+// filter's.
+type StreamingFIR struct {
+	taps  []float64
+	delay int
+	n     int       // total input length, known up front
+	ring  []float64 // last m inputs; ring[k%m] holds input k
+	k     int       // inputs consumed so far
+}
+
+// NewStreamingFIR prepares a streaming application of f over an n-sample
+// signal.
+func NewStreamingFIR(f *FIRFilter, n int) *StreamingFIR {
+	return &StreamingFIR{
+		taps:  f.Taps,
+		delay: f.Delay(),
+		n:     n,
+		ring:  make([]float64, len(f.Taps)),
+	}
+}
+
+// emit computes output sample i exactly as Apply does.
+func (s *StreamingFIR) emit(i int) float64 {
+	taps := s.taps
+	m := len(taps)
+	center := i + s.delay
+	jLo := center - (s.n - 1)
+	if jLo < 0 {
+		jLo = 0
+	}
+	jHi := m - 1
+	if center < jHi {
+		jHi = center
+	}
+	var acc float64
+	for j := jLo; j <= jHi; j++ {
+		acc += taps[j] * s.ring[(center-j)%m]
+	}
+	return acc
+}
+
+// Push consumes the next run of input samples in order, appending any output
+// samples that become computable to out and returning the extended slice.
+// Output sample i needs input i+delay, so Push lags the input by the group
+// delay; Finish flushes the tail.
+func (s *StreamingFIR) Push(x []float64, out []float64) []float64 {
+	if s.n == 0 {
+		return out
+	}
+	m := len(s.taps)
+	for _, v := range x {
+		s.ring[s.k%m] = v
+		// Input k enables output k-delay.
+		if i := s.k - s.delay; i >= 0 && i < s.n {
+			out = append(out, s.emit(i))
+		}
+		s.k++
+	}
+	return out
+}
+
+// Finish emits the remaining tail outputs (those whose center index lies
+// beyond the last input, where Apply reads zeros past the end) after all n
+// inputs have been pushed.
+func (s *StreamingFIR) Finish(out []float64) []float64 {
+	if s.n == 0 {
+		return out
+	}
+	start := s.k - s.delay
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < s.n; i++ {
+		out = append(out, s.emit(i))
+	}
+	return out
+}
+
+// StreamingIntegrator computes the cumulative trapezoidal integral of a
+// signal delivered sample by sample, mirroring Integrate's loop exactly.
+type StreamingIntegrator struct {
+	half, prev, acc float64
+}
+
+// NewStreamingIntegrator returns an integrator for sample interval dt.
+func NewStreamingIntegrator(dt float64) *StreamingIntegrator {
+	return &StreamingIntegrator{half: dt / 2}
+}
+
+// Next consumes the next sample and returns the integral through it.
+func (g *StreamingIntegrator) Next(v float64) float64 {
+	g.acc += (g.prev + v) * g.half
+	g.prev = v
+	return g.acc
+}
+
+// PeakTracker tracks the absolute maximum of a streamed signal with
+// AbsMax's exact comparison semantics (first occurrence wins on ties via
+// strict greater-than, NaN handling included).
+type PeakTracker struct {
+	peak float64
+	idx  int
+	seen bool
+}
+
+// Observe considers sample v at position i; positions must arrive in order.
+func (p *PeakTracker) Observe(i int, v float64) {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	if a > p.peak || !p.seen {
+		p.peak, p.idx = a, i
+	}
+	p.seen = true
+}
+
+// Peak returns the tracked maximum and its index ((0, -1) if no samples).
+func (p *PeakTracker) Peak() (float64, int) {
+	if !p.seen {
+		return 0, -1
+	}
+	return p.peak, p.idx
+}

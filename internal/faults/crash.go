@@ -44,6 +44,12 @@ const (
 	// temp-folder protocol (internal/pipeline).
 	CrashStageMove  = "stage-move"
 	CrashStageMoved = "stage-moved"
+	// CrashStreamNode fires inside a streamed per-record node of the
+	// streaming execution plane (internal/pipeline): after upstream chunks
+	// have been consumed and scratch spills written, but before the node's
+	// durable output commits — so the crash matrix can prove resume
+	// re-executes streamed work instead of trusting half-written artifacts.
+	CrashStreamNode = "stream-node"
 )
 
 // CrashPoints lists every instrumented point, for harnesses that iterate
@@ -52,6 +58,7 @@ var CrashPoints = []string{
 	CrashJournalAppend, CrashJournalAppended,
 	CrashManifestPut, CrashManifestPutDone,
 	CrashStageMove, CrashStageMoved,
+	CrashStreamNode,
 }
 
 var (

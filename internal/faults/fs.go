@@ -215,6 +215,11 @@ func (f chaosFS) Link(oldpath, newpath string) error { return storage.ErrLinkUns
 
 func (f chaosFS) Open(path string) (io.ReadCloser, error) { return f.c.base.Open(path) }
 
+// Create passes through untouched: streaming mode is rejected under chaos
+// (see pipeline.Options validation), so streamed writes are never fault
+// sites and the per-seed decision sequences stay pinned.
+func (f chaosFS) Create(path string) (io.WriteCloser, error) { return f.c.base.Create(path) }
+
 func (f chaosFS) List(dir string) ([]fs.DirEntry, error) { return f.c.base.List(dir) }
 
 func (f chaosFS) Generation(path string) (any, int64, bool) { return f.c.base.Generation(path) }

@@ -1,0 +1,55 @@
+package fourier
+
+import "sync"
+
+// GatherPool recycles the sample buffers the streaming gather consumers
+// (pipeline processes #7 and #16, which need a whole trace before they can
+// transform it) accumulate stream chunks into.  Fresh buffers are pre-sized
+// for one chunk — not for the largest record, which at a million points
+// would pin 8 MB per pooled buffer whether or not a large record ever
+// arrives — and grow by amortized doubling as chunks append.  Released
+// buffers keep their grown capacity, so after the first record of a given
+// size the steady state allocates nothing per chunk (pinned by the alloc
+// contract test).
+type GatherPool struct {
+	chunkLen int
+	p        sync.Pool
+}
+
+// NewGatherPool returns a pool whose fresh buffers hold one chunk of
+// chunkLen samples without growing.
+func NewGatherPool(chunkLen int) *GatherPool {
+	if chunkLen <= 0 {
+		chunkLen = 1
+	}
+	g := &GatherPool{chunkLen: chunkLen}
+	g.p.New = func() any {
+		return &GatherBuffer{pool: g, Data: make([]float64, 0, chunkLen)}
+	}
+	return g
+}
+
+// Get returns an empty buffer.
+func (g *GatherPool) Get() *GatherBuffer {
+	b := g.p.Get().(*GatherBuffer)
+	b.Data = b.Data[:0]
+	return b
+}
+
+// GatherBuffer accumulates the samples of one trace chunk by chunk.
+type GatherBuffer struct {
+	pool *GatherPool
+	Data []float64
+}
+
+// Append adds the next chunk's samples.
+func (b *GatherBuffer) Append(chunk []float64) {
+	b.Data = append(b.Data, chunk...)
+}
+
+// Release empties the buffer and returns it to the pool, retaining its
+// capacity for the next gather.
+func (b *GatherBuffer) Release() {
+	b.Data = b.Data[:0]
+	b.pool.p.Put(b)
+}

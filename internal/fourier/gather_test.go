@@ -1,0 +1,69 @@
+package fourier
+
+import "testing"
+
+// TestGatherPoolAllocContract pins the streaming gather allocation budget:
+// once a buffer has grown to a record's size and been released, re-gathering
+// a record of the same size allocates nothing per chunk.
+func TestGatherPoolAllocContract(t *testing.T) {
+	const (
+		chunkLen = 512
+		chunks   = 32
+	)
+	pool := NewGatherPool(chunkLen)
+	chunk := make([]float64, chunkLen)
+
+	// Warm: one full gather grows the pooled buffer to record size.
+	b := pool.Get()
+	for i := 0; i < chunks; i++ {
+		b.Append(chunk)
+	}
+	b.Release()
+
+	allocs := testing.AllocsPerRun(50, func() {
+		b := pool.Get()
+		for i := 0; i < chunks; i++ {
+			b.Append(chunk)
+		}
+		b.Release()
+	})
+	// The whole steady-state gather — chunks appends plus get/release —
+	// must not allocate at all.
+	if allocs != 0 {
+		t.Fatalf("steady-state gather allocates %.1f times per record, want 0", allocs)
+	}
+}
+
+// TestGatherPoolFreshCapacity pins the fix this pool encodes: a fresh buffer
+// is sized for one chunk, not for the largest record seen.
+func TestGatherPoolFreshCapacity(t *testing.T) {
+	pool := NewGatherPool(256)
+	b := pool.Get()
+	if got := cap(b.Data); got != 256 {
+		t.Fatalf("fresh gather buffer capacity %d, want one chunk (256)", got)
+	}
+	if len(b.Data) != 0 {
+		t.Fatalf("fresh gather buffer not empty: %d", len(b.Data))
+	}
+	b.Release()
+}
+
+func TestGatherPoolAccumulates(t *testing.T) {
+	pool := NewGatherPool(4)
+	b := pool.Get()
+	b.Append([]float64{1, 2, 3})
+	b.Append([]float64{4, 5})
+	if len(b.Data) != 5 {
+		t.Fatalf("gathered %d samples, want 5", len(b.Data))
+	}
+	for i, v := range b.Data {
+		if v != float64(i+1) {
+			t.Fatalf("sample %d is %g, want %d", i, v, i+1)
+		}
+	}
+	b.Release()
+	// A reused buffer starts empty.
+	if b2 := pool.Get(); len(b2.Data) != 0 {
+		t.Fatalf("reused buffer not reset: %d samples", len(b2.Data))
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"accelproc/internal/seismic"
 	"accelproc/internal/smformat"
 	"accelproc/internal/storage"
+	"accelproc/internal/stream"
 )
 
 // This file implements the Pipelined variant: instead of the 11-stage
@@ -81,7 +82,19 @@ type dfBuild struct {
 	fragsCor []smformat.MaxValues
 	picks    [][3]dsp.BandPassSpec
 	picked   []bool
+
+	// Streaming execution plane (Options.Streaming; see streamrun.go): the
+	// run's shared chunk pool, the gather pool of the blocking consumers,
+	// one stream per (producer process, record) stream edge, and the
+	// per-record scratch dirs holding stream spills and filter-pass spills.
+	pool       *stream.Pool
+	gatherPool *fourier.GatherPool
+	streams    map[ProcessID][]*stream.Stream
+	spillDirs  []string
 }
+
+// streaming reports whether this build runs the streaming execution plane.
+func (b *dfBuild) streaming() bool { return b.streams != nil }
 
 // runPipelined executes the dataflow variant: stage I as in the staged
 // schedule, then everything else as one barrier-free task graph.
@@ -122,12 +135,13 @@ func (s *state) preparePipelined() (*dfBuild, error) {
 			return nil, err
 		}
 	}
-	return s.buildDataflow(stations, exe), nil
+	return s.buildDataflow(stations, exe)
 }
 
 // executeDataflow runs the graph on real goroutines with the run's worker
 // budget, then reports the scheduler metrics.
 func (s *state) executeDataflow(b *dfBuild) error {
+	defer b.teardownStreams()
 	var mon dataflow.Monitor
 	if o := s.opts.Observer; o != nil {
 		mon = obs.NewWorkerMonitor(o, "dataflow")
@@ -146,6 +160,7 @@ func (s *state) executeDataflow(b *dfBuild) error {
 // measures each node, then the virtual clock is charged the list-scheduling
 // makespan of the measured graph on the simulated processors.
 func (s *state) executeDataflowSim(b *dfBuild) error {
+	defer b.teardownStreams()
 	_, err := b.g.Execute(1, nil)
 	b.foldTimings()
 	if err != nil {
@@ -201,7 +216,7 @@ func (b *dfBuild) reportMetrics(stats []dataflow.NodeStat) {
 
 // buildDataflow compiles the derived artifact edges into the record-level
 // task graph for the given surviving stations.
-func (s *state) buildDataflow(stations []string, exe string) *dfBuild {
+func (s *state) buildDataflow(stations []string, exe string) (*dfBuild, error) {
 	b := &dfBuild{
 		s: s, g: dataflow.New(), stations: stations, exe: exe,
 		weights:  s.recordWeights(stations),
@@ -212,6 +227,11 @@ func (s *state) buildDataflow(stations []string, exe string) *dfBuild {
 		fragsCor: make([]smformat.MaxValues, len(stations)),
 		picks:    make([][3]dsp.BandPassSpec, len(stations)),
 		picked:   make([]bool, len(stations)),
+	}
+	if s.opts.Streaming {
+		if err := b.setupStreams(); err != nil {
+			return nil, err
+		}
 	}
 	incoming := map[ProcessID][]ArtifactEdge{}
 	for _, e := range DeriveArtifactEdges() {
@@ -226,7 +246,7 @@ func (s *state) buildDataflow(stations []string, exe string) *dfBuild {
 		}
 		b.addProcess(p.ID, incoming[p.ID])
 	}
-	return b
+	return b, nil
 }
 
 // addProcess adds the node (or per-record nodes plus optional join) of one
@@ -238,7 +258,7 @@ func (b *dfBuild) addProcess(pid ProcessID, in []ArtifactEdge) {
 		for _, e := range in {
 			deps = append(deps, b.producersOf(e)...)
 		}
-		b.global[pid] = b.add(pid, "", b.globalBody(pid), deps)
+		b.global[pid] = b.add(pid, "", b.globalBody(pid), deps, nil)
 		return
 	}
 	var recEdges, readEdges, writeEdges []ArtifactEdge
@@ -256,13 +276,24 @@ func (b *dfBuild) addProcess(pid ProcessID, in []ArtifactEdge) {
 	for _, e := range readEdges {
 		shared = append(shared, b.producersOf(e)...)
 	}
+	// Under streaming, the record-scoped true dependency on this consumer's
+	// stream producer becomes a stream edge: the consumer node is released at
+	// the producer's *dispatch*, so the pair runs concurrently with chunks
+	// flowing between them.  Every other record-scoped edge (WAR hazards, and
+	// artifact reads with no stream) stays a completion edge.
+	streamFrom, hasStream := streamProducerOf[pid]
 	ids := make([]dataflow.NodeID, len(b.stations))
 	for i, st := range b.stations {
 		deps := append([]dataflow.NodeID(nil), shared...)
+		var sdeps []dataflow.NodeID
 		for _, e := range recEdges {
+			if b.streaming() && hasStream && e.Hazard == HazardRAW && e.From == streamFrom {
+				sdeps = append(sdeps, b.perRec[e.From][i])
+				continue
+			}
 			deps = append(deps, b.perRec[e.From][i])
 		}
-		ids[i] = b.add(pid, st, b.recordBody(pid, i, st), deps)
+		ids[i] = b.add(pid, st, b.recordBody(pid, i, st), deps, sdeps)
 	}
 	b.perRec[pid] = ids
 	if !writesGlobal(pid) {
@@ -272,7 +303,7 @@ func (b *dfBuild) addProcess(pid ProcessID, in []ArtifactEdge) {
 	for _, e := range writeEdges {
 		deps = append(deps, b.producersOf(e)...)
 	}
-	b.join[pid] = b.add(pid, "", b.joinBody(pid), deps)
+	b.join[pid] = b.add(pid, "", b.joinBody(pid), deps, nil)
 }
 
 // producersOf resolves the producer side of one global-artifact edge to
@@ -305,7 +336,9 @@ func writesGlobal(pid ProcessID) bool {
 // add registers one node: the body is wrapped with the quarantine skip, the
 // cancellation check, a task span under the run span, cost measurement, and
 // the fail-fast cancellation that parFor bodies get on the staged path.
-func (b *dfBuild) add(pid ProcessID, station string, inner func() error, deps []dataflow.NodeID) dataflow.NodeID {
+// sdeps names stream-edge producers (streaming runs only): the node is added
+// with AddStream so it is released at their dispatch instead of completion.
+func (b *dfBuild) add(pid ProcessID, station string, inner func() error, deps, sdeps []dataflow.NodeID) dataflow.NodeID {
 	s := b.s
 	id := dataflow.NodeID(b.g.Len())
 	name := Processes[pid].Name
@@ -393,7 +426,28 @@ func (b *dfBuild) add(pid ProcessID, station string, inner func() error, deps []
 		sp.EndCharged(d)
 		return nil
 	}
-	return b.g.Add(dataflow.Spec{Label: label, Weight: weight, Alpha: alpha, Run: run}, dedupNodes(deps)...)
+	// A streamed producer must close its out-stream no matter how the node
+	// ends — error, quarantine skip, resume skip, or cache hit all leave the
+	// consumer blocked on Recv otherwise.  Close here is first-reason-wins:
+	// when the body already closed the stream cleanly this is a no-op, and
+	// every skip path degrades the consumer to its durable-artifact fallback.
+	if out := b.outStream(pid, station); out != nil {
+		body := run
+		run = func() error {
+			err := body()
+			if err != nil {
+				out.Close(err)
+			} else {
+				out.Close(stream.ErrFallback)
+			}
+			return err
+		}
+	}
+	spec := dataflow.Spec{Label: label, Weight: weight, Alpha: alpha, Run: run}
+	if len(sdeps) > 0 {
+		return b.g.AddStream(spec, dedupNodes(sdeps), dedupNodes(deps)...)
+	}
+	return b.g.Add(spec, dedupNodes(deps)...)
 }
 
 func (b *dfBuild) stationIndex(st string) int {
@@ -443,11 +497,17 @@ func (b *dfBuild) recordBody(pid ProcessID, i int, st string) func() error {
 	s := b.s
 	switch pid {
 	case PSeparateComponents:
+		if b.streaming() {
+			return func() error { return b.streamSeparateStation(i, st) }
+		}
 		return func() error { return s.separateStation(st) }
 	case PDefaultFilter:
 		return b.filterRecordBody(StageIV, PDefaultFilter, "def", b.fragsDef, i, st)
 	case PFourier:
 		return func() error {
+			if b.streaming() {
+				return b.streamFourierRecord(i, st)
+			}
 			if s.opts.NoTempFolders {
 				for _, comp := range seismic.Components {
 					if err := s.fourierSignal(smformat.V2FileName(st, comp)); err != nil {
@@ -480,6 +540,9 @@ func (b *dfBuild) recordBody(pid ProcessID, i int, st string) func() error {
 		return func() error { return s.plotAccelStation(st) }
 	case PResponseSpectrum:
 		return func() error {
+			if b.streaming() {
+				return b.streamResponseRecord(i, st)
+			}
 			for _, comp := range seismic.Components {
 				if err := s.responseSignal(smformat.V2FileName(st, comp)); err != nil {
 					return err
@@ -513,9 +576,12 @@ func (b *dfBuild) filterRecordBody(stage StageID, pid ProcessID, tag string, fra
 	return func() error {
 		var frag smformat.MaxValues
 		var err error
-		if s.opts.NoTempFolders {
+		switch {
+		case b.streaming():
+			frag, err = b.streamFilterRecord(pid, i, st)
+		case s.opts.NoTempFolders:
 			frag, err = s.filterRecordDirect(st)
-		} else {
+		default:
 			frag, err = s.filterRecordViaTempFolder(stage, pid, tag, i, st, b.exe)
 		}
 		if err != nil {

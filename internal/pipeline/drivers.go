@@ -21,6 +21,9 @@ import (
 // (nested under opts.ParentSpan if given) whose charged durations match the
 // returned Timings.
 func Run(ctx context.Context, dir string, variant Variant, opts Options) (Result, error) {
+	if opts.Streaming && variant != Pipelined {
+		return Result{}, fmt.Errorf("pipeline: streaming requires the pipelined variant, not %s", variant)
+	}
 	s, err := newState(ctx, dir, opts)
 	if err != nil {
 		return Result{}, err

@@ -170,6 +170,9 @@ func (e *fleetEvent) finish(err error) error {
 	if err == nil && e.b != nil {
 		e.b.foldTimings()
 	}
+	if e.b != nil {
+		e.b.teardownStreams()
+	}
 	res, ferr := e.s.finishRun(Pipelined, e.start, err)
 	// The flush Run performs in its defer: chaos tally and cancel-cause
 	// release for this event's state.

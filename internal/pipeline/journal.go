@@ -264,6 +264,14 @@ func journalParamsDigest(variant Variant, o Options) string {
 	} else {
 		h.Int(0)
 	}
+	// Streaming changes no output bytes, but a streamed run must only adopt
+	// a streamed journal (and vice versa): the resume-skip validation rules
+	// assume the same execution plane produced the journaled nodes.
+	if o.Streaming {
+		h.Int(1)
+	} else {
+		h.Int(0)
+	}
 	return h.Sum().String()
 }
 

@@ -331,6 +331,22 @@ type Options struct {
 	// binaries), quantifying what the staging protocol costs.
 	NoTempFolders bool
 
+	// Streaming enables the streaming execution plane of the Pipelined
+	// variant: the three scan-order hot handoffs (#3→#4 raw components,
+	// #4→#7 and #13→#16 corrected acceleration) become stream edges — the
+	// consumer node is dispatched when its producer starts, and the record
+	// flows between them as pooled fixed-size chunks (see internal/stream)
+	// instead of a whole decoded artifact.  Every NPTS-scaled output is
+	// written incrementally through Workspace.Create, so StorageBytesPeak
+	// stays flat as records grow; outputs are byte-identical to the
+	// materialized execution on both storage backends.  Implies
+	// NoTempFolders (streamed stages run direct bodies), requires the
+	// Pipelined variant, and is rejected under Chaos (fault injection must
+	// exercise the staged protocol).  The persistent action cache is
+	// bypassed while streaming: node outputs are produced incrementally,
+	// not read back as whole files for a Put.
+	Streaming bool
+
 	// Storage selects the workspace backend the inter-stage file protocol
 	// runs on (see internal/storage): BackendFS (the default, also selected
 	// by the zero value) keeps every intermediate product on the real
@@ -417,6 +433,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Resume {
 		o.Journal = true
+	}
+	if o.Streaming {
+		// Streamed stages run direct bodies: chunks flow producer→consumer,
+		// not through per-instance scratch folders.
+		o.NoTempFolders = true
 	}
 	if o.NoArtifactCache && o.Cache == (CacheConfig{}) {
 		// Deprecated-shim mapping: the old bool spelled "no caching at all".

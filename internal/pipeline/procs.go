@@ -554,11 +554,21 @@ func (s *state) gemJob(key smformat.SignalKey, isR bool) error {
 		}
 	}
 	for _, g := range gems {
-		if err := smformat.WriteGEMFileFS(s.ws, s.path(g.FileName()), g); err != nil {
+		if err := s.writeGEM(s.path(g.FileName()), g); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeGEM writes one GEM export.  Streaming runs route it through the
+// workspace's Create writer — on the mem backend that is a write-through
+// stream, so the NPTS-scaled export never counts against resident bytes.
+func (s *state) writeGEM(path string, g smformat.GEM) error {
+	if s.opts.Streaming {
+		return smformat.WriteFileCreateFS(s.ws, path, g)
+	}
+	return smformat.WriteGEMFileFS(s.ws, path, g)
 }
 
 // firstLine returns the first line of a file (without the newline), or ""
@@ -578,8 +588,21 @@ func firstLine(ws storage.Workspace, path string) (string, error) {
 }
 
 // writePlotFile renders one multi-panel page and writes it to path through
-// the workspace.
+// the workspace.  Streaming runs render straight into the workspace's Create
+// writer instead of a rendered-page buffer: plot pages scale with NPTS, and
+// the mem backend's Create is write-through (never resident).
 func (s *state) writePlotFile(path, title string, panels []plotps.Plot) error {
+	if s.opts.Streaming {
+		w, err := s.ws.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := plotps.WritePage(w, title, panels); err != nil {
+			abortCreate(w)
+			return err
+		}
+		return w.Close()
+	}
 	var buf bytes.Buffer
 	if err := plotps.WritePage(&buf, title, panels); err != nil {
 		return err

@@ -205,6 +205,12 @@ func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opts.Streaming && opts.Chaos != nil {
+		// Chaos interposes on the staged temp-folder protocol; the streaming
+		// plane bypasses that protocol entirely, so combining them would
+		// silently test nothing.
+		return nil, fmt.Errorf("pipeline: streaming mode cannot be combined with chaos fault injection")
+	}
 	ctx, fail := context.WithCancelCause(ctx)
 	s := &state{ctx: ctx, fail: fail, dir: dir, opts: opts.withDefaults()}
 	s.retry = s.opts.Retry.withDefaults()
@@ -221,7 +227,11 @@ func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 	}
 	if cc := s.opts.Cache; cc.Mode != CacheOff {
 		s.arts = artifact.NewMemo(ws.Generation)
-		if cc.Mode == CachePersistent && s.chaos == nil {
+		// The action cache is bypassed under chaos (fault injection must
+		// exercise the real staging protocol) and under streaming (node
+		// outputs are produced incrementally through Create, never read back
+		// whole for a Put, and restores would race the stream consumers).
+		if cc.Mode == CachePersistent && s.chaos == nil && !s.opts.Streaming {
 			root := cc.Dir
 			if root == "" {
 				root = filepath.Join(dir, CacheDirName)

@@ -1,0 +1,854 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/faults"
+	"accelproc/internal/fourier"
+	"accelproc/internal/response"
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+	"accelproc/internal/storage"
+	"accelproc/internal/stream"
+)
+
+// This file implements the streaming execution plane (Options.Streaming) on
+// top of the Pipelined variant: the sequential-scan hot stages consume and
+// emit a record chunk at a time instead of materializing whole traces, so a
+// (producer, consumer) node pair runs concurrently with bounded memory no
+// matter how large NPTS grows.
+//
+// Three stream edges exist per record, mirroring the artifact chain:
+//
+//   #3 separate  ──raw comp chunks──▶  #4 default filter
+//   #4 default filter ──corrected accel chunks──▶  #7 Fourier (gathers)
+//   #13 definitive filter ──corrected accel chunks──▶  #16 response (gathers)
+//
+// #13 has no in-stream: its V1 inputs are durable by then (written by #3,
+// re-read chunk by chunk), and the WAR edge #7→#13 stays a completion edge so
+// the definitive filter never overwrites a V2 file the Fourier stage is still
+// reading.  Every streamed producer also writes its durable artifact
+// incrementally through Workspace.Create, so the on-disk outputs are byte
+// for byte those of a materialized run and downstream consumers that did not
+// get a stream (plots, GEM exports, resumed runs) read the same files as
+// always.
+//
+// Fallback discipline: a stream is closed with stream.ErrFallback whenever
+// its producer did not stream (resume skip, quarantine skip, or a
+// non-streaming code path such as instrument correction) — the node wrapper
+// in dataflowrun.go does this after the body returns, which is after the
+// durable outputs landed, so a consumer that sees ErrFallback can always
+// read the artifacts instead.
+
+// streamHeader is the record metadata a streamed producer publishes before
+// its chunks: enough for the consumer to size and time its own processing.
+type streamHeader struct {
+	Station string
+	DT      float64
+	NPTS    int
+}
+
+// streamProducerOf names each streamed consumer's producer process: the one
+// record-scoped RAW edge per consumer that becomes a stream edge.
+var streamProducerOf = map[ProcessID]ProcessID{
+	PDefaultFilter:    PSeparateComponents,
+	PFourier:          PDefaultFilter,
+	PResponseSpectrum: PCorrectedFilter,
+}
+
+// streamEdgeTag names each producer's spill subdirectory under the record's
+// stream scratch dir.
+var streamEdgeTag = map[ProcessID]string{
+	PSeparateComponents: "sep",
+	PDefaultFilter:      "def",
+	PCorrectedFilter:    "cor",
+}
+
+// streamBase is the per-record scratch directory holding stream spills and
+// the filter passes' sample scratch.  The tmp_ prefix keeps it inside the
+// resume plane's stale-scratch sweep.
+func (b *dfBuild) streamBase(i int, st string) string {
+	return b.s.path(fmt.Sprintf("tmp_stream_%02d_%s", i, st))
+}
+
+// setupStreams allocates the run's chunk pools, one stream per (producer,
+// record) stream edge, and the per-record scratch directories.
+func (b *dfBuild) setupStreams() error {
+	s := b.s
+	b.pool = stream.NewPool(stream.DefaultChunkLen)
+	b.gatherPool = fourier.NewGatherPool(stream.DefaultChunkLen)
+	b.streams = map[ProcessID][]*stream.Stream{}
+	for pid := range streamEdgeTag {
+		b.streams[pid] = make([]*stream.Stream, len(b.stations))
+	}
+	for i, st := range b.stations {
+		base := b.streamBase(i, st)
+		if err := s.ws.MkdirAll(base, 0o755); err != nil {
+			return err
+		}
+		b.spillDirs = append(b.spillDirs, base)
+		for pid, tag := range streamEdgeTag {
+			dir := filepath.Join(base, tag)
+			if err := s.ws.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+			b.streams[pid][i] = stream.New(s.ws, dir, stream.DefaultWindow, b.pool)
+		}
+	}
+	return nil
+}
+
+// teardownStreams force-closes and drains every stream (releasing pooled
+// chunks and deleting spill files a consumer never read) and removes the
+// scratch directories.  Idempotent; a no-op for non-streaming builds.  The
+// ErrFallback close is first-reason-wins, so streams that already ended keep
+// their original close reason.
+func (b *dfBuild) teardownStreams() {
+	if b.streams == nil {
+		return
+	}
+	for _, ss := range b.streams {
+		for _, st := range ss {
+			if st == nil {
+				continue
+			}
+			st.Close(stream.ErrFallback)
+			_ = st.Drain(func(*stream.Chunk) error { return nil })
+		}
+	}
+	if !b.s.opts.KeepTempDirs {
+		for _, dir := range b.spillDirs {
+			_ = b.s.ws.RemoveAll(dir)
+		}
+	}
+	b.streams = nil
+	b.spillDirs = nil
+}
+
+// outStream returns the stream a per-record node produces into, or nil.
+func (b *dfBuild) outStream(pid ProcessID, station string) *stream.Stream {
+	if b.streams == nil || station == "" {
+		return nil
+	}
+	ss, ok := b.streams[pid]
+	if !ok {
+		return nil
+	}
+	return ss[b.stationIndex(station)]
+}
+
+// inStream returns the stream a consumer node receives from, or nil.
+func (b *dfBuild) inStream(pid ProcessID, i int) *stream.Stream {
+	from, ok := streamProducerOf[pid]
+	if !ok || b.streams == nil {
+		return nil
+	}
+	return b.streams[from][i]
+}
+
+// fallbackClose reports whether a Header/Recv error means "read the durable
+// artifacts instead": the producer fell back, or closed cleanly before
+// publishing a header (it never streamed at all).
+func fallbackClose(err error) bool {
+	return errors.Is(err, stream.ErrFallback) || err == io.EOF
+}
+
+// abortCreate discards an in-progress Workspace.Create writer so a partial
+// payload can never be renamed into place.
+func abortCreate(w io.WriteCloser) {
+	if a, ok := w.(interface{ Abort() }); ok {
+		a.Abort()
+		return
+	}
+	w.Close()
+}
+
+// sampleWriter spills float64 samples to a scratch file as raw little-endian
+// bits, an exact round-trip, through Workspace.Create (write-through on the
+// mem backend, so scratch never counts against resident bytes).
+type sampleWriter struct {
+	wc   io.WriteCloser
+	path string
+	buf  []byte
+}
+
+func createSamples(ws storage.Workspace, path string) (*sampleWriter, error) {
+	wc, err := ws.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &sampleWriter{wc: wc, path: path}, nil
+}
+
+func (w *sampleWriter) Append(vs []float64) error {
+	need := 8 * len(vs)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, need)
+	}
+	buf := w.buf[:need]
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	if _, err := w.wc.Write(buf); err != nil {
+		return fmt.Errorf("pipeline: sample scratch %s: %w", w.path, err)
+	}
+	return nil
+}
+
+func (w *sampleWriter) Close() error { return w.wc.Close() }
+
+func (w *sampleWriter) Abort() { abortCreate(w.wc) }
+
+// sampleReader reads a sample scratch file back in caller-sized chunks.
+type sampleReader struct {
+	rc   io.ReadCloser
+	path string
+	buf  []byte
+}
+
+func openSamples(ws storage.Workspace, path string) (*sampleReader, error) {
+	rc, err := ws.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &sampleReader{rc: rc, path: path}, nil
+}
+
+// Read fills buf with up to len(buf) further samples; (0, io.EOF) at the end.
+func (r *sampleReader) Read(buf []float64) (int, error) {
+	need := 8 * len(buf)
+	if cap(r.buf) < need {
+		r.buf = make([]byte, need)
+	}
+	b := r.buf[:need]
+	n, err := io.ReadFull(r.rc, b)
+	if n == 0 {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("pipeline: sample scratch %s: %w", r.path, err)
+	}
+	if n%8 != 0 {
+		return 0, fmt.Errorf("pipeline: sample scratch %s truncated mid-sample at %d bytes", r.path, n)
+	}
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return 0, fmt.Errorf("pipeline: sample scratch %s: %w", r.path, err)
+	}
+	for i := 0; i < n/8; i++ {
+		buf[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return n / 8, nil
+}
+
+func (r *sampleReader) Close() error { return r.rc.Close() }
+
+// streamSeparateStation is the streamed body of one record of process #3: it
+// scans the multiplexed V1 once, writing each per-component file
+// incrementally while sending the same chunks down the stream to the default
+// filter.  The emitted files are byte-identical to separateStation's.
+func (b *dfBuild) streamSeparateStation(i int, st string) error {
+	s := b.s
+	out := b.streams[PSeparateComponents][i]
+	r, err := smformat.OpenV1Chunks(s.ws, s.path(smformat.V1FileName(st)))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	out.SetHeader(streamHeader{Station: st, DT: r.DT, NPTS: r.NPTS})
+	for ci, comp := range seismic.Components {
+		if _, err := r.NextComponent(); err != nil {
+			return err
+		}
+		w, err := smformat.NewV1ComponentStreamWriter(s.ws, s.path(smformat.V1ComponentFileName(st, comp)), st, comp, r.DT, r.NPTS)
+		if err != nil {
+			return err
+		}
+		for {
+			c := b.pool.Get(ci)
+			buf := c.Data[:cap(c.Data)]
+			n, rerr := r.Read(buf)
+			if n > 0 {
+				c.Data = buf[:n]
+				// Append copies into the writer's buffer before Send hands
+				// the chunk's ownership to the stream.
+				if err := w.Append(c.Data); err != nil {
+					c.Release()
+					w.Abort()
+					return err
+				}
+				if err := out.Send(c); err != nil {
+					w.Abort()
+					return err
+				}
+			} else {
+				c.Release()
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				w.Abort()
+				return rerr
+			}
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	out.Close(nil)
+	return nil
+}
+
+// streamFeed adapts the in-stream of process #4 to the chunked-read shape of
+// streamFilterComp: it serves one component's npts samples and then reports
+// io.EOF, leaving the next component's chunks queued.
+func streamFeed(in *stream.Stream, ci, npts int) func([]float64) (int, error) {
+	served := 0
+	return func(buf []float64) (int, error) {
+		if served >= npts {
+			return 0, io.EOF
+		}
+		c, err := in.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return 0, fmt.Errorf("pipeline: stream ended after %d of %d samples", served, npts)
+			}
+			return 0, err
+		}
+		defer c.Release()
+		if c.Comp != ci {
+			return 0, fmt.Errorf("pipeline: stream delivered component %d while reading %d", c.Comp, ci)
+		}
+		if len(c.Data) > len(buf) {
+			return 0, fmt.Errorf("pipeline: stream chunk of %d samples exceeds %d-sample buffer", len(c.Data), len(buf))
+		}
+		n := copy(buf, c.Data)
+		served += n
+		return n, nil
+	}
+}
+
+// streamFilterRecord is the streamed body of one record of processes #4 and
+// #13: per component, a multi-pass chunked reproduction of correctSignal
+// that never holds a whole trace.  Process #4 prefers its in-stream from #3
+// and falls back to the durable per-component files; #13 always re-reads the
+// durable files (its stream producer would be the Fourier stage's WAR
+// predecessor, not a sample source).  Both feed their corrected acceleration
+// chunks to the downstream gather stage.
+func (b *dfBuild) streamFilterRecord(pid ProcessID, i int, st string) (smformat.MaxValues, error) {
+	s := b.s
+	params, err := s.readFilterParams(s.path(smformat.FilterParamsFile))
+	if err != nil {
+		return smformat.MaxValues{}, err
+	}
+	out := b.streams[pid][i]
+	in := b.inStream(pid, i)
+	if s.opts.Instrument != nil {
+		// Instrument deconvolution is a whole-trace transfer-function
+		// operation; gather the record and run the batch kernel.  The node
+		// wrapper closes the out-stream with ErrFallback after the durable
+		// V2 files below have landed.
+		return b.gatherFilterRecord(st, params, in)
+	}
+	frag := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
+	base := b.streamBase(i, st)
+	if in != nil {
+		h, herr := in.Header()
+		switch {
+		case herr == nil:
+			hdr, ok := h.(streamHeader)
+			if !ok {
+				return smformat.MaxValues{}, fmt.Errorf("pipeline: stream for %s carries %T, want header", st, h)
+			}
+			out.SetHeader(hdr)
+			for ci, comp := range seismic.Components {
+				key := smformat.SignalKey{Station: st, Component: comp}
+				pk, err := b.streamFilterComp(base, st, ci, comp, params.Spec(key), hdr.DT, hdr.NPTS,
+					streamFeed(in, ci, hdr.NPTS), out)
+				if err != nil {
+					return smformat.MaxValues{}, err
+				}
+				frag.Peaks[key] = pk
+			}
+			out.Close(nil)
+			return frag, nil
+		case fallbackClose(herr):
+			// The producer did not stream; its per-component files are
+			// durable — read them chunk by chunk below.
+		default:
+			return smformat.MaxValues{}, herr
+		}
+	}
+	hdrSet := false
+	for ci, comp := range seismic.Components {
+		r, err := smformat.OpenV1ComponentChunks(s.ws, s.path(smformat.V1ComponentFileName(st, comp)))
+		if err != nil {
+			return smformat.MaxValues{}, err
+		}
+		if !hdrSet {
+			out.SetHeader(streamHeader{Station: st, DT: r.DT, NPTS: r.NPTS})
+			hdrSet = true
+		}
+		key := smformat.SignalKey{Station: st, Component: comp}
+		pk, err := b.streamFilterComp(base, st, ci, comp, params.Spec(key), r.DT, r.NPTS, r.Read, out)
+		r.Close()
+		if err != nil {
+			return smformat.MaxValues{}, err
+		}
+		frag.Peaks[key] = pk
+	}
+	out.Close(nil)
+	return frag, nil
+}
+
+// streamFilterComp reproduces correctSignal for one component in four
+// chunked passes over sample scratch files, bit-identical to the batch path:
+//
+//	A: spill the raw samples, accumulating the mean (Demean's sum order);
+//	B: demean + taper + FIR-filter, spilling the filtered samples and
+//	   accumulating the detrend sums over the filtered output;
+//	C: subtract the regression line, validate finiteness, track the PGA/
+//	   PGV/PGD peaks (velocity and displacement via chained streaming
+//	   integrators), spilling the corrected acceleration;
+//	D: write the V2 file incrementally — headers need the pass-C peaks —
+//	   re-reading the acceleration scratch once per payload block, and send
+//	   the acceleration chunks down the out-stream.
+func (b *dfBuild) streamFilterComp(base, st string, ci int, comp seismic.Component, spec dsp.BandPassSpec, dt float64, npts int, feed func([]float64) (int, error), out *stream.Stream) (seismic.PeakValues, error) {
+	s := b.s
+	none := seismic.PeakValues{}
+	// The batch path designs the filter before touching samples, so its
+	// error (including non-positive DT) comes first; an empty trace then
+	// fails exactly where seismic.Peaks would.
+	fir, err := dsp.DesignBandPass(spec, dt)
+	if err != nil {
+		return none, err
+	}
+	if npts <= 0 {
+		return none, fmt.Errorf("seismic: trace has no samples")
+	}
+	rawPath := filepath.Join(base, st+comp.Suffix()+".raw.samples")
+	filtPath := filepath.Join(base, st+comp.Suffix()+".filt.samples")
+	accPath := filepath.Join(base, st+comp.Suffix()+".acc.samples")
+	inBuf := make([]float64, b.pool.ChunkLen())
+	outBuf := make([]float64, 0, b.pool.ChunkLen())
+
+	// Pass A: raw samples to scratch, mean accumulated in sample order.
+	var mean dsp.MeanAccum
+	total := 0
+	rw, err := createSamples(s.ws, rawPath)
+	if err != nil {
+		return none, err
+	}
+	for {
+		n, rerr := feed(inBuf)
+		if n > 0 {
+			total += n
+			mean.ObserveSlice(inBuf[:n])
+			if err := rw.Append(inBuf[:n]); err != nil {
+				rw.Abort()
+				return none, err
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			rw.Abort()
+			return none, rerr
+		}
+	}
+	if err := rw.Close(); err != nil {
+		return none, err
+	}
+	if total != npts {
+		return none, fmt.Errorf("pipeline: component %s%s delivered %d of %d samples", st, comp.Suffix(), total, npts)
+	}
+
+	// Pass B: demean + taper + filter; the trend sums accumulate over the
+	// filtered output exactly as Detrend's single loop does.
+	m := mean.Mean()
+	taper := dsp.NewTaper(npts, s.opts.TaperFraction)
+	sfir := dsp.NewStreamingFIR(fir, npts)
+	var trend dsp.TrendAccum
+	rr, err := openSamples(s.ws, rawPath)
+	if err != nil {
+		return none, err
+	}
+	fw, err := createSamples(s.ws, filtPath)
+	if err != nil {
+		rr.Close()
+		return none, err
+	}
+	pos := 0
+	writeFiltered := func(vs []float64) error {
+		for _, y := range vs {
+			trend.Observe(y)
+		}
+		return fw.Append(vs)
+	}
+	for {
+		n, rerr := rr.Read(inBuf)
+		if n > 0 {
+			for k := 0; k < n; k++ {
+				v := inBuf[k] - m
+				if f, ok := taper.Factor(pos); ok {
+					v *= f
+				}
+				inBuf[k] = v
+				pos++
+			}
+			outBuf = sfir.Push(inBuf[:n], outBuf[:0])
+			if err := writeFiltered(outBuf); err != nil {
+				rr.Close()
+				fw.Abort()
+				return none, err
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			rr.Close()
+			fw.Abort()
+			return none, rerr
+		}
+	}
+	rr.Close()
+	outBuf = sfir.Finish(outBuf[:0])
+	if err := writeFiltered(outBuf); err != nil {
+		fw.Abort()
+		return none, err
+	}
+	if err := fw.Close(); err != nil {
+		return none, err
+	}
+
+	// Pass C: detrend, finiteness, peaks; corrected acceleration to scratch.
+	intercept, slope := trend.Line()
+	fr, err := openSamples(s.ws, filtPath)
+	if err != nil {
+		return none, err
+	}
+	aw, err := createSamples(s.ws, accPath)
+	if err != nil {
+		fr.Close()
+		return none, err
+	}
+	var pga, pgv, pgd dsp.PeakTracker
+	velInt := dsp.NewStreamingIntegrator(dt)
+	dispInt := dsp.NewStreamingIntegrator(dt)
+	idx := 0
+	for {
+		n, rerr := fr.Read(inBuf)
+		if n > 0 {
+			for k := 0; k < n; k++ {
+				y := inBuf[k] - (intercept + slope*float64(idx))
+				if math.IsNaN(y) || math.IsInf(y, 0) {
+					fr.Close()
+					aw.Abort()
+					return none, fmt.Errorf("seismic: trace sample %d is not finite (%g)", idx, y)
+				}
+				pga.Observe(idx, y)
+				v := velInt.Next(y)
+				pgv.Observe(idx, v)
+				d := dispInt.Next(v)
+				pgd.Observe(idx, d)
+				inBuf[k] = y
+				idx++
+			}
+			if err := aw.Append(inBuf[:n]); err != nil {
+				fr.Close()
+				aw.Abort()
+				return none, err
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			fr.Close()
+			aw.Abort()
+			return none, rerr
+		}
+	}
+	fr.Close()
+	if err := aw.Close(); err != nil {
+		return none, err
+	}
+	pkA, iA := pga.Peak()
+	pkV, iV := pgv.Peak()
+	pkD, iD := pgd.Peak()
+	peaks := seismic.PeakValues{
+		PGA: pkA, TimePGA: float64(iA) * dt,
+		PGV: pkV, TimePGV: float64(iV) * dt,
+		PGD: pkD, TimePGD: float64(iD) * dt,
+	}
+
+	// Upstream chunks consumed, scratch spilled, durable output not yet
+	// committed: the crash matrix kills here to prove resume re-executes the
+	// node instead of trusting a half-written artifact.
+	faults.Crash(faults.CrashStreamNode)
+
+	// Pass D: the V2 file, incrementally, plus the out-stream chunks.
+	w, err := smformat.NewV2StreamWriter(s.ws, s.path(smformat.V2FileName(st, comp)), st, comp, dt, npts, spec, peaks)
+	if err != nil {
+		return none, err
+	}
+	if err := w.StartBlock(); err != nil { // ACCELERATION
+		w.Abort()
+		return none, err
+	}
+	ar, err := openSamples(s.ws, accPath)
+	if err != nil {
+		w.Abort()
+		return none, err
+	}
+	for {
+		c := b.pool.Get(ci)
+		buf := c.Data[:cap(c.Data)]
+		n, rerr := ar.Read(buf)
+		if n > 0 {
+			c.Data = buf[:n]
+			if err := w.Append(c.Data); err != nil {
+				c.Release()
+				ar.Close()
+				w.Abort()
+				return none, err
+			}
+			if err := out.Send(c); err != nil {
+				ar.Close()
+				w.Abort()
+				return none, err
+			}
+		} else {
+			c.Release()
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			ar.Close()
+			w.Abort()
+			return none, rerr
+		}
+	}
+	ar.Close()
+	g1 := dsp.NewStreamingIntegrator(dt)
+	if err := b.writeIntegratedBlock(w, accPath, inBuf, g1.Next); err != nil { // VELOCITY
+		w.Abort()
+		return none, err
+	}
+	gv := dsp.NewStreamingIntegrator(dt)
+	gd := dsp.NewStreamingIntegrator(dt)
+	err = b.writeIntegratedBlock(w, accPath, inBuf, func(x float64) float64 { // DISPLACEMENT
+		return gd.Next(gv.Next(x))
+	})
+	if err != nil {
+		w.Abort()
+		return none, err
+	}
+	if err := w.Close(); err != nil {
+		return none, err
+	}
+	_ = s.ws.Remove(rawPath)
+	_ = s.ws.Remove(filtPath)
+	_ = s.ws.Remove(accPath)
+	return peaks, nil
+}
+
+// writeIntegratedBlock streams one derived V2 payload block: the
+// acceleration scratch mapped through next (a streaming integrator chain).
+func (b *dfBuild) writeIntegratedBlock(w *smformat.V2StreamWriter, accPath string, inBuf []float64, next func(float64) float64) error {
+	if err := w.StartBlock(); err != nil {
+		return err
+	}
+	r, err := openSamples(b.s.ws, accPath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		n, rerr := r.Read(inBuf)
+		if n > 0 {
+			for k := 0; k < n; k++ {
+				inBuf[k] = next(inBuf[k])
+			}
+			if err := w.Append(inBuf[:n]); err != nil {
+				return err
+			}
+		}
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+}
+
+// gatherFilterRecord is the whole-trace body of #4/#13 when instrument
+// correction is enabled: it gathers the record (from the in-stream when the
+// producer streamed, from the durable files otherwise) and runs the batch
+// correctSignal, writing each V2 through Create.  Its out-stream is closed
+// with ErrFallback by the node wrapper after these durable writes.
+func (b *dfBuild) gatherFilterRecord(st string, params smformat.FilterParams, in *stream.Stream) (smformat.MaxValues, error) {
+	s := b.s
+	frag := smformat.MaxValues{Peaks: map[smformat.SignalKey]seismic.PeakValues{}}
+	var gathered [3][]float64
+	var dt float64
+	haveStream := false
+	if in != nil {
+		h, err := in.Header()
+		switch {
+		case err == nil:
+			hdr, ok := h.(streamHeader)
+			if !ok {
+				return frag, fmt.Errorf("pipeline: stream for %s carries %T, want header", st, h)
+			}
+			dt = hdr.DT
+			for ci := range seismic.Components {
+				buf := make([]float64, 0, hdr.NPTS)
+				for len(buf) < hdr.NPTS {
+					c, rerr := in.Recv()
+					if rerr != nil {
+						if rerr == io.EOF {
+							return frag, fmt.Errorf("pipeline: stream for %s ended after %d of %d samples", st, len(buf), hdr.NPTS)
+						}
+						return frag, rerr
+					}
+					if c.Comp != ci {
+						c.Release()
+						return frag, fmt.Errorf("pipeline: stream for %s delivered component %d while gathering %d", st, c.Comp, ci)
+					}
+					buf = append(buf, c.Data...)
+					c.Release()
+				}
+				gathered[ci] = buf
+			}
+			haveStream = true
+		case fallbackClose(err):
+		default:
+			return frag, err
+		}
+	}
+	for ci, comp := range seismic.Components {
+		var v1 smformat.V1Component
+		if haveStream {
+			v1 = smformat.V1Component{Station: st, Component: comp, DT: dt, Accel: gathered[ci]}
+		} else {
+			var err error
+			v1, err = s.readV1Comp(s.path(smformat.V1ComponentFileName(st, comp)))
+			if err != nil {
+				return frag, err
+			}
+		}
+		key := smformat.SignalKey{Station: st, Component: comp}
+		v2, pk, err := s.correctSignal(v1, params.Spec(key))
+		if err != nil {
+			return frag, err
+		}
+		if err := smformat.WriteFileCreateFS(s.ws, s.path(smformat.V2FileName(st, comp)), v2); err != nil {
+			return frag, err
+		}
+		frag.Peaks[key] = pk
+	}
+	return frag, nil
+}
+
+// streamFourierRecord is the streamed body of one record of process #7: a
+// gather consumer — the FFT needs the whole trace — fed by the default
+// filter's acceleration chunks.
+func (b *dfBuild) streamFourierRecord(i int, st string) error {
+	return b.gatherRecord(PFourier, i, st, func(v2 smformat.V2) error {
+		f, err := fourier.Spectra(v2)
+		if err != nil {
+			return err
+		}
+		return smformat.WriteFileCreateFS(b.s.ws, b.s.path(smformat.FourierFileName(v2.Station, v2.Component)), f)
+	})
+}
+
+// streamResponseRecord is the streamed body of one record of process #16,
+// gathering the definitive filter's acceleration chunks.
+func (b *dfBuild) streamResponseRecord(i int, st string) error {
+	return b.gatherRecord(PResponseSpectrum, i, st, func(v2 smformat.V2) error {
+		r, err := response.Spectrum(v2, b.s.opts.Response)
+		if err != nil {
+			return err
+		}
+		return smformat.WriteFileCreateFS(b.s.ws, b.s.path(smformat.ResponseFileName(v2.Station, v2.Component)), r)
+	})
+}
+
+// gatherRecord drains one record's in-stream component by component into a
+// pooled gather buffer, reconstructs each component's V2 value (velocity and
+// displacement re-derived by the same trapezoidal integration the producer
+// used — bit-identical), and emits the derived product.  A fallback close at
+// any point degrades to reading the durable V2 files.
+func (b *dfBuild) gatherRecord(pid ProcessID, i int, st string, emit func(smformat.V2) error) error {
+	in := b.inStream(pid, i)
+	h, err := in.Header()
+	if fallbackClose(err) {
+		return b.gatherFromDurable(st, emit)
+	}
+	if err != nil {
+		return err
+	}
+	hdr, ok := h.(streamHeader)
+	if !ok {
+		return fmt.Errorf("pipeline: stream for %s carries %T, want header", st, h)
+	}
+	g := b.gatherPool.Get()
+	defer g.Release()
+	for ci, comp := range seismic.Components {
+		g.Data = g.Data[:0]
+		for len(g.Data) < hdr.NPTS {
+			c, rerr := in.Recv()
+			if rerr != nil {
+				if errors.Is(rerr, stream.ErrFallback) {
+					return b.gatherFromDurable(st, emit)
+				}
+				if rerr == io.EOF {
+					return fmt.Errorf("pipeline: stream for %s ended after %d of %d samples of component %s", st, len(g.Data), hdr.NPTS, comp)
+				}
+				return rerr
+			}
+			if c.Comp != ci {
+				c.Release()
+				return fmt.Errorf("pipeline: stream for %s delivered component %d while gathering %d", st, c.Comp, ci)
+			}
+			g.Append(c.Data)
+			c.Release()
+		}
+		accel := g.Data
+		vel := dsp.Integrate(accel, hdr.DT)
+		disp := dsp.Integrate(vel, hdr.DT)
+		v2 := smformat.V2{Station: st, Component: comp, DT: hdr.DT, Accel: accel, Vel: vel, Disp: disp}
+		if err := emit(v2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gatherFromDurable is the gather consumers' fallback: the producer's V2
+// files are durable (it was resume-skipped or took a fallback path itself);
+// read them whole as the materialized path does.
+func (b *dfBuild) gatherFromDurable(st string, emit func(smformat.V2) error) error {
+	for _, comp := range seismic.Components {
+		v2, err := b.s.readV2(b.s.path(smformat.V2FileName(st, comp)))
+		if err != nil {
+			return err
+		}
+		if err := emit(v2); err != nil {
+			return err
+		}
+	}
+	return nil
+}

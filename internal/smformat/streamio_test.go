@@ -1,0 +1,270 @@
+package smformat
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"accelproc/internal/dsp"
+	"accelproc/internal/seismic"
+)
+
+// testStreamFS satisfies StreamFS over a plain directory for the identity
+// tests.
+type testStreamFS struct{ dir string }
+
+func (f testStreamFS) ReadFile(p string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(f.dir, p))
+}
+func (f testStreamFS) WriteFile(p string, b []byte, m os.FileMode) error {
+	return os.WriteFile(filepath.Join(f.dir, p), b, m)
+}
+func (f testStreamFS) Open(p string) (io.ReadCloser, error) {
+	return os.Open(filepath.Join(f.dir, p))
+}
+func (f testStreamFS) Create(p string) (io.WriteCloser, error) {
+	return os.Create(filepath.Join(f.dir, p))
+}
+
+func randomValues(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = rng.NormFloat64() * 100
+	}
+	return vs
+}
+
+// feedChunks drives f over vs in uneven chunk sizes.
+func feedChunks(vs []float64, f func([]float64) error) error {
+	sizes := []int{1, 7, 64, 1000}
+	i, s := 0, 0
+	for i < len(vs) {
+		sz := sizes[s%len(sizes)]
+		s++
+		end := i + sz
+		if end > len(vs) {
+			end = len(vs)
+		}
+		if err := f(vs[i:end]); err != nil {
+			return err
+		}
+		i = end
+	}
+	return nil
+}
+
+func TestV1ComponentStreamWriterByteIdentity(t *testing.T) {
+	fsys := testStreamFS{dir: t.TempDir()}
+	for _, npts := range []int{1, 3, 4, 5, 1000} {
+		v := V1Component{Station: "ST01", Component: seismic.Transversal, DT: 0.005, Accel: randomValues(npts, int64(npts))}
+		var want bytes.Buffer
+		if err := v.Write(&want); err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewV1ComponentStreamWriter(fsys, "st01t.v1", v.Station, v.Component, v.DT, npts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := feedChunks(v.Accel, w.Append); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fsys.ReadFile("st01t.v1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("npts=%d: streamed V1 component differs from batch write", npts)
+		}
+	}
+}
+
+func TestV2StreamWriterByteIdentity(t *testing.T) {
+	fsys := testStreamFS{dir: t.TempDir()}
+	for _, npts := range []int{1, 4, 997} {
+		v := V2{
+			Station:   "ST02",
+			Component: seismic.Vertical,
+			DT:        0.01,
+			Filter:    dsp.BandPassSpec{FSL: 0.1, FPL: 0.25, FPH: 23, FSH: 25},
+			Peaks:     seismic.PeakValues{PGA: 1.5, TimePGA: 2, PGV: 0.5, TimePGV: 3, PGD: 0.1, TimePGD: 4},
+			Accel:     randomValues(npts, 1),
+			Vel:       randomValues(npts, 2),
+			Disp:      randomValues(npts, 3),
+		}
+		var want bytes.Buffer
+		if err := v.Write(&want); err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewV2StreamWriter(fsys, "st02v.v2", v.Station, v.Component, v.DT, npts, v.Filter, v.Peaks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, block := range [][]float64{v.Accel, v.Vel, v.Disp} {
+			if err := w.StartBlock(); err != nil {
+				t.Fatal(err)
+			}
+			if err := feedChunks(block, w.Append); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fsys.ReadFile("st02v.v2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("npts=%d: streamed V2 differs from batch write", npts)
+		}
+		// And it must parse back to the identical value.
+		parsed, err := ReadV2FileFS(fsys, "st02v.v2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed.Station != v.Station || parsed.Peaks != v.Peaks || parsed.Filter != v.Filter {
+			t.Fatalf("npts=%d: parsed V2 headers differ", npts)
+		}
+	}
+}
+
+func TestV2StreamWriterGuards(t *testing.T) {
+	fsys := testStreamFS{dir: t.TempDir()}
+	w, err := NewV2StreamWriter(fsys, "x.v2", "ST", seismic.Longitudinal, 0.01, 4, dsp.BandPassSpec{}, seismic.PeakValues{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Value(1); err == nil {
+		t.Error("value before StartBlock accepted")
+	}
+	w.Abort()
+
+	w, err = NewV2StreamWriter(fsys, "y.v2", "ST", seismic.Longitudinal, 0.01, 2, dsp.BandPassSpec{}, seismic.PeakValues{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.StartBlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Error("short close accepted")
+	}
+}
+
+func TestV1ChunkReaderMatchesParse(t *testing.T) {
+	fsys := testStreamFS{dir: t.TempDir()}
+	for _, npts := range []int{1, 5, 4096} {
+		v := V1{Station: "CHNK", DT: 0.005}
+		for ci := range v.Accel {
+			v.Accel[ci] = randomValues(npts, int64(100*npts+ci))
+		}
+		if err := WriteV1FileFS(fsys, "chnk.v1", v); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenV1Chunks(fsys, "chnk.v1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Station != v.Station || r.DT != v.DT || r.NPTS != npts {
+			t.Fatalf("npts=%d: chunk reader headers %q/%g/%d", npts, r.Station, r.DT, r.NPTS)
+		}
+		for ci, comp := range seismic.Components {
+			got, err := r.NextComponent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != comp {
+				t.Fatalf("component %d is %v, want %v", ci, got, comp)
+			}
+			var all []float64
+			buf := make([]float64, 37)
+			for {
+				n, err := r.Read(buf)
+				all = append(all, buf[:n]...)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if len(all) != npts {
+				t.Fatalf("component %v: %d samples, want %d", comp, len(all), npts)
+			}
+			for i := range all {
+				if all[i] != v.Accel[ci][i] {
+					t.Fatalf("component %v sample %d: %v != %v", comp, i, all[i], v.Accel[ci][i])
+				}
+			}
+		}
+		if _, err := r.NextComponent(); err != io.EOF {
+			t.Fatalf("after last component: %v, want io.EOF", err)
+		}
+		r.Close()
+	}
+}
+
+func TestV1ComponentChunkReaderMatchesParse(t *testing.T) {
+	fsys := testStreamFS{dir: t.TempDir()}
+	v := V1Component{Station: "CMP", Component: seismic.Longitudinal, DT: 0.01, Accel: randomValues(2049, 9)}
+	if err := WriteV1ComponentFileFS(fsys, "cmpl.v1", v); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenV1ComponentChunks(fsys, "cmpl.v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Station != v.Station || r.Component != v.Component || r.DT != v.DT || r.NPTS != len(v.Accel) {
+		t.Fatalf("chunk reader headers %+v", r)
+	}
+	var all []float64
+	buf := make([]float64, 100)
+	for {
+		n, err := r.Read(buf)
+		all = append(all, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(all) != len(v.Accel) {
+		t.Fatalf("%d samples, want %d", len(all), len(v.Accel))
+	}
+	for i := range all {
+		if all[i] != v.Accel[i] {
+			t.Fatalf("sample %d: %v != %v", i, all[i], v.Accel[i])
+		}
+	}
+}
+
+func TestWriteFileCreateFSByteIdentity(t *testing.T) {
+	fsys := testStreamFS{dir: t.TempDir()}
+	v := V2{
+		Station: "EQ", Component: seismic.Longitudinal, DT: 0.02,
+		Accel: randomValues(33, 4), Vel: randomValues(33, 5), Disp: randomValues(33, 6),
+	}
+	if err := WriteV2FileFS(fsys, "batch.v2", v); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileCreateFS(fsys, "stream.v2", v); err != nil {
+		t.Fatal(err)
+	}
+	batch, _ := fsys.ReadFile("batch.v2")
+	streamed, _ := fsys.ReadFile("stream.v2")
+	if !bytes.Equal(batch, streamed) {
+		t.Fatal("Create-routed write differs from WriteFile-routed write")
+	}
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"crypto/sha256"
+	"hash"
 	"io"
 	"io/fs"
 	"os"
@@ -91,6 +92,55 @@ func (OS) Link(oldpath, newpath string) error {
 }
 func (OS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
 func (OS) List(dir string) ([]fs.DirEntry, error)  { return os.ReadDir(dir) }
+
+// Create streams to a sibling temp file and renames it into place on Close,
+// hashing the bytes as they pass so the destination's generation memo is
+// seeded without a re-read — the incremental analogue of WriteFile.
+func (OS) Create(path string) (io.WriteCloser, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &osStreamWriter{f: f, tmp: tmp, path: path, h: sha256.New()}, nil
+}
+
+// osStreamWriter is the io.WriteCloser behind OS.Create.
+type osStreamWriter struct {
+	f    *os.File
+	tmp  string
+	path string
+	h    hash.Hash
+}
+
+func (w *osStreamWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.h.Write(p[:n])
+	return n, err
+}
+
+// Abort discards the write: the temp file is removed and the destination is
+// never touched.  Used by producers that fail mid-stream so a truncated
+// artifact can never be renamed into place.
+func (w *osStreamWriter) Abort() {
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+func (w *osStreamWriter) Close() error {
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	var sum [sha256.Size]byte
+	w.h.Sum(sum[:0])
+	seedHashMemo(w.path, sum)
+	return nil
+}
 
 // diskGen is the filesystem content generation: size plus content hash.
 // Hashing (rather than stat size + mtime) closes the mtime-granularity

@@ -230,6 +230,59 @@ func (m *Mem) Open(path string) (io.ReadCloser, error) {
 	return os.Open(path)
 }
 
+// Create writes through to real disk (temp + rename on Close, like the fs
+// backend) instead of accumulating bytes in memory: streaming producers
+// exist precisely so whole artifacts never become resident, so charging
+// them here would defeat the backpressure contract.  On Close the path's
+// tombstone and any stale in-memory shadow are cleared, so reads fall
+// through to the fresh disk file.
+func (m *Mem) Create(path string) (io.WriteCloser, error) {
+	path = filepath.Clean(path)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &memStreamWriter{m: m, f: f, tmp: tmp, path: path}, nil
+}
+
+// memStreamWriter is the io.WriteCloser behind Mem.Create.
+type memStreamWriter struct {
+	m    *Mem
+	f    *os.File
+	tmp  string
+	path string
+}
+
+func (w *memStreamWriter) Write(p []byte) (int, error) { return w.f.Write(p) }
+
+// Abort discards the write: the temp file is removed and the destination —
+// on disk or in memory — is never touched.
+func (w *memStreamWriter) Abort() {
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+func (w *memStreamWriter) Close() error {
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	m := w.m
+	m.mu.Lock()
+	if old, ok := m.files[w.path]; ok {
+		m.charge(-int64(len(old.data)))
+		delete(m.files, w.path)
+	}
+	delete(m.tombs, w.path)
+	m.mu.Unlock()
+	return nil
+}
+
 func (m *Mem) List(dir string) ([]fs.DirEntry, error) {
 	dir = filepath.Clean(dir)
 	real, err := os.ReadDir(dir)

@@ -60,6 +60,16 @@ type Workspace interface {
 	// Open streams path for incremental reads (header peeks on multi-MB
 	// payloads that must not be slurped whole).
 	Open(path string) (io.ReadCloser, error)
+	// Create streams path for incremental writes: the streaming-mode dual of
+	// Open, for producers whose payload must never be resident in full.  The
+	// destination is written atomically — bytes accumulate in a sibling temp
+	// file that only a successful Close renames into place, so path either
+	// holds the complete payload or does not exist (load-bearing for the
+	// journal plane: an unfinished streamed product is invisible, and resume
+	// simply re-executes its node).  Every backend streams to real disk;
+	// in-memory workspaces deliberately write through, so chunked producers
+	// never inflate ResidentBytes with whole artifacts.
+	Create(path string) (io.WriteCloser, error)
 	// List returns the directory entries of dir, sorted by name.
 	List(dir string) ([]fs.DirEntry, error)
 	// Generation returns an opaque comparable token identifying path's

@@ -1,0 +1,361 @@
+// Package stream is the streaming execution plane's transport: pooled,
+// reference-counted fixed-size chunk buffers and order-aware
+// single-producer/single-consumer channels layered over the storage
+// Workspace.
+//
+// A Stream connects one producer node to one consumer node of the dataflow
+// graph (a "stream edge"): the producer emits a record's samples as chunks
+// in order, the consumer receives them in the same order, and the pair run
+// concurrently — stage N starts before stage N-1 finishes, the order-aware
+// dataflow model of PaSh applied to record processing.
+//
+// Backpressure is a per-stream chunk budget rather than a blocking channel:
+// Send never blocks.  Up to Window chunks ride in memory; overflow spills to
+// per-chunk files under the stream's scratch directory via Workspace.Create
+// and is read back (and deleted) by the consumer in FIFO order.  Never
+// blocking the producer is what makes streams deadlock-free at any worker
+// count: a dispatched producer always runs to completion even when its
+// consumer has no worker yet, so a single-worker executor simply degrades to
+// ordered execution with a fully spilled stream.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"accelproc/internal/storage"
+)
+
+// Default chunk geometry: 8192 float64 samples per chunk (64 KiB) with a
+// 4-chunk in-memory window per stream, a 256 KiB per-stream budget.
+const (
+	DefaultChunkLen = 8192
+	DefaultWindow   = 4
+)
+
+// BudgetBytes returns the in-memory byte budget of one stream with the
+// given geometry: the bound the memory ablation asserts StorageBytesPeak
+// against as NPTS grows.
+func BudgetBytes(chunkLen, window int) int64 {
+	return int64(chunkLen) * 8 * int64(window)
+}
+
+// ErrFallback is the close reason a producer reports when it did not stream:
+// its outputs are durable artifacts (it was resume-skipped, served from the
+// action cache, or took a non-streaming code path), and the consumer must
+// read them from the Workspace instead.
+var ErrFallback = errors.New("stream: producer fell back to durable artifacts")
+
+// Pool hands out fixed-capacity chunks and recycles released ones.  Safe for
+// concurrent use; one pool is shared by every stream of a run.
+type Pool struct {
+	chunkLen int
+	p        sync.Pool
+}
+
+// NewPool returns a pool of chunks holding up to chunkLen samples each.
+// Non-positive values select DefaultChunkLen.
+func NewPool(chunkLen int) *Pool {
+	if chunkLen <= 0 {
+		chunkLen = DefaultChunkLen
+	}
+	p := &Pool{chunkLen: chunkLen}
+	p.p.New = func() any {
+		return &Chunk{pool: p, Data: make([]float64, 0, chunkLen)}
+	}
+	return p
+}
+
+// ChunkLen returns the sample capacity of this pool's chunks.
+func (p *Pool) ChunkLen() int { return p.chunkLen }
+
+// Get returns an empty chunk tagged with the given component index, with one
+// reference held by the caller.
+func (p *Pool) Get(comp int) *Chunk {
+	c := p.p.Get().(*Chunk)
+	c.Comp = comp
+	c.Data = c.Data[:0]
+	c.refs.Store(1)
+	return c
+}
+
+// Chunk is one fixed-capacity run of consecutive samples of a single
+// component.  Data's capacity is the pool's chunk length; its length is how
+// many samples this chunk carries (only the final chunk of a component runs
+// short).  Chunks are reference-counted so a producer can both send a chunk
+// downstream and keep using it: Retain before sharing, Release when done —
+// the last release returns the buffer to the pool.
+type Chunk struct {
+	// Comp tags which component's samples these are (the seismic L/T/V
+	// index), so one stream can carry a whole record's components in
+	// canonical order.
+	Comp int
+	Data []float64
+
+	refs atomic.Int32
+	pool *Pool
+}
+
+// Retain adds a reference.
+func (c *Chunk) Retain() { c.refs.Add(1) }
+
+// Release drops a reference; the last one recycles the chunk.
+func (c *Chunk) Release() {
+	if c.refs.Add(-1) == 0 && c.pool != nil {
+		c.pool.p.Put(c)
+	}
+}
+
+// item is one queue slot: an inline chunk, or a reference to a spilled
+// chunk file.
+type item struct {
+	c     *Chunk
+	spill string
+	comp  int
+	n     int
+}
+
+// Stream is an order-aware SPSC chunk channel.  Exactly one goroutine calls
+// Send/SetHeader/Close and exactly one calls Header/Recv; the two sides may
+// run concurrently.
+type Stream struct {
+	ws       storage.Workspace
+	spillDir string
+	window   int
+	pool     *Pool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	q         []item
+	inline    int // inline chunks currently queued
+	spillSeq  int
+	spilled   int64 // total chunks spilled (stats)
+	header    any
+	headerSet bool
+	closed    bool
+	err       error
+
+	wbuf []byte // producer-side spill encode buffer
+	rbuf []byte // consumer-side spill decode buffer
+}
+
+// New returns a stream drawing chunks from pool, spilling overflow beyond
+// window in-memory chunks to per-chunk files under spillDir (which must
+// exist).  Non-positive window selects DefaultWindow.
+func New(ws storage.Workspace, spillDir string, window int, pool *Pool) *Stream {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	s := &Stream{ws: ws, spillDir: spillDir, window: window, pool: pool}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// SetHeader publishes the producer's header value (record metadata the
+// consumer needs before or after the samples).  Call at most once, before
+// Close.
+func (s *Stream) SetHeader(h any) {
+	s.mu.Lock()
+	s.header = h
+	s.headerSet = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Header blocks until the producer publishes a header or closes the stream.
+// A close without a header yields the close error (ErrFallback included);
+// a clean close without a header yields io.EOF.
+func (s *Stream) Header() (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.headerSet && !s.closed {
+		s.cond.Wait()
+	}
+	if s.headerSet {
+		return s.header, nil
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	return nil, io.EOF
+}
+
+// Send enqueues c, consuming the caller's reference.  It never blocks: when
+// the in-memory window is full the chunk spills to its own file under the
+// spill directory and is read back by Recv in order.  Send reports spill I/O
+// errors; the producer should abort and Close with the error.
+func (s *Stream) Send(c *Chunk) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Release()
+		return errors.New("stream: send on closed stream")
+	}
+	if s.inline < s.window {
+		s.q = append(s.q, item{c: c})
+		s.inline++
+		s.mu.Unlock()
+		s.cond.Broadcast()
+		return nil
+	}
+	s.spillSeq++
+	s.spilled++
+	path := filepath.Join(s.spillDir, fmt.Sprintf("c%06d.spill", s.spillSeq))
+	s.mu.Unlock()
+
+	// Encode outside the lock: the producer is the only writer of wbuf and
+	// the only goroutine that appends to the queue, so FIFO order holds.
+	if err := s.writeSpill(path, c); err != nil {
+		c.Release()
+		return err
+	}
+	it := item{spill: path, comp: c.Comp, n: len(c.Data)}
+	c.Release()
+	s.mu.Lock()
+	s.q = append(s.q, it)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return nil
+}
+
+// Close ends the stream.  A nil err is a clean end (Recv drains the queue
+// and then reports io.EOF); ErrFallback tells the consumer to read durable
+// artifacts instead; any other error propagates to the consumer's Recv.
+// Closing twice keeps the first reason.
+func (s *Stream) Close(err error) {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Spilled reports how many chunks overflowed the in-memory window.
+func (s *Stream) Spilled() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilled
+}
+
+// Recv returns the next chunk in order; the caller owns one reference and
+// must Release it.  It blocks until a chunk is available or the producer
+// closes: a clean close yields (nil, io.EOF) once the queue drains, an
+// error close yields (nil, err) — ErrFallback meaning "read the durable
+// artifacts instead".
+func (s *Stream) Recv() (*Chunk, error) {
+	s.mu.Lock()
+	for len(s.q) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.q) == 0 {
+		err := s.err
+		s.mu.Unlock()
+		if err == nil {
+			err = io.EOF
+		}
+		return nil, err
+	}
+	it := s.q[0]
+	s.q[0] = item{}
+	s.q = s.q[1:]
+	if it.c != nil {
+		s.inline--
+		s.mu.Unlock()
+		s.cond.Broadcast()
+		return it.c, nil
+	}
+	s.mu.Unlock()
+	c, err := s.readSpill(it)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// spillHeader is the fixed prefix of a spill file: component tag and sample
+// count, little-endian uint32 each.
+const spillHeaderLen = 8
+
+// writeSpill encodes c to its own file: raw little-endian float64 bits, an
+// exact round-trip.  Written through Workspace.Create so spilled chunks are
+// never resident on the mem backend and partially written spills are
+// invisible.
+func (s *Stream) writeSpill(path string, c *Chunk) error {
+	need := spillHeaderLen + 8*len(c.Data)
+	if cap(s.wbuf) < need {
+		s.wbuf = make([]byte, need)
+	}
+	buf := s.wbuf[:need]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(c.Comp))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(c.Data)))
+	for i, v := range c.Data {
+		binary.LittleEndian.PutUint64(buf[spillHeaderLen+8*i:], math.Float64bits(v))
+	}
+	w, err := s.ws.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(buf); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// readSpill decodes one spilled chunk back into a pooled buffer and removes
+// the spill file.
+func (s *Stream) readSpill(it item) (*Chunk, error) {
+	r, err := s.ws.Open(it.spill)
+	if err != nil {
+		return nil, err
+	}
+	need := spillHeaderLen + 8*it.n
+	if cap(s.rbuf) < need {
+		s.rbuf = make([]byte, need)
+	}
+	buf := s.rbuf[:need]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		r.Close()
+		return nil, err
+	}
+	r.Close()
+	if got := int(binary.LittleEndian.Uint32(buf[4:8])); got != it.n {
+		return nil, fmt.Errorf("stream: spill %s holds %d samples, want %d", it.spill, got, it.n)
+	}
+	c := s.pool.Get(it.comp)
+	c.Data = c.Data[:it.n]
+	for i := range c.Data {
+		c.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[spillHeaderLen+8*i:]))
+	}
+	_ = s.ws.Remove(it.spill)
+	return c, nil
+}
+
+// Drain receives every remaining chunk, invoking f on each (the callback
+// must not retain the chunk unless it Retains it), and returns the close
+// reason: nil on a clean end, ErrFallback or the producer's error
+// otherwise.
+func (s *Stream) Drain(f func(*Chunk) error) error {
+	for {
+		c, err := s.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		err = f(c)
+		c.Release()
+		if err != nil {
+			return err
+		}
+	}
+}

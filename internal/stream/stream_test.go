@@ -1,0 +1,222 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"accelproc/internal/storage"
+)
+
+func newTestStream(t *testing.T, ws storage.Workspace, window int) (*Stream, *Pool, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "spill")
+	if err := ws.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(8)
+	return New(ws, dir, window, pool), pool, dir
+}
+
+func send(t *testing.T, s *Stream, pool *Pool, comp int, vals ...float64) {
+	t.Helper()
+	c := pool.Get(comp)
+	c.Data = append(c.Data, vals...)
+	if err := s.Send(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamOrderAndEOF(t *testing.T) {
+	s, pool, _ := newTestStream(t, storage.OS{}, 2)
+	for i := 0; i < 10; i++ {
+		send(t, s, pool, i%3, float64(i), float64(i)+0.5)
+	}
+	s.Close(nil)
+	for i := 0; i < 10; i++ {
+		c, err := s.Recv()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if c.Comp != i%3 || len(c.Data) != 2 || c.Data[0] != float64(i) || c.Data[1] != float64(i)+0.5 {
+			t.Fatalf("chunk %d out of order: comp=%d data=%v", i, c.Comp, c.Data)
+		}
+		c.Release()
+	}
+	if _, err := s.Recv(); err != io.EOF {
+		t.Fatalf("after close: %v, want io.EOF", err)
+	}
+}
+
+// TestStreamSpillRoundTrip forces every chunk past the window and checks
+// bit-exact float64 recovery plus spill-file cleanup.
+func TestStreamSpillRoundTrip(t *testing.T) {
+	for _, ws := range []storage.Workspace{storage.OS{}, storage.NewMem()} {
+		s, pool, dir := newTestStream(t, ws, 1)
+		vals := []float64{0, -0.1, 1e-300, -1e300, 3.141592653589793}
+		for i := 0; i < 6; i++ {
+			send(t, s, pool, 1, vals[i%len(vals)], float64(i))
+		}
+		if s.Spilled() == 0 {
+			t.Fatal("window 1 with 6 sends should have spilled")
+		}
+		s.Close(nil)
+		for i := 0; i < 6; i++ {
+			c, err := s.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Data[0] != vals[i%len(vals)] || c.Data[1] != float64(i) {
+				t.Fatalf("chunk %d: %v", i, c.Data)
+			}
+			c.Release()
+		}
+		if _, err := s.Recv(); err != io.EOF {
+			t.Fatal(err)
+		}
+		// All spill files must be consumed and removed.
+		entries, err := ws.List(dir)
+		if err == nil && len(entries) != 0 {
+			t.Fatalf("%d spill files left behind", len(entries))
+		}
+	}
+}
+
+func TestStreamErrFallback(t *testing.T) {
+	s, _, _ := newTestStream(t, storage.OS{}, 2)
+	s.Close(ErrFallback)
+	if _, err := s.Header(); !errors.Is(err, ErrFallback) {
+		t.Fatalf("Header after fallback close: %v", err)
+	}
+	if _, err := s.Recv(); !errors.Is(err, ErrFallback) {
+		t.Fatalf("Recv after fallback close: %v", err)
+	}
+}
+
+func TestStreamFirstCloseReasonWins(t *testing.T) {
+	s, _, _ := newTestStream(t, storage.OS{}, 2)
+	s.Close(nil)
+	s.Close(ErrFallback)
+	if _, err := s.Recv(); err != io.EOF {
+		t.Fatalf("second close reason displaced the first: %v", err)
+	}
+
+	s2, _, _ := newTestStream(t, storage.OS{}, 2)
+	boom := fmt.Errorf("boom")
+	s2.Close(boom)
+	s2.Close(nil)
+	if _, err := s2.Recv(); !errors.Is(err, boom) {
+		t.Fatalf("nil close displaced the error: %v", err)
+	}
+}
+
+func TestStreamHeader(t *testing.T) {
+	s, _, _ := newTestStream(t, storage.OS{}, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got any
+	var gotErr error
+	go func() {
+		defer wg.Done()
+		got, gotErr = s.Header()
+	}()
+	s.SetHeader("hdr")
+	wg.Wait()
+	if gotErr != nil || got != "hdr" {
+		t.Fatalf("Header() = %v, %v", got, gotErr)
+	}
+	// Clean close without header: io.EOF.
+	s2, _, _ := newTestStream(t, storage.OS{}, 2)
+	s2.Close(nil)
+	if _, err := s2.Header(); err != io.EOF {
+		t.Fatalf("headerless clean close: %v", err)
+	}
+}
+
+// TestStreamSendNeverBlocks pins the deadlock-freedom property: a producer
+// with no consumer completes arbitrarily many sends.
+func TestStreamSendNeverBlocks(t *testing.T) {
+	s, pool, _ := newTestStream(t, storage.OS{}, 2)
+	for i := 0; i < 500; i++ {
+		send(t, s, pool, 0, float64(i))
+	}
+	s.Close(nil)
+	n := 0
+	err := s.Drain(func(c *Chunk) error {
+		if c.Data[0] != float64(n) {
+			return fmt.Errorf("chunk %d holds %v", n, c.Data)
+		}
+		n++
+		return nil
+	})
+	if err != nil || n != 500 {
+		t.Fatalf("drained %d chunks, err %v", n, err)
+	}
+}
+
+// TestStreamConcurrentProducerConsumer runs both sides at full speed; under
+// -race this doubles as the data-race gate for the SPSC protocol.
+func TestStreamConcurrentProducerConsumer(t *testing.T) {
+	s, pool, _ := newTestStream(t, storage.OS{}, 4)
+	const chunks = 2000
+	go func() {
+		for i := 0; i < chunks; i++ {
+			c := pool.Get(i % 3)
+			c.Data = append(c.Data, float64(i))
+			if err := s.Send(c); err != nil {
+				s.Close(err)
+				return
+			}
+		}
+		s.SetHeader(chunks)
+		s.Close(nil)
+	}()
+	h, err := s.Header()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.(int) != chunks {
+		t.Fatalf("header %v", h)
+	}
+	n := 0
+	err = s.Drain(func(c *Chunk) error {
+		if c.Comp != n%3 || c.Data[0] != float64(n) {
+			return fmt.Errorf("chunk %d: comp=%d data=%v", n, c.Comp, c.Data)
+		}
+		n++
+		return nil
+	})
+	if err != nil || n != chunks {
+		t.Fatalf("drained %d, err %v", n, err)
+	}
+}
+
+func TestChunkRefcounting(t *testing.T) {
+	pool := NewPool(4)
+	c := pool.Get(2)
+	c.Data = append(c.Data, 1, 2)
+	c.Retain()
+	c.Release()
+	// Still referenced: the data must be intact.
+	if len(c.Data) != 2 || c.Data[0] != 1 {
+		t.Fatalf("retained chunk mutated: %v", c.Data)
+	}
+	c.Release()
+	// Recycled: the next Get may return the same buffer, reset.
+	c2 := pool.Get(0)
+	if len(c2.Data) != 0 || c2.Comp != 0 {
+		t.Fatalf("recycled chunk not reset: comp=%d data=%v", c2.Comp, c2.Data)
+	}
+}
+
+func TestBudgetBytes(t *testing.T) {
+	if got := BudgetBytes(DefaultChunkLen, DefaultWindow); got != 8192*8*4 {
+		t.Fatalf("BudgetBytes = %d", got)
+	}
+}
+
+func TestMain(m *testing.M) { os.Exit(m.Run()) }

@@ -18,6 +18,11 @@ type EventSpec struct {
 	Seed        int64   // master seed; sub-seeds are derived per station
 	DT          float64 // sample interval; zero selects 0.01 s (100 Hz)
 	NoiseFloor  float64 // per-record noise floor; zero selects 0.02
+	// NPTS, when positive, pins every record to exactly NPTS samples,
+	// overriding TotalPoints and the paper's per-file size range.  It is the
+	// record-length scaling knob of the streaming-plane memory ablation,
+	// where per-record NPTS (not the event total) is the variable under test.
+	NPTS int
 }
 
 // Validate reports impossible event shapes.  The paper's raw files range
@@ -30,11 +35,17 @@ func (s EventSpec) Validate() error {
 	if s.Files <= 0 {
 		return fmt.Errorf("synth: event %s has %d files, want > 0", s.Name, s.Files)
 	}
-	if s.TotalPoints <= 0 {
-		return fmt.Errorf("synth: event %s has %d total points, want > 0", s.Name, s.TotalPoints)
-	}
-	if avg := s.TotalPoints / s.Files; avg < 16 {
-		return fmt.Errorf("synth: event %s average record size %d is below the simulator minimum of 16", s.Name, avg)
+	if s.NPTS > 0 {
+		if s.NPTS < 16 {
+			return fmt.Errorf("synth: event %s record size %d is below the simulator minimum of 16", s.Name, s.NPTS)
+		}
+	} else {
+		if s.TotalPoints <= 0 {
+			return fmt.Errorf("synth: event %s has %d total points, want > 0", s.Name, s.TotalPoints)
+		}
+		if avg := s.TotalPoints / s.Files; avg < 16 {
+			return fmt.Errorf("synth: event %s average record size %d is below the simulator minimum of 16", s.Name, avg)
+		}
 	}
 	if s.Magnitude < 1 || s.Magnitude > 9.5 {
 		return fmt.Errorf("synth: event %s magnitude %g outside [1, 9.5]", s.Name, s.Magnitude)
@@ -91,7 +102,8 @@ func Event(spec EventSpec) (seismic.Event, error) {
 }
 
 // recordSizes splits TotalPoints into Files sizes inside the allowed range,
-// summing exactly to TotalPoints, deterministically from the seed.  At the
+// summing exactly to TotalPoints, deterministically from the seed.  An NPTS
+// override pins every record to the same exact length instead.  At the
 // paper's workload sizes the per-file bounds are the published 7,300-35,000
 // range; for scaled-down workloads the bounds relax proportionally around
 // the mean so the split stays satisfiable.
@@ -99,6 +111,12 @@ func recordSizes(spec EventSpec) []int {
 	rng := rand.New(rand.NewSource(spec.Seed ^ 0x51de5))
 	n := spec.Files
 	sizes := make([]int, n)
+	if spec.NPTS > 0 {
+		for i := range sizes {
+			sizes[i] = spec.NPTS
+		}
+		return sizes
+	}
 	mean := spec.TotalPoints / n
 	lo, hi := MinRecordPoints, MaxRecordPoints
 	if mean < lo {
@@ -157,14 +175,32 @@ func PaperEvents() []EventSpec {
 	}
 }
 
+// MegaEvent returns the streaming-plane stress scenario: a handful of
+// million-point records, nearly 30x the paper's largest raw file.  The
+// materialized execution path holds whole traces (and their velocity and
+// displacement integrals) per record; the streaming plane processes the same
+// event in fixed-size chunks, which is what the memory ablation measures.
+func MegaEvent() EventSpec {
+	return EventSpec{
+		Name: "megaevent", Files: 3, NPTS: 1_000_000, Magnitude: 6.5, Seed: 1_000_000,
+	}
+}
+
 // Scale returns a copy of the spec with TotalPoints scaled by f (file count
-// unchanged), used to run the paper's workload shape at reduced size.  The
-// result keeps at least 16 samples per file so records stay generatable.
+// unchanged), used to run the paper's workload shape at reduced size.  An
+// NPTS override scales the same way.  The result keeps at least 16 samples
+// per file so records stay generatable.
 func (s EventSpec) Scale(f float64) EventSpec {
 	out := s
 	out.TotalPoints = int(float64(s.TotalPoints) * f)
 	if out.TotalPoints < 16*out.Files {
 		out.TotalPoints = 16 * out.Files
+	}
+	if s.NPTS > 0 {
+		out.NPTS = int(float64(s.NPTS) * f)
+		if out.NPTS < 16 {
+			out.NPTS = 16
+		}
 	}
 	return out
 }

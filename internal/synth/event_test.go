@@ -177,3 +177,39 @@ func TestEventSmallScaleStillGenerates(t *testing.T) {
 		t.Errorf("total points = %d, want %d", got, spec.TotalPoints)
 	}
 }
+
+func TestEventNPTSOverridePinsRecordLengths(t *testing.T) {
+	spec := testSpec()
+	spec.NPTS = 900 // outside the jittered split any TotalPoints would give
+	spec.TotalPoints = 0
+	ev, err := Event(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Records) != spec.Files {
+		t.Fatalf("records = %d, want %d", len(ev.Records), spec.Files)
+	}
+	for i, r := range ev.Records {
+		if r.Samples() != spec.NPTS {
+			t.Errorf("record %d has %d samples, want exactly %d", i, r.Samples(), spec.NPTS)
+		}
+	}
+	spec.NPTS = 8
+	if err := spec.Validate(); err == nil {
+		t.Error("NPTS below the simulator minimum accepted")
+	}
+}
+
+func TestMegaEventSpec(t *testing.T) {
+	mega := MegaEvent()
+	if err := mega.Validate(); err != nil {
+		t.Fatalf("megaevent spec invalid: %v", err)
+	}
+	if mega.NPTS < 1_000_000 {
+		t.Errorf("megaevent NPTS = %d, want >= 1,000,000", mega.NPTS)
+	}
+	half := mega.Scale(0.5)
+	if half.NPTS != mega.NPTS/2 {
+		t.Errorf("Scale(0.5) NPTS = %d, want %d", half.NPTS, mega.NPTS/2)
+	}
+}
