@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build test race chaos cache-ablation cache-persist crash-resume fleet-bench stream-bench fuzz-smoke bench ci
+.PHONY: all fmt vet build test race chaos cache-ablation cache-persist crash-resume fleet-bench stream-bench fuzz-smoke ingest-check bench ci
 
 all: build
 
@@ -26,10 +26,10 @@ test:
 # The parallel runtime, the dataflow scheduler, the fleet scheduler, and
 # the pipeline drivers carry the concurrency and the occupancy
 # instrumentation; they must stay race-clean, and so must the shared
-# artifact store, the storage plane, and the streaming chunk plane under
-# them.
+# artifact store, the ingest plane, the storage plane, and the streaming
+# chunk plane under them.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/dataflow/... ./internal/fleet/... ./internal/pipeline/... ./internal/artifact/... ./internal/storage/... ./internal/stream/...
+	$(GO) test -race ./internal/parallel/... ./internal/dataflow/... ./internal/fleet/... ./internal/pipeline/... ./internal/ingest/... ./internal/artifact/... ./internal/storage/... ./internal/stream/...
 
 # Seeded chaos soak: the fault-injection suite (rate sweep, poisoned-record
 # batch, retry/quarantine engine) under the race detector, with the artifact
@@ -56,12 +56,14 @@ cache-persist:
 crash-resume:
 	$(GO) test -count=1 -run 'CrashResume|CrashKills|CrashUnarmed|Resume|Journal|Scrub' ./internal/pipeline/... ./internal/faults/... ./internal/artifact/...
 
-# Short fuzz smoke over the format round-trip fuzzers plus the crash-recovery
-# state parsers (run journal, action-cache manifest); the CI gate runs the
-# same targets for ~5s each.
+# Short fuzz smoke over the format round-trip fuzzers, the foreign-format
+# ingest decoders, and the crash-recovery state parsers (run journal,
+# action-cache manifest); the CI gate runs the same targets for ~5s each.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzV1RoundTrip' -fuzztime 5s ./internal/smformat/
 	$(GO) test -run '^$$' -fuzz 'FuzzGEMRoundTrip' -fuzztime 5s ./internal/smformat/
+	$(GO) test -run '^$$' -fuzz 'FuzzV1ADecode' -fuzztime 5s ./internal/ingest/
+	$(GO) test -run '^$$' -fuzz 'FuzzCSVDecode' -fuzztime 5s ./internal/ingest/
 	$(GO) test -run '^$$' -fuzz 'FuzzJournalParse' -fuzztime 5s ./internal/pipeline/
 	$(GO) test -run '^$$' -fuzz 'FuzzActionManifest' -fuzztime 5s ./internal/artifact/
 
@@ -77,7 +79,17 @@ fleet-bench:
 stream-bench:
 	$(GO) run ./cmd/benchtables -streambench -smoke -check
 
+# Ingest-plane suite: the format registry round-trip/sniffing/QC unit
+# tests, plus the pipeline-level acceptance tests — every registered format
+# (and a mixed-format event) must produce byte-identical products, the
+# -format override must win over sniffing, the QC gate must quarantine each
+# defect class with its typed reason (materialized and streaming, and
+# across -resume), and azimuth rotation must match native products.
+ingest-check:
+	$(GO) test -count=1 ./internal/ingest/
+	$(GO) test -count=1 -run 'TestFormats|TestFormatOverride|TestQCGate|TestAzimuth|TestCorruptInput' ./internal/pipeline/
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: fmt vet build test fuzz-smoke race chaos cache-ablation cache-persist crash-resume fleet-bench stream-bench
+ci: fmt vet build test fuzz-smoke race chaos cache-ablation cache-persist crash-resume fleet-bench stream-bench ingest-check

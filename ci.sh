@@ -24,14 +24,16 @@ go test ./...
 echo "== bench smoke (every benchmark compiles and runs once) =="
 go test -bench . -benchtime=1x -run '^$' ./...
 
-echo "== fuzz smoke (format + recovery-state parsers, ~5s each) =="
+echo "== fuzz smoke (format + ingest + recovery-state parsers, ~5s each) =="
 go test -run '^$' -fuzz 'FuzzV1RoundTrip' -fuzztime 5s ./internal/smformat/
 go test -run '^$' -fuzz 'FuzzGEMRoundTrip' -fuzztime 5s ./internal/smformat/
+go test -run '^$' -fuzz 'FuzzV1ADecode' -fuzztime 5s ./internal/ingest/
+go test -run '^$' -fuzz 'FuzzCSVDecode' -fuzztime 5s ./internal/ingest/
 go test -run '^$' -fuzz 'FuzzJournalParse' -fuzztime 5s ./internal/pipeline/
 go test -run '^$' -fuzz 'FuzzActionManifest' -fuzztime 5s ./internal/artifact/
 
-echo "== race (parallel runtime + dataflow scheduler + fleet scheduler + pipeline drivers + artifact store + storage plane + streaming chunk plane) =="
-go test -race ./internal/parallel/... ./internal/dataflow/... ./internal/fleet/... ./internal/pipeline/... ./internal/artifact/... ./internal/storage/... ./internal/stream/...
+echo "== race (parallel runtime + dataflow scheduler + fleet scheduler + pipeline drivers + ingest plane + artifact store + storage plane + streaming chunk plane) =="
+go test -race ./internal/parallel/... ./internal/dataflow/... ./internal/fleet/... ./internal/pipeline/... ./internal/ingest/... ./internal/artifact/... ./internal/storage/... ./internal/stream/...
 
 echo "== chaos (seeded fault-injection soak, artifact cache enabled) =="
 go test -race -count=1 -run 'Chaos|Partial|Quarantine|RetryOp|StageMove' ./internal/pipeline/... ./internal/faults/...
@@ -47,6 +49,10 @@ go test -count=1 -run 'CrashResume|CrashKills|CrashUnarmed|Resume|Journal|Scrub'
 
 echo "== fleet saturation smoke (shared-pool scheduler criteria on a tiny queue) =="
 go run ./cmd/benchtables -fleet -smoke -check
+
+echo "== ingest check (format registry round-trips; byte-identity, QC gate, rotation across the pipeline) =="
+go test -count=1 ./internal/ingest/
+go test -count=1 -run 'TestFormats|TestFormatOverride|TestQCGate|TestAzimuth|TestCorruptInput' ./internal/pipeline/
 
 echo "== streaming memory-ablation smoke (flat StorageBytesPeak, byte-identical outputs) =="
 go run ./cmd/benchtables -streambench -smoke -check

@@ -10,7 +10,7 @@
 //	            [-fleet] [-fleet-events 8] [-fleet-policy p] [-admit 0]
 //	            [-cache off|mem|disk[:dir]] [-storage fs|mem] [-stream]
 //	            [-streambench [-stream-npts 35000,250000,1000000]]
-//	            [-json BENCH_label.json]
+//	            [-ingestbench] [-json BENCH_label.json]
 //	            [-compare old.json [-threshold 0.1]] [new.json]
 //	            [-trace spans.jsonl] [-metrics metrics.txt] [-pprof cpu.out]
 //
@@ -41,6 +41,12 @@
 // with -json the report gains a "stream" block plus synthetic per-NPTS
 // event rows so -compare gates streaming baselines like any other.
 // -streambench is excluded from the no-flag default selection.
+// -ingestbench runs the ingest-plane decode microbenchmark: every
+// registered input format decodes the same synthetic record, fastest of
+// -repeat kept.  Any -json run attaches it automatically as an "ingest"
+// block plus a synthetic "ingest-decode" event row whose variants are the
+// per-format decode times, so -compare gates decode-path regressions
+// against the committed baselines like any other cell.
 // -cache selects the caching layers of every measured run: off, mem (the
 // default in-process memo), or disk[:dir] (the persistent action cache —
 // the cold-vs-warm ablation endpoint; see -ablations).  -no-artifact-cache
@@ -198,6 +204,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		streaming  = fs.Bool("stream", false, "run measured pipelined variants with the streaming execution plane")
 		streamSel  = fs.Bool("streambench", false, "run the streaming-plane memory ablation (NPTS sweep on the mem backend)")
 		streamNPTS = fs.String("stream-npts", "", "comma-separated per-record NPTS sweep for -streambench (default 35000,250000,1000000)")
+		ingestSel  = fs.Bool("ingestbench", false, "run the per-format ingest decode microbenchmark (always attached to -json reports)")
 		compare    = fs.String("compare", "", "diff this baseline report against the report given as positional argument, then exit")
 		threshold  = fs.Float64("threshold", 0.10, "relative slowdown treated as a regression by -compare (0.10 = 10%)")
 	)
@@ -212,7 +219,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return runCompare(stdout, *compare, fs.Arg(0), *threshold)
 	}
 
-	all := !*table1 && !*fig11 && !*fig12 && !*fig13 && !*check && !*ablations && !*fleetSel && !*streamSel
+	all := !*table1 && !*fig11 && !*fig12 && !*fig13 && !*check && !*ablations && !*fleetSel && !*streamSel && !*ingestSel
 	// -check applies to whatever ran: the classic tables (always, unless the
 	// run is fleet- or streambench-only) and the fleet/stream benchmarks
 	// when their flags are set.
@@ -380,6 +387,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, bench.FormatStreamBench(sr))
 	}
 
+	var ingestRes *bench.IngestResult
+	if *ingestSel || *jsonPath != "" {
+		progress("ingest decode microbenchmark")
+		ir, err := bench.RunIngestBench(ctx, bench.IngestConfig{Repeat: cfg.Repeat})
+		if err != nil {
+			return err
+		}
+		ingestRes = &ir
+		if *ingestSel {
+			fmt.Fprintln(stdout, bench.FormatIngest(ir))
+		}
+	}
+
 	var checkLines []string
 	checksFailed := false
 	if all || shapeCheck {
@@ -427,6 +447,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		if streamRes != nil {
 			rep.AttachStream(*streamRes)
+		}
+		if ingestRes != nil {
+			rep.AttachIngest(*ingestRes)
 		}
 		if err := rep.WriteFile(*jsonPath); err != nil {
 			return err

@@ -171,10 +171,18 @@ func TestRunSmokeJSONReport(t *testing.T) {
 	if rep.Label != "smoke" {
 		t.Errorf("label = %q, want smoke (derived from the file name)", rep.Label)
 	}
-	if len(rep.Events) != 2 {
-		t.Fatalf("events = %d, want 2", len(rep.Events))
+	// Two smoke events plus the ingest-decode microbenchmark row every
+	// -json run attaches so -compare gates decode-path regressions too.
+	if len(rep.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(rep.Events))
+	}
+	if rep.Ingest == nil || len(rep.Ingest.Formats) == 0 {
+		t.Error("ingest block missing from -json report")
 	}
 	for _, ev := range rep.Events {
+		if ev.Event == "ingest-decode" {
+			continue
+		}
 		for _, v := range pipeline.Variants {
 			vr, ok := ev.Variants[v.String()]
 			if !ok || vr.Seconds <= 0 {

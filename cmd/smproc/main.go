@@ -9,11 +9,18 @@
 //	smproc -batch "ev1,ev2,ev3" [-variant full] [-event-workers 0]
 //	smproc -batch "ev1,ev2,ev3" -fleet [-fleet-policy balanced] [-admit 0]
 //
-// A directory must contain multiplexed <station>.v1 files (generate
-// synthetic ones with the synthgen command).  -variant selects
-// seq-original, seq-optimized, partial, full, or pipelined (the
-// barrier-free record-level dataflow schedule).  -clean removes all
-// pipeline products first so the run starts from a pristine directory.
+// A directory must contain one record file per station in any registered
+// ingest format — native V1 (.v1), GeoNet-style V1A (.v1a), the
+// miniSEED-like binary (.ms), or CSV (.csv); generate synthetic ones with
+// the synthgen command.  Formats are sniffed per file by magic bytes, so a
+// single event may mix formats; -format forces one registry key for every
+// input instead.  -qc arms the record QC gate: records that are too short,
+// clipped, gappy, or structurally inconsistent are quarantined with a
+// typed reason instead of poisoning the run (see README "Ingest formats").
+// -variant selects seq-original, seq-optimized, partial, full, or
+// pipelined (the barrier-free record-level dataflow schedule).  -clean
+// removes all pipeline products first so the run starts from a pristine
+// directory.
 // -batch processes several event directories concurrently.  -fleet switches
 // batch mode to the fleet scheduler (pipeline.RunFleet): every event runs
 // the pipelined variant and their record-level task graphs share one worker
@@ -72,6 +79,7 @@ import (
 	"accelproc/internal/dsp"
 	"accelproc/internal/faults"
 	"accelproc/internal/fleet"
+	"accelproc/internal/ingest"
 	"accelproc/internal/obs"
 	"accelproc/internal/pipeline"
 	"accelproc/internal/response"
@@ -123,7 +131,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	var obsFlags cliobs.Flags
 	obsFlags.Register(fs)
 	var (
-		dir          = fs.String("dir", "", "work directory containing <station>.v1 inputs")
+		dir          = fs.String("dir", "", "work directory of <station> record inputs (any registered ingest format)")
 		batch        = fs.String("batch", "", "comma-separated list of work directories to process concurrently")
 		variant      = fs.String("variant", "full", "implementation: seq-original, seq-optimized, partial, full, or pipelined")
 		workers      = fs.Int("workers", 0, "worker budget for parallel stages (0 = all processors)")
@@ -143,6 +151,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cacheFlag    = fs.String("cache", "", "cache layers: off, mem (default), or disk[:dir] (persistent action cache; dir defaults to <workdir>/.smcache)")
 		cacheVerify  = fs.Bool("cache-verify", false, "re-hash every restored action-cache blob against its recorded checksum")
 		cacheMax     = fs.Int64("cache-max-bytes", 0, "action-cache size bound in bytes (0 = 256 MiB default, negative = unbounded)")
+		formatName   = fs.String("format", "", "force the ingest format of every input file: "+strings.Join(ingest.Names(), ", ")+" (default: sniff each file by magic, then extension)")
+		qcGate       = fs.Bool("qc", false, "enable the record QC gate thresholds (duration, clip, gap); rejects are quarantined with their typed reason")
 		storageName  = fs.String("storage", "fs", "storage backend: fs (plain filesystem) or mem (in-memory inter-stage files, final products written to disk)")
 		streaming    = fs.Bool("stream", false, "streaming execution plane: process records chunk-at-a-time with bounded memory (pipelined variant only)")
 		journal      = fs.Bool("journal", true, "write a crash-recovery run journal under <dir>/.smrun")
@@ -230,6 +240,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Journal:   *journal,
 		Resume:    *resume,
 		Streaming: *streaming,
+		Format:    *formatName,
+	}
+	if *qcGate {
+		opts.QC = ingest.DefaultQC()
 	}
 	if *instr != "" {
 		in, err := parseInstrument(*instr)

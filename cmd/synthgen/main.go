@@ -1,5 +1,6 @@
-// Command synthgen generates synthetic strong-motion datasets: multiplexed
-// <station>.v1 files ready for processing by smproc.
+// Command synthgen generates synthetic strong-motion datasets: station
+// record files in any registered ingest format, ready for processing by
+// smproc.
 //
 // Usage:
 //
@@ -7,7 +8,16 @@
 //	synthgen -out work/ -files 8 -points 120000 -magnitude 5.6 -seed 42
 //	synthgen -out work/ -files 2 -npts 250000   # exact per-record length
 //	synthgen -out work/ -preset megaevent       # million-point records
+//	synthgen -out work/ -format v1a             # GeoNet-style fixed-width
+//	synthgen -out work/ -format mix -corrupt mix  # every format + defect
+//	synthgen -out work/ -preset nasty           # the hostile-ingest soak
 //	synthgen -list                              # show the presets
+//
+// -format selects the on-disk encoding (v1, v1a, mseed, csv, or mix to
+// cycle through all of them); -corrupt injects record defects (clip, gap,
+// azimuth, short, dt, length, missing, or mix) that the ingest QC gate
+// quarantines — except azimuth, which encodes a rotated sensor frame the
+// decode plane must rotate back.  The nasty preset defaults both to mix.
 package main
 
 import (
@@ -15,8 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
-	"accelproc/internal/pipeline"
+	"accelproc/internal/ingest"
 	"accelproc/internal/synth"
 )
 
@@ -38,6 +49,8 @@ func run(args []string, stdout io.Writer) error {
 		magnitude = fs.Float64("magnitude", 5.5, "scenario magnitude")
 		seed      = fs.Int64("seed", 1, "generator seed")
 		scale     = fs.Float64("scale", 1.0, "scale factor applied to the data-point count")
+		format    = fs.String("format", "", "record encoding: "+strings.Join(ingest.Names(), ", ")+", or mix (default v1)")
+		corrupt   = fs.String("corrupt", "", "inject record defects: "+strings.Join(synth.CorruptKinds, ", ")+", or mix")
 		list      = fs.Bool("list", false, "list the paper's event presets and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -51,19 +64,23 @@ func run(args []string, stdout io.Writer) error {
 				spec.Name, spec.Files, spec.TotalPoints, spec.Magnitude)
 		}
 		mega := synth.MegaEvent()
+		nasty := synth.NastyEvent()
 		fmt.Fprintln(stdout, "stress scenarios:")
 		fmt.Fprintf(stdout, "  %-12s %2d files, %7d points each, M%.1f\n",
 			mega.Name, mega.Files, mega.NPTS, mega.Magnitude)
+		fmt.Fprintf(stdout, "  %-12s %2d files, %7d data points, M%.1f (mixed formats + defects)\n",
+			nasty.Name, nasty.Files, nasty.TotalPoints, nasty.Magnitude)
 		return nil
 	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")
 	}
 
+	emit := synth.EmitOptions{Format: *format, Corrupt: *corrupt, Seed: *seed}
 	var spec synth.EventSpec
 	if *preset != "" {
 		found := false
-		for _, s := range append(synth.PaperEvents(), synth.MegaEvent()) {
+		for _, s := range append(synth.PaperEvents(), synth.MegaEvent(), synth.NastyEvent()) {
 			if s.Name == *preset {
 				spec, found = s, true
 				break
@@ -74,6 +91,17 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if *npts > 0 {
 			spec.NPTS = *npts
+		}
+		// The nasty preset is the mixed-format, mixed-defect soak unless
+		// the flags narrow it.
+		if spec.Name == "nasty" {
+			if emit.Format == "" {
+				emit.Format = "mix"
+			}
+			if emit.Corrupt == "" {
+				emit.Corrupt = "mix"
+			}
+			emit.Seed = spec.Seed
 		}
 	} else {
 		spec = synth.EventSpec{
@@ -91,10 +119,14 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := pipeline.PrepareWorkDir(*out, ev); err != nil {
+	if err := synth.EmitEvent(*out, ev, emit); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "wrote %d V1 files (%d total data points) to %s\n",
-		len(ev.Records), ev.TotalDataPoints(), *out)
+	kind := "V1"
+	if emit.Format != "" && emit.Format != "v1" {
+		kind = emit.Format
+	}
+	fmt.Fprintf(stdout, "wrote %d %s record files (%d total data points) to %s\n",
+		len(ev.Records), kind, ev.TotalDataPoints(), *out)
 	return nil
 }

@@ -35,7 +35,7 @@ func TestRunGeneratesCustomEvent(t *testing.T) {
 	if inv.V1Inputs != 3 {
 		t.Errorf("inventory = %+v, want 3 V1 inputs", inv)
 	}
-	if !strings.Contains(out.String(), "wrote 3 V1 files (4800 total data points)") {
+	if !strings.Contains(out.String(), "wrote 3 V1 record files (4800 total data points)") {
 		t.Errorf("output = %q", out.String())
 	}
 }
@@ -79,7 +79,7 @@ func TestRunGeneratesExactNPTS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "wrote 2 V1 files (2000 total data points)") {
+	if !strings.Contains(out.String(), "wrote 2 V1 record files (2000 total data points)") {
 		t.Errorf("output = %q", out.String())
 	}
 }
@@ -103,7 +103,7 @@ func TestRunGeneratesMegaEventScaled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "wrote 3 V1 files (30000 total data points)") {
+	if !strings.Contains(out.String(), "wrote 3 V1 record files (30000 total data points)") {
 		t.Errorf("output = %q", out.String())
 	}
 }

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"accelproc/internal/ingest"
+)
+
+// This file is the ingest-plane decode microbenchmark: every registered
+// format decodes the same synthetic three-component record, so the
+// committed JSON baselines carry per-format decode timings and -compare
+// flags a decode-path regression (a slowed tokenizer, an accidental extra
+// materialization) the same way it flags a slowed pipeline stage.
+
+// DefaultIngestNPTS is the per-component sample count of the benchmark
+// record: the paper's largest raw file.
+const DefaultIngestNPTS = 35000
+
+// IngestConfig parameterizes the decode microbenchmark.
+type IngestConfig struct {
+	// NPTS is the per-component sample count; 0 selects DefaultIngestNPTS.
+	NPTS int
+	// Repeat is the measurement count per format (fastest kept); 0
+	// selects 3.
+	Repeat int
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if c.NPTS == 0 {
+		c.NPTS = DefaultIngestNPTS
+	}
+	if c.Repeat == 0 {
+		c.Repeat = 3
+	}
+	return c
+}
+
+// IngestFormatResult is one format's decode measurement.
+type IngestFormatResult struct {
+	Format string        // registry name
+	Bytes  int           // encoded record size
+	Decode time.Duration // fastest whole-record decode
+}
+
+// IngestResult is the decode microbenchmark across the format registry.
+type IngestResult struct {
+	NPTS    int // per-component samples
+	Formats []IngestFormatResult
+}
+
+// ingestRecord builds the benchmark record: a deterministic damped sine
+// per component, full float64 precision so the text formats tokenize
+// 17-digit mantissas exactly as real records make them.
+func ingestRecord(npts int) ingest.Record {
+	rec := ingest.Record{Station: "BENCH01"}
+	for ci := range rec.Accel {
+		data := make([]float64, npts)
+		w := 2 * math.Pi * (1.5 + float64(ci))
+		for i := range data {
+			t := float64(i) * 0.005
+			data[i] = 981 * math.Exp(-t/8) * math.Sin(w*t+0.1*float64(ci))
+		}
+		rec.Accel[ci] = data
+		rec.DT[ci] = 0.005
+	}
+	return rec
+}
+
+// RunIngestBench encodes the benchmark record in every registered format
+// and measures each format's whole-record decode, fastest of Repeat.
+func RunIngestBench(ctx context.Context, cfg IngestConfig) (IngestResult, error) {
+	cfg = cfg.withDefaults()
+	rec := ingestRecord(cfg.NPTS)
+	res := IngestResult{NPTS: cfg.NPTS}
+	for _, f := range ingest.Formats() {
+		var buf bytes.Buffer
+		if err := f.Encode(&buf, rec); err != nil {
+			return res, fmt.Errorf("bench: %s encode: %w", f.Name(), err)
+		}
+		raw := buf.Bytes()
+		best := time.Duration(0)
+		for rep := 0; rep < cfg.Repeat; rep++ {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			start := time.Now()
+			got, err := f.Decode(bytes.NewReader(raw))
+			elapsed := time.Since(start)
+			if err != nil {
+				return res, fmt.Errorf("bench: %s decode: %w", f.Name(), err)
+			}
+			if got.NPTS() != cfg.NPTS {
+				return res, fmt.Errorf("bench: %s decode returned NPTS %d, want %d", f.Name(), got.NPTS(), cfg.NPTS)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		res.Formats = append(res.Formats, IngestFormatResult{
+			Format: f.Name(),
+			Bytes:  len(raw),
+			Decode: best,
+		})
+	}
+	return res, nil
+}
+
+// FormatIngest renders the decode microbenchmark as a table.
+func FormatIngest(r IngestResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INGEST DECODE (3 components x %d points per format, fastest repeat)\n", r.NPTS)
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s\n", "format", "bytes", "decode", "MB/s")
+	for _, f := range r.Formats {
+		mbps := 0.0
+		if f.Decode > 0 {
+			mbps = float64(f.Bytes) / (1 << 20) / f.Decode.Seconds()
+		}
+		fmt.Fprintf(&b, "%-8s %12d %12s %12.1f\n", f.Format, f.Bytes, f.Decode.Round(time.Microsecond), mbps)
+	}
+	return b.String()
+}

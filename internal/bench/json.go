@@ -88,6 +88,8 @@ type Report struct {
 	Fleet *FleetReport `json:"fleet,omitempty"`
 	// Stream holds the streaming-plane memory ablation, when it ran.
 	Stream *StreamReport `json:"stream,omitempty"`
+	// Ingest holds the per-format decode microbenchmark, when it ran.
+	Ingest *IngestReport `json:"ingest,omitempty"`
 	Checks []string      `json:"checks,omitempty"`
 }
 
@@ -205,6 +207,46 @@ func (r *Report) AttachStream(sr StreamResults) {
 		})
 	}
 	r.Stream = rep
+}
+
+// IngestFormatReport is one registered format's decode timing in
+// machine-readable form.
+type IngestFormatReport struct {
+	Format        string  `json:"format"`
+	Bytes         int     `json:"bytes"`
+	DecodeSeconds float64 `json:"decode_seconds"`
+}
+
+// IngestReport is the machine-readable per-format decode microbenchmark
+// (see RunIngestBench).
+type IngestReport struct {
+	NPTS    int                  `json:"npts"`
+	Formats []IngestFormatReport `json:"formats"`
+}
+
+// AttachIngest adds the decode microbenchmark to the report: the
+// structured Ingest block, plus one synthetic event row whose variants are
+// the per-format decode times ("decode-v1", "decode-v1a", ...), so the
+// existing -compare gate diffs decode-path baselines with no special
+// casing.
+func (r *Report) AttachIngest(ir IngestResult) {
+	rep := &IngestReport{NPTS: ir.NPTS}
+	variants := make(map[string]VariantReport, len(ir.Formats))
+	for _, f := range ir.Formats {
+		rep.Formats = append(rep.Formats, IngestFormatReport{
+			Format:        f.Format,
+			Bytes:         f.Bytes,
+			DecodeSeconds: f.Decode.Seconds(),
+		})
+		variants["decode-"+f.Format] = VariantReport{Seconds: f.Decode.Seconds()}
+	}
+	r.Events = append(r.Events, EventReport{
+		Event:    "ingest-decode",
+		Files:    len(ir.Formats),
+		Points:   ir.NPTS,
+		Variants: variants,
+	})
+	r.Ingest = rep
 }
 
 // ratio returns num/den in seconds, or 0 when either endpoint is missing.

@@ -1,0 +1,102 @@
+package ingest
+
+import (
+	"io"
+
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+)
+
+// ChunkHeader is the up-front metadata of a chunked record read.
+type ChunkHeader struct {
+	Station string
+	DT      float64
+	NPTS    int
+}
+
+// ChunkReader serves one decoded record incrementally: headers first, then
+// each component's samples in caller-sized chunks, components in canonical
+// order.  It mirrors the native smformat.V1ChunkReader contract so the
+// streaming execution plane consumes every format through one shape.
+type ChunkReader interface {
+	Header() ChunkHeader
+	// NextComponent advances to the next component block, returning its
+	// identity; io.EOF after the last.
+	NextComponent() (seismic.Component, error)
+	// Read fills buf with up to len(buf) samples of the current
+	// component; (0, io.EOF) at the component's end.
+	Read(buf []float64) (int, error)
+	Close() error
+}
+
+// bufferedChunks serves a fully materialized record through the
+// ChunkReader shape — the fallback for formats without an incremental
+// parse, and for any record that needed rotation or sample-scanning QC
+// (both require the whole payload before the first chunk can be correct).
+type bufferedChunks struct {
+	hdr     ChunkHeader
+	accel   [3][]float64
+	compIdx int // components started
+	pos     int // samples served of the current component
+}
+
+// newBufferedChunks wraps a post-gate record (equal lengths and sample
+// intervals guaranteed).
+func newBufferedChunks(rec Record) *bufferedChunks {
+	return &bufferedChunks{
+		hdr:   ChunkHeader{Station: rec.Station, DT: rec.DT[0], NPTS: len(rec.Accel[0])},
+		accel: rec.Accel,
+	}
+}
+
+func (b *bufferedChunks) Header() ChunkHeader { return b.hdr }
+
+func (b *bufferedChunks) NextComponent() (seismic.Component, error) {
+	if b.compIdx >= len(seismic.Components) {
+		return 0, io.EOF
+	}
+	comp := seismic.Components[b.compIdx]
+	b.compIdx++
+	b.pos = 0
+	return comp, nil
+}
+
+func (b *bufferedChunks) Read(buf []float64) (int, error) {
+	if b.compIdx == 0 {
+		return 0, io.EOF
+	}
+	data := b.accel[b.compIdx-1]
+	if b.pos >= len(data) {
+		return 0, io.EOF
+	}
+	n := copy(buf, data[b.pos:])
+	b.pos += n
+	return n, nil
+}
+
+func (b *bufferedChunks) Close() error { return nil }
+
+// materializedChunks implements DecodeChunked for formats without an
+// incremental parse: decode the whole record, verify it is structurally
+// chunkable (components present, equal lengths and sample intervals),
+// rotate if the sensor declared an azimuth, and serve from memory.
+func materializedChunks(f Format, fsys smformat.StreamFS, path string) (ChunkReader, error) {
+	rc, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := f.Decode(rc)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := (QCConfig{}).Check(rec); err != nil {
+		return nil, err
+	}
+	if rec, err = rotate(rec); err != nil {
+		return nil, err
+	}
+	return newBufferedChunks(rec), nil
+}

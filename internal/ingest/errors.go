@@ -1,0 +1,116 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+
+	"accelproc/internal/smformat"
+)
+
+// ErrReject is the root sentinel for every record the ingest plane refuses
+// to pass downstream — QC failures and undecodable files alike.  The
+// pipeline's retry classifier treats anything wrapping ErrReject as
+// permanent: the same bytes can never succeed, so the record goes straight
+// to quarantine instead of burning retry attempts.
+var ErrReject = errors.New("ingest: record rejected")
+
+// The QC taxonomy: one sentinel per defect class, machine-matchable with
+// errors.Is through the retry/quarantine plane.  Each quarantined record's
+// reason carries its class's stable short name (see CheckName) so the
+// verdict stays machine-readable even after a journal replay rehydrates it
+// from text.
+var (
+	ErrDurationTooShort        = errors.New("ingest: record duration too short")
+	ErrComponentLengthMismatch = errors.New("ingest: component lengths mismatch")
+	ErrDtMismatch              = errors.New("ingest: sample-interval mismatch")
+	ErrMissingComponent        = errors.New("ingest: missing component")
+	ErrClipped                 = errors.New("ingest: clipped trace")
+	ErrGap                     = errors.New("ingest: gap in trace")
+)
+
+// taxonomy maps each sentinel to its stable machine name, used in
+// quarantine reasons ("qc/clip") and metrics labels.
+var taxonomy = []struct {
+	err  error
+	name string
+}{
+	{ErrDurationTooShort, "duration"},
+	{ErrComponentLengthMismatch, "length"},
+	{ErrDtMismatch, "dt"},
+	{ErrMissingComponent, "missing"},
+	{ErrClipped, "clip"},
+	{ErrGap, "gap"},
+}
+
+// CheckName returns the stable short name of the taxonomy sentinel err
+// wraps ("duration", "length", "dt", "missing", "clip", "gap"), or "" when
+// err is not a QC rejection.
+func CheckName(err error) string {
+	for _, t := range taxonomy {
+		if errors.Is(err, t.err) {
+			return t.name
+		}
+	}
+	return ""
+}
+
+// QCError is one structured QC rejection: which station, which check, and
+// what was measured.  It unwraps to both the defect-class sentinel and
+// ErrReject, so errors.Is(err, ErrClipped) and errors.Is(err, ErrReject)
+// both hold.
+type QCError struct {
+	Station string
+	Check   string // stable machine name, see CheckName
+	Detail  string // what was measured, human-readable
+	Reason  error  // the taxonomy sentinel
+}
+
+func (e *QCError) Error() string {
+	return fmt.Sprintf("ingest: qc/%s: station %s: %s", e.Check, e.Station, e.Detail)
+}
+
+func (e *QCError) Unwrap() []error { return []error{e.Reason, ErrReject} }
+
+// qcErrf builds a QCError for the given sentinel.
+func qcErrf(station string, reason error, format string, args ...any) error {
+	return &QCError{
+		Station: station,
+		Check:   CheckName(reason),
+		Detail:  fmt.Sprintf(format, args...),
+		Reason:  reason,
+	}
+}
+
+// DecodeError is a structural parse failure of a record file in a
+// registered format.  It unwraps to both smformat.ErrFormat (it is a
+// malformed file) and ErrReject (it is permanent and quarantine-bound).
+type DecodeError struct {
+	Format string // registry key of the format that failed
+	Line   int    // 1-based line of text formats, 0 for binary or unknown
+	Msg    string
+}
+
+func (e *DecodeError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("ingest: %s: line %d: %s", e.Format, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("ingest: %s: %s", e.Format, e.Msg)
+}
+
+func (e *DecodeError) Unwrap() []error { return []error{smformat.ErrFormat, ErrReject} }
+
+// decodeErrf builds a DecodeError with a formatted message.
+func decodeErrf(format string, line int, msg string, args ...any) error {
+	return &DecodeError{Format: format, Line: line, Msg: fmt.Sprintf(msg, args...)}
+}
+
+// UnknownFormatError reports a file no registered format claims.
+type UnknownFormatError struct {
+	Name string
+}
+
+func (e *UnknownFormatError) Error() string {
+	return fmt.Sprintf("ingest: %s: no registered format matches (magic or extension)", e.Name)
+}
+
+func (e *UnknownFormatError) Unwrap() []error { return []error{smformat.ErrFormat, ErrReject} }

@@ -1,0 +1,145 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"accelproc/internal/smformat"
+)
+
+// The decode fuzzers feed arbitrary bytes to the foreign-format parsers
+// (the native V1 parser has its own fuzzer in internal/smformat) and hold
+// the ingest plane to three invariants on every input:
+//
+//  1. Decode never panics, and a decode error always wraps
+//     smformat.ErrFormat — the pipeline's retry classifier keys on that
+//     sentinel to quarantine instead of retrying.
+//  2. The QC gate never panics on a decoder-accepted record, and a gate
+//     verdict always wraps ErrReject.
+//  3. Encode∘Decode is a fixed point: re-encoding a decoded record must
+//     produce bytes the format sniffs and decodes again, and one
+//     canonicalization step at most (encoders drop sample-less components,
+//     so the FIRST re-decode may differ from the raw decode; the second
+//     never differs from the first).  Records with no samples at all are
+//     exempt — a component-free record has no rows/blocks to frame.
+
+// fuzzSeeds returns corpus seeds for one format: a clean record, the
+// azimuth and structural-defect variants, and damaged encodings.
+func fuzzSeeds(f *testing.F, format Format) {
+	add := func(rec Record) []byte {
+		var buf bytes.Buffer
+		if err := format.Encode(&buf, rec); err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(buf.Bytes())
+		return buf.Bytes()
+	}
+	clean := add(testRecord("SEED01"))
+
+	rot := testRecord("SEED02")
+	rot.Azimuth = 33.75
+	add(rot)
+
+	for _, mutate := range []func(*Record){
+		func(r *Record) { r.Accel[2] = nil; r.DT[2] = 0 }, // missing component
+		func(r *Record) { r.Accel[1] = r.Accel[1][:10] },  // length mismatch
+		func(r *Record) { r.DT[1] = 0.01 },                // dt mismatch
+		func(r *Record) { r.Station = "" },                // blank station
+		func(r *Record) { r.Accel[0][3] = math.Inf(1) },   // non-finite sample
+		func(r *Record) { r.Accel[0] = r.Accel[0][:1] },   // near-empty column
+	} {
+		rec := testRecord("SEED03")
+		mutate(&rec)
+		add(rec)
+	}
+
+	// Damaged encodings: truncations at awkward offsets and a flipped byte.
+	for _, cut := range []int{1, len(clean) / 3, len(clean) - 2} {
+		if cut > 0 && cut < len(clean) {
+			f.Add(clean[:cut])
+		}
+	}
+	flipped := bytes.Clone(clean)
+	flipped[len(flipped)/2] ^= 0x20
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("not a record at all\n"))
+}
+
+// bitEqualRecords compares two records sample-for-sample on float64 bit
+// patterns (so NaN payloads and signed zeros count), treating nil and
+// empty components as equal.
+func bitEqualRecords(a, b Record) bool {
+	if a.Station != b.Station || math.Float64bits(a.Azimuth) != math.Float64bits(b.Azimuth) {
+		return false
+	}
+	for ci := range a.Accel {
+		if math.Float64bits(a.DT[ci]) != math.Float64bits(b.DT[ci]) {
+			return false
+		}
+		if len(a.Accel[ci]) != len(b.Accel[ci]) {
+			return false
+		}
+		for i := range a.Accel[ci] {
+			if math.Float64bits(a.Accel[ci][i]) != math.Float64bits(b.Accel[ci][i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func fuzzDecode(f *testing.F, name string) {
+	format, err := ByName(name)
+	if err != nil {
+		f.Fatal(err)
+	}
+	fuzzSeeds(f, format)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := format.Decode(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, smformat.ErrFormat) {
+				t.Fatalf("decode error does not wrap smformat.ErrFormat: %v", err)
+			}
+			return
+		}
+		if qcErr := DefaultQC().Check(rec); qcErr != nil && !errors.Is(qcErr, ErrReject) {
+			t.Fatalf("QC verdict does not wrap ErrReject: %v", qcErr)
+		}
+		if rec.NPTS() == 0 {
+			return
+		}
+		var enc1 bytes.Buffer
+		if err := format.Encode(&enc1, rec); err != nil {
+			t.Fatalf("re-encode of decoded record: %v", err)
+		}
+		prefix := enc1.Bytes()
+		if len(prefix) > SniffLen {
+			prefix = prefix[:SniffLen]
+		}
+		if !format.Sniff(prefix) {
+			t.Fatalf("%s does not sniff its own re-encode", name)
+		}
+		rec2, err := format.Decode(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of re-encoded record: %v\nencoded:\n%s", err, enc1.Bytes())
+		}
+		var enc2 bytes.Buffer
+		if err := format.Encode(&enc2, rec2); err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		rec3, err := format.Decode(bytes.NewReader(enc2.Bytes()))
+		if err != nil {
+			t.Fatalf("second re-decode: %v", err)
+		}
+		if !bitEqualRecords(rec2, rec3) {
+			t.Fatalf("encode/decode is not a fixed point:\nrec2 = %+v\nrec3 = %+v", rec2, rec3)
+		}
+	})
+}
+
+func FuzzV1ADecode(f *testing.F) { fuzzDecode(f, "v1a") }
+
+func FuzzCSVDecode(f *testing.F) { fuzzDecode(f, "csv") }

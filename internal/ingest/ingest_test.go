@@ -1,0 +1,318 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+)
+
+// testRecord builds a clean three-component record with awkward values
+// (negatives, denormal-ish magnitudes, huge magnitudes) so round-trip
+// equality is a real precision test.
+func testRecord(station string) Record {
+	rec := Record{Station: station, DT: [3]float64{0.005, 0.005, 0.005}}
+	for ci := range rec.Accel {
+		data := make([]float64, 23)
+		for i := range data {
+			data[i] = (float64(i)-11.25)*1.7e-13 + float64(ci+1)*3.1e4*float64(i%5)
+		}
+		rec.Accel[ci] = data
+	}
+	rec.Accel[1][7] = -9.80665e2
+	rec.Accel[2][3] = 4.9406564584124654e-324 // smallest denormal
+	return rec
+}
+
+func sameRecord(t *testing.T, want, got Record) {
+	t.Helper()
+	if got.Station != want.Station {
+		t.Fatalf("station %q, want %q", got.Station, want.Station)
+	}
+	if got.Azimuth != want.Azimuth {
+		t.Fatalf("azimuth %g, want %g", got.Azimuth, want.Azimuth)
+	}
+	for ci := range want.Accel {
+		if len(want.Accel[ci]) == 0 {
+			if len(got.Accel[ci]) != 0 {
+				t.Fatalf("component %d: got %d samples, want none", ci, len(got.Accel[ci]))
+			}
+			continue
+		}
+		if got.DT[ci] != want.DT[ci] {
+			t.Fatalf("component %d: dt %g, want %g", ci, got.DT[ci], want.DT[ci])
+		}
+		if len(got.Accel[ci]) != len(want.Accel[ci]) {
+			t.Fatalf("component %d: %d samples, want %d", ci, len(got.Accel[ci]), len(want.Accel[ci]))
+		}
+		for i := range want.Accel[ci] {
+			if got.Accel[ci][i] != want.Accel[ci][i] {
+				t.Fatalf("component %d sample %d: %v, want %v (not bit-exact)",
+					ci, i, got.Accel[ci][i], want.Accel[ci][i])
+			}
+		}
+	}
+}
+
+// TestRoundTripAllFormats encodes the same record in every registered
+// format and requires a bit-exact decode, plus that the format's own
+// sniffer claims the bytes.
+func TestRoundTripAllFormats(t *testing.T) {
+	for _, f := range Formats() {
+		t.Run(f.Name(), func(t *testing.T) {
+			want := testRecord("SS01")
+			var buf bytes.Buffer
+			if err := f.Encode(&buf, want); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			raw := buf.Bytes()
+			prefix := raw
+			if len(prefix) > SniffLen {
+				prefix = prefix[:SniffLen]
+			}
+			if !f.Sniff(prefix) {
+				t.Fatalf("%s does not sniff its own output", f.Name())
+			}
+			got, err := f.Decode(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			sameRecord(t, want, got)
+		})
+	}
+}
+
+// TestRoundTripAzimuth checks the azimuth survives in every format that
+// can carry one.
+func TestRoundTripAzimuth(t *testing.T) {
+	for _, name := range []string{"v1a", "mseed", "csv"} {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := testRecord("SS02")
+		want.Azimuth = 33.75
+		var buf bytes.Buffer
+		if err := f.Encode(&buf, want); err != nil {
+			t.Fatalf("%s encode: %v", name, err)
+		}
+		got, err := f.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s decode: %v", name, err)
+		}
+		sameRecord(t, want, got)
+	}
+}
+
+// TestRoundTripDefective checks the foreign formats can represent every
+// structural QC defect class without the parser healing or rejecting it —
+// the gate, not the decoder, must own those verdicts.
+func TestRoundTripDefective(t *testing.T) {
+	defects := map[string]func(*Record){
+		"missing":  func(r *Record) { r.Accel[2] = nil; r.DT[2] = 0 },
+		"length":   func(r *Record) { r.Accel[1] = r.Accel[1][:10] },
+		"dt":       func(r *Record) { r.DT[1] = 0.01 },
+		"short":    func(r *Record) {},
+		"twoComps": func(r *Record) { r.Accel[0] = nil; r.DT[0] = 0 },
+	}
+	for _, name := range []string{"v1a", "mseed", "csv"} {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for defect, mutate := range defects {
+			want := testRecord("SS03")
+			mutate(&want)
+			var buf bytes.Buffer
+			if err := f.Encode(&buf, want); err != nil {
+				t.Fatalf("%s/%s encode: %v", name, defect, err)
+			}
+			got, err := f.Decode(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s/%s decode: %v", name, defect, err)
+			}
+			sameRecord(t, want, got)
+		}
+	}
+}
+
+// TestNativeEncodeRejectsUnrepresentable: the native V1 cannot carry an
+// azimuth or structural defects, and must say so instead of dropping them.
+func TestNativeEncodeRejectsUnrepresentable(t *testing.T) {
+	f, err := ByName("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("SS04")
+	rec.Azimuth = 10
+	if err := f.Encode(&bytes.Buffer{}, rec); err == nil {
+		t.Fatal("v1 encode accepted an azimuth")
+	}
+	rec = testRecord("SS04")
+	rec.Accel[1] = rec.Accel[1][:5]
+	if err := f.Encode(&bytes.Buffer{}, rec); err == nil {
+		t.Fatal("v1 encode accepted mismatched lengths")
+	}
+}
+
+// TestDetect covers the sniffing order: magic beats extension, extension
+// catches magicless content, and unknown files are typed errors.
+func TestDetect(t *testing.T) {
+	// Magic beats a lying extension.
+	var buf bytes.Buffer
+	v1f, _ := ByName("v1")
+	if err := v1f.Encode(&buf, testRecord("SS05")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Detect("misnamed.csv", buf.Bytes()[:SniffLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "v1" {
+		t.Fatalf("magic did not beat extension: got %s, want v1", f.Name())
+	}
+	// Extension catches content with no recognizable magic.
+	f, err = Detect("plain.v1a", []byte("NOT A MAGIC LINE\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "v1a" {
+		t.Fatalf("extension fallback: got %s, want v1a", f.Name())
+	}
+	// Unknown both ways.
+	_, err = Detect("mystery.dat", []byte("NOT A MAGIC LINE\n"))
+	var unknown *UnknownFormatError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("want UnknownFormatError, got %v", err)
+	}
+	if !errors.Is(err, ErrReject) || !errors.Is(err, smformat.ErrFormat) {
+		t.Fatalf("UnknownFormatError must wrap ErrReject and smformat.ErrFormat: %v", err)
+	}
+}
+
+// TestQCGate is the defect table: each synthetic defect lands on exactly
+// its taxonomy sentinel, machine-matchable with errors.Is, with the stable
+// check name in the message.
+func TestQCGate(t *testing.T) {
+	qc := QCConfig{MinDuration: 0.08, ClipRun: 4, GapRun: 8}
+	cases := []struct {
+		name   string
+		mutate func(*Record)
+		want   error
+		check  string
+	}{
+		{"missing", func(r *Record) { r.Accel[2] = nil }, ErrMissingComponent, "missing"},
+		{"length", func(r *Record) { r.Accel[1] = r.Accel[1][:10] }, ErrComponentLengthMismatch, "length"},
+		{"dt", func(r *Record) { r.DT[1] = 0.01 }, ErrDtMismatch, "dt"},
+		{"dtZero", func(r *Record) { r.DT[0] = 0 }, ErrDtMismatch, "dt"},
+		{"duration", func(r *Record) {
+			for ci := range r.Accel {
+				r.Accel[ci] = r.Accel[ci][:4]
+			}
+		}, ErrDurationTooShort, "duration"},
+		{"clip", func(r *Record) {
+			peak := 1e6
+			for i := 5; i < 10; i++ {
+				r.Accel[0][i] = peak
+			}
+		}, ErrClipped, "clip"},
+		{"gap", func(r *Record) {
+			for i := 3; i < 14; i++ {
+				r.Accel[1][i] = 0
+			}
+		}, ErrGap, "gap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := testRecord("SS06")
+			tc.mutate(&rec)
+			err := qc.Check(rec)
+			if err == nil {
+				t.Fatalf("defect passed the gate")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, ErrReject) {
+				t.Fatalf("QC error must wrap ErrReject: %v", err)
+			}
+			if CheckName(err) != tc.check {
+				t.Fatalf("CheckName = %q, want %q", CheckName(err), tc.check)
+			}
+			if !strings.Contains(err.Error(), "qc/"+tc.check) {
+				t.Fatalf("message %q missing qc/%s token", err.Error(), tc.check)
+			}
+		})
+	}
+	// And the clean record passes.
+	if err := qc.Check(testRecord("SS06")); err != nil {
+		t.Fatalf("clean record rejected: %v", err)
+	}
+}
+
+// TestZeroQCIsStructuralOnly: the zero config still rejects structurally
+// unprocessable records but lets thresholds through.
+func TestZeroQCIsStructuralOnly(t *testing.T) {
+	var qc QCConfig
+	rec := testRecord("SS07")
+	for ci := range rec.Accel {
+		rec.Accel[ci] = rec.Accel[ci][:2] // 5 ms record: any duration threshold would reject
+	}
+	if err := qc.Check(rec); err != nil {
+		t.Fatalf("zero config rejected a structurally sound record: %v", err)
+	}
+	rec.Accel[1] = rec.Accel[1][:1]
+	if err := qc.Check(rec); !errors.Is(err, ErrComponentLengthMismatch) {
+		t.Fatalf("structural check disabled at zero config: %v", err)
+	}
+}
+
+// TestRotation: a record encoded in the sensor frame at a declared azimuth
+// decodes to (approximately) the original north-aligned motion, and an
+// azimuth of zero is the bit-exact identity.
+func TestRotation(t *testing.T) {
+	want := testRecord("SS08")
+	// Sensor frame: rotate the true motion by -az (the inverse of the
+	// decode-side rotation).
+	az := 33.0
+	sensor := seismic.Record{Station: want.Station}
+	for ci := range want.Accel {
+		sensor.Accel[ci] = seismic.Trace{DT: want.DT[ci], Data: want.Accel[ci]}
+	}
+	inv, err := seismic.RotateHorizontal(sensor, -az)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Station: want.Station, DT: want.DT, Azimuth: az}
+	for ci := range rec.Accel {
+		rec.Accel[ci] = inv.Accel[ci].Data
+	}
+	got, err := rotate(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Azimuth != 0 {
+		t.Fatalf("rotation left azimuth %g", got.Azimuth)
+	}
+	for ci := range want.Accel {
+		for i := range want.Accel[ci] {
+			if d := math.Abs(got.Accel[ci][i] - want.Accel[ci][i]); d > 1e-9 {
+				t.Fatalf("component %d sample %d off by %g after rotation", ci, i, d)
+			}
+		}
+	}
+	// Identity at azimuth zero: same backing arrays, untouched.
+	same, err := rotate(Record{Station: "SS08", DT: want.DT, Accel: want.Accel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range want.Accel {
+		if &same.Accel[ci][0] != &want.Accel[ci][0] {
+			t.Fatalf("azimuth-0 rotation copied component %d", ci)
+		}
+	}
+}

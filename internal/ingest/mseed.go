@@ -1,0 +1,202 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"math"
+
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+)
+
+// mseedFormat is a miniSEED-like length-prefixed binary format: an 8-byte
+// magic, then a sequence of length-prefixed records — one station header
+// record followed by one record per recorded component.  Samples are raw
+// little-endian IEEE-754 float64 bits, so round-trips are exact by
+// construction.  Like real miniSEED, each record is self-describing and
+// length-prefixed, so a reader can skip records it does not understand and
+// truncation is detected by the frame, not by a parse error deep inside a
+// payload.
+//
+// Layout:
+//
+//	magic   "ACMSEED1"
+//	record  uint32 LE payload length, then the payload:
+//	  header  'H', uint16 LE station length, station bytes, float64 azimuth
+//	  comp    'C', uint8 component index, float64 dt, uint32 LE npts,
+//	          npts × float64 samples
+type mseedFormat struct{}
+
+const mseedMagic = "ACMSEED1"
+
+const (
+	mseedRecHeader = 'H'
+	mseedRecComp   = 'C'
+)
+
+// mseedMaxRecord caps a single record's declared payload length (magic +
+// header + the longest component the pipeline meets is far below this); a
+// hostile length prefix cannot reserve gigabytes.
+const mseedMaxRecord = 1 << 30
+
+func (mseedFormat) Name() string      { return "mseed" }
+func (mseedFormat) Extension() string { return ".ms" }
+
+func (mseedFormat) Sniff(prefix []byte) bool { return hasMagicLine(prefix, mseedMagic) }
+
+func putF64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+func getF64(b []byte) float64    { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+// writeRecord frames one payload.
+func writeRecord(w *bufio.Writer, payload []byte) error {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func (mseedFormat) Encode(w io.Writer, rec Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(mseedMagic); err != nil {
+		return err
+	}
+	// Header record: tag, station, azimuth.
+	hdr := make([]byte, 0, 3+len(rec.Station)+8)
+	hdr = append(hdr, mseedRecHeader)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(rec.Station)))
+	hdr = append(hdr, rec.Station...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(rec.Azimuth))
+	if err := writeRecord(bw, hdr); err != nil {
+		return err
+	}
+	for ci := range seismic.Components {
+		if len(rec.Accel[ci]) == 0 {
+			continue
+		}
+		payload := make([]byte, 14+8*len(rec.Accel[ci]))
+		payload[0] = mseedRecComp
+		payload[1] = byte(ci)
+		putF64(payload[2:], rec.DT[ci])
+		binary.LittleEndian.PutUint32(payload[10:], uint32(len(rec.Accel[ci])))
+		for i, v := range rec.Accel[ci] {
+			putF64(payload[14+8*i:], v)
+		}
+		if err := writeRecord(bw, payload); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readRecord reads one length-prefixed payload; (nil, io.EOF) at a clean
+// end of stream.
+func readRecord(r *bufio.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, decodeErrf("mseed", 0, "truncated record length prefix")
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > mseedMaxRecord {
+		return nil, decodeErrf("mseed", 0, "record length %d outside (0, %d]", n, mseedMaxRecord)
+	}
+	// Read incrementally so a hostile length prefix on a short stream
+	// fails after the actual bytes, not after a giant up-front alloc.
+	capHint := int(n)
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	payload := make([]byte, 0, capHint)
+	buf := make([]byte, 32*1024)
+	for len(payload) < int(n) {
+		want := int(n) - len(payload)
+		if want > len(buf) {
+			want = len(buf)
+		}
+		m, err := io.ReadFull(r, buf[:want])
+		payload = append(payload, buf[:m]...)
+		if err != nil {
+			return nil, decodeErrf("mseed", 0, "truncated record: got %d of %d payload bytes", len(payload), n)
+		}
+	}
+	return payload, nil
+}
+
+func (mseedFormat) Decode(r io.Reader) (Record, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(mseedMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != mseedMagic {
+		return Record{}, decodeErrf("mseed", 0, "not an mseed file (missing %q)", mseedMagic)
+	}
+	var rec Record
+	sawHeader := false
+	for {
+		payload, err := readRecord(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Record{}, err
+		}
+		switch payload[0] {
+		case mseedRecHeader:
+			if sawHeader {
+				return Record{}, decodeErrf("mseed", 0, "duplicate header record")
+			}
+			if len(payload) < 3 {
+				return Record{}, decodeErrf("mseed", 0, "header record too short (%d bytes)", len(payload))
+			}
+			sl := int(binary.LittleEndian.Uint16(payload[1:]))
+			if len(payload) != 3+sl+8 {
+				return Record{}, decodeErrf("mseed", 0, "header record is %d bytes, want %d", len(payload), 3+sl+8)
+			}
+			rec.Station = string(payload[3 : 3+sl])
+			rec.Azimuth = getF64(payload[3+sl:])
+			sawHeader = true
+		case mseedRecComp:
+			if !sawHeader {
+				return Record{}, decodeErrf("mseed", 0, "component record before header")
+			}
+			if len(payload) < 14 {
+				return Record{}, decodeErrf("mseed", 0, "component record too short (%d bytes)", len(payload))
+			}
+			ci := int(payload[1])
+			if ci >= len(seismic.Components) {
+				return Record{}, decodeErrf("mseed", 0, "component index %d outside [0, %d)", ci, len(seismic.Components))
+			}
+			if len(rec.Accel[ci]) != 0 {
+				return Record{}, decodeErrf("mseed", 0, "duplicate %s record", seismic.Components[ci])
+			}
+			npts := int(binary.LittleEndian.Uint32(payload[10:]))
+			if npts <= 0 || len(payload) != 14+8*npts {
+				return Record{}, decodeErrf("mseed", 0, "%s record is %d bytes, want %d for NPTS %d",
+					seismic.Components[ci], len(payload), 14+8*npts, npts)
+			}
+			rec.DT[ci] = getF64(payload[2:])
+			data := make([]float64, npts)
+			for i := range data {
+				data[i] = getF64(payload[14+8*i:])
+			}
+			rec.Accel[ci] = data
+		default:
+			// Length-prefixed framing: unknown record types are skipped,
+			// the miniSEED forward-compatibility property.
+		}
+	}
+	if !sawHeader {
+		return Record{}, decodeErrf("mseed", 0, "no header record")
+	}
+	return rec, nil
+}
+
+// DecodeChunked materializes the record (the binary layout is record-at-
+// a-time, and azimuth rotation needs both horizontals anyway).
+func (f mseedFormat) DecodeChunked(fsys smformat.StreamFS, path string) (ChunkReader, error) {
+	return materializedChunks(f, fsys, path)
+}

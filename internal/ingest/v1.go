@@ -1,0 +1,70 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+)
+
+// v1Format adapts the native multiplexed V1 codec (internal/smformat) to
+// the ingest plane.  Decoding defers entirely to smformat.ParseV1; encoding
+// to smformat.V1.Write, so a synthetic event emitted through this format is
+// byte-identical to what pipeline.PrepareWorkDir always wrote.  The format
+// cannot represent an azimuth or a structurally defective record — its
+// header carries one DT and one NPTS — so Encode rejects those instead of
+// silently dropping fields.
+type v1Format struct{}
+
+func (v1Format) Name() string      { return "v1" }
+func (v1Format) Extension() string { return ".v1" }
+
+func (v1Format) Sniff(prefix []byte) bool { return hasMagicLine(prefix, smformat.V1Magic) }
+
+func (v1Format) Decode(r io.Reader) (Record, error) {
+	v, err := smformat.ParseV1(r)
+	if err != nil {
+		return Record{}, err
+	}
+	return FromV1(v), nil
+}
+
+func (v1Format) Encode(w io.Writer, rec Record) error {
+	if rec.Azimuth != 0 {
+		return fmt.Errorf("ingest: v1 cannot carry an azimuth (%g°); use v1a, mseed, or csv", rec.Azimuth)
+	}
+	if rec.DT[0] != rec.DT[1] || rec.DT[0] != rec.DT[2] {
+		return fmt.Errorf("ingest: v1 cannot carry per-component sample intervals %v", rec.DT)
+	}
+	n := len(rec.Accel[0])
+	if len(rec.Accel[1]) != n || len(rec.Accel[2]) != n {
+		return fmt.Errorf("ingest: v1 cannot carry mismatched component lengths")
+	}
+	return rec.V1().Write(w)
+}
+
+// DecodeChunked is truly incremental: the native chunk reader parses
+// headers up front and streams the payload.
+func (v1Format) DecodeChunked(fsys smformat.StreamFS, path string) (ChunkReader, error) {
+	cr, err := smformat.OpenV1Chunks(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	return &v1Chunks{cr: cr}, nil
+}
+
+// v1Chunks wraps the native incremental reader in the ChunkReader shape.
+type v1Chunks struct {
+	cr *smformat.V1ChunkReader
+}
+
+func (c *v1Chunks) Header() ChunkHeader {
+	return ChunkHeader{Station: c.cr.Station, DT: c.cr.DT, NPTS: c.cr.NPTS}
+}
+
+func (c *v1Chunks) NextComponent() (seismic.Component, error) { return c.cr.NextComponent() }
+
+func (c *v1Chunks) Read(buf []float64) (int, error) { return c.cr.Read(buf) }
+
+func (c *v1Chunks) Close() error { return c.cr.Close() }

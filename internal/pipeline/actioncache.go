@@ -41,8 +41,10 @@ import (
 // fragments reproduce bit-for-bit.
 
 // actionScheme versions the digest layout; bump on any change to the hashed
-// fields so entries from older binaries can never alias.
-const actionScheme = "accelproc/action/v1"
+// fields so entries from older binaries can never alias.  v2: process #3
+// hashes the station's actual input file (any ingest format) plus the
+// -format override and QC configuration instead of assuming <st>.v1.
+const actionScheme = "accelproc/action/v2"
 
 // Side-channel blob names; "@" keeps them disjoint from real file names.
 const (
@@ -65,7 +67,13 @@ func (b *dfBuild) nodeAction(pid ProcessID, st string) (artifact.ActionID, bool)
 	ok := true
 	switch pid {
 	case PSeparateComponents:
-		ok = b.hashFiles(h, smformat.V1FileName(st))
+		name, err := s.inputFileOf(st)
+		if err != nil {
+			return artifact.ActionID{}, false
+		}
+		ok = b.hashFiles(h, name)
+		h.String("format:" + s.opts.Format)
+		h.String("qc:" + s.opts.QC.String())
 	case PDefaultFilter, PCorrectedFilter:
 		ok = b.hashFilterParamsFor(h, st) &&
 			b.hashFiles(h, componentNames(smformat.V1ComponentFileName, st)...)

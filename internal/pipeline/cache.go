@@ -7,6 +7,7 @@ import (
 	"accelproc/internal/artifact"
 	"accelproc/internal/dsp"
 	"accelproc/internal/faults"
+	"accelproc/internal/ingest"
 	"accelproc/internal/obs"
 	"accelproc/internal/smformat"
 )
@@ -41,11 +42,17 @@ import (
 // outputs keyed by content digests, surviving restarts — lives in
 // actioncache.go.
 
-func (s *state) readV1(path string) (smformat.V1, error) {
+// readRecord decodes one input record file through the ingest plane —
+// format resolution, QC gate, component rotation — memoized like every
+// other hot artifact: process #12 re-decodes every input that process #3
+// already decoded, and the memo turns that second pass into a
+// generation-checked hit.  The memo key is the path alone; that is sound
+// because the format override and QC configuration are fixed for the run.
+func (s *state) readRecord(path string) (smformat.V1, error) {
 	if v, ok := artifact.Cached[smformat.V1](s.arts, path); ok {
 		return v, nil
 	}
-	v, err := smformat.ReadV1FileFS(s.ws, path)
+	v, _, err := ingest.ReadRecord(s.ws, path, s.informat, s.opts.QC)
 	if err != nil {
 		return v, err
 	}

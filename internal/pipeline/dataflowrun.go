@@ -877,16 +877,39 @@ func (s *state) fourierRecordViaTempFolder(idx int, st, exe string) (err error) 
 	return nil
 }
 
-// recordWeights estimates each record's size by peeking at the NPTS header
-// of its V1 file, so the scheduler starts the heaviest records first.  The
-// peek is best-effort: any read or parse problem yields weight 1 and is
-// surfaced later by the processes that actually consume the file.
+// recordWeights estimates each record's size so the scheduler starts the
+// heaviest records first.  Native V1 inputs get an NPTS header peek; foreign
+// ingest formats fall back to file size over a nominal bytes-per-sample —
+// only the relative ordering matters.  Best-effort in every branch: any
+// read or parse problem yields weight 1 and is surfaced later by the decode
+// node that actually consumes the file.
 func (s *state) recordWeights(stations []string) []float64 {
+	inputs, err := s.inputsByStation()
 	w := make([]float64, len(stations))
 	for i, st := range stations {
-		w[i] = float64(nptsOf(s.ws, s.path(smformat.V1FileName(st))))
+		w[i] = 1
+		if err != nil {
+			continue
+		}
+		name, ok := inputs[st]
+		if !ok {
+			continue
+		}
+		w[i] = inputWeight(s.ws, s.path(name))
 	}
 	return w
+}
+
+// inputWeight is recordWeights' per-file heuristic: NPTS for native V1,
+// size/24 (three ~8-byte samples per time step) for everything else.
+func inputWeight(ws storage.Workspace, p string) float64 {
+	if strings.EqualFold(filepath.Ext(p), ".v1") {
+		return float64(nptsOf(ws, p))
+	}
+	if fi, err := ws.Stat(p); err == nil && fi.Size() > 24 {
+		return float64(fi.Size()) / 24
+	}
+	return 1
 }
 
 // nptsOf scans the V1 header (NPTS is on the fourth line) for the sample

@@ -7,6 +7,8 @@ import (
 	"io/fs"
 
 	"accelproc/internal/faults"
+	"accelproc/internal/ingest"
+	"accelproc/internal/smformat"
 )
 
 // ErrorKind classifies a staging-protocol failure for the retry engine: it
@@ -82,8 +84,9 @@ func (e *StageError) Unwrap() error { return e.Err }
 // Is matches another *StageError treating the target's zero fields as
 // wildcards, so errors.Is can select failures by any subset of
 // (stage, process, record, op, kind).  Process zero (PInitFlags) acts as a
-// wildcard; that is safe because StageErrors only arise in the temp-folder
-// stages, whose processes are #4, #7, and #13.
+// wildcard; that is safe because StageErrors only arise in per-record
+// processes — the ingest decode (#3) and the temp-folder stages (#4, #7,
+// and #13).
 func (e *StageError) Is(target error) bool {
 	t, ok := target.(*StageError)
 	if !ok {
@@ -109,6 +112,10 @@ func classify(err error) ErrorKind {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return ErrKindCanceled
 	case errors.Is(err, faults.ErrPermanent) || errors.Is(err, fs.ErrNotExist):
+		return ErrKindPermanent
+	case errors.Is(err, ingest.ErrReject) || errors.Is(err, smformat.ErrFormat):
+		// QC-gate rejections and structurally damaged record files: the
+		// bytes will not improve on retry, quarantine with the typed reason.
 		return ErrKindPermanent
 	default:
 		return ErrKindTransient

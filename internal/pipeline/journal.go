@@ -249,8 +249,10 @@ func quarPayload(q journalQuar) string {
 // the kernels read.  A journal written under a different digest is ignored
 // by resume — its "done" claims are about a different computation.
 func journalParamsDigest(variant Variant, o Options) string {
-	h := artifact.NewHasher("accelproc/journal/v1")
+	h := artifact.NewHasher("accelproc/journal/v2")
 	h.Int(int64(variant))
+	h.String("format:" + o.Format)
+	h.String("qc:" + o.QC.String())
 	h.String(fmt.Sprintf("response:%#v", o.Response))
 	h.String(fmt.Sprintf("pick:%#v", o.Pick))
 	h.Float(o.TaperFraction)

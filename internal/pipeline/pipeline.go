@@ -25,6 +25,7 @@ import (
 	"accelproc/internal/dsp"
 	"accelproc/internal/faults"
 	"accelproc/internal/fourier"
+	"accelproc/internal/ingest"
 	"accelproc/internal/obs"
 	"accelproc/internal/response"
 	"accelproc/internal/simsched"
@@ -315,6 +316,19 @@ type Options struct {
 	// TaperFraction is the cosine-taper fraction applied before filtering;
 	// zero selects 0.05.
 	TaperFraction float64
+	// Format forces every input record to decode as the named ingest
+	// format (a registry key of internal/ingest: v1, v1a, mseed, csv).
+	// Empty resolves each file individually — magic bytes first, file
+	// extension second (see ingest.Detect).
+	Format string
+	// QC configures the record sanity gate the decode step (process #3)
+	// runs on every input before demultiplexing (see ingest.QCConfig).
+	// The zero value keeps only the structural checks (missing component,
+	// length mismatch, disagreeing sample intervals) that mark a record
+	// unprocessable; ingest.DefaultQC() adds the threshold checks
+	// (minimum duration, clipping, telemetry gaps).  Rejected records are
+	// quarantined with their typed reason, and the survivors continue.
+	QC ingest.QCConfig
 	// Instrument, when non-nil, enables instrument-response deconvolution:
 	// the correction processes (#4 and #13) remove this transducer's
 	// transfer function from the raw signal before band-pass filtering,

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -322,7 +323,7 @@ func TestRunFailsOnFileAsDirectory(t *testing.T) {
 	}
 }
 
-func TestRunFailsOnCorruptInput(t *testing.T) {
+func TestCorruptInputQuarantined(t *testing.T) {
 	ev := testEvent(t)
 	for _, v := range Variants {
 		dir := filepath.Join(t.TempDir(), v.String())
@@ -330,7 +331,8 @@ func TestRunFailsOnCorruptInput(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Truncate one input mid-payload: the header survives (so the file
-		// is gathered) but parsing must fail.
+		// is gathered) but decoding must fail — and the decode node must
+		// quarantine the record instead of failing the run.
 		name := filepath.Join(dir, smformat.V1FileName(ev.Records[0].Station))
 		data, err := os.ReadFile(name)
 		if err != nil {
@@ -339,8 +341,26 @@ func TestRunFailsOnCorruptInput(t *testing.T) {
 		if err := os.WriteFile(name, data[:len(data)/2], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Run(context.Background(), dir, v, testOptions()); err == nil {
-			t.Errorf("%v: corrupt input accepted", v)
+		res, err := Run(context.Background(), dir, v, testOptions())
+		if err != nil {
+			t.Fatalf("%v: run failed instead of degrading: %v", v, err)
+		}
+		if len(res.Quarantined) != 1 {
+			t.Fatalf("%v: %d records quarantined, want 1", v, len(res.Quarantined))
+		}
+		q := res.Quarantined[0]
+		if q.Station != ev.Records[0].Station {
+			t.Errorf("%v: quarantined %s, want %s", v, q.Station, ev.Records[0].Station)
+		}
+		if q.Process != PSeparateComponents {
+			t.Errorf("%v: quarantined at process #%d, want #%d", v, q.Process, PSeparateComponents)
+		}
+		if !errors.Is(q.Err, smformat.ErrFormat) {
+			t.Errorf("%v: quarantine reason %v does not wrap smformat.ErrFormat", v, q.Err)
+		}
+		// The survivors must have completed normally.
+		if want := len(ev.Records) - 1; len(res.Stations) != want {
+			t.Errorf("%v: %d stations processed, want %d", v, len(res.Stations), want)
 		}
 	}
 }
@@ -529,7 +549,7 @@ func TestOptionsWithDefaults(t *testing.T) {
 	}
 }
 
-func TestSimulatedParForPropagatesErrors(t *testing.T) {
+func TestSimulatedParForSurfacesDecodeFailures(t *testing.T) {
 	ev := testEvent(t)
 	dir := filepath.Join(t.TempDir(), "w")
 	if err := PrepareWorkDir(dir, ev); err != nil {
@@ -537,16 +557,14 @@ func TestSimulatedParForPropagatesErrors(t *testing.T) {
 	}
 	opts := testOptions()
 	opts.SimProcessors = 8
-	// Corrupt a per-component V1 after separation would be needed for a
-	// mid-parallel-loop failure; instead corrupt the whole input so the
-	// simulated gather succeeds but parsing inside the loop fails.
 	res, err := Run(context.Background(), dir, FullParallel, opts)
 	if err != nil {
 		t.Fatalf("baseline run failed: %v", err)
 	}
 	_ = res
-	// Now truncate one corrected file and rerun only to ensure a simulated
-	// run surfaces the error.
+	// Truncate one input and rerun: the decode failure must surface through
+	// the simulated parallel loop as a quarantine verdict, not be swallowed
+	// by the scheduler.
 	name := filepath.Join(dir, ev.Records[0].Station+".v1")
 	data, err := os.ReadFile(name)
 	if err != nil {
@@ -555,8 +573,12 @@ func TestSimulatedParForPropagatesErrors(t *testing.T) {
 	if err := os.WriteFile(name, data[:len(data)/3], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(context.Background(), dir, FullParallel, opts); err == nil {
-		t.Error("simulated run accepted corrupt input")
+	res, err = Run(context.Background(), dir, FullParallel, opts)
+	if err != nil {
+		t.Fatalf("simulated run failed instead of degrading: %v", err)
+	}
+	if len(res.Quarantined) != 1 || res.Quarantined[0].Station != ev.Records[0].Station {
+		t.Errorf("simulated run quarantined %v, want exactly %s", res.Quarantined, ev.Records[0].Station)
 	}
 }
 

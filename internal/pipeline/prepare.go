@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"accelproc/internal/ingest"
 	"accelproc/internal/seismic"
 	"accelproc/internal/smformat"
 	"accelproc/internal/storage"
@@ -31,8 +32,9 @@ func PrepareWorkDir(dir string, ev seismic.Event) error {
 }
 
 // CleanOutputs removes every pipeline product from dir, leaving only the
-// multiplexed V1 inputs, so the same directory can be re-processed by
-// another variant from a pristine state.
+// input record files (any registered ingest format, identified by magic),
+// so the same directory can be re-processed by another variant from a
+// pristine state.
 func CleanOutputs(dir string) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -50,14 +52,12 @@ func CleanOutputs(dir string) error {
 			}
 			continue
 		}
-		if strings.HasSuffix(name, ".v1") {
-			first, err := firstLine(storage.Disk(), filepath.Join(dir, name))
-			if err != nil {
-				return err
-			}
-			if first == "STRONG-MOTION UNCORRECTED RECORD V1" {
-				continue // multiplexed input, keep
-			}
+		prefix, err := sniffHead(storage.Disk(), filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if _, ok := ingest.SniffAny(prefix); ok {
+			continue // record input in some registered format, keep
 		}
 		if err := os.Remove(filepath.Join(dir, name)); err != nil {
 			return err
@@ -69,7 +69,7 @@ func CleanOutputs(dir string) error {
 // OutputInventory summarizes the products present in a work directory, for
 // assertions in tests and reporting in the CLI.
 type OutputInventory struct {
-	V1Inputs     int // multiplexed station inputs
+	V1Inputs     int // station record inputs, native or any foreign ingest format
 	V1Components int
 	V2           int
 	Fourier      int
@@ -93,11 +93,11 @@ func Inventory(dir string) (OutputInventory, error) {
 		name := e.Name()
 		switch {
 		case strings.HasSuffix(name, ".v1"):
-			first, err := firstLine(storage.Disk(), filepath.Join(dir, name))
+			prefix, err := sniffHead(storage.Disk(), filepath.Join(dir, name))
 			if err != nil {
 				return OutputInventory{}, err
 			}
-			if first == "STRONG-MOTION UNCORRECTED RECORD V1" {
+			if hasLine(prefix, smformat.V1Magic) {
 				inv.V1Inputs++
 			} else {
 				inv.V1Components++
@@ -114,6 +114,14 @@ func Inventory(dir string) (OutputInventory, error) {
 			inv.Plots++
 		case strings.HasSuffix(name, ".meta"):
 			inv.Metadata++
+		default:
+			prefix, err := sniffHead(storage.Disk(), filepath.Join(dir, name))
+			if err != nil {
+				return OutputInventory{}, err
+			}
+			if _, ok := ingest.SniffAny(prefix); ok {
+				inv.V1Inputs++ // record input in a foreign ingest format
+			}
 		}
 	}
 	return inv, nil

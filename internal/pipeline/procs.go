@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"io"
+	"path"
 	"sort"
 	"strings"
 	"sync"
 
 	"accelproc/internal/dsp"
 	"accelproc/internal/fourier"
+	"accelproc/internal/ingest"
 	"accelproc/internal/plotps"
 	"accelproc/internal/response"
 	"accelproc/internal/seismic"
@@ -33,8 +36,13 @@ func (s *state) procInitFlags() error {
 	return smformat.WriteFileListFileFS(s.ws, s.path(smformat.FlagsFile), flags)
 }
 
-// procGatherInputs is process #1: scan the work directory for multiplexed
-// V1 input files and write the v1list metadata.
+// procGatherInputs is process #1: scan the work directory for input record
+// files in any registered ingest format and write the v1list metadata.
+// Recognition is by magic bytes, so per-component products (which share the
+// ".v1" extension on a rerun of a used work directory but carry a different
+// magic) are never gathered.  A -format override additionally admits
+// magicless files carrying the override's extension, but still never a file
+// whose magic belongs to the per-component product.
 func (s *state) procGatherInputs() error {
 	entries, err := s.ws.List(s.dir)
 	if err != nil {
@@ -42,22 +50,28 @@ func (s *state) procGatherInputs() error {
 	}
 	var files []string
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".v1") {
+		if e.IsDir() {
 			continue
 		}
-		// Multiplexed station files only: per-component files (which also
-		// end in .v1 on a rerun of a used work directory) are recognized
-		// and skipped by their magic line.
-		first, err := firstLine(s.ws, s.path(e.Name()))
+		name := e.Name()
+		prefix, err := sniffHead(s.ws, s.path(name))
 		if err != nil {
 			return err
 		}
-		if first == "STRONG-MOTION UNCORRECTED RECORD V1" {
-			files = append(files, e.Name())
+		ok := false
+		if f := s.informat; f != nil {
+			ok = f.Sniff(prefix) ||
+				(strings.EqualFold(path.Ext(name), f.Extension()) &&
+					!hasLine(prefix, smformat.V1ComponentMagic))
+		} else {
+			_, ok = ingest.SniffAny(prefix)
+		}
+		if ok {
+			files = append(files, name)
 		}
 	}
 	if len(files) == 0 {
-		return fmt.Errorf("no V1 input files in %s", s.dir)
+		return fmt.Errorf("no input record files in %s", s.dir)
 	}
 	sort.Strings(files)
 	return smformat.WriteFileListFileFS(s.ws, s.path(smformat.V1ListFile), smformat.FileList{Name: "v1list", Files: files})
@@ -85,12 +99,29 @@ func (s *state) procSeparateComponents(workers int) error {
 	})
 }
 
-// separateStation splits one multiplexed <s>.v1 into its three per-component
-// files: the per-record unit of process #3, scheduled directly as a dataflow
-// node by the pipelined variant.
+// separateStation decodes one station's input record through the ingest
+// plane — format resolution, the QC gate, component rotation — and splits it
+// into its three per-component files: the per-record unit of process #3,
+// scheduled directly as a dataflow node by the pipelined variant.
+//
+// Rejections are graceful degradation, not run failures: an undecodable
+// file, a QC defect, or an unrotatable record classifies as permanent
+// (ingest.ErrReject), the retry engine quarantines the record with its
+// typed reason, and the event continues with the survivors.  Transient I/O
+// failures retry under the usual policy first.
 func (s *state) separateStation(st string) error {
-	v1, err := s.readV1(s.path(smformat.V1FileName(st)))
+	rc := recordSite{stage: StageIII, proc: PSeparateComponents, station: st}
+	name, err := s.inputFileOf(st)
 	if err != nil {
+		return err
+	}
+	var v1 smformat.V1
+	err = s.retryOp(rc, "decode", func() error {
+		var derr error
+		v1, derr = s.readRecord(s.path(name))
+		return derr
+	})
+	if err = s.degraded(rc, err); err != nil || s.isQuarantined(st) {
 		return err
 	}
 	for ci, comp := range seismic.Components {
@@ -585,6 +616,32 @@ func firstLine(ws storage.Workspace, path string) (string, error) {
 		return "", sc.Err()
 	}
 	return sc.Text(), nil
+}
+
+// sniffHead reads the leading ingest.SniffLen bytes of a file, the window
+// every registered format's magic fits in.  A shorter file yields a shorter
+// prefix, not an error.
+func sniffHead(ws storage.Workspace, name string) ([]byte, error) {
+	f, err := ws.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, ingest.SniffLen)
+	n, err := io.ReadFull(f, buf)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// hasLine reports whether prefix begins with the given magic line (allowing
+// the prefix to truncate the magic when the file is shorter than it).
+func hasLine(prefix []byte, magic string) bool {
+	if len(prefix) >= len(magic) {
+		return string(prefix[:len(magic)]) == magic
+	}
+	return len(prefix) > 0 && bytes.HasPrefix([]byte(magic), prefix)
 }
 
 // writePlotFile renders one multi-panel page and writes it to path through

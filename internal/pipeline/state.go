@@ -6,13 +6,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"accelproc/internal/artifact"
 	"accelproc/internal/faults"
+	"accelproc/internal/ingest"
 	"accelproc/internal/obs"
 	"accelproc/internal/parallel"
 	"accelproc/internal/seismic"
@@ -44,6 +44,10 @@ type state struct {
 	fs    faults.FS
 	chaos *faults.Chaos
 	retry RetryPolicy
+
+	// informat is the decode-plane format override resolved from
+	// Options.Format; nil means every input file is sniffed individually.
+	informat ingest.Format
 
 	// arts is the run's write-through artifact memo (see internal/artifact
 	// and cache.go): decoded V1/V2/F/R payloads keyed by path and content
@@ -215,6 +219,13 @@ func newState(ctx context.Context, dir string, opts Options) (*state, error) {
 	s := &state{ctx: ctx, fail: fail, dir: dir, opts: opts.withDefaults()}
 	s.retry = s.opts.Retry.withDefaults()
 	s.quarantinedSet = make(map[string]bool)
+	if name := s.opts.Format; name != "" {
+		f, err := ingest.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		s.informat = f
+	}
 	ws, err := storage.New(s.opts.Storage)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %w", err)
@@ -354,20 +365,50 @@ func (s *state) timedTask(parent *obs.Span, name string, body func() error) erro
 	return nil
 }
 
-// stations reads the gathered input list (the product of process #1) and
-// returns the station codes in sorted order, excluding records condemned to
-// quarantine — downstream processes see only the survivors.
-func (s *state) stations() ([]string, error) {
+// inputsByStation reads the gathered input list (the product of process #1)
+// and maps every station code to its input file name — since the ingest
+// plane, the list can mix any registered format, so the station is the name
+// minus whatever registered extension it carries.  Quarantined records are
+// NOT filtered here: callers that need only survivors use stations().
+func (s *state) inputsByStation() (map[string]string, error) {
 	list, err := smformat.ReadFileListFileFS(s.ws, s.path(smformat.V1ListFile))
 	if err != nil {
 		return nil, err
 	}
-	stations := make([]string, 0, len(list.Files))
+	m := make(map[string]string, len(list.Files))
 	for _, f := range list.Files {
-		st, ok := strings.CutSuffix(f, ".v1")
+		st, ok := ingest.StationOf(f)
 		if !ok {
-			return nil, fmt.Errorf("pipeline: v1list entry %q is not a .v1 file", f)
+			return nil, fmt.Errorf("pipeline: v1list entry %q is not a record file of a registered format", f)
 		}
+		m[st] = f
+	}
+	return m, nil
+}
+
+// inputFileOf resolves one station's input file name from the gathered list.
+func (s *state) inputFileOf(st string) (string, error) {
+	m, err := s.inputsByStation()
+	if err != nil {
+		return "", err
+	}
+	name, ok := m[st]
+	if !ok {
+		return "", fmt.Errorf("pipeline: station %s has no input file in v1list", st)
+	}
+	return name, nil
+}
+
+// stations reads the gathered input list (the product of process #1) and
+// returns the station codes in sorted order, excluding records condemned to
+// quarantine — downstream processes see only the survivors.
+func (s *state) stations() ([]string, error) {
+	m, err := s.inputsByStation()
+	if err != nil {
+		return nil, err
+	}
+	stations := make([]string, 0, len(m))
+	for st := range m {
 		if s.isQuarantined(st) {
 			continue
 		}

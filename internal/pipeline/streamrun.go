@@ -11,6 +11,7 @@ import (
 	"accelproc/internal/dsp"
 	"accelproc/internal/faults"
 	"accelproc/internal/fourier"
+	"accelproc/internal/ingest"
 	"accelproc/internal/response"
 	"accelproc/internal/seismic"
 	"accelproc/internal/smformat"
@@ -249,23 +250,43 @@ func (r *sampleReader) Read(buf []float64) (int, error) {
 func (r *sampleReader) Close() error { return r.rc.Close() }
 
 // streamSeparateStation is the streamed body of one record of process #3: it
-// scans the multiplexed V1 once, writing each per-component file
+// opens the station's input through the ingest plane (format resolution, QC
+// gate, rotation) and scans the record once, writing each per-component file
 // incrementally while sending the same chunks down the stream to the default
-// filter.  The emitted files are byte-identical to separateStation's.
+// filter.  Native V1 input with a header-only QC gate streams truly
+// incrementally; foreign formats, sample-scanning QC, and rotated records
+// materialize inside ingest.OpenChunks but still stream outward.  The
+// emitted files are byte-identical to separateStation's.
+//
+// Rejections surface at open time — before the header or any chunk has been
+// sent — and quarantine the record exactly as the unstreamed body does.
+// There is no retryOp around the open: a half-streamed node cannot be
+// retried, so transient open failures also condemn the record (at attempt 1)
+// rather than risk replaying chunks downstream.
 func (b *dfBuild) streamSeparateStation(i int, st string) error {
 	s := b.s
 	out := b.streams[PSeparateComponents][i]
-	r, err := smformat.OpenV1Chunks(s.ws, s.path(smformat.V1FileName(st)))
+	name, err := s.inputFileOf(st)
 	if err != nil {
 		return err
 	}
+	rc := recordSite{stage: StageIII, proc: PSeparateComponents, station: st}
+	r, err := ingest.OpenChunks(s.ws, s.path(name), s.informat, s.opts.QC)
+	if err != nil {
+		if kind := classify(err); kind != ErrKindCanceled {
+			return s.degraded(rc, &StageError{Stage: rc.stage, Process: rc.proc,
+				Record: st, Op: "decode", Kind: kind, Attempts: 1, Err: err})
+		}
+		return err
+	}
 	defer r.Close()
-	out.SetHeader(streamHeader{Station: st, DT: r.DT, NPTS: r.NPTS})
+	hdr := r.Header()
+	out.SetHeader(streamHeader{Station: st, DT: hdr.DT, NPTS: hdr.NPTS})
 	for ci, comp := range seismic.Components {
 		if _, err := r.NextComponent(); err != nil {
 			return err
 		}
-		w, err := smformat.NewV1ComponentStreamWriter(s.ws, s.path(smformat.V1ComponentFileName(st, comp)), st, comp, r.DT, r.NPTS)
+		w, err := smformat.NewV1ComponentStreamWriter(s.ws, s.path(smformat.V1ComponentFileName(st, comp)), st, comp, hdr.DT, hdr.NPTS)
 		if err != nil {
 			return err
 		}
@@ -380,7 +401,14 @@ func (b *dfBuild) streamFilterRecord(pid ProcessID, i int, st string) (smformat.
 			return frag, nil
 		case fallbackClose(herr):
 			// The producer did not stream; its per-component files are
-			// durable — read them chunk by chunk below.
+			// durable — read them chunk by chunk below.  Unless the record
+			// was condemned while this node was already blocked on the
+			// header (the decode node quarantines before its wrapper closes
+			// the stream, so the flag is visible here): then there are no
+			// durable files and the record simply yields no fragment.
+			if s.isQuarantined(st) {
+				return smformat.MaxValues{}, nil
+			}
 		default:
 			return smformat.MaxValues{}, herr
 		}
@@ -733,6 +761,11 @@ func (b *dfBuild) gatherFilterRecord(st string, params smformat.FilterParams, in
 			}
 			haveStream = true
 		case fallbackClose(err):
+			// No durable files exist for a record condemned by its decode
+			// node while we were blocked on the header; yield no fragment.
+			if s.isQuarantined(st) {
+				return smformat.MaxValues{}, nil
+			}
 		default:
 			return frag, err
 		}
@@ -839,8 +872,13 @@ func (b *dfBuild) gatherRecord(pid ProcessID, i int, st string, emit func(smform
 
 // gatherFromDurable is the gather consumers' fallback: the producer's V2
 // files are durable (it was resume-skipped or took a fallback path itself);
-// read them whole as the materialized path does.
+// read them whole as the materialized path does.  A record condemned while
+// this consumer was already blocked on its stream has no durable files —
+// and nothing downstream to feed — so it emits nothing.
 func (b *dfBuild) gatherFromDurable(st string, emit func(smformat.V2) error) error {
+	if b.s.isQuarantined(st) {
+		return nil
+	}
 	for _, comp := range seismic.Components {
 		v2, err := b.s.readV2(b.s.path(smformat.V2FileName(st, comp)))
 		if err != nil {

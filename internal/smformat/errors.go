@@ -1,0 +1,35 @@
+package smformat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFormat is the root sentinel for every malformed-file error this
+// package produces.  Callers that only care whether a parse failure was
+// structural (as opposed to an I/O error) test errors.Is(err, ErrFormat);
+// callers that need the position extract the *SyntaxError with errors.As.
+var ErrFormat = errors.New("smformat: malformed file")
+
+// SyntaxError is a structural parse failure at a known line of the input.
+// It wraps ErrFormat so the whole taxonomy is reachable through errors.Is,
+// which the pipeline's retry/quarantine classifier relies on: a syntax
+// error is permanent — retrying the same bytes cannot succeed.
+type SyntaxError struct {
+	Line int    // 1-based line of the offending input, 0 if unknown
+	Msg  string // human-readable description
+}
+
+func (e *SyntaxError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("smformat: line %d: %s", e.Line, e.Msg)
+	}
+	return "smformat: " + e.Msg
+}
+
+func (e *SyntaxError) Unwrap() error { return ErrFormat }
+
+// syntaxErrf builds a *SyntaxError with a formatted message.
+func syntaxErrf(line int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

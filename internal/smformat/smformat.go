@@ -91,7 +91,7 @@ func (v *valueScanner) next() (float64, error) {
 			if err := v.sc.Err(); err != nil {
 				return 0, err
 			}
-			return 0, fmt.Errorf("line %d: unexpected end of file in value block", v.line)
+			return 0, syntaxErrf(v.line, "unexpected end of file in value block")
 		}
 		v.line++
 		v.buf = v.sc.Text()
@@ -104,7 +104,7 @@ func (v *valueScanner) next() (float64, error) {
 	tok := v.buf[start:v.pos]
 	x, err := strconv.ParseFloat(tok, 64)
 	if err != nil {
-		return 0, fmt.Errorf("line %d: bad numeric value %q: %v", v.line, tok, err)
+		return 0, syntaxErrf(v.line, "bad numeric value %q: %v", tok, err)
 	}
 	return x, nil
 }
@@ -141,13 +141,13 @@ func (h *headerReader) expect(key string) (string, error) {
 		if err := h.sc.Err(); err != nil {
 			return "", err
 		}
-		return "", fmt.Errorf("line %d: unexpected end of file, want %q header", h.line+1, key)
+		return "", syntaxErrf(h.line+1, "unexpected end of file, want %q header", key)
 	}
 	h.line++
 	text := h.sc.Text()
 	k, v, ok := strings.Cut(text, ":")
 	if !ok || strings.TrimSpace(k) != key {
-		return "", fmt.Errorf("line %d: got %q, want %q header", h.line, text, key)
+		return "", syntaxErrf(h.line, "got %q, want %q header", text, key)
 	}
 	return strings.TrimSpace(v), nil
 }
@@ -159,7 +159,7 @@ func (h *headerReader) expectInt(key string) (int, error) {
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return 0, fmt.Errorf("line %d: %s: bad integer %q", h.line, key, v)
+		return 0, syntaxErrf(h.line, "%s: bad integer %q", key, v)
 	}
 	return n, nil
 }
@@ -171,7 +171,7 @@ func (h *headerReader) expectFloat(key string) (float64, error) {
 	}
 	x, err := strconv.ParseFloat(v, 64)
 	if err != nil {
-		return 0, fmt.Errorf("line %d: %s: bad number %q", h.line, key, v)
+		return 0, syntaxErrf(h.line, "%s: bad number %q", key, v)
 	}
 	return x, nil
 }

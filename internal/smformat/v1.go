@@ -14,6 +14,15 @@ const (
 	v1CompMagic = "STRONG-MOTION UNCORRECTED COMPONENT V1"
 )
 
+// V1Magic is the first line of every multiplexed V1 file; the ingest
+// plane's format sniffer matches it.
+const V1Magic = v1Magic
+
+// V1ComponentMagic is the first line of every per-component V1 product;
+// the pipeline's gather step uses it to keep demultiplexed products out of
+// the input set even under a forced -format override.
+const V1ComponentMagic = v1CompMagic
+
 // V1 is the uncorrected record of one station: raw acceleration for the
 // three components, multiplexed into a single <station>.v1 file as recorded
 // by the accelerograph.
@@ -103,7 +112,7 @@ func (v V1) Write(w io.Writer) error {
 func ParseV1(r io.Reader) (V1, error) {
 	sc := newScanner(r)
 	if !sc.Scan() || sc.Text() != v1Magic {
-		return V1{}, fmt.Errorf("smformat: not a V1 file (missing %q)", v1Magic)
+		return V1{}, syntaxErrf(1, "not a V1 file (missing %q)", v1Magic)
 	}
 	h := &headerReader{sc: sc, line: 1}
 	var v V1
@@ -119,7 +128,7 @@ func ParseV1(r io.Reader) (V1, error) {
 		return V1{}, err
 	}
 	if npts <= 0 {
-		return V1{}, fmt.Errorf("smformat: V1 %s: NPTS %d must be positive", v.Station, npts)
+		return V1{}, syntaxErrf(h.line, "V1 %s: NPTS %d must be positive", v.Station, npts)
 	}
 	if _, err = h.expect("UNITS"); err != nil {
 		return V1{}, err
@@ -131,7 +140,7 @@ func ParseV1(r io.Reader) (V1, error) {
 		}
 		got, err := seismic.ParseComponent(name)
 		if err != nil || got != comp {
-			return V1{}, fmt.Errorf("smformat: V1 %s: component %d is %q, want %q", v.Station, ci, name, comp)
+			return V1{}, syntaxErrf(h.line, "V1 %s: component %d is %q, want %q", v.Station, ci, name, comp)
 		}
 		vs := newValueScanner(sc, h.line)
 		v.Accel[ci], err = vs.readBlock(npts)
@@ -203,7 +212,7 @@ func (v V1Component) Write(w io.Writer) error {
 func ParseV1Component(r io.Reader) (V1Component, error) {
 	sc := newScanner(r)
 	if !sc.Scan() || sc.Text() != v1CompMagic {
-		return V1Component{}, fmt.Errorf("smformat: not a per-component V1 file (missing %q)", v1CompMagic)
+		return V1Component{}, syntaxErrf(1, "not a per-component V1 file (missing %q)", v1CompMagic)
 	}
 	h := &headerReader{sc: sc, line: 1}
 	var v V1Component
@@ -226,7 +235,7 @@ func ParseV1Component(r io.Reader) (V1Component, error) {
 		return V1Component{}, err
 	}
 	if npts <= 0 {
-		return V1Component{}, fmt.Errorf("smformat: V1 component %s: NPTS %d must be positive", v.Station, npts)
+		return V1Component{}, syntaxErrf(h.line, "V1 component %s: NPTS %d must be positive", v.Station, npts)
 	}
 	if _, err = h.expect("UNITS"); err != nil {
 		return V1Component{}, err

@@ -1,0 +1,258 @@
+// Emission: laying a synthetic event down on disk in any registered ingest
+// format, optionally with injected record defects, so the QC gate and the
+// quarantine plane can be exercised at catalog scale on hostile inputs.
+package synth
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"accelproc/internal/ingest"
+	"accelproc/internal/seismic"
+	"accelproc/internal/smformat"
+)
+
+// CorruptKinds lists the record defects Corrupt can inject, in the cycle
+// order the "mix" mode uses.  All but "azimuth" are QC-gate rejects;
+// "azimuth" encodes the motion in a rotated sensor frame that the ingest
+// plane must rotate back.
+var CorruptKinds = []string{"clip", "gap", "azimuth", "short", "dt", "length", "missing"}
+
+// EmitOptions controls how an event's records are written into a work
+// directory.
+type EmitOptions struct {
+	// Format is the registry key every record is encoded in ("v1",
+	// "v1a", "mseed", "csv"), or "mix" to cycle through all registered
+	// formats station by station.  Empty means native v1.
+	Format string
+	// Corrupt injects one defect kind (see CorruptKinds) into every
+	// record, or cycles defects and clean records with "mix".  Empty
+	// emits clean records.
+	Corrupt string
+	// Seed drives the deterministic defect parameters (azimuth angles,
+	// clip positions); zero derives from the station index alone.
+	Seed int64
+}
+
+// formatsFor resolves the per-record format cycle.
+func formatsFor(opt EmitOptions) ([]ingest.Format, error) {
+	switch opt.Format {
+	case "", "v1":
+		f, err := ingest.ByName("v1")
+		return []ingest.Format{f}, err
+	case "mix":
+		return ingest.Formats(), nil
+	default:
+		f, err := ingest.ByName(opt.Format)
+		if err != nil {
+			return nil, err
+		}
+		return []ingest.Format{f}, nil
+	}
+}
+
+// corruptCycle resolves the per-record defect cycle; empty strings are
+// clean records.
+func corruptCycle(opt EmitOptions) ([]string, error) {
+	switch opt.Corrupt {
+	case "":
+		return []string{""}, nil
+	case "mix":
+		// Interleave clean records so a nasty event still produces
+		// products: clean, defect, clean, defect, ...
+		cycle := make([]string, 0, 2*len(CorruptKinds))
+		for _, k := range CorruptKinds {
+			cycle = append(cycle, "", k)
+		}
+		return cycle, nil
+	default:
+		for _, k := range CorruptKinds {
+			if k == opt.Corrupt {
+				return []string{k}, nil
+			}
+		}
+		return nil, fmt.Errorf("synth: unknown corruption %q (have %s, mix)",
+			opt.Corrupt, strings.Join(CorruptKinds, ", "))
+	}
+}
+
+// needsForeign reports whether the defect kind requires a format with
+// per-component headers or an azimuth field — things the native v1 cannot
+// represent.
+func needsForeign(kind string) bool {
+	switch kind {
+	case "azimuth", "dt", "length", "missing":
+		return true
+	}
+	return false
+}
+
+// EmitEvent writes the event's records into dir, one file per station
+// named <station><ext> for the chosen format.  Defect injection happens at
+// encode time, on the ingest-level record — the in-memory seismic domain
+// model never holds an invalid record.  When a defect needs a format the
+// native v1 cannot express, that record is silently upgraded to v1a.
+func EmitEvent(dir string, ev seismic.Event, opt EmitOptions) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	formats, err := formatsFor(opt)
+	if err != nil {
+		return err
+	}
+	cycle, err := corruptCycle(opt)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("synth: emit %s: %w", dir, err)
+	}
+	for i, rec := range ev.Records {
+		f := formats[i%len(formats)]
+		kind := cycle[i%len(cycle)]
+		if kind != "" && needsForeign(kind) && f.Name() == "v1" {
+			if f, err = ingest.ByName("v1a"); err != nil {
+				return err
+			}
+		}
+		irec := ingest.FromV1(smformat.FromRecord(rec))
+		if kind != "" {
+			rng := rand.New(rand.NewSource(opt.Seed*1315423911 + int64(i)))
+			if irec, err = Corrupt(irec, kind, rng); err != nil {
+				return fmt.Errorf("synth: emit %s station %s: %w", dir, rec.Station, err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := f.Encode(&buf, irec); err != nil {
+			return fmt.Errorf("synth: emit %s station %s: %w", dir, rec.Station, err)
+		}
+		path := filepath.Join(dir, rec.Station+f.Extension())
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("synth: emit %s: %w", dir, err)
+		}
+	}
+	return nil
+}
+
+// Corrupt injects one defect kind into a clean ingest-level record,
+// deterministically from rng.  The defect magnitudes are sized to trip the
+// ingest.DefaultQC thresholds (clip run 8, gap run 64, minimum duration
+// 1 s) with margin.
+func Corrupt(rec ingest.Record, kind string, rng *rand.Rand) (ingest.Record, error) {
+	n := len(rec.Accel[0])
+	switch kind {
+	case "clip":
+		// Peg a run of samples at the component's own absolute maximum —
+		// the flat-top signature of a saturated sensor.
+		data := cloneSamples(rec.Accel[0])
+		rail := 0.0
+		for _, v := range data {
+			if a := absf(v); a > rail {
+				rail = a
+			}
+		}
+		run := 12
+		start := clampStart(rng.Intn(n), n, run)
+		for i := start; i < start+run; i++ {
+			data[i] = rail
+		}
+		rec.Accel[0] = data
+	case "gap":
+		// A telemetry dropout: a long flat run of zeros mid-trace.
+		data := cloneSamples(rec.Accel[1])
+		run := 80
+		if run > n {
+			run = n
+		}
+		start := clampStart(rng.Intn(n), n, run)
+		for i := start; i < start+run; i++ {
+			data[i] = 0
+		}
+		rec.Accel[1] = data
+	case "azimuth":
+		// Not a defect: encode the motion in a sensor frame rotated to a
+		// declared azimuth; the ingest plane rotates it back.
+		az := 15 + 60*rng.Float64()
+		sr := seismic.Record{Station: rec.Station}
+		for ci := range rec.Accel {
+			sr.Accel[ci] = seismic.Trace{DT: rec.DT[ci], Data: rec.Accel[ci]}
+		}
+		inv, err := seismic.RotateHorizontal(sr, -az)
+		if err != nil {
+			return ingest.Record{}, err
+		}
+		for ci := range rec.Accel {
+			rec.Accel[ci] = inv.Accel[ci].Data
+		}
+		rec.Azimuth = az
+	case "short":
+		// Truncate below any sane minimum duration (default gate: 1 s).
+		keep := int(0.5 / rec.DT[0])
+		if keep < 2 {
+			keep = 2
+		}
+		if keep >= n {
+			keep = n / 2
+		}
+		for ci := range rec.Accel {
+			rec.Accel[ci] = cloneSamples(rec.Accel[ci][:keep])
+		}
+	case "dt":
+		// One component claims a different sample interval.
+		rec.DT[1] *= 2
+	case "length":
+		// One component loses its tail.
+		drop := n / 4
+		if drop < 1 {
+			drop = 1
+		}
+		rec.Accel[1] = cloneSamples(rec.Accel[1][:n-drop])
+	case "missing":
+		// The vertical never made it off the instrument.
+		rec.Accel[2] = nil
+		rec.DT[2] = 0
+	default:
+		return ingest.Record{}, fmt.Errorf("synth: unknown corruption %q", kind)
+	}
+	return rec, nil
+}
+
+// cloneSamples copies a sample slice so corruption never aliases the clean
+// event in memory.
+func cloneSamples(data []float64) []float64 {
+	out := make([]float64, len(data))
+	copy(out, data)
+	return out
+}
+
+// clampStart keeps a defect run inside the trace.
+func clampStart(start, n, run int) int {
+	if start+run > n {
+		start = n - run
+	}
+	if start < 0 {
+		start = 0
+	}
+	return start
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// NastyEvent returns the hostile-ingest preset: a mid-size event whose
+// emission (see EmitEvent with Format and Corrupt "mix") cycles through
+// every registered format and every defect class in one work directory —
+// the QC-gate and quarantine-plane soak scenario.
+func NastyEvent() EventSpec {
+	return EventSpec{
+		Name: "nasty", Files: 14, TotalPoints: 112000, Magnitude: 5.5, Seed: 0xBAD5EED,
+	}
+}
